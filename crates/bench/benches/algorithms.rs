@@ -1,0 +1,109 @@
+//! Microbenchmarks of the paper's two algorithms and their static-bound
+//! computation, isolated from any simulation machinery.
+
+use arv_cgroups::{Bytes, CpuController, CpuSet};
+use arv_resview::effective_cpu::{CpuBounds, CpuSample, EffectiveCpu};
+use arv_resview::effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+use arv_resview::EffectiveCpuConfig;
+use arv_sim_core::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let t = SimDuration::from_millis(24);
+    let mut e = EffectiveCpu::new(
+        CpuBounds { lower: 4, upper: 10 },
+        EffectiveCpuConfig::default(),
+    );
+    let sample = CpuSample {
+        usage: t * 4,
+        period: t,
+        slack: t,
+    };
+    c.bench_function("algorithm1_effective_cpu_update", |b| {
+        b.iter(|| black_box(e.update(black_box(sample))))
+    });
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut e = EffectiveMemory::new(
+        Bytes::from_gib(15),
+        Bytes::from_gib(30),
+        Bytes::from_mib(1280),
+        Bytes::from_mib(2560),
+        EffectiveMemoryConfig::default(),
+    );
+    let sample = MemSample {
+        free: Bytes::from_gib(80),
+        usage: Bytes::from_gib(14),
+        reclaiming: false,
+    };
+    c.bench_function("algorithm2_effective_memory_update", |b| {
+        b.iter(|| black_box(e.update(black_box(sample))))
+    });
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let online = CpuSet::first_n(20);
+    let cpu = CpuController::unlimited(20)
+        .with_quota_cpus(10.0)
+        .with_shares(1024);
+    c.bench_function("cpu_bounds_compute", |b| {
+        b.iter(|| black_box(CpuBounds::compute(black_box(&cpu), 5 * 1024, online)))
+    });
+}
+
+fn bench_cfs_allocation(c: &mut Criterion) {
+    use arv_cfs::{CfsSim, GroupDemand};
+    let mut group = c.benchmark_group("cfs_allocate");
+    for n in [2u32, 8, 32, 128] {
+        let cfs = CfsSim::with_cpus(20);
+        let demands: Vec<GroupDemand> = (0..n)
+            .map(|i| {
+                GroupDemand::cpu_bound(
+                    arv_cgroups::CgroupId(i),
+                    8,
+                    1024 * (1 + u64::from(i % 4)),
+                    10.0,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, d| {
+            b.iter(|| black_box(cfs.allocate(SimDuration::from_millis(24), d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_queue(c: &mut Criterion) {
+    use arv_jvm::tasks::{decompose_minor, makespan, GcTaskQueue};
+    let mut group = c.benchmark_group("gc_task_queue_makespan");
+    for workers in [4u32, 15] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut q = GcTaskQueue::new();
+                    q.refill(decompose_minor(
+                        SimDuration::from_millis(100),
+                        64,
+                        workers,
+                    ));
+                    black_box(makespan(&mut q, workers))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_algorithm2,
+    bench_bounds,
+    bench_cfs_allocation,
+    bench_task_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! One Criterion benchmark per paper table/figure: each target runs the
+//! corresponding experiment end-to-end (at a reduced workload scale so a
+//! full `cargo bench` stays in minutes) and asserts nothing — regenerate
+//! the actual numbers with `cargo run --release -p arv-experiments -- --all`.
+
+use arv_experiments::run_figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // End-to-end experiment regeneration is heavyweight per iteration.
+    group.sample_size(10);
+    for id in arv_experiments::ALL_FIGURES {
+        group.bench_function(format!("fig_{id}"), |b| {
+            b.iter(|| black_box(run_figure(id, SCALE).expect("known figure")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! §5.4 overhead microbenchmarks.
+//!
+//! The paper reports ~1 µs per `sys_namespace` update and 5 µs / 100 µs
+//! per effective-CPU / effective-memory query (their query path crosses
+//! the kernel through `sysconf`; ours is an in-process atomic load, so
+//! the absolute query cost is far lower — the claim that matters is that
+//! both paths are negligible against the 24 ms update period).
+
+use arv_cgroups::{Bytes, CgroupId};
+use arv_resview::effective_cpu::{CpuBounds, CpuSample};
+use arv_resview::effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+use arv_resview::live::{LiveRegistry, LiveSample, NsCell};
+use arv_resview::EffectiveCpuConfig;
+use arv_sim_core::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn mk_cell(reg: &LiveRegistry, id: u32) -> Arc<NsCell> {
+    reg.register(
+        CgroupId(id),
+        CpuBounds { lower: 4, upper: 10 },
+        EffectiveCpuConfig::default(),
+        EffectiveMemory::new(
+            Bytes::from_mib(500),
+            Bytes::from_gib(1),
+            Bytes::from_mib(1280),
+            Bytes::from_mib(2560),
+            EffectiveMemoryConfig::default(),
+        ),
+    )
+}
+
+fn sample() -> LiveSample {
+    let t = SimDuration::from_millis(24);
+    LiveSample {
+        cpu: CpuSample {
+            usage: t * 4,
+            period: t,
+            slack: t,
+        },
+        mem: MemSample {
+            free: Bytes::from_gib(64),
+            usage: Bytes::from_mib(480),
+            reclaiming: false,
+        },
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let registry = LiveRegistry::new();
+    let cell = mk_cell(&registry, 0);
+    let s = sample();
+
+    // The paper's "update to a sys_namespace takes 1 µs".
+    c.bench_function("sys_namespace_update", |b| b.iter(|| cell.apply(black_box(s))));
+
+    // The container-side sysconf query (paper: 5 µs effective CPU).
+    c.bench_function("query_effective_cpu", |b| {
+        b.iter(|| black_box(cell.effective_cpu()))
+    });
+
+    // The memory query (paper: 100 µs via multiple sysinfo files).
+    c.bench_function("query_effective_memory", |b| {
+        b.iter(|| black_box(cell.effective_memory()))
+    });
+
+    // Registry lookup + query — the path a fresh process takes.
+    c.bench_function("registry_lookup_and_query", |b| {
+        b.iter(|| {
+            let cell = registry.get(black_box(CgroupId(0))).unwrap();
+            black_box(cell.effective_cpu())
+        })
+    });
+
+    // Updating a full fleet of 100 namespaces, as one monitor pass does.
+    let fleet_registry = LiveRegistry::new();
+    let fleet: Vec<_> = (0..100).map(|i| mk_cell(&fleet_registry, i)).collect();
+    c.bench_function("monitor_pass_100_containers", |b| {
+        b.iter(|| {
+            for cell in &fleet {
+                cell.apply(black_box(s));
+            }
+        })
+    });
+
+    // Queries racing the updater (the no-locking claim of §5.4).
+    let contended = Arc::clone(&cell);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let updater = std::thread::spawn(move || {
+        let s = sample();
+        while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+            contended.apply(s);
+        }
+    });
+    c.bench_function("query_under_concurrent_updates", |b| {
+        b.iter(|| black_box(cell.effective_cpu()))
+    });
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    updater.join().unwrap();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Substrate benchmarks: how fast the simulated host itself advances —
+//! the number that bounds every experiment sweep.
+
+use arv_cgroups::Bytes;
+use arv_container::{ContainerSpec, SimHost};
+use arv_mem::{MemSim, MemSimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_host_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_host_step");
+    for n in [1u32, 5, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut host = SimHost::paper_testbed();
+            let ids: Vec<_> = (0..n)
+                .map(|i| host.launch(&ContainerSpec::new(format!("c{i}"), 20).cpus(10.0)))
+                .collect();
+            b.iter(|| {
+                let demands: Vec<_> = ids.iter().map(|id| host.demand(*id, 8)).collect();
+                black_box(host.step(&demands))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_charging(c: &mut Criterion) {
+    c.bench_function("mem_charge_uncharge", |b| {
+        let mut mem = MemSim::new(MemSimConfig::paper_testbed());
+        mem.register(
+            arv_cgroups::CgroupId(0),
+            arv_cgroups::MemController::unlimited().with_hard_limit(Bytes::from_gib(64)),
+        );
+        b.iter(|| {
+            let out = mem.charge(arv_cgroups::CgroupId(0), Bytes::from_mib(64));
+            black_box(out);
+            mem.uncharge(arv_cgroups::CgroupId(0), Bytes::from_mib(64));
+        })
+    });
+
+    c.bench_function("kswapd_step_under_pressure", |b| {
+        let mut mem = MemSim::new(MemSimConfig::with_total(Bytes::from_gib(4)));
+        for i in 0..8 {
+            mem.register(
+                arv_cgroups::CgroupId(i),
+                arv_cgroups::MemController::unlimited()
+                    .with_soft_limit(Bytes::from_mib(128)),
+            );
+            let _ = mem.charge(arv_cgroups::CgroupId(i), Bytes::from_mib(500));
+        }
+        b.iter(|| {
+            mem.kswapd_step(arv_sim_core::SimDuration::from_millis(24));
+            black_box(mem.free())
+        })
+    });
+}
+
+fn bench_container_lifecycle(c: &mut Criterion) {
+    c.bench_function("container_launch_terminate", |b| {
+        let mut host = SimHost::paper_testbed();
+        b.iter(|| {
+            let id = host.launch(&ContainerSpec::new("bench", 20).cpus(4.0));
+            black_box(host.effective_cpu(id));
+            host.terminate(id);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_host_step,
+    bench_memory_charging,
+    bench_container_lifecycle
+);
+criterion_main!(benches);

@@ -1,0 +1,494 @@
+//! The simulated host: all substrates advancing in lock-step.
+
+use arv_cfs::{Allocation, CfsSim, GroupDemand, Loadavg, UsageLedger};
+use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec};
+use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
+use arv_resview::effective_cpu::EffectiveCpuConfig;
+use arv_resview::effective_mem::EffectiveMemoryConfig;
+use arv_resview::namespace::Pid;
+use arv_resview::{HostView, NsMonitor, Sysconf, VirtualSysfs};
+use arv_sim_core::{clock::sched_period, SimClock, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use crate::spec::ContainerSpec;
+
+/// What one scheduling-period step produced.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Length of the period that just elapsed.
+    pub period: SimDuration,
+    /// The CPU allocation for the period.
+    pub alloc: Allocation,
+    /// Simulated time after the step.
+    pub now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct ContainerMeta {
+    name: String,
+    init_pid: Pid,
+}
+
+/// The simulated host machine.
+///
+/// Owns the cgroup manager, scheduler, memory manager, usage accounting,
+/// load average, and the `ns_monitor`, and advances them together one
+/// scheduling period at a time via [`SimHost::step`].
+#[derive(Debug)]
+pub struct SimHost {
+    clock: SimClock,
+    cgm: CgroupManager,
+    cfs: CfsSim,
+    mem: MemSim,
+    monitor: NsMonitor,
+    ledger: UsageLedger,
+    loadavg: Loadavg,
+    containers: BTreeMap<CgroupId, ContainerMeta>,
+    next_pid: u32,
+    update_timer_elapsed: SimDuration,
+}
+
+impl SimHost {
+    /// A host with `cpus` CPUs and `memory` physical memory.
+    pub fn new(cpus: u32, memory: Bytes) -> SimHost {
+        SimHost::with_view_configs(
+            cpus,
+            memory,
+            EffectiveCpuConfig::default(),
+            EffectiveMemoryConfig::default(),
+        )
+    }
+
+    /// A host with explicit resource-view tunables (ablation studies).
+    pub fn with_view_configs(
+        cpus: u32,
+        memory: Bytes,
+        cpu_cfg: EffectiveCpuConfig,
+        mem_cfg: EffectiveMemoryConfig,
+    ) -> SimHost {
+        let cfs = CfsSim::with_cpus(cpus);
+        let mem = MemSim::new(MemSimConfig::with_total(memory));
+        let monitor = NsMonitor::new(cfs.online(), memory, *mem.watermarks(), cpu_cfg, mem_cfg);
+        SimHost {
+            clock: SimClock::new(),
+            cgm: CgroupManager::new(),
+            cfs,
+            mem,
+            monitor,
+            ledger: UsageLedger::new(),
+            loadavg: Loadavg::one_min(),
+            containers: BTreeMap::new(),
+            next_pid: 1000,
+            update_timer_elapsed: SimDuration::ZERO,
+        }
+    }
+
+    /// The paper's testbed: dual 10-core Xeon (20 cores), 128 GB memory.
+    pub fn paper_testbed() -> SimHost {
+        SimHost::new(20, Bytes::from_gib(128))
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Number of online CPUs on the host.
+    pub fn online_cpus(&self) -> u32 {
+        self.cfs.online_count()
+    }
+
+    /// Physical memory size of the host.
+    pub fn total_memory(&self) -> Bytes {
+        self.mem.total()
+    }
+
+    /// Launch a container: create its cgroup and memory accounting, let
+    /// `ns_monitor` build its `sys_namespace`, then model the §3.2 init
+    /// handoff — the setup init `exec`s into the user command and the
+    /// namespace is re-owned by the new init.
+    pub fn launch(&mut self, spec: &ContainerSpec) -> CgroupId {
+        let id = self.cgm.create(CgroupSpec::new(spec.cpu, spec.mem));
+        self.mem.register(id, spec.mem);
+        self.monitor.sync(&mut self.cgm);
+
+        let new_init = Pid(self.next_pid);
+        self.next_pid += 1;
+        let ns = self
+            .monitor
+            .namespace_mut(id)
+            .expect("sync created the namespace");
+        ns.transfer_ownership(new_init);
+
+        self.containers.insert(
+            id,
+            ContainerMeta {
+                name: spec.name.clone(),
+                init_pid: new_init,
+            },
+        );
+        id
+    }
+
+    /// Terminate a container, releasing every resource it held.
+    pub fn terminate(&mut self, id: CgroupId) {
+        if self.containers.remove(&id).is_some() {
+            self.cgm.remove(id);
+            self.mem.unregister(id);
+            self.ledger.forget(id);
+            self.monitor.sync(&mut self.cgm);
+        }
+    }
+
+    /// Adjust a live container's resources (`docker update`).
+    pub fn update_limits(&mut self, id: CgroupId, spec: &ContainerSpec) {
+        assert!(self.containers.contains_key(&id), "unknown container");
+        self.cgm.update(id, CgroupSpec::new(spec.cpu, spec.mem));
+        self.mem.set_limits(id, spec.mem);
+        self.monitor.sync(&mut self.cgm);
+    }
+
+    /// The container's name, if it exists.
+    pub fn container_name(&self, id: CgroupId) -> Option<&str> {
+        self.containers.get(&id).map(|m| m.name.as_str())
+    }
+
+    /// Number of live containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Pid of the container's (post-exec) init process — the namespace
+    /// owner.
+    pub fn init_pid(&self, id: CgroupId) -> Option<Pid> {
+        self.containers.get(&id).map(|m| m.init_pid)
+    }
+
+    /// Shortest allowed simulation step (bounds event-driven stepping).
+    pub const MIN_STEP: SimDuration = SimDuration::from_micros(500);
+
+    /// Advance one scheduling period. `demands` carries each running
+    /// container's CPU request; the period length follows the CFS rule
+    /// from the total runnable count.
+    pub fn step(&mut self, demands: &[GroupDemand]) -> StepOutcome {
+        self.step_capped(demands, SimDuration(u64::MAX))
+    }
+
+    /// Advance one step of at most `cap` (event-driven stepping: workload
+    /// drivers cap the step at their next event — eden full, GC end,
+    /// region end). The `sys_namespace` update timer still fires once per
+    /// CFS scheduling period, over the accumulated usage window.
+    pub fn step_capped(&mut self, demands: &[GroupDemand], cap: SimDuration) -> StepOutcome {
+        let total_runnable: u32 = demands.iter().map(|d| d.runnable).sum();
+        let sched = sched_period(total_runnable.max(1));
+        let period = sched.min(cap).max(Self::MIN_STEP);
+
+        let alloc = self.cfs.allocate(period, demands);
+        self.ledger.record(&alloc);
+        self.mem.kswapd_step(period);
+        self.monitor.sync(&mut self.cgm);
+        self.update_timer_elapsed += period;
+        if self.update_timer_elapsed >= sched {
+            self.monitor.tick_window(&self.ledger, &self.mem);
+            self.ledger.reset_window();
+            self.update_timer_elapsed = SimDuration::ZERO;
+        }
+        self.loadavg.observe(total_runnable, period);
+        let now = self.clock.advance(period);
+
+        StepOutcome { period, alloc, now }
+    }
+
+    /// Build a CPU-bound demand for a container from its cgroup settings.
+    pub fn demand(&self, id: CgroupId, runnable: u32) -> GroupDemand {
+        let spec = self.cgm.get(id).expect("unknown container");
+        GroupDemand::cpu_bound(
+            id,
+            runnable,
+            spec.cpu.shares,
+            spec.cpu.cpu_cap(self.cfs.online()),
+        )
+    }
+
+    /// Effective CPU from the container's `sys_namespace`.
+    pub fn effective_cpu(&self, id: CgroupId) -> u32 {
+        self.monitor
+            .effective_cpu(id)
+            .expect("container has a namespace")
+    }
+
+    /// Effective memory from the container's `sys_namespace`.
+    pub fn effective_memory(&self, id: CgroupId) -> Bytes {
+        self.monitor
+            .effective_memory(id)
+            .expect("container has a namespace")
+    }
+
+    /// The virtual sysfs front-end over the current host state.
+    pub fn sysfs(&self) -> VirtualSysfs<'_> {
+        VirtualSysfs::new(
+            &self.monitor,
+            HostView {
+                online_cpus: self.cfs.online_count(),
+                total_memory: self.mem.total(),
+                free_memory: self.mem.free(),
+            },
+        )
+    }
+
+    /// `sysconf` as seen from inside `caller` (or the host for `None`).
+    pub fn sysconf(&self, caller: Option<CgroupId>, q: Sysconf) -> u64 {
+        self.sysfs().sysconf(caller, q)
+    }
+
+    /// 1-minute load average — the `getloadavg()[0]` series libgomp's
+    /// dynamic-thread heuristic reads.
+    pub fn loadavg(&self) -> f64 {
+        self.loadavg.value()
+    }
+
+    /// Prime the load average to a steady-state value (experiments that
+    /// start mid-workload would otherwise wait out the EWMA warm-up).
+    pub fn prime_loadavg(&mut self, value: f64) {
+        self.loadavg = Loadavg::primed(arv_cfs::loadavg::ONE_MINUTE, value);
+    }
+
+    // --- memory pass-throughs for workload models ---
+
+    /// Charge container memory (allocation / heap commit).
+    pub fn charge(&mut self, id: CgroupId, amount: Bytes) -> ChargeOutcome {
+        self.mem.charge(id, amount)
+    }
+
+    /// Release container memory (heap shrink / free).
+    pub fn uncharge(&mut self, id: CgroupId, amount: Bytes) {
+        self.mem.uncharge(id, amount)
+    }
+
+    /// The container's resident memory (`memory.usage_in_bytes`).
+    pub fn memory_usage(&self, id: CgroupId) -> Bytes {
+        self.mem.usage(id)
+    }
+
+    /// Fraction of the container's footprint on swap.
+    pub fn swapped_fraction(&self, id: CgroupId) -> f64 {
+        self.mem.swapped_fraction(id)
+    }
+
+    /// System-wide free physical memory.
+    pub fn free_memory(&self) -> Bytes {
+        self.mem.free()
+    }
+
+    /// The memory manager.
+    pub fn mem(&self) -> &MemSim {
+        &self.mem
+    }
+
+    /// The CPU scheduler.
+    pub fn cfs(&self) -> &CfsSim {
+        &self.cfs
+    }
+
+    /// The CPU usage ledger.
+    pub fn ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+
+    /// The `ns_monitor`.
+    pub fn monitor(&self) -> &NsMonitor {
+        &self.monitor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_resview::Sysconf;
+
+    fn five_paper_containers(host: &mut SimHost) -> Vec<CgroupId> {
+        (0..5)
+            .map(|i| {
+                host.launch(
+                    &ContainerSpec::new(format!("dacapo-{i}"), 20)
+                        .cpus(10.0)
+                        .cpu_shares(1024),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn launch_creates_namespace_and_transfers_ownership() {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c0", 20));
+        let ns = host.monitor().namespace(id).unwrap();
+        assert_eq!(ns.owner(), host.init_pid(id).unwrap());
+        assert_eq!(host.container_name(id), Some("c0"));
+    }
+
+    #[test]
+    fn effective_cpu_converges_to_fair_share_under_contention() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        // All five fully loaded: no slack → everyone sits at the lower
+        // bound of 4, which is exactly the fair share.
+        for _ in 0..50 {
+            let demands: Vec<_> = ids.iter().map(|id| host.demand(*id, 20)).collect();
+            host.step(&demands);
+        }
+        for id in &ids {
+            assert_eq!(host.effective_cpu(*id), 4);
+        }
+    }
+
+    #[test]
+    fn effective_cpu_expands_when_neighbours_go_idle() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        // Only container 0 runs; the other four are idle.
+        for _ in 0..50 {
+            let demands = vec![host.demand(ids[0], 20)];
+            host.step(&demands);
+        }
+        // Work conservation lets it climb to its 10-core quota.
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+    }
+
+    #[test]
+    fn effective_cpu_contracts_when_neighbours_return() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        for _ in 0..50 {
+            let demands = vec![host.demand(ids[0], 20)];
+            host.step(&demands);
+        }
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+        for _ in 0..50 {
+            let demands: Vec<_> = ids.iter().map(|id| host.demand(*id, 20)).collect();
+            host.step(&demands);
+        }
+        assert_eq!(host.effective_cpu(ids[0]), 4);
+    }
+
+    #[test]
+    fn sysconf_inside_vs_outside_container() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        for _ in 0..10 {
+            let demands: Vec<_> = ids.iter().map(|id| host.demand(*id, 20)).collect();
+            host.step(&demands);
+        }
+        assert_eq!(host.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 4);
+        assert_eq!(host.sysconf(None, Sysconf::NprocessorsOnln), 20);
+    }
+
+    #[test]
+    fn terminate_releases_resources_and_bounds() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        host.charge(ids[1], Bytes::from_gib(2));
+        for id in &ids[1..] {
+            host.terminate(*id);
+        }
+        assert_eq!(host.container_count(), 1);
+        assert_eq!(host.free_memory(), host.total_memory());
+        // Alone now: lower bound returns to the 10-core quota.
+        let demands = vec![host.demand(ids[0], 20)];
+        host.step(&demands);
+        assert_eq!(
+            host.monitor().namespace(ids[0]).unwrap().cpu_bounds().lower,
+            10
+        );
+    }
+
+    #[test]
+    fn update_limits_propagates_to_namespace() {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c", 20).cpus(10.0));
+        host.update_limits(
+            id,
+            &ContainerSpec::new("c", 20)
+                .cpus(2.0)
+                .memory(Bytes::from_gib(1)),
+        );
+        let ns = host.monitor().namespace(id).unwrap();
+        assert_eq!(ns.cpu_bounds().upper, 2);
+        assert_eq!(host.effective_memory(id), Bytes::from_gib(1));
+    }
+
+    #[test]
+    fn step_advances_clock_by_cfs_period_rule() {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c", 20));
+        // 4 runnable ≤ 8 → 24 ms.
+        let out = host.step(&[host.demand(id, 4)]);
+        assert_eq!(out.period, SimDuration::from_millis(24));
+        // 20 runnable → 3 ms × 20 = 60 ms.
+        let out = host.step(&[host.demand(id, 20)]);
+        assert_eq!(out.period, SimDuration::from_millis(60));
+        assert_eq!(host.now().as_micros(), 84_000);
+    }
+
+    #[test]
+    fn loadavg_rises_under_sustained_load() {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c", 20));
+        assert_eq!(host.loadavg(), 0.0);
+        for _ in 0..1000 {
+            let d = host.demand(id, 20);
+            host.step(&[d]);
+        }
+        assert!(host.loadavg() > 1.0);
+        host.prime_loadavg(20.0);
+        assert_eq!(host.loadavg(), 20.0);
+    }
+
+    #[test]
+    fn step_capped_respects_cap_and_floor() {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c", 20));
+        // Cap below the scheduling period shortens the step …
+        let out = host.step_capped(&[host.demand(id, 4)], SimDuration::from_millis(3));
+        assert_eq!(out.period, SimDuration::from_millis(3));
+        // … but never below MIN_STEP.
+        let out = host.step_capped(&[host.demand(id, 4)], SimDuration::from_micros(1));
+        assert_eq!(out.period, SimHost::MIN_STEP);
+        // A huge cap falls back to the CFS period rule.
+        let out = host.step_capped(&[host.demand(id, 4)], SimDuration::from_secs(10));
+        assert_eq!(out.period, SimDuration::from_millis(24));
+    }
+
+    #[test]
+    fn update_timer_fires_once_per_scheduling_period_under_short_steps() {
+        // Many 1 ms steps: the view may only move after a full 24 ms of
+        // accumulated window, exactly as with native-period stepping.
+        let mut host = SimHost::paper_testbed();
+        for _ in 0..4 {
+            host.launch(&ContainerSpec::new("x", 20).cpus(10.0));
+        }
+        // Launched into a 5-way share, the view is born at the 4-CPU
+        // lower bound and has a 10-CPU quota to climb to.
+        let a = host.launch(&ContainerSpec::new("a", 20).cpus(10.0));
+        assert_eq!(host.effective_cpu(a), 4);
+        let mut changes = 0;
+        let mut last = host.effective_cpu(a);
+        for _ in 0..48 {
+            let d = host.demand(a, 20);
+            host.step_capped(&[d], SimDuration::from_millis(1));
+            if host.effective_cpu(a) != last {
+                changes += 1;
+                last = host.effective_cpu(a);
+            }
+        }
+        // 48 ms of 1 ms steps = at most 2 update-timer firings.
+        assert!(changes <= 2, "view moved {changes} times in 48 ms");
+    }
+
+    #[test]
+    fn terminate_unknown_container_is_noop() {
+        let mut host = SimHost::paper_testbed();
+        host.terminate(CgroupId(77));
+        assert_eq!(host.container_count(), 0);
+    }
+}

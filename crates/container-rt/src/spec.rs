@@ -1,0 +1,92 @@
+//! Container launch specifications (the `docker run` flags the paper's
+//! experiments use).
+
+use arv_cgroups::{Bytes, CpuController, CpuSet, MemController};
+use serde::{Deserialize, Serialize};
+
+/// Resource specification for launching a container.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    /// The container's name.
+    pub name: String,
+    /// The cpu controller settings.
+    pub cpu: CpuController,
+    /// The memory controller settings.
+    pub mem: MemController,
+}
+
+impl ContainerSpec {
+    /// Unconstrained container on a host with `online` CPUs.
+    pub fn new(name: impl Into<String>, online: u32) -> ContainerSpec {
+        ContainerSpec {
+            name: name.into(),
+            cpu: CpuController::unlimited(online),
+            mem: MemController::unlimited(),
+        }
+    }
+
+    /// `docker run --cpus=<n>` — CFS quota equivalent to `n` CPUs.
+    pub fn cpus(mut self, n: f64) -> ContainerSpec {
+        self.cpu = self.cpu.with_quota_cpus(n);
+        self
+    }
+
+    /// `docker run --cpu-shares=<n>`.
+    pub fn cpu_shares(mut self, shares: u64) -> ContainerSpec {
+        self.cpu = self.cpu.with_shares(shares);
+        self
+    }
+
+    /// `docker run --cpuset-cpus=<lo>-<hi-1>`.
+    pub fn cpuset(mut self, set: CpuSet) -> ContainerSpec {
+        self.cpu = self.cpu.with_cpuset(set);
+        self
+    }
+
+    /// `docker run --memory=<bytes>` — the hard limit.
+    pub fn memory(mut self, hard: Bytes) -> ContainerSpec {
+        self.mem = self.mem.with_hard_limit(hard);
+        self
+    }
+
+    /// `docker run --memory-reservation=<bytes>` — the soft limit.
+    pub fn memory_reservation(mut self, soft: Bytes) -> ContainerSpec {
+        self.mem = self.mem.with_soft_limit(soft);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_paper_fig2a_container() {
+        // §2.2: CPU limit of 10 cores, equal shares, on a 20-core host.
+        let spec = ContainerSpec::new("dacapo-0", 20).cpus(10.0).cpu_shares(1024);
+        assert_eq!(spec.cpu.quota_ratio(), Some(10.0));
+        assert_eq!(spec.cpu.shares, 1024);
+        assert!(spec.mem.hard_limit.is_none());
+    }
+
+    #[test]
+    fn builder_produces_paper_fig11_container() {
+        // §5.3: 1 GB hard memory limit.
+        let spec = ContainerSpec::new("elastic", 20).memory(Bytes::from_gib(1));
+        assert_eq!(spec.mem.hard_limit, Some(Bytes::from_gib(1)));
+    }
+
+    #[test]
+    fn builder_composes_soft_and_hard_limits() {
+        let spec = ContainerSpec::new("c", 20)
+            .memory(Bytes::from_gib(30))
+            .memory_reservation(Bytes::from_gib(15));
+        assert!(spec.mem.is_consistent());
+    }
+
+    #[test]
+    fn cpuset_builder() {
+        let spec = ContainerSpec::new("pinned", 20).cpuset(CpuSet::range(0, 2));
+        assert_eq!(spec.cpu.cpuset.count(), 2);
+    }
+}

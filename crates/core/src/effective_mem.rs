@@ -1,0 +1,371 @@
+//! Algorithm 2: the calculation of effective memory.
+//!
+//! Effective memory starts at the container's soft limit and grows toward
+//! the hard limit in 10% steps, but only when (a) the host has free memory
+//! above the kswapd `low` watermark, (b) the container is actually using
+//! more than 90% of its current view, and (c) a linear prediction of the
+//! host free-memory response says the growth will not drag free memory
+//! below the `high` watermark. Whenever kswapd is reclaiming, the view
+//! snaps back to the soft limit — the portion above it is exactly what
+//! reclaim will take away.
+
+use arv_cgroups::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of Algorithm 2; defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffectiveMemoryConfig {
+    /// Usage fraction of the current view above which growth is attempted
+    /// (line 6: `cmem / E_MEM > 90%`).
+    pub usage_threshold: f64,
+    /// Growth increment as a fraction of the remaining headroom
+    /// (line 7: `Δ = (hard − E) · 10%`).
+    pub growth_fraction: f64,
+}
+
+impl Default for EffectiveMemoryConfig {
+    fn default() -> Self {
+        EffectiveMemoryConfig {
+            usage_threshold: 0.90,
+            growth_fraction: 0.10,
+        }
+    }
+}
+
+/// One update period's memory observation for a container.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemSample {
+    /// System-wide free memory now (`cfree`).
+    pub free: Bytes,
+    /// The container's current usage (`cmem`).
+    pub usage: Bytes,
+    /// Whether kswapd is actively reclaiming.
+    pub reclaiming: bool,
+}
+
+/// The effective-memory state machine.
+///
+/// Keeps the previous sample internally to evaluate the line-8 prediction
+/// `Δ_predict = (pfree − cfree)/(cmem − pmem) · Δ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EffectiveMemory {
+    cfg: EffectiveMemoryConfig,
+    soft: Bytes,
+    hard: Bytes,
+    low_watermark: Bytes,
+    high_watermark: Bytes,
+    value: Bytes,
+    prev: Option<MemSample>,
+}
+
+impl EffectiveMemory {
+    /// Initialize to the soft limit (line 3).
+    pub fn new(
+        soft: Bytes,
+        hard: Bytes,
+        low_watermark: Bytes,
+        high_watermark: Bytes,
+        cfg: EffectiveMemoryConfig,
+    ) -> EffectiveMemory {
+        assert!(soft <= hard, "soft limit must not exceed hard limit");
+        assert!(low_watermark <= high_watermark);
+        EffectiveMemory {
+            cfg,
+            soft,
+            hard,
+            low_watermark,
+            high_watermark,
+            value: soft,
+            prev: None,
+        }
+    }
+
+    /// Current effective memory (`E_MEM_i`).
+    pub fn value(&self) -> Bytes {
+        self.value
+    }
+
+    /// The soft limit anchoring the view.
+    pub fn soft_limit(&self) -> Bytes {
+        self.soft
+    }
+
+    /// The hard limit capping the view.
+    pub fn hard_limit(&self) -> Bytes {
+        self.hard
+    }
+
+    /// Install new limits (cgroup change). The view re-anchors to the new
+    /// soft limit when it falls outside `[soft, hard]`.
+    pub fn set_limits(&mut self, soft: Bytes, hard: Bytes) {
+        assert!(soft <= hard);
+        self.soft = soft;
+        self.hard = hard;
+        if self.value < soft || self.value > hard {
+            self.value = soft;
+        }
+    }
+
+    /// One firing of the update timer. Returns the new value.
+    pub fn update(&mut self, sample: MemSample) -> Bytes {
+        if sample.free > self.low_watermark && !sample.reclaiming {
+            let used_frac = sample.usage.ratio(self.value);
+            if used_frac > self.cfg.usage_threshold && self.value < self.hard {
+                let delta = (self.hard - self.value).mul_f64(self.cfg.growth_fraction);
+                let predicted_drop = self.predict_free_drop(&sample, delta);
+                if sample.free.saturating_sub(predicted_drop) > self.high_watermark {
+                    self.value = (self.value + delta).min(self.hard);
+                }
+            }
+        } else {
+            // Memory shortage / active reclaim: anything above the soft
+            // limit is about to be taken back (line 14).
+            self.value = self.soft;
+        }
+        self.prev = Some(sample);
+        self.value
+    }
+
+    /// Line 8: estimate how much system free memory will drop if this
+    /// container's view grows by `delta`, from the previous period's
+    /// observed response. With no history, or a non-increasing container
+    /// (the denominator `cmem − pmem ≤ 0`), assume the conservative 1:1
+    /// response. A negative numerator (free memory *grew*) predicts no
+    /// drop.
+    fn predict_free_drop(&self, sample: &MemSample, delta: Bytes) -> Bytes {
+        match self.prev {
+            Some(prev) if sample.usage > prev.usage => {
+                let consumed = prev.free.saturating_sub(sample.free).as_u64() as f64;
+                let grown = (sample.usage - prev.usage).as_u64() as f64;
+                delta.mul_f64(consumed / grown)
+            }
+            _ => delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn mem(soft_gib: u64, hard_gib: u64) -> EffectiveMemory {
+        EffectiveMemory::new(
+            Bytes(soft_gib * GIB),
+            Bytes(hard_gib * GIB),
+            Bytes::from_mib(1280), // low
+            Bytes::from_mib(2560), // high
+            EffectiveMemoryConfig::default(),
+        )
+    }
+
+    fn sample(free_gib: f64, usage_gib: f64) -> MemSample {
+        MemSample {
+            free: Bytes((free_gib * GIB as f64) as u64),
+            usage: Bytes((usage_gib * GIB as f64) as u64),
+            reclaiming: false,
+        }
+    }
+
+    #[test]
+    fn initializes_to_soft_limit() {
+        let e = mem(15, 30);
+        assert_eq!(e.value(), Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn grows_ten_percent_of_headroom_when_pressed() {
+        let mut e = mem(15, 30);
+        // 90%+ usage, plenty of free memory.
+        let v = e.update(sample(80.0, 14.0));
+        // Δ = (30 − 15) · 10% = 1.5 GiB.
+        assert_eq!(v, Bytes(15 * GIB) + Bytes(15 * GIB).mul_f64(0.1));
+    }
+
+    #[test]
+    fn no_growth_below_usage_threshold() {
+        let mut e = mem(15, 30);
+        let v = e.update(sample(80.0, 10.0)); // 66% of view
+        assert_eq!(v, Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn growth_capped_at_hard_limit() {
+        let mut e = mem(15, 30);
+        for _ in 0..200 {
+            let usage = e.value().mul_f64(0.95);
+            e.update(MemSample {
+                free: Bytes(80 * GIB),
+                usage,
+                reclaiming: false,
+            });
+        }
+        assert!(e.value() <= Bytes(30 * GIB));
+        // Converges towards (asymptotically to) the hard limit.
+        assert!(e.value() > Bytes(29 * GIB));
+    }
+
+    #[test]
+    fn reset_to_soft_on_reclaim() {
+        let mut e = mem(15, 30);
+        e.update(sample(80.0, 14.5));
+        assert!(e.value() > Bytes(15 * GIB));
+        e.update(MemSample {
+            free: Bytes(80 * GIB),
+            usage: Bytes(16 * GIB),
+            reclaiming: true,
+        });
+        assert_eq!(e.value(), Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn reset_to_soft_below_low_watermark() {
+        let mut e = mem(15, 30);
+        e.update(sample(80.0, 14.5));
+        assert!(e.value() > Bytes(15 * GIB));
+        e.update(MemSample {
+            free: Bytes::from_mib(1000), // below low watermark
+            usage: Bytes(16 * GIB),
+            reclaiming: false,
+        });
+        assert_eq!(e.value(), Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn prediction_blocks_growth_near_high_watermark() {
+        let mut e = mem(15, 30);
+        // First sample establishes history: container grew 1 GiB while free
+        // dropped 2 GiB → response ratio 2.0.
+        e.update(sample(6.0, 13.0));
+        // Now usage presses the view; Δ = 1.5 GiB, predicted drop = 3 GiB,
+        // free (4 GiB) − 3 GiB = 1 GiB < high watermark (2.5 GiB): blocked.
+        let v = e.update(sample(4.0, 14.0));
+        assert_eq!(v, Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn conservative_prediction_without_history() {
+        let mut e = mem(15, 30);
+        // No history: predicted drop = Δ = 1.5 GiB. free − Δ = 3.5 GiB >
+        // high watermark → growth allowed.
+        let v = e.update(sample(5.0, 14.0));
+        assert!(v > Bytes(15 * GIB));
+        // But with free = 3.9 GiB: 3.9 − 1.5 = 2.4 GiB < 2.5 GiB → blocked.
+        let mut e2 = mem(15, 30);
+        let v2 = e2.update(sample(3.9, 14.0));
+        assert_eq!(v2, Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn free_memory_growth_predicts_no_drop() {
+        let mut e = mem(15, 30);
+        e.update(sample(4.0, 13.0));
+        // Free memory grew while the container grew: numerator negative →
+        // predicted drop 0 → growth allowed even near the watermark.
+        let v = e.update(sample(4.5, 14.0));
+        assert!(v > Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn set_limits_reanchors_when_needed() {
+        let mut e = mem(15, 30);
+        e.update(sample(80.0, 14.5));
+        let grown = e.value();
+        assert!(grown > Bytes(15 * GIB));
+        // Limits move but still contain the value: keep it.
+        e.set_limits(Bytes(10 * GIB), Bytes(30 * GIB));
+        assert_eq!(e.value(), grown);
+        // Hard limit drops below the value: re-anchor to soft.
+        e.set_limits(Bytes(10 * GIB), Bytes(12 * GIB));
+        assert_eq!(e.value(), Bytes(10 * GIB));
+    }
+
+    #[test]
+    fn custom_growth_fraction() {
+        let cfg = EffectiveMemoryConfig {
+            usage_threshold: 0.90,
+            growth_fraction: 0.50,
+        };
+        let mut e = EffectiveMemory::new(
+            Bytes(10 * GIB),
+            Bytes(20 * GIB),
+            Bytes::from_mib(1280),
+            Bytes::from_mib(2560),
+            cfg,
+        );
+        let v = e.update(sample(80.0, 9.5));
+        assert_eq!(v, Bytes(15 * GIB));
+    }
+
+    #[test]
+    #[should_panic]
+    fn soft_above_hard_rejected() {
+        mem(30, 15);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// E_MEM always stays within [soft, hard] for arbitrary traces.
+        #[test]
+        fn value_always_within_limits(
+            soft_mib in 100u64..1000,
+            extra_mib in 0u64..2000,
+            trace in prop::collection::vec(
+                (0u64..200_000, 0u64..4_000, prop::bool::ANY), 1..100),
+        ) {
+            let soft = Bytes::from_mib(soft_mib);
+            let hard = Bytes::from_mib(soft_mib + extra_mib);
+            let mut e = EffectiveMemory::new(
+                soft,
+                hard,
+                Bytes::from_mib(1280),
+                Bytes::from_mib(2560),
+                EffectiveMemoryConfig::default(),
+            );
+            for (free_mib, usage_mib, reclaiming) in trace {
+                let v = e.update(MemSample {
+                    free: Bytes::from_mib(free_mib),
+                    usage: Bytes::from_mib(usage_mib),
+                    reclaiming,
+                });
+                prop_assert!(v >= soft && v <= hard, "view escaped limits");
+            }
+        }
+
+        /// Reclaim always resets the view exactly to the soft limit.
+        #[test]
+        fn reclaim_resets_to_soft(
+            soft_mib in 100u64..1000,
+            extra_mib in 1u64..2000,
+            warm in prop::collection::vec((0u64..200_000, 0u64..4_000), 0..20),
+        ) {
+            let soft = Bytes::from_mib(soft_mib);
+            let mut e = EffectiveMemory::new(
+                soft,
+                Bytes::from_mib(soft_mib + extra_mib),
+                Bytes::from_mib(1280),
+                Bytes::from_mib(2560),
+                EffectiveMemoryConfig::default(),
+            );
+            for (free_mib, usage_mib) in warm {
+                e.update(MemSample {
+                    free: Bytes::from_mib(free_mib),
+                    usage: Bytes::from_mib(usage_mib),
+                    reclaiming: false,
+                });
+            }
+            e.update(MemSample {
+                free: Bytes::from_gib(100),
+                usage: Bytes::from_mib(500),
+                reclaiming: true,
+            });
+            prop_assert_eq!(e.value(), soft);
+        }
+    }
+}

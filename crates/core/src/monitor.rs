@@ -1,0 +1,358 @@
+//! `ns_monitor`: the system-wide daemon that keeps every `sys_namespace`
+//! current.
+//!
+//! Two update paths exist, exactly as in §3.1–3.2 of the paper:
+//!
+//! * **cgroup events** (container creation/termination, limit changes) —
+//!   [`NsMonitor::sync`] drains the cgroup manager's event log and
+//!   recomputes every namespace's *static* inputs: the CPU bounds
+//!   (which depend on the share total over all containers, so one
+//!   container's arrival moves everyone's lower bound) and the memory
+//!   limits;
+//! * **the update timer** — [`NsMonitor::tick`] fires once per scheduling
+//!   period and advances the *dynamic* state machines from scheduler and
+//!   memory-manager observations.
+
+use arv_cfs::UsageLedger;
+use arv_cgroups::{Bytes, CgroupEvent, CgroupId, CgroupManager, CpuSet};
+use arv_mem::{MemSim, Watermarks};
+use std::collections::BTreeMap;
+
+use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpuConfig};
+use crate::effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+use crate::namespace::{Pid, SysNamespace};
+
+/// The monitor daemon (simulation-side; see [`crate::live`] for the
+/// threaded equivalent).
+#[derive(Debug, Clone)]
+pub struct NsMonitor {
+    online: CpuSet,
+    host_total: Bytes,
+    watermarks: Watermarks,
+    cpu_cfg: EffectiveCpuConfig,
+    mem_cfg: EffectiveMemoryConfig,
+    namespaces: BTreeMap<CgroupId, SysNamespace>,
+    next_pid: u32,
+}
+
+impl NsMonitor {
+    /// An empty report for figure `id`.
+    pub fn new(
+        online: CpuSet,
+        host_total: Bytes,
+        watermarks: Watermarks,
+        cpu_cfg: EffectiveCpuConfig,
+        mem_cfg: EffectiveMemoryConfig,
+    ) -> NsMonitor {
+        NsMonitor {
+            online,
+            host_total,
+            watermarks,
+            cpu_cfg,
+            mem_cfg,
+            namespaces: BTreeMap::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Convenience constructor with the paper's default thresholds.
+    pub fn with_defaults(online: CpuSet, host_total: Bytes, watermarks: Watermarks) -> NsMonitor {
+        NsMonitor::new(
+            online,
+            host_total,
+            watermarks,
+            EffectiveCpuConfig::default(),
+            EffectiveMemoryConfig::default(),
+        )
+    }
+
+    /// The container's namespace, if it has one.
+    pub fn namespace(&self, id: CgroupId) -> Option<&SysNamespace> {
+        self.namespaces.get(&id)
+    }
+
+    /// Mutable access to the container's namespace.
+    pub fn namespace_mut(&mut self, id: CgroupId) -> Option<&mut SysNamespace> {
+        self.namespaces.get_mut(&id)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.namespaces.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.namespaces.is_empty()
+    }
+
+    /// Effective CPU for a container, if it has a namespace.
+    pub fn effective_cpu(&self, id: CgroupId) -> Option<u32> {
+        self.namespaces.get(&id).map(|n| n.effective_cpu())
+    }
+
+    /// Effective memory for a container, if it has a namespace.
+    pub fn effective_memory(&self, id: CgroupId) -> Option<Bytes> {
+        self.namespaces.get(&id).map(|n| n.effective_memory())
+    }
+
+    /// Drain pending cgroup events and refresh static inputs.
+    ///
+    /// Any create/remove/update changes the share denominator `Σ w_j`, so
+    /// bounds are recomputed for *every* namespace whenever at least one
+    /// event arrived.
+    pub fn sync(&mut self, cgm: &mut CgroupManager) {
+        let events = cgm.drain_events();
+        if events.is_empty() {
+            return;
+        }
+        for ev in &events {
+            match ev {
+                CgroupEvent::Created(id) => self.create_namespace(*id, cgm),
+                CgroupEvent::Removed(id) => {
+                    self.namespaces.remove(id);
+                }
+                CgroupEvent::Updated(_) => {}
+            }
+        }
+        self.recompute_all(cgm);
+    }
+
+    fn create_namespace(&mut self, id: CgroupId, cgm: &CgroupManager) {
+        let Some(spec) = cgm.get(id) else { return };
+        let bounds = CpuBounds::compute(&spec.cpu, cgm.total_shares(), self.online);
+        let soft = spec.mem.soft_limit_or(self.host_total);
+        let hard = spec.mem.hard_limit_or(self.host_total);
+        let e_mem = EffectiveMemory::new(
+            soft,
+            hard,
+            self.watermarks.low,
+            self.watermarks.high,
+            self.mem_cfg,
+        );
+        let owner = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.namespaces.insert(
+            id,
+            SysNamespace::new(id, owner, bounds, self.cpu_cfg, e_mem),
+        );
+    }
+
+    fn recompute_all(&mut self, cgm: &CgroupManager) {
+        let total_shares = cgm.total_shares();
+        for (id, ns) in self.namespaces.iter_mut() {
+            if let Some(spec) = cgm.get(*id) {
+                ns.set_cpu_bounds(CpuBounds::compute(&spec.cpu, total_shares, self.online));
+                ns.set_mem_limits(
+                    spec.mem.soft_limit_or(self.host_total),
+                    spec.mem.hard_limit_or(self.host_total),
+                );
+            }
+        }
+    }
+
+    /// Periodic update: advance every namespace from the last scheduling
+    /// period's CPU accounting and the memory manager's current state.
+    pub fn tick(&mut self, ledger: &UsageLedger, mem: &MemSim) {
+        if ledger.last_period().is_zero() {
+            return; // nothing scheduled yet
+        }
+        for (id, ns) in self.namespaces.iter_mut() {
+            ns.update(
+                CpuSample {
+                    usage: ledger.last_usage(*id),
+                    period: ledger.last_period(),
+                    slack: ledger.last_slack(),
+                },
+                MemSample {
+                    free: mem.free(),
+                    usage: mem.usage(*id),
+                    reclaiming: mem.is_reclaiming(),
+                },
+            );
+        }
+    }
+
+    /// Update-timer firing over the ledger's accumulated window (used by
+    /// event-driven drivers whose steps are shorter than one scheduling
+    /// period).
+    pub fn tick_window(&mut self, ledger: &UsageLedger, mem: &MemSim) {
+        if ledger.window_time().is_zero() {
+            return;
+        }
+        for (id, ns) in self.namespaces.iter_mut() {
+            ns.update(
+                CpuSample {
+                    usage: ledger.window_usage(*id),
+                    period: ledger.window_time(),
+                    slack: ledger.window_slack(),
+                },
+                MemSample {
+                    free: mem.free(),
+                    usage: mem.usage(*id),
+                    reclaiming: mem.is_reclaiming(),
+                },
+            );
+        }
+    }
+
+    /// CPU-only periodic update (memory decimated by the caller).
+    pub fn tick_cpu(&mut self, ledger: &UsageLedger) {
+        if ledger.last_period().is_zero() {
+            return;
+        }
+        for (id, ns) in self.namespaces.iter_mut() {
+            ns.update_cpu(CpuSample {
+                usage: ledger.last_usage(*id),
+                period: ledger.last_period(),
+                slack: ledger.last_slack(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_cfs::{CfsSim, GroupDemand};
+    use arv_cgroups::{CgroupSpec, CpuController, MemController};
+    use arv_mem::MemSimConfig;
+    use arv_sim_core::SimDuration;
+
+    const P: SimDuration = SimDuration::from_millis(24);
+
+    fn testbed() -> (CgroupManager, NsMonitor, CfsSim, MemSim, UsageLedger) {
+        let cfs = CfsSim::with_cpus(20);
+        let mem = MemSim::new(MemSimConfig::paper_testbed());
+        let monitor = NsMonitor::with_defaults(
+            cfs.online(),
+            mem.total(),
+            *mem.watermarks(),
+        );
+        (CgroupManager::new(), monitor, cfs, mem, UsageLedger::new())
+    }
+
+    fn paper_spec() -> CgroupSpec {
+        CgroupSpec::new(
+            CpuController::unlimited(20).with_quota_cpus(10.0),
+            MemController::unlimited(),
+        )
+    }
+
+    #[test]
+    fn sync_creates_namespaces_with_paper_bounds() {
+        let (mut cgm, mut mon, _, mut mem, _) = testbed();
+        let ids: Vec<CgroupId> = (0..5).map(|_| cgm.create(paper_spec())).collect();
+        for id in &ids {
+            mem.register(*id, MemController::unlimited());
+        }
+        mon.sync(&mut cgm);
+        assert_eq!(mon.len(), 5);
+        // 5 equal-share containers on 20 cores with a 10-core limit:
+        // lower = 4, E starts at 4.
+        for id in &ids {
+            let ns = mon.namespace(*id).unwrap();
+            assert_eq!(ns.cpu_bounds(), CpuBounds { lower: 4, upper: 10 });
+            assert_eq!(ns.effective_cpu(), 4);
+        }
+    }
+
+    #[test]
+    fn container_churn_moves_everyones_lower_bound() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        // Alone: lower = min(10, 20, ceil(1·20)) = 10.
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 10);
+        let b = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        // Two equal containers: ceil(20/2) = 10 → still 10.
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 10);
+        for _ in 0..3 {
+            cgm.create(paper_spec());
+        }
+        mon.sync(&mut cgm);
+        // Five containers: ceil(20/5) = 4.
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 4);
+        assert_eq!(mon.namespace(b).unwrap().cpu_bounds().lower, 4);
+    }
+
+    #[test]
+    fn removal_restores_bounds_and_drops_namespace() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        let b = cgm.create(paper_spec());
+        let c = cgm.create(paper_spec());
+        let d = cgm.create(paper_spec());
+        let e = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 4);
+        for id in [b, c, d, e] {
+            cgm.remove(id);
+        }
+        mon.sync(&mut cgm);
+        assert_eq!(mon.len(), 1);
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 10);
+        assert!(mon.namespace(b).is_none());
+    }
+
+    #[test]
+    fn tick_drives_effective_cpu_growth() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        // Five sibling cgroups (lower bound 4 for each); only `a` runs, so
+        // it can expand into the others' slack.
+        let a = cgm.create(paper_spec());
+        for _ in 0..4 {
+            cgm.create(paper_spec());
+        }
+        mem.register(a, MemController::unlimited());
+        mon.sync(&mut cgm);
+        assert_eq!(mon.effective_cpu(a), Some(4));
+        for _ in 0..10 {
+            let demand = GroupDemand::cpu_bound(a, 20, 1024, 10.0);
+            let alloc = cfs.allocate(P, &[demand]);
+            ledger.record(&alloc);
+            mon.tick(&ledger, &mem);
+        }
+        // With slack and saturation, E climbs to the 10-core upper bound.
+        assert_eq!(mon.effective_cpu(a), Some(10));
+    }
+
+    #[test]
+    fn tick_before_any_allocation_is_harmless() {
+        let (mut cgm, mut mon, _, mem, ledger) = testbed();
+        let a = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        mon.tick(&ledger, &mem);
+        assert_eq!(mon.effective_cpu(a), Some(10));
+    }
+
+    #[test]
+    fn update_event_refreshes_limits() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().upper, 10);
+        cgm.update(
+            a,
+            CgroupSpec::new(
+                CpuController::unlimited(20).with_quota_cpus(2.0),
+                MemController::unlimited().with_hard_limit(Bytes::from_gib(1)),
+            ),
+        );
+        mon.sync(&mut cgm);
+        let ns = mon.namespace(a).unwrap();
+        assert_eq!(ns.cpu_bounds().upper, 2);
+        assert_eq!(ns.effective_memory(), Bytes::from_gib(1));
+    }
+
+    #[test]
+    fn sync_without_events_is_noop() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        let before = mon.namespace(a).unwrap().cpu_bounds();
+        mon.sync(&mut cgm); // no new events
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds(), before);
+    }
+}

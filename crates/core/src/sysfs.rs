@@ -1,0 +1,283 @@
+//! The virtual sysfs: the user-space-facing query interface.
+//!
+//! Applications don't read `sys_namespace` directly — they call
+//! `sysconf(3)` or read `sysfs`/`procfs` files, and glibc translates.
+//! The paper intercepts those queries: a process linked to a container's
+//! namespaces gets answers from its `sys_namespace`; an ordinary host
+//! process (in the init namespaces) keeps seeing physical totals. This
+//! module reproduces both entry points: the [`Sysconf`] parameter API and
+//! a path-based read of the files runtimes actually open.
+
+use arv_cgroups::{Bytes, CgroupId};
+
+use crate::monitor::NsMonitor;
+
+/// `_SC_PAGESIZE`: 4 KiB pages, as on the paper's x86-64 testbed.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The `sysconf` queries resource-probing runtimes issue (§2.2: "sysconf
+/// queries sysfs or procfs in order to determine the number of online
+/// CPUs. Memory size is calculated based on `_SC_PHYS_PAGES *
+/// _SC_PAGESIZE`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sysconf {
+    /// `_SC_NPROCESSORS_ONLN`.
+    NprocessorsOnln,
+    /// `_SC_NPROCESSORS_CONF`.
+    NprocessorsConf,
+    /// `_SC_PHYS_PAGES`.
+    PhysPages,
+    /// `_SC_AVPHYS_PAGES`.
+    AvphysPages,
+    /// `_SC_PAGESIZE`.
+    PageSize,
+}
+
+/// The host's physical view, answered to processes outside any container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostView {
+    /// Online CPUs on the host.
+    pub online_cpus: u32,
+    /// Physical memory size.
+    pub total_memory: Bytes,
+    /// Free physical memory.
+    pub free_memory: Bytes,
+}
+
+/// The virtual sysfs front-end.
+///
+/// Holds the host view plus a reference to the monitor's namespaces; a
+/// query carries the caller's container identity (or `None` for a host
+/// process), mirroring the kernel-side test of whether the calling task
+/// is linked to non-init namespaces.
+#[derive(Debug)]
+pub struct VirtualSysfs<'m> {
+    monitor: &'m NsMonitor,
+    host: HostView,
+}
+
+impl<'m> VirtualSysfs<'m> {
+    /// A front-end over `monitor` answering with `host` for host processes.
+    pub fn new(monitor: &'m NsMonitor, host: HostView) -> VirtualSysfs<'m> {
+        VirtualSysfs { monitor, host }
+    }
+
+    /// Answer a `sysconf` query for `caller`.
+    ///
+    /// A caller with a `sys_namespace` receives effective values; host
+    /// processes — and containers for which no namespace exists, exactly
+    /// the pre-paper failure mode — receive physical totals.
+    pub fn sysconf(&self, caller: Option<CgroupId>, query: Sysconf) -> u64 {
+        let ns = caller.and_then(|id| self.monitor.namespace(id));
+        match (query, ns) {
+            (Sysconf::PageSize, _) => PAGE_SIZE,
+            (Sysconf::NprocessorsOnln, Some(ns)) | (Sysconf::NprocessorsConf, Some(ns)) => {
+                u64::from(ns.effective_cpu())
+            }
+            (Sysconf::NprocessorsOnln, None) | (Sysconf::NprocessorsConf, None) => {
+                u64::from(self.host.online_cpus)
+            }
+            (Sysconf::PhysPages, Some(ns)) => ns.effective_memory().as_u64() / PAGE_SIZE,
+            (Sysconf::PhysPages, None) => self.host.total_memory.as_u64() / PAGE_SIZE,
+            // Available memory inside the view: the view itself is the
+            // budget the container may safely treat as "available".
+            (Sysconf::AvphysPages, Some(ns)) => ns.effective_memory().as_u64() / PAGE_SIZE,
+            (Sysconf::AvphysPages, None) => self.host.free_memory.as_u64() / PAGE_SIZE,
+        }
+    }
+
+    /// Total memory as seen by `caller`, in bytes
+    /// (`_SC_PHYS_PAGES * _SC_PAGESIZE`).
+    pub fn memory_bytes(&self, caller: Option<CgroupId>) -> Bytes {
+        Bytes(self.sysconf(caller, Sysconf::PhysPages) * PAGE_SIZE)
+    }
+
+    /// Online CPU count as seen by `caller`.
+    pub fn online_cpus(&self, caller: Option<CgroupId>) -> u32 {
+        self.sysconf(caller, Sysconf::NprocessorsOnln) as u32
+    }
+
+    /// Read a virtual file. Supported paths are the ones resource probing
+    /// actually touches; unknown paths return `None` (ENOENT).
+    pub fn read(&self, caller: Option<CgroupId>, path: &str) -> Option<String> {
+        match path {
+            "/sys/devices/system/cpu/online" => {
+                Some(cpu_list(self.online_cpus(caller)))
+            }
+            "/sys/devices/system/cpu/possible" | "/sys/devices/system/cpu/present" => {
+                // Possible/present CPUs are a hardware property; the view
+                // virtualizes *online*, as CPU hotplug does.
+                Some(cpu_list(self.host.online_cpus))
+            }
+            "/proc/cpuinfo" => {
+                // One `processor : N` stanza per visible CPU — the file
+                // `std::thread::available_parallelism` and many runtimes
+                // fall back to parsing.
+                let n = self.online_cpus(caller);
+                let mut out = String::new();
+                for cpu in 0..n {
+                    out.push_str(&format!(
+                        "processor\t: {cpu}\nmodel name\t: simulated\n\n"
+                    ));
+                }
+                Some(out)
+            }
+            "/proc/stat" => {
+                // Aggregate line plus one `cpuN` line per visible CPU
+                // (LXCFS virtualizes exactly this file).
+                let n = self.online_cpus(caller);
+                let mut out = String::from("cpu  0 0 0 0 0 0 0 0 0 0\n");
+                for cpu in 0..n {
+                    out.push_str(&format!("cpu{cpu} 0 0 0 0 0 0 0 0 0 0\n"));
+                }
+                Some(out)
+            }
+            "/proc/meminfo" => {
+                let total = self.memory_bytes(caller);
+                let free = match caller.and_then(|id| self.monitor.namespace(id)) {
+                    Some(_) => total,
+                    None => self.host.free_memory,
+                };
+                Some(format!(
+                    "MemTotal: {} kB\nMemFree: {} kB\n",
+                    total.as_u64() / 1024,
+                    free.as_u64() / 1024
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Kernel cpu-list syntax for CPUs `0..n`: `"0-3"`, or `"0"` for one CPU.
+fn cpu_list(n: u32) -> String {
+    if n <= 1 {
+        "0".to_string()
+    } else {
+        format!("0-{}", n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_cgroups::{CgroupManager, CgroupSpec, CpuController, MemController};
+    use arv_mem::Watermarks;
+
+    fn setup() -> (NsMonitor, CgroupId) {
+        let mut cgm = CgroupManager::new();
+        let id = cgm.create(CgroupSpec::new(
+            CpuController::unlimited(20).with_quota_cpus(4.0),
+            MemController::unlimited()
+                .with_hard_limit(Bytes::from_gib(1))
+                .with_soft_limit(Bytes::from_mib(500)),
+        ));
+        let mut mon = NsMonitor::with_defaults(
+            arv_cgroups::CpuSet::first_n(20),
+            Bytes::from_gib(128),
+            Watermarks::scaled(Bytes::from_gib(128)),
+        );
+        mon.sync(&mut cgm);
+        (mon, id)
+    }
+
+    fn host() -> HostView {
+        HostView {
+            online_cpus: 20,
+            total_memory: Bytes::from_gib(128),
+            free_memory: Bytes::from_gib(100),
+        }
+    }
+
+    #[test]
+    fn container_sees_effective_values() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.online_cpus(Some(id)), 4);
+        assert_eq!(fs.memory_bytes(Some(id)), Bytes::from_mib(500));
+    }
+
+    #[test]
+    fn host_process_sees_physical_values() {
+        let (mon, _) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.online_cpus(None), 20);
+        assert_eq!(fs.memory_bytes(None), Bytes::from_gib(128));
+        assert_eq!(
+            fs.sysconf(None, Sysconf::AvphysPages) * PAGE_SIZE,
+            Bytes::from_gib(100).as_u64()
+        );
+    }
+
+    #[test]
+    fn unknown_container_falls_back_to_host_view() {
+        let (mon, _) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.online_cpus(Some(CgroupId(999))), 20);
+    }
+
+    #[test]
+    fn page_size_is_constant() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.sysconf(Some(id), Sysconf::PageSize), 4096);
+        assert_eq!(fs.sysconf(None, Sysconf::PageSize), 4096);
+    }
+
+    #[test]
+    fn sysfs_online_file_uses_cpu_list_syntax() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(
+            fs.read(Some(id), "/sys/devices/system/cpu/online").unwrap(),
+            "0-3"
+        );
+        assert_eq!(
+            fs.read(None, "/sys/devices/system/cpu/online").unwrap(),
+            "0-19"
+        );
+        assert_eq!(
+            fs.read(Some(id), "/sys/devices/system/cpu/possible").unwrap(),
+            "0-19"
+        );
+    }
+
+    #[test]
+    fn single_cpu_list_has_no_dash() {
+        assert_eq!(cpu_list(1), "0");
+        assert_eq!(cpu_list(0), "0");
+        assert_eq!(cpu_list(8), "0-7");
+    }
+
+    #[test]
+    fn meminfo_reflects_the_view() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        let text = fs.read(Some(id), "/proc/meminfo").unwrap();
+        assert!(text.contains(&format!("MemTotal: {} kB", 500 * 1024)));
+        let host_text = fs.read(None, "/proc/meminfo").unwrap();
+        assert!(host_text.contains(&format!("MemTotal: {} kB", 128u64 * 1024 * 1024)));
+    }
+
+    #[test]
+    fn cpuinfo_and_stat_show_effective_cpus() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        let cpuinfo = fs.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert_eq!(cpuinfo.matches("processor").count(), 4);
+        let host_cpuinfo = fs.read(None, "/proc/cpuinfo").unwrap();
+        assert_eq!(host_cpuinfo.matches("processor").count(), 20);
+        let stat = fs.read(Some(id), "/proc/stat").unwrap();
+        // Aggregate line + 4 per-CPU lines.
+        assert_eq!(stat.lines().count(), 5);
+        assert!(stat.contains("cpu3 "));
+        assert!(!stat.contains("cpu4 "));
+    }
+
+    #[test]
+    fn unknown_path_is_enoent() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.read(Some(id), "/sys/kernel/unrelated"), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 1: analysis of the top 100 application images on DockerHub —
+//! images affected by the semantic gap vs unaffected, per language.
+
+use arv_workloads::dockerhub::{dockerhub_census, language_stats};
+
+use crate::report::{FigReport, Row, Table};
+
+/// Run this study and produce its report.
+pub fn run() -> FigReport {
+    let census = dockerhub_census();
+    let stats = language_stats(&census);
+
+    let mut table = Table::new("dockerhub_top100", &["affected", "unaffected"]);
+    for s in &stats {
+        table.push(Row::full(
+            s.language,
+            &[f64::from(s.affected), f64::from(s.unaffected)],
+        ));
+    }
+
+    let affected: u32 = stats.iter().map(|s| s.affected).sum();
+    let total: u32 = stats.iter().map(|s| s.total()).sum();
+
+    let mut rep = FigReport::new(
+        "1",
+        "Analysis of the top 100 application images on DockerHub",
+    );
+    rep.tables.push(table);
+    rep.note(format!(
+        "{affected} of {total} images are potentially affected by the semantic gap \
+         (paper: 62 of 100); all Java and PHP images are affected."
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_aggregates() {
+        let rep = run();
+        let t = &rep.tables[0];
+        let affected: f64 = t
+            .rows
+            .iter()
+            .map(|r| r.values[0].unwrap())
+            .sum();
+        assert_eq!(affected, 62.0);
+        assert_eq!(t.get("java", "unaffected"), Some(0.0));
+        assert_eq!(t.get("php", "unaffected"), Some(0.0));
+        assert_eq!(t.rows.len(), 7);
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 2: the motivating experiments of §2.2 — how container resource
+//! constraints break the JVM's auto-configuration.
+//!
+//! * **2(a)** — GC-thread configuration: 5 containers on 20 cores, each
+//!   with a 10-core CPU limit and equal shares, running the same DaCapo
+//!   benchmark. Auto vs hand-optimized (4 GC threads — the effective
+//!   share) for JDK 8 and JDK 9, normalized to Auto_JVM9.
+//! * **2(b)** — heap configuration: one container with a 1 GB hard and
+//!   500 MB soft limit on the 128 GB host, plus a background
+//!   memory-intensive workload causing a host-wide shortage. Hard/Soft
+//!   hand-optimized JDK 8 vs Auto JDK 8 (32 GB heap → swapping) vs Auto
+//!   JDK 9 (256 MB heap → OOM for H2), normalized to Hard_JVM8.
+
+use arv_cgroups::Bytes;
+use arv_jvm::{HeapPolicy, Jvm, JvmConfig, JvmOutcome};
+use arv_sim_core::SimDuration;
+use arv_workloads::{dacapo_profile, DACAPO_BENCHMARKS};
+
+use crate::driver::{Fleet, MemHog};
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{
+    colocated_same_bench, mean_completed, paper_heap, scale_java, testbed_with_containers, Layout,
+};
+
+/// Figure 2(a): impact of GC-thread configuration.
+pub fn run_gc_threads(scale: f64) -> FigReport {
+    let layout = Layout {
+        quota_cpus: Some(10.0),
+        ..Layout::default()
+    };
+    // Hand-optimized thread count: 5 containers share 20 cores → 4 each.
+    type GcThreadConfig = (&'static str, fn() -> JvmConfig, Option<u32>);
+    let configs: [GcThreadConfig; 4] = [
+        ("Auto_JVM9", JvmConfig::jdk9, None),
+        ("Opt_JVM9", JvmConfig::jdk9, Some(4)),
+        ("Auto_JVM8", JvmConfig::vanilla_jdk8, None),
+        ("Opt_JVM8", JvmConfig::vanilla_jdk8, Some(4)),
+    ];
+
+    let mut table = Table::new(
+        "normalized_exec_time",
+        &configs.map(|(name, _, _)| name),
+    );
+    for bench in DACAPO_BENCHMARKS {
+        let profile = scale_java(dacapo_profile(bench), scale);
+        let mut execs = Vec::new();
+        for (_, base, threads) in &configs {
+            let mut cfg = base().with_heap_policy(paper_heap(&profile));
+            if let Some(t) = threads {
+                cfg = cfg.with_gc_threads(*t);
+            }
+            let stats = colocated_same_bench(5, layout, &cfg, &profile);
+            execs.push(mean_completed(&stats).map(|(e, _)| e));
+        }
+        let baseline = execs[0].expect("Auto_JVM9 completes");
+        table.push(Row::new(
+            bench,
+            execs.iter().map(|e| e.map(|x| x / baseline)).collect(),
+        ));
+    }
+
+    let mut rep = FigReport::new("2a", "Impact of GC-thread configuration (5 containers, 20 cores)");
+    rep.tables.push(table);
+    rep.note("values are execution time normalized to Auto_JVM9 (lower is better)");
+    rep.note("hand-optimized JVMs use 4 GC threads — the effective share of 20 cores over 5 containers");
+    rep
+}
+
+/// Figure 2(b): impact of maximum-heap configuration under a 1 GB hard /
+/// 500 MB soft limit with host-wide memory pressure.
+pub fn run_heap_size(scale: f64) -> FigReport {
+    type HeapConfig = (&'static str, fn(&arv_jvm::JavaProfile) -> JvmConfig);
+    let configs: [HeapConfig; 4] = [
+        ("Hard_JVM8", |_| {
+            JvmConfig::vanilla_jdk8().with_heap_policy(HeapPolicy::FixedMax(Bytes::from_gib(1)))
+        }),
+        ("Soft_JVM8", |_| {
+            JvmConfig::vanilla_jdk8().with_heap_policy(HeapPolicy::FixedMax(Bytes::from_mib(500)))
+        }),
+        ("Auto_JVM8", |_| JvmConfig::vanilla_jdk8()),
+        ("Auto_JVM9", |_| JvmConfig::jdk9()),
+    ];
+
+    let mut table = Table::new("normalized_exec_time", &configs.map(|(n, _)| n));
+    for bench in DACAPO_BENCHMARKS {
+        let profile = scale_java(dacapo_profile(bench), scale);
+        let mut execs = Vec::new();
+        for (_, mk) in &configs {
+            execs.push(run_one_with_pressure(&mk(&profile), &profile));
+        }
+        let baseline = execs[0].expect("Hard_JVM8 completes");
+        table.push(Row::new(
+            bench,
+            execs.iter().map(|e| e.map(|x| x / baseline)).collect(),
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "2b",
+        "Impact of JVM heap configuration (1 GB hard / 500 MB soft limit, host memory pressure)",
+    );
+    rep.tables.push(table);
+    rep.note("values are execution time normalized to Hard_JVM8 (lower is better)");
+    rep.note("OOM/DNF cells reproduce the paper's missing bars (H2 cannot fit in JDK 9's 256 MB heap)");
+    rep
+}
+
+/// One container with the paper's limits plus a background memory hog
+/// that pushes the host into a kswapd shortage.
+fn run_one_with_pressure(cfg: &JvmConfig, profile: &arv_jvm::JavaProfile) -> Option<f64> {
+    let layout = Layout {
+        mem_hard: Some(Bytes::from_gib(1)),
+        mem_soft: Some(Bytes::from_mib(500)),
+        ..Layout::default()
+    };
+    let (mut host, ids) = testbed_with_containers(1, layout);
+    let hog_container = host.launch(&arv_container::ContainerSpec::new("memhog", 20));
+    let mut fleet = Fleet::new();
+    let jvm_idx = fleet.push_jvm(Jvm::launch(&mut host, ids[0], cfg.clone(), profile.clone()));
+    // The hog consumes nearly all host memory so free memory sits below
+    // the kswapd low watermark for the whole run.
+    let target = host.total_memory() - Bytes::from_mib(900);
+    fleet.push_mem_hog(MemHog::new(hog_container, Bytes::from_gib(8), target));
+    let deadline = profile.total_work.mul_f64(200.0).max(SimDuration::from_secs(600));
+    fleet.run(&mut host, deadline);
+
+    let jvm = fleet.jvm(jvm_idx);
+    (jvm.outcome() == JvmOutcome::Completed).then(|| jvm.metrics().exec_wall.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.05;
+
+    #[test]
+    fn fig2a_hand_optimized_beats_auto() {
+        let rep = run_gc_threads(SCALE);
+        let t = &rep.tables[0];
+        // On the GC-heavy benchmarks the optimized JVMs must win clearly.
+        for bench in ["lusearch", "xalan"] {
+            let auto9 = t.get(bench, "Auto_JVM9").unwrap();
+            let opt9 = t.get(bench, "Opt_JVM9").unwrap();
+            let opt8 = t.get(bench, "Opt_JVM8").unwrap();
+            assert!(opt9 < auto9, "{bench}: opt9 {opt9} vs auto9 {auto9}");
+            assert!(opt8 < auto9, "{bench}: opt8 {opt8} vs auto9 {auto9}");
+        }
+    }
+
+    #[test]
+    fn fig2a_jdk9_awareness_barely_helps() {
+        // The paper's point: JDK 9 detects the 10-core limit, not the
+        // 4-core effective capacity, so it stays close to JDK 8.
+        let rep = run_gc_threads(SCALE);
+        let t = &rep.tables[0];
+        for bench in DACAPO_BENCHMARKS {
+            let auto8 = t.get(bench, "Auto_JVM8").unwrap();
+            assert!(
+                (auto8 - 1.0).abs() < 0.35,
+                "{bench}: Auto_JVM8 {auto8} should be near Auto_JVM9"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2b_h2_ooms_and_limit_aware_heaps_win() {
+        let rep = run_heap_size(SCALE);
+        let t = &rep.tables[0];
+        assert_eq!(t.get("h2", "Auto_JVM9"), None, "H2 must OOM under 256 MB");
+        for bench in DACAPO_BENCHMARKS {
+            let soft = t.get(bench, "Soft_JVM8").unwrap();
+            let auto8 = t.get(bench, "Auto_JVM8").unwrap();
+            // Hard and soft hand-tuned heaps sit within a few tens of
+            // percent of each other (the paper gives soft a small edge;
+            // see EXPERIMENTS.md), while the host-oblivious heap
+            // collapses by an order of magnitude.
+            assert!(soft <= 1.5, "{bench}: soft {soft} must be near hard");
+            assert!(
+                auto8 > 5.0,
+                "{bench}: Auto_JVM8 {auto8} should collapse from swapping"
+            );
+        }
+        for bench in ["jython", "sunflow", "xalan", "lusearch"] {
+            let auto9 = t.get(bench, "Auto_JVM9").unwrap();
+            let auto8 = t.get(bench, "Auto_JVM8").unwrap();
+            assert!(
+                auto9 < auto8 / 4.0,
+                "{bench}: JDK 9's limit awareness must avoid the swap collapse"
+            );
+        }
+    }
+}

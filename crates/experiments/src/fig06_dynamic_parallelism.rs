@@ -1,0 +1,127 @@
+//! Figure 6: dynamic parallelism in a well-tuned five-container setup —
+//! DaCapo execution time (a), SPECjvm2008 throughput (b), and GC time (c)
+//! under the vanilla JVM, the existing dynamic-GC-threads scheme, and the
+//! adaptive JVM, all relative to vanilla.
+
+use arv_jvm::JvmConfig;
+use arv_workloads::{dacapo_profile, specjvm_profile, DACAPO_BENCHMARKS, SPECJVM_BENCHMARKS};
+
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{colocated_same_bench, mean_completed, paper_heap, scale_java, Layout};
+
+const CONFIGS: [&str; 3] = ["Vanilla", "Dynamic", "Adaptive"];
+
+fn config(name: &str) -> JvmConfig {
+    match name {
+        "Vanilla" => JvmConfig::vanilla_jdk8(),
+        "Dynamic" => JvmConfig::vanilla_jdk8().with_dynamic_gc_threads(true),
+        "Adaptive" => JvmConfig::adaptive(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let layout = Layout {
+        quota_cpus: Some(10.0),
+        ..Layout::default()
+    };
+
+    let mut dacapo_exec = Table::new("dacapo_exec_time", &CONFIGS);
+    let mut spec_tput = Table::new("specjvm_throughput", &CONFIGS);
+    let mut gc_time = Table::new("gc_time", &CONFIGS);
+
+    for bench in DACAPO_BENCHMARKS.iter().chain(SPECJVM_BENCHMARKS.iter()) {
+        let is_dacapo = DACAPO_BENCHMARKS.contains(bench);
+        let base = if is_dacapo {
+            dacapo_profile(bench)
+        } else {
+            specjvm_profile(bench)
+        };
+        let profile = scale_java(base, scale);
+        let mut execs = Vec::new();
+        let mut gcs = Vec::new();
+        for name in CONFIGS {
+            let cfg = config(name).with_heap_policy(paper_heap(&profile));
+            let stats = colocated_same_bench(5, layout, &cfg, &profile);
+            let (e, g) = mean_completed(&stats).expect("figure 6 runs complete");
+            execs.push(e);
+            gcs.push(g);
+        }
+        let (e0, g0) = (execs[0], gcs[0]);
+        if is_dacapo {
+            dacapo_exec.push(Row::full(
+                *bench,
+                &execs.iter().map(|e| e / e0).collect::<Vec<_>>(),
+            ));
+        } else {
+            // SPECjvm reports throughput: ops/s ∝ 1 / execution time.
+            spec_tput.push(Row::full(
+                *bench,
+                &execs.iter().map(|e| e0 / e).collect::<Vec<_>>(),
+            ));
+        }
+        gc_time.push(Row::full(
+            *bench,
+            &gcs.iter().map(|g| g / g0).collect::<Vec<_>>(),
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "6",
+        "Dynamic parallelism: DaCapo time, SPECjvm2008 throughput, GC time (5 containers)",
+    );
+    rep.tables.push(dacapo_exec);
+    rep.tables.push(spec_tput);
+    rep.tables.push(gc_time);
+    rep.note("all values relative to the vanilla JVM; exec/GC time lower is better, throughput higher is better");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_beats_vanilla_on_gc_heavy_dacapo() {
+        let rep = run(0.05);
+        let exec = &rep.tables[0];
+        for bench in ["lusearch", "xalan"] {
+            let a = exec.get(bench, "Adaptive").unwrap();
+            assert!(a < 0.9, "{bench}: adaptive {a} should beat vanilla clearly");
+        }
+        // Dynamic sits between vanilla and adaptive on the GC-heavy pair.
+        for bench in ["lusearch", "xalan"] {
+            let d = exec.get(bench, "Dynamic").unwrap();
+            let a = exec.get(bench, "Adaptive").unwrap();
+            assert!(d <= 1.02, "{bench}: dynamic {d} should not lose to vanilla");
+            assert!(a <= d + 0.05, "{bench}: adaptive {a} should match/beat dynamic {d}");
+        }
+    }
+
+    #[test]
+    fn specjvm_throughput_gains_are_modest_but_real() {
+        let rep = run(0.05);
+        let tput = &rep.tables[1];
+        for bench in arv_workloads::SPECJVM_BENCHMARKS {
+            let a = tput.get(bench, "Adaptive").unwrap();
+            assert!(a >= 0.97, "{bench}: adaptive throughput {a} must not regress");
+        }
+        // The GC-light benchmark has the least to gain.
+        let mpeg = tput.get("mpegaudio", "Adaptive").unwrap();
+        let derby = tput.get("derby", "Adaptive").unwrap();
+        assert!(derby >= mpeg - 0.02, "derby {derby} vs mpegaudio {mpeg}");
+    }
+
+    #[test]
+    fn gc_time_improves_most() {
+        let rep = run(0.05);
+        let gc = &rep.tables[2];
+        let exec = &rep.tables[0];
+        for bench in ["lusearch", "xalan"] {
+            let g = gc.get(bench, "Adaptive").unwrap();
+            let e = exec.get(bench, "Adaptive").unwrap();
+            assert!(g <= e, "{bench}: GC gain {g} should drive the exec gain {e}");
+        }
+    }
+}

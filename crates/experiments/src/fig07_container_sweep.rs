@@ -1,0 +1,110 @@
+//! Figure 7: JDK 9's static CPU limit vs effective CPU across a varying
+//! number of co-running containers (2–10).
+//!
+//! The JDK 9 runs pin each container to a disjoint 2-core cpuset (the
+//! paper: "we configured the CPU mask to access two cores in each
+//! container"); the adaptive runs rely on shares plus the resource view,
+//! so they may roam the whole machine — trading isolation (better GC
+//! time for JDK 9 at high container counts) for elasticity (better
+//! overall time for adaptive, with the gap narrowing as containers are
+//! added).
+
+use arv_jvm::JvmConfig;
+use arv_workloads::{dacapo_profile, DACAPO_BENCHMARKS};
+
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{colocated_same_bench, mean_completed, paper_heap, scale_java, Layout};
+
+/// Container counts swept in the paper.
+pub const CONTAINER_COUNTS: [u32; 5] = [2, 4, 6, 8, 10];
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let mut rep = FigReport::new(
+        "7",
+        "DaCapo execution and GC time vs number of containers: JVM9 (2-core cpuset) vs Adaptive",
+    );
+    let columns: Vec<String> = CONTAINER_COUNTS.iter().map(|n| n.to_string()).collect();
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+
+    for bench in DACAPO_BENCHMARKS {
+        let profile = scale_java(dacapo_profile(bench), scale);
+        let mut exec_table = Table::new(format!("{bench}_exec_ms"), &col_refs);
+        let mut gc_table = Table::new(format!("{bench}_gc_ms"), &col_refs);
+
+        type SweepRow = (String, Vec<Option<f64>>, Vec<Option<f64>>);
+        let mut rows: Vec<SweepRow> = vec![
+            ("JVM9".into(), Vec::new(), Vec::new()),
+            ("Adaptive".into(), Vec::new(), Vec::new()),
+        ];
+        for &n in &CONTAINER_COUNTS {
+            // JDK 9: dynamic GC threads on, disjoint 2-core cpusets.
+            let jvm9_layout = Layout {
+                cpuset_cores: Some(2),
+                ..Layout::default()
+            };
+            let jvm9_cfg = JvmConfig::jdk9()
+                .with_dynamic_gc_threads(true)
+                .with_heap_policy(paper_heap(&profile));
+            let jvm9 = colocated_same_bench(n, jvm9_layout, &jvm9_cfg, &profile);
+            let jvm9_mean = mean_completed(&jvm9);
+
+            // Adaptive: shares only, whole machine reachable.
+            let ad_cfg = JvmConfig::adaptive().with_heap_policy(paper_heap(&profile));
+            let ad = colocated_same_bench(n, Layout::default(), &ad_cfg, &profile);
+            let ad_mean = mean_completed(&ad);
+
+            rows[0].1.push(jvm9_mean.map(|(e, _)| e * 1e3));
+            rows[0].2.push(jvm9_mean.map(|(_, g)| g * 1e3));
+            rows[1].1.push(ad_mean.map(|(e, _)| e * 1e3));
+            rows[1].2.push(ad_mean.map(|(_, g)| g * 1e3));
+        }
+        for (label, execs, gcs) in rows {
+            exec_table.push(Row::new(label.clone(), execs));
+            gc_table.push(Row::new(label, gcs));
+        }
+        rep.tables.push(exec_table);
+        rep.tables.push(gc_table);
+    }
+
+    rep.note("columns are the number of co-running containers; values in milliseconds");
+    rep.note("JVM9 pins each container to a disjoint 2-core cpuset; Adaptive uses shares + the resource view");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_wins_overall_and_gap_narrows() {
+        let rep = run(0.05);
+        // Check the sunflow exec table (a benchmark the paper highlights).
+        let exec = rep
+            .tables
+            .iter()
+            .find(|t| t.name == "sunflow_exec_ms")
+            .unwrap();
+        let j2 = exec.get("JVM9", "2").unwrap();
+        let a2 = exec.get("Adaptive", "2").unwrap();
+        assert!(a2 < j2, "adaptive {a2} must beat JVM9 {j2} at 2 containers");
+        let j10 = exec.get("JVM9", "10").unwrap();
+        let a10 = exec.get("Adaptive", "10").unwrap();
+        assert!(a10 <= j10 * 1.05, "adaptive {a10} vs JVM9 {j10} at 10");
+        // Relative advantage shrinks as containers are added.
+        assert!(a2 / j2 < a10 / j10 + 0.05);
+    }
+
+    #[test]
+    fn exec_time_grows_with_container_count() {
+        let rep = run(0.05);
+        let exec = rep
+            .tables
+            .iter()
+            .find(|t| t.name == "h2_exec_ms")
+            .unwrap();
+        let a2 = exec.get("Adaptive", "2").unwrap();
+        let a10 = exec.get("Adaptive", "10").unwrap();
+        assert!(a10 > a2, "more containers must mean slower runs");
+    }
+}

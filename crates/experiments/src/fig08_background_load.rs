@@ -1,0 +1,149 @@
+//! Figure 8: static CPU shares (JDK 10) vs effective CPU under varying
+//! CPU availability — one DaCapo container colocated with nine sysbench
+//! containers that finish at different times.
+//!
+//! JDK 10 derives a static 2-core count from equal shares over ten
+//! containers and never revisits it; the adaptive JVM grows its GC team
+//! as sysbench neighbours finish and free CPU. Sub-figure (b) is the
+//! per-collection GC-thread trace for sunflow.
+
+use arv_jvm::{Jvm, JvmConfig};
+use arv_sim_core::{SimDuration, SimTime, TimeSeries};
+use arv_workloads::{dacapo_profile, sysbench_mix, DACAPO_BENCHMARKS};
+
+use crate::driver::Fleet;
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{paper_heap, scale_java, testbed_with_containers, JvmRunStats, Layout};
+
+const CONFIGS: [&str; 3] = ["Vanilla", "JVM10", "Adaptive"];
+
+fn config(name: &str) -> JvmConfig {
+    match name {
+        "Vanilla" => JvmConfig::vanilla_jdk8(),
+        "JVM10" => JvmConfig::jdk10().with_dynamic_gc_threads(true),
+        "Adaptive" => JvmConfig::adaptive(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// Run one benchmark in container 0 with the staggered sysbench mix in
+/// containers 1–9.
+fn run_one(cfg: &JvmConfig, profile: &arv_jvm::JavaProfile) -> JvmRunStats {
+    let (mut host, ids) = testbed_with_containers(10, Layout::default());
+    let mut fleet = Fleet::new();
+    let jvm_idx = fleet.push_jvm(Jvm::launch(&mut host, ids[0], cfg.clone(), profile.clone()));
+    // Two threads per hog (ten containers × 2 = 20 cores fully used);
+    // budgets stagger so CPU frees progressively over the first part of
+    // the run, leaving a tail where the adaptive JVM can expand.
+    let shortest = profile.total_work.mul_f64(0.25);
+    for hog in sysbench_mix(&ids[1..], 2, shortest) {
+        fleet.push_hog(hog);
+    }
+    let deadline = profile.total_work.mul_f64(100.0).max(SimDuration::from_secs(600));
+    fleet.run(&mut host, deadline);
+    crate::scenarios::JvmRunStats {
+        outcome: fleet.jvm(jvm_idx).outcome(),
+        exec_s: fleet.jvm(jvm_idx).metrics().exec_wall.as_secs_f64(),
+        gc_s: fleet.jvm(jvm_idx).metrics().gc_wall.as_secs_f64(),
+        minor_gcs: fleet.jvm(jvm_idx).metrics().minor_gcs,
+        major_gcs: fleet.jvm(jvm_idx).metrics().major_gcs,
+        gc_thread_trace: fleet.jvm(jvm_idx).metrics().gc_thread_trace.clone(),
+    }
+}
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let mut gc_table = Table::new("normalized_gc_time", &CONFIGS);
+    let mut traces: Vec<TimeSeries> = Vec::new();
+
+    for bench in DACAPO_BENCHMARKS {
+        let profile = scale_java(dacapo_profile(bench), scale);
+        let mut gcs = Vec::new();
+        for name in CONFIGS {
+            let stats = run_one(&config(name).with_heap_policy(paper_heap(&profile)), &profile);
+            assert!(stats.completed(), "{bench}/{name} must complete");
+            gcs.push(stats.gc_s);
+            if bench == "sunflow" {
+                // Figure 8(b): GC-thread count over collections.
+                let mut s = TimeSeries::new(format!("sunflow_gc_threads_{name}"));
+                for (i, w) in stats.gc_thread_trace.iter().enumerate() {
+                    s.push(SimTime(i as u64 * 1_000_000), f64::from(*w));
+                }
+                traces.push(s);
+            }
+        }
+        let g0 = gcs[0];
+        gc_table.push(Row::full(
+            bench,
+            &gcs.iter().map(|g| g / g0).collect::<Vec<_>>(),
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "8",
+        "Static CPU shares vs effective CPU with staggered sysbench background load",
+    );
+    rep.tables.push(gc_table);
+    rep.series = traces;
+    rep.note("GC time relative to the vanilla JVM (15 GC threads from 20 online CPUs)");
+    rep.note("JVM10 derives a static 2-thread count from equal shares over 10 containers");
+    rep.note("series are GC threads per collection; the x axis is the collection index (1 'second' per GC)");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_tracks_freed_cpu_and_beats_jvm10() {
+        let rep = run(0.08);
+        let t = &rep.tables[0];
+        let mut adaptive_wins = 0;
+        let mut jvm10_wins = 0;
+        for bench in DACAPO_BENCHMARKS {
+            let j = t.get(bench, "JVM10").unwrap();
+            let a = t.get(bench, "Adaptive").unwrap();
+            // The adaptive JVM must always beat vanilla's 15-thread
+            // over-threading.
+            assert!(a < 1.0, "{bench}: adaptive {a} vs vanilla");
+            if j < 1.0 {
+                jvm10_wins += 1;
+            }
+            if a < j {
+                adaptive_wins += 1;
+            }
+        }
+        assert!(
+            jvm10_wins >= 4,
+            "static share awareness should beat vanilla for most benchmarks ({jvm10_wins}/5)"
+        );
+        assert!(
+            adaptive_wins >= 4,
+            "adaptive should beat static shares for most benchmarks ({adaptive_wins}/5)"
+        );
+    }
+
+    #[test]
+    fn sunflow_trace_shows_team_growth() {
+        let rep = run(0.08);
+        let adaptive = rep
+            .series
+            .iter()
+            .find(|s| s.name() == "sunflow_gc_threads_Adaptive")
+            .expect("adaptive sunflow trace");
+        let first = adaptive.samples().first().unwrap().1;
+        let max = adaptive.max_value().unwrap();
+        assert!(
+            max > first,
+            "adaptive GC threads should grow as sysbench hogs finish ({first} → {max})"
+        );
+        // JVM10 stays pinned at its share-derived count.
+        let jvm10 = rep
+            .series
+            .iter()
+            .find(|s| s.name() == "sunflow_gc_threads_JVM10")
+            .unwrap();
+        assert_eq!(jvm10.min_value(), jvm10.max_value());
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 9: big-data applications (HiBench) with large datasets —
+//! execution time and GC time under vanilla JDK 8, JDK 8 with container
+//! awareness + dynamic threads, and the adaptive JVM, relative to
+//! vanilla. Large heaps keep GC scalable, so the adaptive gains persist
+//! where small DaCapo inputs saturate.
+
+use arv_jvm::JvmConfig;
+use arv_workloads::{hibench_profile, HIBENCH_BENCHMARKS};
+
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{colocated_same_bench, mean_completed, paper_heap, scale_java, Layout};
+
+const CONFIGS: [&str; 3] = ["Vanilla", "Dynamic", "Adaptive"];
+
+fn config(name: &str) -> JvmConfig {
+    match name {
+        "Vanilla" => JvmConfig::vanilla_jdk8(),
+        // "We incorporated container awareness into JDK 8 and enabled
+        // dynamic threads" — static limits + the N_active heuristic.
+        "Dynamic" => JvmConfig::jdk9().with_dynamic_gc_threads(true),
+        "Adaptive" => JvmConfig::adaptive(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let layout = Layout {
+        quota_cpus: Some(10.0),
+        ..Layout::default()
+    };
+
+    let mut exec_table = Table::new("exec_time", &CONFIGS);
+    let mut gc_table = Table::new("gc_time", &CONFIGS);
+    for bench in HIBENCH_BENCHMARKS {
+        let profile = scale_java(hibench_profile(bench), scale);
+        let mut execs = Vec::new();
+        let mut gcs = Vec::new();
+        for name in CONFIGS {
+            let cfg = config(name).with_heap_policy(paper_heap(&profile));
+            let stats = colocated_same_bench(5, layout, &cfg, &profile);
+            let (e, g) = mean_completed(&stats).expect("figure 9 runs complete");
+            execs.push(e);
+            gcs.push(g);
+        }
+        exec_table.push(Row::full(
+            bench,
+            &execs.iter().map(|e| e / execs[0]).collect::<Vec<_>>(),
+        ));
+        gc_table.push(Row::full(
+            bench,
+            &gcs.iter().map(|g| g / gcs[0]).collect::<Vec<_>>(),
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "9",
+        "HiBench big-data applications: execution and GC time (5 containers, 10-core limits)",
+    );
+    rep.tables.push(exec_table);
+    rep.tables.push(gc_table);
+    rep.note("values relative to the vanilla JVM (lower is better)");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_consistently_beats_vanilla_and_static() {
+        let rep = run(0.03);
+        let exec = &rep.tables[0];
+        for bench in HIBENCH_BENCHMARKS {
+            let d = exec.get(bench, "Dynamic").unwrap();
+            let a = exec.get(bench, "Adaptive").unwrap();
+            assert!(a < 1.0, "{bench}: adaptive {a} must beat vanilla");
+            assert!(a <= d + 0.03, "{bench}: adaptive {a} vs dynamic {d}");
+        }
+    }
+
+    #[test]
+    fn gc_time_drives_the_gains() {
+        let rep = run(0.03);
+        let gc = &rep.tables[1];
+        for bench in HIBENCH_BENCHMARKS {
+            let a = gc.get(bench, "Adaptive").unwrap();
+            assert!(a < 1.0, "{bench}: adaptive GC {a} must improve on vanilla");
+        }
+    }
+}

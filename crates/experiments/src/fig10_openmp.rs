@@ -1,0 +1,158 @@
+//! Figure 10: OpenMP (NPB) under static, dynamic, and adaptive thread
+//! strategies, in two scenarios:
+//!
+//! * **(a)** five containers with equal shares each running the same NPB
+//!   program — the dynamic heuristic sees a high system load and
+//!   collapses to one thread despite each container's guaranteed share;
+//! * **(b)** one container with a quota of 4 cores — the dynamic
+//!   heuristic sees an idle host and floods the 4-CPU container with a
+//!   20-thread team.
+//!
+//! Both misconfigurations lose badly to the adaptive strategy.
+
+use arv_omp::{OmpRuntime, ThreadStrategy};
+use arv_sim_core::SimDuration;
+use arv_workloads::{npb_profile, NPB_BENCHMARKS};
+
+use crate::driver::Fleet;
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{scale_omp, testbed_with_containers, Layout};
+
+const STRATEGIES: [&str; 3] = ["Static", "Dynamic", "Adaptive"];
+
+fn strategy(name: &str, online: u32) -> ThreadStrategy {
+    match name {
+        // "The static strategy launches the same number of threads,
+        // matching the number of online CPUs, for all parallel regions."
+        "Static" => ThreadStrategy::Static(online),
+        "Dynamic" => ThreadStrategy::Dynamic,
+        "Adaptive" => ThreadStrategy::Adaptive,
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// Mean execution seconds over `n` containers running `profile` under
+/// `strategy`, with the load average primed to `initial_load`.
+fn run_case(
+    n: u32,
+    layout: Layout,
+    strat: &str,
+    profile: &arv_omp::OmpProfile,
+    initial_load: f64,
+) -> f64 {
+    let (mut host, ids) = testbed_with_containers(n, layout);
+    host.prime_loadavg(initial_load);
+    let online = host.online_cpus();
+    let mut fleet = Fleet::new();
+    let idxs: Vec<usize> = ids
+        .iter()
+        .map(|id| fleet.push_omp(OmpRuntime::launch(*id, strategy(strat, online), profile.clone())))
+        .collect();
+    let deadline = profile.total_work().mul_f64(200.0).max(SimDuration::from_secs(600));
+    let finished = fleet.run(&mut host, deadline);
+    assert!(finished, "NPB {} under {strat} did not finish", profile.name);
+    let total: f64 = idxs
+        .iter()
+        .map(|i| fleet.omp(*i).metrics().exec_wall.as_secs_f64())
+        .sum();
+    total / idxs.len() as f64
+}
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let mut shared = Table::new("five_containers_equal_shares", &STRATEGIES);
+    let mut quota = Table::new("one_container_quota_4_cores", &STRATEGIES);
+
+    for bench in NPB_BENCHMARKS {
+        let profile = scale_omp(npb_profile(bench), scale);
+
+        // (a) Five equal-share containers. The long-running colocated mix
+        // keeps the 1-minute load average near the runnable-task count a
+        // static configuration generates (5 × 20 threads).
+        let mut execs_a = Vec::new();
+        for strat in STRATEGIES {
+            execs_a.push(run_case(5, Layout::default(), strat, &profile, 100.0));
+        }
+        shared.push(Row::full(
+            bench,
+            &execs_a.iter().map(|e| e / execs_a[2]).collect::<Vec<_>>(),
+        ));
+
+        // (b) One container with a 4-core quota on an otherwise idle host
+        // (load average starts at zero).
+        let layout = Layout {
+            quota_cpus: Some(4.0),
+            ..Layout::default()
+        };
+        let mut execs_b = Vec::new();
+        for strat in STRATEGIES {
+            execs_b.push(run_case(1, layout, strat, &profile, 0.0));
+        }
+        quota.push(Row::full(
+            bench,
+            &execs_b.iter().map(|e| e / execs_b[2]).collect::<Vec<_>>(),
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "10",
+        "NPB OpenMP programs under static, dynamic, and adaptive threads",
+    );
+    rep.tables.push(shared);
+    rep.tables.push(quota);
+    rep.note("execution time normalized to Adaptive (lower is better)");
+    rep.note("scenario (a) primes the 1-minute loadavg to the colocated mix's steady state (100)");
+    rep.note("scenario (b) starts from an idle host (loadavg 0), so dynamic over-threads the 4-CPU container");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_wins_both_scenarios() {
+        let rep = run(0.08);
+        for table in &rep.tables {
+            for bench in NPB_BENCHMARKS {
+                let s = table.get(bench, "Static").unwrap();
+                let d = table.get(bench, "Dynamic").unwrap();
+                assert!(s >= 1.0, "{}/{bench}: static {s}", table.name);
+                assert!(d >= 1.0, "{}/{bench}: dynamic {d}", table.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_is_worst_under_shared_load() {
+        // The paper's surprise: dynamic loses even to static when the
+        // high loadavg throttles every container to one thread.
+        let rep = run(0.08);
+        let shared = &rep.tables[0];
+        let mut dynamic_worst = 0;
+        for bench in NPB_BENCHMARKS {
+            let s = shared.get(bench, "Static").unwrap();
+            let d = shared.get(bench, "Dynamic").unwrap();
+            if d >= s {
+                dynamic_worst += 1;
+            }
+        }
+        assert!(
+            dynamic_worst >= 7,
+            "dynamic should be the worst strategy in most programs ({dynamic_worst}/9)"
+        );
+    }
+
+    #[test]
+    fn static_overthreads_the_quota_container() {
+        let rep = run(0.08);
+        let quota = &rep.tables[1];
+        for bench in ["ep", "lu", "sp"] {
+            let s = quota.get(bench, "Static").unwrap();
+            assert!(
+                s > 1.3,
+                "{bench}: a 20-thread team in a 4-CPU container should cost ≥30% ({s})"
+            );
+        }
+    }
+}

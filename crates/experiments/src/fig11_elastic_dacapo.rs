@@ -1,0 +1,103 @@
+//! Figure 11: avoiding memory overcommitment in DaCapo — one container
+//! with a 1 GB hard limit, benchmarks started with a 500 MB initial heap
+//! and *no* maximum, under the vanilla JVM (auto max = 32 GB → swapping
+//! collapse for the allocation-heavy benchmarks) vs the elastic heap
+//! (never outgrows the limit, at the cost of more frequent GCs).
+
+use arv_cgroups::Bytes;
+use arv_jvm::{HeapPolicy, JvmConfig};
+use arv_workloads::{dacapo_profile, DACAPO_BENCHMARKS};
+
+use crate::report::{FigReport, Row, Table};
+use crate::scenarios::{colocated_same_bench, scale_java, Layout};
+
+const CONFIGS: [&str; 2] = ["Vanilla", "Elastic"];
+
+/// Run this study and produce its report.
+pub fn run(scale: f64) -> FigReport {
+    let layout = Layout {
+        mem_hard: Some(Bytes::from_gib(1)),
+        ..Layout::default()
+    };
+
+    let mut exec_table = Table::new("exec_time", &CONFIGS);
+    let mut gc_table = Table::new("gc_time", &CONFIGS);
+    let mut gcs_count = Table::new("collections", &CONFIGS);
+
+    for bench in DACAPO_BENCHMARKS {
+        let profile = scale_java(dacapo_profile(bench), scale);
+        let vanilla_cfg = JvmConfig::vanilla_jdk8().with_xms(Bytes::from_mib(500));
+        let elastic_cfg = JvmConfig::adaptive()
+            .with_heap_policy(HeapPolicy::Elastic)
+            .with_xms(Bytes::from_mib(500));
+
+        let vanilla = &colocated_same_bench(1, layout, &vanilla_cfg, &profile)[0];
+        let elastic = &colocated_same_bench(1, layout, &elastic_cfg, &profile)[0];
+        assert!(vanilla.completed(), "{bench}: vanilla must finish (slowly)");
+        assert!(elastic.completed(), "{bench}: elastic must finish");
+
+        exec_table.push(Row::full(bench, &[1.0, elastic.exec_s / vanilla.exec_s]));
+        gc_table.push(Row::full(bench, &[1.0, elastic.gc_s / vanilla.gc_s]));
+        gcs_count.push(Row::full(
+            bench,
+            &[
+                f64::from(vanilla.minor_gcs + vanilla.major_gcs),
+                f64::from(elastic.minor_gcs + elastic.major_gcs),
+            ],
+        ));
+    }
+
+    let mut rep = FigReport::new(
+        "11",
+        "Avoiding memory overcommitment in DaCapo (1 GB hard limit, no -Xmx)",
+    );
+    rep.tables.push(exec_table);
+    rep.tables.push(gc_table);
+    rep.tables.push(gcs_count);
+    rep.note("exec/GC time relative to the vanilla JVM (lower is better)");
+    rep.note("the collections table shows the elastic heap's cost: more frequent GCs instead of swapping");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elastic_rescues_the_overcommitting_benchmarks() {
+        let rep = run(0.1);
+        let exec = &rep.tables[0];
+        // The paper's collapse pair: elastic an order of magnitude better.
+        for bench in ["lusearch", "xalan"] {
+            let e = exec.get(bench, "Elastic").unwrap();
+            assert!(
+                e < 0.25,
+                "{bench}: elastic {e} should be several times faster than swapping vanilla"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_neutral_for_benchmarks_that_fit() {
+        let rep = run(0.1);
+        let exec = &rep.tables[0];
+        for bench in ["h2", "jython", "sunflow"] {
+            let e = exec.get(bench, "Elastic").unwrap();
+            assert!(
+                (0.6..=1.25).contains(&e),
+                "{bench}: elastic {e} should be near vanilla when nothing swaps"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_pays_with_more_collections() {
+        let rep = run(0.1);
+        let counts = &rep.tables[2];
+        for bench in ["lusearch", "xalan"] {
+            let v = counts.get(bench, "Vanilla").unwrap();
+            let e = counts.get(bench, "Elastic").unwrap();
+            assert!(e >= v, "{bench}: elastic should collect at least as often ({e} vs {v})");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared scenario builders for the experiment runners.
+
+use arv_cgroups::{Bytes, CgroupId, CpuSet};
+use arv_container::{ContainerSpec, SimHost};
+use arv_jvm::{HeapPolicy, JavaProfile, Jvm, JvmConfig, JvmOutcome};
+use arv_omp::OmpProfile;
+use arv_sim_core::SimDuration;
+
+use crate::driver::Fleet;
+
+/// Scale a Java profile's work for quick runs (≥ 1 s of work retained).
+pub fn scale_java(mut profile: JavaProfile, scale: f64) -> JavaProfile {
+    assert!(scale > 0.0 && scale <= 1.0);
+    profile.total_work = profile
+        .total_work
+        .mul_f64(scale)
+        .max(SimDuration::from_secs(1));
+    profile
+}
+
+/// Scale an OpenMP profile's region count for quick runs (≥ 2 regions).
+pub fn scale_omp(mut profile: OmpProfile, scale: f64) -> OmpProfile {
+    assert!(scale > 0.0 && scale <= 1.0);
+    profile.regions = ((profile.regions as f64 * scale).round() as u32).max(2);
+    profile
+}
+
+/// The paper's heap sizing: "heap sizes of Java-based benchmarks were set
+/// to 3x of their respective minimum heap sizes" (§5.1).
+pub fn paper_heap(profile: &JavaProfile) -> HeapPolicy {
+    HeapPolicy::FixedMax(profile.paper_heap_size())
+}
+
+/// Per-run statistics of one JVM.
+#[derive(Debug, Clone)]
+pub struct JvmRunStats {
+    /// How the run ended.
+    pub outcome: JvmOutcome,
+    /// Total execution wall time, seconds.
+    pub exec_s: f64,
+    /// Total stop-the-world GC wall time, seconds.
+    pub gc_s: f64,
+    /// Number of minor collections.
+    pub minor_gcs: u32,
+    /// Number of major collections.
+    pub major_gcs: u32,
+    /// GC worker count per collection, in order.
+    pub gc_thread_trace: Vec<u32>,
+}
+
+impl JvmRunStats {
+    fn from_jvm(jvm: &Jvm) -> JvmRunStats {
+        let m = jvm.metrics();
+        JvmRunStats {
+            outcome: jvm.outcome(),
+            exec_s: m.exec_wall.as_secs_f64(),
+            gc_s: m.gc_wall.as_secs_f64(),
+            minor_gcs: m.minor_gcs,
+            major_gcs: m.major_gcs,
+            gc_thread_trace: m.gc_thread_trace.clone(),
+        }
+    }
+
+    /// Whether the run finished (vs OOM or deadline).
+    pub fn completed(&self) -> bool {
+        self.outcome == JvmOutcome::Completed
+    }
+}
+
+/// Mean exec/GC seconds over the runs that completed; `None` if none did.
+pub fn mean_completed(stats: &[JvmRunStats]) -> Option<(f64, f64)> {
+    let done: Vec<&JvmRunStats> = stats.iter().filter(|s| s.completed()).collect();
+    if done.is_empty() {
+        return None;
+    }
+    let n = done.len() as f64;
+    Some((
+        done.iter().map(|s| s.exec_s).sum::<f64>() / n,
+        done.iter().map(|s| s.gc_s).sum::<f64>() / n,
+    ))
+}
+
+/// Container layout for colocated-JVM scenarios.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Layout {
+    /// `docker run --cpus` quota per container.
+    pub quota_cpus: Option<f64>,
+    /// Disjoint cpuset of this many cores per container (Figure 7's JDK 9
+    /// setup).
+    pub cpuset_cores: Option<u32>,
+    /// Hard / soft memory limits per container.
+    pub mem_hard: Option<Bytes>,
+    /// Soft memory limit per container.
+    pub mem_soft: Option<Bytes>,
+}
+
+impl Layout {
+    fn spec(&self, name: String, host_cpus: u32, index: u32) -> ContainerSpec {
+        let mut spec = ContainerSpec::new(name, host_cpus).cpu_shares(1024);
+        if let Some(q) = self.quota_cpus {
+            spec = spec.cpus(q);
+        }
+        if let Some(c) = self.cpuset_cores {
+            let lo = (index * c) % host_cpus;
+            spec = spec.cpuset(CpuSet::range(lo, (lo + c).min(host_cpus)));
+        }
+        if let Some(h) = self.mem_hard {
+            spec = spec.memory(h);
+        }
+        if let Some(s) = self.mem_soft {
+            spec = spec.memory_reservation(s);
+        }
+        spec
+    }
+}
+
+/// Launch `n` equal-share containers under `layout` on a fresh paper
+/// testbed; returns the host and container ids.
+pub fn testbed_with_containers(n: u32, layout: Layout) -> (SimHost, Vec<CgroupId>) {
+    let mut host = SimHost::paper_testbed();
+    let cpus = host.online_cpus();
+    let ids = (0..n)
+        .map(|i| host.launch(&layout.spec(format!("c{i}"), cpus, i)))
+        .collect();
+    (host, ids)
+}
+
+/// The workhorse scenario: `n` colocated containers each running the same
+/// benchmark under the same JVM configuration. Returns per-JVM stats in
+/// container order; a `Running` outcome means the deadline expired (DNF).
+pub fn colocated_same_bench(
+    n: u32,
+    layout: Layout,
+    cfg: &JvmConfig,
+    profile: &JavaProfile,
+) -> Vec<JvmRunStats> {
+    let (mut host, ids) = testbed_with_containers(n, layout);
+    let mut fleet = Fleet::new();
+    let idxs: Vec<usize> = ids
+        .iter()
+        .map(|id| {
+            let jvm = Jvm::launch(&mut host, *id, cfg.clone(), profile.clone());
+            fleet.push_jvm(jvm)
+        })
+        .collect();
+    // Generous deadline: enough for order-of-magnitude swap collapapses to
+    // finish, short enough that genuine thrash-livelock reports DNF.
+    let deadline = profile.total_work.mul_f64(100.0).max(SimDuration::from_secs(600));
+    fleet.run(&mut host, deadline);
+    idxs.iter().map(|i| JvmRunStats::from_jvm(fleet.jvm(*i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_workloads::dacapo_profile;
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let p = scale_java(dacapo_profile("lusearch"), 0.05);
+        assert!(p.total_work >= SimDuration::from_secs(1));
+        let o = scale_omp(arv_omp::OmpProfile::test_profile(), 0.01);
+        assert!(o.regions >= 2);
+    }
+
+    #[test]
+    fn layout_builds_disjoint_cpusets() {
+        let layout = Layout {
+            cpuset_cores: Some(2),
+            ..Layout::default()
+        };
+        let (_, ids) = testbed_with_containers(10, layout);
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn colocated_run_produces_stats() {
+        let profile = scale_java(dacapo_profile("lusearch"), 0.1);
+        let layout = Layout {
+            quota_cpus: Some(10.0),
+            ..Layout::default()
+        };
+        let cfg = JvmConfig::adaptive().with_heap_policy(paper_heap(&profile));
+        let stats = colocated_same_bench(2, layout, &cfg, &profile);
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.completed()));
+        let (exec, gc) = mean_completed(&stats).unwrap();
+        assert!(exec > 0.0 && gc >= 0.0 && gc < exec);
+    }
+}

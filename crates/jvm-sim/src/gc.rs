@@ -1,0 +1,346 @@
+//! The parallel-GC cost model.
+//!
+//! A collection is stop-the-world CPU work with a serial part (VM
+//! bookkeeping, worker wake-up/join) and a parallel part (copying or
+//! scanning bytes) decomposed through the [`crate::tasks`] queue. The
+//! work executes through the shared CFS model: each scheduling period the
+//! container's GC workers receive a CPU grant, and progress follows from
+//! it. Over-threading shows up through three real mechanisms:
+//!
+//! 1. **startup** — every woken worker costs serial wake/join time;
+//! 2. **imbalance** — more workers than queue tasks idle at the barrier
+//!    (computed by greedy list scheduling over the task decomposition);
+//! 3. **contention** — workers beyond the CPUs actually granted
+//!    time-slice, thrash the `GCTaskManager` monitor and caches, inflating
+//!    the parallel work by `1 + α·(excess/granted)` — the calibrated
+//!    analogue of the degradation measured in the paper's §2.2.
+
+use arv_cgroups::Bytes;
+use arv_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::tasks::imbalance_factor;
+
+/// Calibrated GC cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcCostModel {
+    /// Parallel CPU cost per MiB copied in a minor collection
+    /// (~330 MiB/s per core — evacuation of pointer-dense object graphs).
+    pub copy_cost_per_mib: SimDuration,
+    /// Parallel CPU cost per MiB scanned in a major collection.
+    pub scan_cost_per_mib: SimDuration,
+    /// Fixed serial cost of a minor collection.
+    pub minor_serial: SimDuration,
+    /// Fixed serial cost of a major collection.
+    pub major_serial: SimDuration,
+    /// Serial wake/join cost per activated worker.
+    pub worker_startup: SimDuration,
+    /// Contention inflation coefficient `α`.
+    pub contention_alpha: f64,
+    /// Card-table stripes per collection (task granularity).
+    pub stripes: u32,
+}
+
+impl Default for GcCostModel {
+    fn default() -> Self {
+        GcCostModel {
+            copy_cost_per_mib: SimDuration::from_micros(3_000),
+            scan_cost_per_mib: SimDuration::from_micros(1_000),
+            minor_serial: SimDuration::from_micros(1_000),
+            major_serial: SimDuration::from_micros(5_000),
+            worker_startup: SimDuration::from_micros(200),
+            contention_alpha: 0.35,
+            stripes: 64,
+        }
+    }
+}
+
+/// Kind of collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcKind {
+    /// Young-generation (parallel scavenge) collection.
+    Minor,
+    /// Full collection of the old generation.
+    Major,
+}
+
+/// One in-flight collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcWork {
+    /// Minor or major.
+    pub kind: GcKind,
+    /// Active GC worker threads for this collection.
+    pub workers: u32,
+    serial_remaining: SimDuration,
+    parallel_remaining: SimDuration,
+    wall: SimDuration,
+}
+
+impl GcWork {
+    /// Build the work for a minor collection copying `copied` bytes with
+    /// `workers` active GC threads.
+    pub fn minor(model: &GcCostModel, copied: Bytes, workers: u32) -> GcWork {
+        Self::build(
+            GcKind::Minor,
+            model,
+            model.copy_cost_per_mib.mul_f64(copied.as_mib_f64()),
+            model.minor_serial,
+            workers,
+        )
+    }
+
+    /// Build the work for a major collection scanning `scanned` bytes.
+    pub fn major(model: &GcCostModel, scanned: Bytes, workers: u32) -> GcWork {
+        Self::build(
+            GcKind::Major,
+            model,
+            model.scan_cost_per_mib.mul_f64(scanned.as_mib_f64()),
+            model.major_serial,
+            workers,
+        )
+    }
+
+    fn build(
+        kind: GcKind,
+        model: &GcCostModel,
+        parallel: SimDuration,
+        serial_base: SimDuration,
+        workers: u32,
+    ) -> GcWork {
+        let workers = workers.max(1);
+        let imbalance = imbalance_factor(parallel, model.stripes, workers);
+        GcWork {
+            kind,
+            workers,
+            serial_remaining: serial_base + model.worker_startup * u64::from(workers),
+            parallel_remaining: parallel.mul_f64(imbalance),
+            wall: SimDuration::ZERO,
+        }
+    }
+
+    /// Total CPU work still to do.
+    pub fn remaining(&self) -> SimDuration {
+        self.serial_remaining + self.parallel_remaining
+    }
+
+    /// Wall time spent in this collection so far.
+    pub fn wall(&self) -> SimDuration {
+        self.wall
+    }
+
+    /// Whether the collection has finished.
+    pub fn is_done(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Advance the collection by one scheduling period in which the
+    /// container was granted `granted` CPU time. `slow_factor ≥ 1` models
+    /// swap-induced slowdown (each unit of work costs that much more CPU).
+    /// Returns `true` when the collection completes within the period.
+    pub fn advance(
+        &mut self,
+        model: &GcCostModel,
+        granted: SimDuration,
+        period: SimDuration,
+        slow_factor: f64,
+    ) -> bool {
+        debug_assert!(slow_factor >= 1.0);
+        self.wall += period;
+        let mut budget = granted.mul_f64(1.0 / slow_factor);
+
+        // Serial phase: single-threaded, so bounded by wall time too.
+        let serial_step = self.serial_remaining.min(budget).min(period);
+        self.serial_remaining -= serial_step;
+        budget -= serial_step;
+        if budget.is_zero() || self.parallel_remaining.is_zero() {
+            return self.is_done();
+        }
+
+        // Parallel phase: contention discounts progress when more workers
+        // are runnable than CPUs were granted.
+        let granted_cpus = granted.ratio(period).max(1e-6);
+        let excess = (self.workers as f64 - granted_cpus).max(0.0);
+        let efficiency = 1.0 / (1.0 + model.contention_alpha * excess / granted_cpus);
+        let progress = budget.mul_f64(efficiency).min(self.parallel_remaining);
+        self.parallel_remaining -= progress;
+        self.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: SimDuration = SimDuration::from_millis(24);
+
+    fn run_to_completion(work: &mut GcWork, model: &GcCostModel, cpus: f64) -> SimDuration {
+        let granted = P.mul_f64(cpus.min(work.workers as f64));
+        for _ in 0..100_000 {
+            if work.advance(model, granted, P, 1.0) {
+                return work.wall();
+            }
+        }
+        panic!("GC did not complete");
+    }
+
+    #[test]
+    fn minor_gc_work_scales_with_copied_bytes() {
+        let m = GcCostModel::default();
+        let small = GcWork::minor(&m, Bytes::from_mib(10), 4);
+        let large = GcWork::minor(&m, Bytes::from_mib(100), 4);
+        assert!(large.remaining() > small.remaining() * 5);
+    }
+
+    #[test]
+    fn right_sized_workers_beat_overthreading() {
+        // 4 effective CPUs: 4 workers should finish much faster than 20
+        // workers — the §2.2 observation.
+        let m = GcCostModel::default();
+        let mut four = GcWork::minor(&m, Bytes::from_mib(200), 4);
+        let mut twenty = GcWork::minor(&m, Bytes::from_mib(200), 20);
+        let t4 = run_to_completion(&mut four, &m, 4.0);
+        let t20 = run_to_completion(&mut twenty, &m, 4.0);
+        assert!(
+            t20.as_secs_f64() > t4.as_secs_f64() * 1.8,
+            "over-threading too cheap: {t4} vs {t20}"
+        );
+    }
+
+    #[test]
+    fn more_cpus_help_up_to_worker_count() {
+        let m = GcCostModel::default();
+        let mut w1 = GcWork::minor(&m, Bytes::from_mib(200), 8);
+        let mut w2 = GcWork::minor(&m, Bytes::from_mib(200), 8);
+        let slow = run_to_completion(&mut w1, &m, 2.0);
+        let fast = run_to_completion(&mut w2, &m, 8.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn single_worker_has_no_contention_penalty() {
+        let m = GcCostModel::default();
+        let mut w = GcWork::minor(&m, Bytes::from_mib(50), 1);
+        // 1 worker on 1 CPU: wall ≈ serial + parallel.
+        let expected = w.remaining();
+        let wall = run_to_completion(&mut w, &m, 1.0);
+        let slack = wall.as_micros() as i64 - expected.as_micros() as i64;
+        assert!(slack.abs() <= P.as_micros() as i64, "wall {wall} vs {expected}");
+    }
+
+    #[test]
+    fn swap_slowdown_multiplies_wall_time() {
+        let m = GcCostModel::default();
+        let mut normal = GcWork::major(&m, Bytes::from_mib(100), 4);
+        let mut swapped = GcWork::major(&m, Bytes::from_mib(100), 4);
+        let granted = P * 4;
+        let mut wall_n = 0;
+        while !normal.advance(&m, granted, P, 1.0) {
+            wall_n += 1;
+        }
+        let mut wall_s = 0;
+        while !swapped.advance(&m, granted, P, 10.0) {
+            wall_s += 1;
+            assert!(wall_s < 1_000_000);
+        }
+        assert!(wall_s as f64 > wall_n as f64 * 5.0);
+    }
+
+    #[test]
+    fn major_scan_cheaper_per_byte_than_minor_copy() {
+        let m = GcCostModel::default();
+        let minor = GcWork::minor(&m, Bytes::from_mib(100), 4);
+        let major = GcWork::major(&m, Bytes::from_mib(100), 4);
+        assert!(major.remaining() < minor.remaining());
+    }
+
+    #[test]
+    fn zero_byte_collection_still_pays_serial_cost() {
+        let m = GcCostModel::default();
+        let w = GcWork::minor(&m, Bytes::ZERO, 4);
+        assert_eq!(
+            w.remaining(),
+            m.minor_serial + m.worker_startup * 4
+        );
+    }
+
+    #[test]
+    fn worker_count_clamped_to_one() {
+        let m = GcCostModel::default();
+        let w = GcWork::minor(&m, Bytes::from_mib(10), 0);
+        assert_eq!(w.workers, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P: SimDuration = SimDuration::from_millis(24);
+
+    fn wall(copied_mib: u64, workers: u32, cpus: f64) -> f64 {
+        let m = GcCostModel::default();
+        let mut w = GcWork::minor(&m, Bytes::from_mib(copied_mib), workers);
+        let granted = P.mul_f64(cpus.min(f64::from(w.workers)));
+        for _ in 0..10_000_000 {
+            if w.advance(&m, granted, P, 1.0) {
+                return w.wall().as_secs_f64();
+            }
+        }
+        panic!("GC did not complete");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// More granted CPUs never slow a collection down (same workers).
+        #[test]
+        fn wall_time_monotone_in_cpus(
+            copied in 1u64..256,
+            workers in 1u32..20,
+            cpus in 1u32..19,
+        ) {
+            let slow = wall(copied, workers, f64::from(cpus));
+            let fast = wall(copied, workers, f64::from(cpus + 1));
+            prop_assert!(fast <= slow + 1e-9, "{fast} > {slow}");
+        }
+
+        /// With a fixed CPU grant, matching workers to CPUs never loses to
+        /// over-threading beyond them.
+        #[test]
+        fn right_sizing_never_loses_to_overthreading(
+            copied in 8u64..256,
+            cpus in 1u32..8,
+            excess in 1u32..12,
+        ) {
+            let sized = wall(copied, cpus, f64::from(cpus));
+            let over = wall(copied, cpus + excess, f64::from(cpus));
+            prop_assert!(
+                sized <= over + 1e-9,
+                "{cpus} workers ({sized}s) lost to {} workers ({over}s)",
+                cpus + excess
+            );
+        }
+
+        /// Remaining work is consumed exactly: never negative, done only
+        /// at zero.
+        #[test]
+        fn remaining_work_is_conserved(
+            copied in 0u64..128,
+            workers in 1u32..20,
+        ) {
+            let m = GcCostModel::default();
+            let mut w = GcWork::minor(&m, Bytes::from_mib(copied), workers);
+            let total = w.remaining();
+            prop_assert!(!total.is_zero());
+            let granted = P * u64::from(workers);
+            let mut steps = 0u32;
+            while !w.advance(&m, granted, P, 1.0) {
+                steps += 1;
+                prop_assert!(steps < 1_000_000);
+            }
+            prop_assert!(w.is_done());
+            prop_assert_eq!(w.remaining(), SimDuration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Launch-time and per-collection configuration policies: what each JDK
+//! generation (and the paper's adaptive JVM) believes about its container.
+
+use arv_cgroups::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// How the JVM discovers its resources at launch (§2.2, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerAwareness {
+    /// JDK 8 and earlier: probes the host — online CPUs and physical
+    /// memory — oblivious to cgroup limits.
+    None,
+    /// JDK 9: reads the *static* cgroup limits (cpuset/quota, hard memory
+    /// limit) at launch and never again.
+    StaticLimits,
+    /// JDK 10: additionally derives a core count from the *static* CPU
+    /// shares (an algorithm "similar to line 4 of Algorithm 1"), still
+    /// fixed for the JVM's lifetime.
+    StaticShares,
+    /// The paper: reads the continuously updated `sys_namespace` view.
+    AdaptiveView,
+}
+
+/// How the maximum heap size is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeapPolicy {
+    /// `MaxHeapSize = fraction × visible memory` (HotSpot default: 1/4 of
+    /// whatever memory the awareness level exposes).
+    Auto {
+        /// The fraction of visible memory to use as `MaxHeapSize`.
+        fraction: f64,
+    },
+    /// Hand-set `-Xmx`.
+    FixedMax(Bytes),
+    /// §4.2 elastic heap: reserve close to physical memory, track
+    /// effective memory through `VirtualMax`.
+    Elastic,
+}
+
+impl HeapPolicy {
+    /// The HotSpot default: a quarter of visible memory.
+    pub fn auto_default() -> HeapPolicy {
+        HeapPolicy::Auto { fraction: 0.25 }
+    }
+}
+
+/// HotSpot's default `ParallelGCThreads` for `cpus` visible CPUs:
+/// `cpus` up to 8, then `8 + (cpus − 8) × 5/8`. On the paper's 20-core
+/// host this yields 15, matching "the vanilla JVM configured 15 GC
+/// threads" in §5.2.
+pub fn hotspot_default_gc_threads(cpus: u32) -> u32 {
+    if cpus <= 8 {
+        cpus.max(1)
+    } else {
+        8 + (cpus - 8) * 5 / 8
+    }
+}
+
+/// The pre-existing "dynamic GC threads" heuristic (§4.1): active workers
+/// from the mutator count and heap size, capped by the launch count. The
+/// heap term imposes "a minimum amount of work for a GC thread to
+/// process" (~32 MiB of heap per worker).
+pub fn dynamic_active_workers(mutators: u32, heap_committed: Bytes, launch_threads: u32) -> u32 {
+    let by_mutators = (mutators as f64 * 2.0 / 3.0).ceil() as u32;
+    let by_heap = (heap_committed.as_mib_f64() / 32.0).ceil().max(1.0) as u32;
+    by_mutators.max(1).min(by_heap).min(launch_threads).max(1)
+}
+
+/// Per-collection worker count (§4.1):
+/// `N_gc = min(N, N_active?, E_CPU?)` — `N_active` only with dynamic GC
+/// threads enabled, `E_CPU` only for the adaptive JVM.
+pub fn gc_workers(
+    launch_threads: u32,
+    n_active: Option<u32>,
+    effective_cpu: Option<u32>,
+) -> u32 {
+    let mut n = launch_threads;
+    if let Some(a) = n_active {
+        n = n.min(a);
+    }
+    if let Some(e) = effective_cpu {
+        n = n.min(e);
+    }
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_threads_match_known_values() {
+        assert_eq!(hotspot_default_gc_threads(1), 1);
+        assert_eq!(hotspot_default_gc_threads(4), 4);
+        assert_eq!(hotspot_default_gc_threads(8), 8);
+        assert_eq!(hotspot_default_gc_threads(10), 9);
+        // The paper's host: 20 cores → 15 GC threads (§5.2).
+        assert_eq!(hotspot_default_gc_threads(20), 15);
+        assert_eq!(hotspot_default_gc_threads(0), 1);
+    }
+
+    #[test]
+    fn dynamic_workers_limited_by_small_heap() {
+        // A 128 MiB heap supports only 4 workers regardless of mutators.
+        assert_eq!(dynamic_active_workers(16, Bytes::from_mib(128), 15), 4);
+    }
+
+    #[test]
+    fn dynamic_workers_limited_by_mutators() {
+        // 3 mutators → ceil(2) = 2 workers even with a huge heap.
+        assert_eq!(dynamic_active_workers(3, Bytes::from_gib(16), 15), 2);
+    }
+
+    #[test]
+    fn dynamic_workers_capped_by_launch_count() {
+        assert_eq!(dynamic_active_workers(100, Bytes::from_gib(64), 15), 15);
+    }
+
+    #[test]
+    fn dynamic_workers_at_least_one() {
+        assert_eq!(dynamic_active_workers(1, Bytes::from_mib(1), 15), 1);
+    }
+
+    #[test]
+    fn gc_workers_takes_the_minimum() {
+        assert_eq!(gc_workers(15, Some(10), Some(4)), 4);
+        assert_eq!(gc_workers(15, Some(3), Some(8)), 3);
+        assert_eq!(gc_workers(2, Some(10), Some(8)), 2);
+        assert_eq!(gc_workers(15, None, None), 15);
+        assert_eq!(gc_workers(15, None, Some(6)), 6);
+    }
+
+    #[test]
+    fn gc_workers_never_zero() {
+        assert_eq!(gc_workers(1, Some(0), Some(0)), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Java application profiles: the workload-side parameters of the model.
+//!
+//! A profile abstracts a benchmark as the quantities that drive heap and
+//! GC behaviour: how much mutator CPU work it performs, with how many
+//! threads, how fast it allocates, how much of what it allocates survives
+//! and for how long. The calibrated instances for DaCapo, SPECjvm2008,
+//! HiBench and the §5.3 micro-benchmark live in `arv-workloads`.
+
+use arv_cgroups::Bytes;
+use arv_sim_core::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one Java workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JavaProfile {
+    /// Benchmark name (reporting only).
+    pub name: String,
+    /// Total mutator CPU work to complete, summed over threads.
+    pub total_work: SimDuration,
+    /// Application (mutator) thread count.
+    pub mutators: u32,
+    /// Allocation rate: bytes allocated per CPU-second of mutator work.
+    pub alloc_rate: Bytes,
+    /// Fraction of eden surviving a minor collection (copied bytes).
+    pub minor_survival: f64,
+    /// Cap on survivor volume per minor collection — the young working
+    /// set. With a larger eden, survivors saturate at this value.
+    pub young_live: Bytes,
+    /// Fraction of survivors promoted to the old generation as
+    /// medium-lived garbage (collected by the next major GC).
+    pub promotion: f64,
+    /// Fraction of allocated bytes that join the long-lived live set.
+    pub live_growth: f64,
+    /// Cap on the long-lived live set.
+    pub live_cap: Bytes,
+    /// Minimum heap the benchmark can run in; a max-heap below this is an
+    /// immediate `OutOfMemoryError` (the missing bars of Figure 2(b)).
+    pub min_heap: Bytes,
+    /// Fraction of the footprint the mutator touches per unit work —
+    /// scales how hard swapping hurts (1.0 = touches everything often).
+    pub touch_intensity: f64,
+}
+
+impl JavaProfile {
+    /// A small, neutral profile for tests.
+    pub fn test_profile() -> JavaProfile {
+        JavaProfile {
+            name: "test".into(),
+            total_work: SimDuration::from_secs(10),
+            mutators: 4,
+            alloc_rate: Bytes::from_mib(100),
+            minor_survival: 0.10,
+            young_live: Bytes::from_mib(16),
+            promotion: 0.30,
+            live_growth: 0.01,
+            live_cap: Bytes::from_mib(64),
+            min_heap: Bytes::from_mib(96),
+            touch_intensity: 0.5,
+        }
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) {
+        assert!(!self.total_work.is_zero(), "profile needs mutator work");
+        assert!(self.mutators > 0, "profile needs at least one thread");
+        assert!(!self.alloc_rate.is_zero(), "profile needs an allocation rate");
+        for (v, what) in [
+            (self.minor_survival, "minor_survival"),
+            (self.promotion, "promotion"),
+            (self.live_growth, "live_growth"),
+            (self.touch_intensity, "touch_intensity"),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{what} must be in [0,1], got {v}");
+        }
+        assert!(
+            self.min_heap >= self.live_cap,
+            "a heap smaller than the live set can never run"
+        );
+    }
+
+    /// The paper sizes Java heaps as "3x of their respective minimum heap
+    /// sizes" (§5.1).
+    pub fn paper_heap_size(&self) -> Bytes {
+        self.min_heap.mul_f64(3.0)
+    }
+
+    /// A run-to-run variant of this profile with multiplicative jitter of
+    /// amplitude `amp` on work and allocation rate — the §5.1 methodology
+    /// ("each result was the average of 10 runs") needs runs that differ.
+    pub fn jittered(&self, rng: &mut SimRng, amp: f64) -> JavaProfile {
+        let mut p = self.clone();
+        p.total_work = p.total_work.mul_f64(rng.jitter(amp));
+        p.alloc_rate = p.alloc_rate.mul_f64(rng.jitter(amp));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_profile_validates() {
+        JavaProfile::test_profile().validate();
+    }
+
+    #[test]
+    fn paper_heap_is_three_times_minimum() {
+        let p = JavaProfile::test_profile();
+        assert_eq!(p.paper_heap_size(), Bytes::from_mib(96).mul_f64(3.0));
+    }
+
+    #[test]
+    fn jittered_profiles_stay_close_and_valid() {
+        let base = JavaProfile::test_profile();
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let j = base.jittered(&mut rng, 0.03);
+            j.validate();
+            let ratio = j.total_work.ratio(base.total_work);
+            assert!((0.97..=1.03).contains(&ratio), "work jitter {ratio}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let base = JavaProfile::test_profile();
+        let a = base.jittered(&mut SimRng::seed_from_u64(1), 0.03);
+        let b = base.jittered(&mut SimRng::seed_from_u64(1), 0.03);
+        assert_eq!(a.total_work, b.total_work);
+        assert_eq!(a.alloc_rate, b.alloc_rate);
+    }
+
+    #[test]
+    #[should_panic]
+    fn live_set_larger_than_min_heap_rejected() {
+        let mut p = JavaProfile::test_profile();
+        p.min_heap = Bytes::from_mib(32);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fraction_rejected() {
+        let mut p = JavaProfile::test_profile();
+        p.minor_survival = 1.5;
+        p.validate();
+    }
+}

@@ -1,0 +1,119 @@
+//! Watermarks and the kswapd activity state machine.
+
+use arv_cgroups::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The three free-memory watermarks kswapd tracks (§3.1 of the paper):
+/// reclaim starts below `low`, stops at `high`, and direct reclaim kicks in
+/// below `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watermarks {
+    /// Direct reclaim kicks in below this.
+    pub min: Bytes,
+    /// kswapd wakes when free memory falls below this.
+    pub low: Bytes,
+    /// Reclaim stops once free memory recovers to this.
+    pub high: Bytes,
+}
+
+impl Watermarks {
+    /// Linux-like defaults scaled from total memory: min 0.5%, low 1%,
+    /// high 2%.
+    pub fn scaled(total: Bytes) -> Watermarks {
+        Watermarks {
+            min: total.mul_f64(0.005),
+            low: total.mul_f64(0.01),
+            high: total.mul_f64(0.02),
+        }
+    }
+
+    /// Panic unless the parameters are internally consistent.
+    pub fn validate(&self) {
+        assert!(
+            self.min <= self.low && self.low <= self.high,
+            "watermarks must satisfy min <= low <= high"
+        );
+    }
+}
+
+/// Whether kswapd is idle or actively reclaiming.
+///
+/// Hysteresis matches the kernel: once woken below `low`, kswapd keeps
+/// reclaiming until free memory reaches `high`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KswapdState {
+    #[default]
+    /// Free memory is comfortable; kswapd sleeps.
+    Idle,
+    /// Actively reclaiming until free memory recovers to `high`.
+    Reclaiming,
+}
+
+impl KswapdState {
+    /// Advance the state machine for the current free-memory level.
+    pub fn step(self, free: Bytes, marks: &Watermarks) -> KswapdState {
+        match self {
+            KswapdState::Idle if free < marks.low => KswapdState::Reclaiming,
+            KswapdState::Reclaiming if free >= marks.high => KswapdState::Idle,
+            s => s,
+        }
+    }
+
+    /// Whether kswapd is actively reclaiming.
+    pub fn is_reclaiming(self) -> bool {
+        self == KswapdState::Reclaiming
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marks() -> Watermarks {
+        Watermarks {
+            min: Bytes::from_mib(64),
+            low: Bytes::from_mib(128),
+            high: Bytes::from_mib(256),
+        }
+    }
+
+    #[test]
+    fn scaled_watermarks_are_ordered() {
+        let w = Watermarks::scaled(Bytes::from_gib(128));
+        w.validate();
+        assert!(w.min < w.low && w.low < w.high);
+        assert_eq!(w.high, Bytes::from_gib(128).mul_f64(0.02));
+    }
+
+    #[test]
+    fn wakes_below_low() {
+        let s = KswapdState::Idle.step(Bytes::from_mib(100), &marks());
+        assert!(s.is_reclaiming());
+    }
+
+    #[test]
+    fn stays_idle_above_low() {
+        let s = KswapdState::Idle.step(Bytes::from_mib(200), &marks());
+        assert!(!s.is_reclaiming());
+    }
+
+    #[test]
+    fn hysteresis_until_high() {
+        // Free memory recovered above low but below high: keep reclaiming.
+        let s = KswapdState::Reclaiming.step(Bytes::from_mib(200), &marks());
+        assert!(s.is_reclaiming());
+        let s2 = s.step(Bytes::from_mib(256), &marks());
+        assert!(!s2.is_reclaiming());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unordered_watermarks_rejected() {
+        Watermarks {
+            min: Bytes::from_mib(300),
+            low: Bytes::from_mib(128),
+            high: Bytes::from_mib(256),
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,101 @@
+//! OpenMP workload profiles: a program as a sequence of parallel regions.
+
+use arv_sim_core::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one OpenMP program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OmpProfile {
+    /// Benchmark name (reporting only).
+    pub name: String,
+    /// Number of parallel regions executed (NPB iterations).
+    pub regions: u32,
+    /// Parallelizable CPU work per region.
+    pub work_per_region: SimDuration,
+    /// Serial fraction of each region (Amdahl): fork/serial sections.
+    pub serial_frac: f64,
+    /// Barrier/fork-join cost per team thread per region.
+    pub sync_per_thread: SimDuration,
+}
+
+impl OmpProfile {
+    /// Panic unless the parameters are internally consistent.
+    pub fn validate(&self) {
+        assert!(self.regions > 0, "program needs at least one region");
+        assert!(
+            !self.work_per_region.is_zero(),
+            "regions need CPU work"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.serial_frac),
+            "serial fraction must be in [0,1)"
+        );
+    }
+
+    /// Total CPU work of the program (serial + parallel, excluding
+    /// team-size-dependent synchronization).
+    pub fn total_work(&self) -> SimDuration {
+        self.work_per_region * u64::from(self.regions)
+    }
+
+    /// A run-to-run variant with multiplicative jitter of amplitude `amp`
+    /// on the per-region work (the §5.1 average-of-10-runs methodology).
+    pub fn jittered(&self, rng: &mut SimRng, amp: f64) -> OmpProfile {
+        let mut p = self.clone();
+        p.work_per_region = p.work_per_region.mul_f64(rng.jitter(amp));
+        p
+    }
+
+    /// A small, neutral profile for tests.
+    pub fn test_profile() -> OmpProfile {
+        OmpProfile {
+            name: "test".into(),
+            regions: 20,
+            work_per_region: SimDuration::from_millis(400),
+            serial_frac: 0.05,
+            sync_per_thread: SimDuration::from_micros(200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_profile_validates() {
+        OmpProfile::test_profile().validate();
+    }
+
+    #[test]
+    fn total_work_sums_regions() {
+        let p = OmpProfile::test_profile();
+        assert_eq!(p.total_work(), SimDuration::from_millis(8_000));
+    }
+
+    #[test]
+    fn jittered_profile_is_valid_and_close() {
+        let base = OmpProfile::test_profile();
+        let mut rng = SimRng::seed_from_u64(3);
+        let j = base.jittered(&mut rng, 0.05);
+        j.validate();
+        let ratio = j.work_per_region.ratio(base.work_per_region);
+        assert!((0.95..=1.05).contains(&ratio));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_regions_rejected() {
+        let mut p = OmpProfile::test_profile();
+        p.regions = 0;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn fully_serial_region_rejected() {
+        let mut p = OmpProfile::test_profile();
+        p.serial_frac = 1.0;
+        p.validate();
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal timer/event queue for simulations.
+//!
+//! Components such as the `sys_namespace` update timer or the elastic-heap
+//! 10-second adjustment poll register timers here; the simulation driver
+//! pops due events after each clock step. Ties are broken by registration
+//! order so runs are deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle identifying a scheduled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    due: SimTime,
+    seq: u64,
+    id: TimerId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the registration sequence as the deterministic tie-breaker.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timed events carrying payloads of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: Vec<TimerId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// A fresh, empty value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` to fire at `due`; returns a handle for cancellation.
+    pub fn schedule(&mut self, due: SimTime, payload: E) -> TimerId {
+        let id = TimerId(self.next_seq);
+        self.heap.push(Entry {
+            due,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.push(id);
+    }
+
+    /// Pop the next event due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        while let Some(top) = self.heap.peek() {
+            if top.due > now {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == entry.id) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            return Some((entry.due, entry.payload));
+        }
+        None
+    }
+
+    /// Earliest pending due time, ignoring cancelled entries.
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == top.id) {
+                self.cancelled.swap_remove(pos);
+                self.heap.pop();
+                continue;
+            }
+            return Some(top.due);
+        }
+        None
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() <= self.cancelled.len()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop_due(SimTime(100)) {
+            out.push(e);
+        }
+        assert_eq!(out, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_registration_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), 1);
+        q.schedule(SimTime(5), 2);
+        q.schedule(SimTime(5), 3);
+        assert_eq!(q.pop_due(SimTime(5)).unwrap().1, 1);
+        assert_eq!(q.pop_due(SimTime(5)).unwrap().1, 2);
+        assert_eq!(q.pop_due(SimTime(5)).unwrap().1, 3);
+    }
+
+    #[test]
+    fn future_events_do_not_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(50), ());
+        assert!(q.pop_due(SimTime(49)).is_none());
+        assert!(q.pop_due(SimTime(50)).is_some());
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop_due(SimTime(10)).unwrap().1, "b");
+        assert!(q.pop_due(SimTime(10)).is_none());
+    }
+
+    #[test]
+    fn next_due_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), ());
+        q.schedule(SimTime(7), ());
+        q.cancel(a);
+        assert_eq!(q.next_due(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

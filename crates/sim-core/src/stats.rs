@@ -1,0 +1,95 @@
+//! Small statistics helpers shared by experiment reports.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+///
+/// Panics if any value is non-positive — normalized performance ratios, the
+/// only inputs we feed this, are positive by construction.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Sample standard deviation; 0.0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// `value / baseline`, the "normalized to baseline" metric the paper plots.
+/// Returns 0.0 when the baseline is zero (plotted as a missing bar).
+pub fn normalize(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Relative improvement of `new` over `old` for lower-is-better metrics,
+/// e.g. 0.49 means "49% faster".
+pub fn improvement(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (old - new) / old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_non_positive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn stddev_of_values() {
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_and_improvement() {
+        assert_eq!(normalize(5.0, 10.0), 0.5);
+        assert_eq!(normalize(5.0, 0.0), 0.0);
+        assert!((improvement(10.0, 5.1) - 0.49).abs() < 1e-12);
+        assert_eq!(improvement(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! DaCapo benchmark profiles (the five used throughout the paper:
+//! h2, jython, lusearch, sunflow, xalan).
+//!
+//! Calibration notes (relative character, not absolute numbers):
+//! * **h2** — in-memory database: the largest live set of the five (its
+//!   working set famously does not fit the 256 MB heap JDK 9 derives from
+//!   a 1 GB hard limit — the missing bar of Figure 2(b)); moderate
+//!   allocation rate.
+//! * **jython** — interpreter: brisk allocation of short-lived objects,
+//!   small live set, fewer application threads (GC gains are modest, as
+//!   in Figures 7(b)/(g)).
+//! * **lusearch** — parallel text search: the most allocation-intensive,
+//!   tiny live set, shortest run; its footprint overruns a 1 GB hard
+//!   limit under an unconstrained heap (Figure 11's collapse case).
+//! * **sunflow** — parallel ray tracer: CPU-heavy with moderate
+//!   allocation; stays under 1 GB.
+//! * **xalan** — parallel XSLT: allocation-heavy; the second Figure 11
+//!   collapse case.
+
+use arv_cgroups::Bytes;
+use arv_jvm::JavaProfile;
+use arv_sim_core::SimDuration;
+
+/// The DaCapo benchmarks evaluated in the paper.
+pub const DACAPO_BENCHMARKS: [&str; 5] = ["h2", "jython", "lusearch", "sunflow", "xalan"];
+
+/// Profile for a DaCapo benchmark by name. Panics on unknown names.
+pub fn dacapo_profile(name: &str) -> JavaProfile {
+    let p = match name {
+        "h2" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(100),
+            mutators: 8,
+            alloc_rate: Bytes::from_mib(250),
+            minor_survival: 0.25,
+            young_live: Bytes::from_mib(80),
+            promotion: 0.20,
+            live_growth: 0.05,
+            live_cap: Bytes::from_mib(350),
+            min_heap: Bytes::from_mib(420),
+            touch_intensity: 0.7,
+        },
+        "jython" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(120),
+            mutators: 4,
+            alloc_rate: Bytes::from_mib(450),
+            minor_survival: 0.08,
+            young_live: Bytes::from_mib(30),
+            promotion: 0.20,
+            live_growth: 0.01,
+            live_cap: Bytes::from_mib(70),
+            min_heap: Bytes::from_mib(110),
+            touch_intensity: 0.5,
+        },
+        "lusearch" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(24),
+            mutators: 16,
+            alloc_rate: Bytes::from_gib(3),
+            minor_survival: 0.05,
+            young_live: Bytes::from_mib(8),
+            promotion: 0.10,
+            live_growth: 0.002,
+            live_cap: Bytes::from_mib(24),
+            min_heap: Bytes::from_mib(64),
+            touch_intensity: 0.4,
+        },
+        "sunflow" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(60),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(500),
+            minor_survival: 0.10,
+            young_live: Bytes::from_mib(32),
+            promotion: 0.20,
+            live_growth: 0.005,
+            live_cap: Bytes::from_mib(64),
+            min_heap: Bytes::from_mib(160),
+            touch_intensity: 0.5,
+        },
+        "xalan" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(80),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(1800),
+            minor_survival: 0.07,
+            young_live: Bytes::from_mib(48),
+            promotion: 0.15,
+            live_growth: 0.004,
+            live_cap: Bytes::from_mib(60),
+            min_heap: Bytes::from_mib(120),
+            touch_intensity: 0.5,
+        },
+        other => panic!("unknown DaCapo benchmark {other:?}"),
+    };
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for name in DACAPO_BENCHMARKS {
+            dacapo_profile(name).validate();
+        }
+    }
+
+    #[test]
+    fn h2_working_set_exceeds_quarter_of_1gb() {
+        // The Figure 2(b) OOM precondition: min heap > 256 MB.
+        assert!(dacapo_profile("h2").min_heap > Bytes::from_mib(256));
+        // Everyone else fits.
+        for name in ["jython", "lusearch", "sunflow", "xalan"] {
+            assert!(dacapo_profile(name).min_heap <= Bytes::from_mib(256), "{name}");
+        }
+    }
+
+    #[test]
+    fn lusearch_and_xalan_are_the_alloc_heavy_pair() {
+        let lu = dacapo_profile("lusearch");
+        let xa = dacapo_profile("xalan");
+        for other in ["h2", "jython", "sunflow"] {
+            let o = dacapo_profile(other);
+            assert!(lu.alloc_rate > o.alloc_rate);
+            assert!(xa.alloc_rate > o.alloc_rate);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_benchmark_panics() {
+        dacapo_profile("avrora");
+    }
+}

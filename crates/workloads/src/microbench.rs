@@ -1,0 +1,76 @@
+//! The §5.3 allocation-churn micro-benchmark.
+//!
+//! "The benchmark iterates for 40,000 times and at each iteration
+//! allocates 1MB objects and deallocates 512KB objects in the JVM heap.
+//! This creates an ever-increasing heap space with half capacity storing
+//! 'dead' objects. The benchmark results in a working set size of 20GB
+//! while touching at most 40GB memory space."
+
+use arv_cgroups::Bytes;
+use arv_jvm::JavaProfile;
+use arv_sim_core::SimDuration;
+
+/// Iterations of the micro-benchmark.
+pub const ITERATIONS: u64 = 40_000;
+/// Allocated per iteration.
+pub const ALLOC_PER_ITER: Bytes = Bytes::from_mib(1);
+/// Freed per iteration (so half of each allocation stays live).
+pub const FREED_PER_ITER: Bytes = Bytes::from_kib(512);
+
+/// The micro-benchmark as a [`JavaProfile`]: 40 GB allocated in total,
+/// half of it joining the live set (capped at 20 GB).
+pub fn alloc_churn_microbenchmark() -> JavaProfile {
+    let total_alloc = Bytes(ALLOC_PER_ITER.as_u64() * ITERATIONS); // 40 000 MiB
+    let live = Bytes((ALLOC_PER_ITER - FREED_PER_ITER).as_u64() * ITERATIONS); // 20 000 MiB
+    let alloc_rate = Bytes::from_mib(96); // per CPU-second
+    let total_work =
+        SimDuration::from_secs_f64(total_alloc.as_u64() as f64 / alloc_rate.as_u64() as f64);
+    let p = JavaProfile {
+        name: "alloc-churn".into(),
+        total_work,
+        mutators: 20,
+        alloc_rate,
+        // Half of every allocation stays live and promotes; the dead half
+        // dies in eden (the freed 512 KB of each iteration never survives
+        // a collection). Survivors scale with eden — no young-side
+        // saturation.
+        minor_survival: 0.55,
+        young_live: live,
+        promotion: 0.9,
+        live_growth: 0.50,
+        live_cap: live,
+        min_heap: live.mul_f64(1.05),
+        touch_intensity: 1.0,
+    };
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let p = alloc_churn_microbenchmark();
+        // 40 GB touched in total.
+        let touched = p.alloc_rate.as_u64() as f64 * p.total_work.as_secs_f64();
+        assert!((touched - 40_000.0 * (1 << 20) as f64).abs() < (1 << 20) as f64);
+        // 20 GB working set.
+        assert_eq!(p.live_cap, Bytes::from_mib(20_000));
+        // Exactly half of each allocation stays live.
+        assert_eq!(p.live_growth, 0.5);
+    }
+
+    #[test]
+    fn working_set_fits_a_30gb_hard_limit_but_not_a_quarter_of_it() {
+        let p = alloc_churn_microbenchmark();
+        assert!(p.min_heap < Bytes::from_gib(30));
+        assert!(p.min_heap > Bytes::from_gib(30).mul_f64(0.25));
+    }
+
+    #[test]
+    fn profile_validates() {
+        alloc_churn_microbenchmark().validate();
+    }
+}

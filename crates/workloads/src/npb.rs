@@ -1,0 +1,124 @@
+//! NAS Parallel Benchmark profiles (Figure 10: is, ep, cg, mg, ft, ua,
+//! bt, sp, lu).
+//!
+//! Relative character follows the suite: **ep** is embarrassingly
+//! parallel (negligible serial fraction, long regions); **is** is a short
+//! bucket sort with the highest serial/communication share; **cg/mg/ft**
+//! are iterative kernels with many barrier-separated regions; **ua** has
+//! irregular parallelism; **bt/sp/lu** are the long pseudo-applications.
+
+use arv_omp::OmpProfile;
+use arv_sim_core::SimDuration;
+
+/// The NPB programs evaluated in Figure 10.
+pub const NPB_BENCHMARKS: [&str; 9] = ["is", "ep", "cg", "mg", "ft", "ua", "bt", "sp", "lu"];
+
+/// Profile for an NPB program by name. Panics on unknown names.
+pub fn npb_profile(name: &str) -> OmpProfile {
+    let p = match name {
+        "is" => OmpProfile {
+            name: name.into(),
+            regions: 40,
+            work_per_region: SimDuration::from_millis(600),
+            serial_frac: 0.12,
+            sync_per_thread: SimDuration::from_micros(400),
+        },
+        "ep" => OmpProfile {
+            name: name.into(),
+            regions: 16,
+            work_per_region: SimDuration::from_millis(4_000),
+            serial_frac: 0.01,
+            sync_per_thread: SimDuration::from_micros(100),
+        },
+        "cg" => OmpProfile {
+            name: name.into(),
+            regions: 150,
+            work_per_region: SimDuration::from_millis(500),
+            serial_frac: 0.08,
+            sync_per_thread: SimDuration::from_micros(300),
+        },
+        "mg" => OmpProfile {
+            name: name.into(),
+            regions: 120,
+            work_per_region: SimDuration::from_millis(450),
+            serial_frac: 0.06,
+            sync_per_thread: SimDuration::from_micros(300),
+        },
+        "ft" => OmpProfile {
+            name: name.into(),
+            regions: 60,
+            work_per_region: SimDuration::from_millis(900),
+            serial_frac: 0.05,
+            sync_per_thread: SimDuration::from_micros(250),
+        },
+        "ua" => OmpProfile {
+            name: name.into(),
+            regions: 200,
+            work_per_region: SimDuration::from_millis(300),
+            serial_frac: 0.07,
+            sync_per_thread: SimDuration::from_micros(350),
+        },
+        "bt" => OmpProfile {
+            name: name.into(),
+            regions: 200,
+            work_per_region: SimDuration::from_millis(700),
+            serial_frac: 0.04,
+            sync_per_thread: SimDuration::from_micros(200),
+        },
+        "sp" => OmpProfile {
+            name: name.into(),
+            regions: 250,
+            work_per_region: SimDuration::from_millis(550),
+            serial_frac: 0.05,
+            sync_per_thread: SimDuration::from_micros(200),
+        },
+        "lu" => OmpProfile {
+            name: name.into(),
+            regions: 250,
+            work_per_region: SimDuration::from_millis(600),
+            serial_frac: 0.03,
+            sync_per_thread: SimDuration::from_micros(200),
+        },
+        other => panic!("unknown NPB program {other:?}"),
+    };
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for name in NPB_BENCHMARKS {
+            npb_profile(name).validate();
+        }
+    }
+
+    #[test]
+    fn ep_is_the_most_parallel() {
+        let ep = npb_profile("ep");
+        for name in NPB_BENCHMARKS {
+            if name != "ep" {
+                assert!(npb_profile(name).serial_frac > ep.serial_frac, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_has_the_largest_serial_fraction() {
+        let is = npb_profile("is");
+        for name in NPB_BENCHMARKS {
+            if name != "is" {
+                assert!(npb_profile(name).serial_frac < is.serial_frac, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_program_panics() {
+        npb_profile("dc");
+    }
+}

@@ -1,0 +1,123 @@
+//! SPECjvm2008 profiles (the five from Figure 6(b): compiler.compiler,
+//! derby, mpegaudio, xml.validation, xml.transform).
+//!
+//! SPECjvm2008 reports *throughput* (operations per second over a fixed
+//! interval); we model a fixed batch of operations and the experiment
+//! harness converts wall time to relative throughput. mpegaudio is
+//! CPU-bound with light allocation (little for the adaptive JVM to win);
+//! derby and the xml pair allocate heavily.
+
+use arv_cgroups::Bytes;
+use arv_jvm::JavaProfile;
+use arv_sim_core::SimDuration;
+
+/// The SPECjvm2008 benchmarks evaluated in Figure 6(b).
+pub const SPECJVM_BENCHMARKS: [&str; 5] = [
+    "compiler.compiler",
+    "derby",
+    "mpegaudio",
+    "xml.validation",
+    "xml.transform",
+];
+
+/// Profile for a SPECjvm2008 benchmark by name. Panics on unknown names.
+pub fn specjvm_profile(name: &str) -> JavaProfile {
+    let p = match name {
+        "compiler.compiler" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(90),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(700),
+            minor_survival: 0.12,
+            young_live: Bytes::from_mib(48),
+            promotion: 0.25,
+            live_growth: 0.01,
+            live_cap: Bytes::from_mib(150),
+            min_heap: Bytes::from_mib(220),
+            touch_intensity: 0.6,
+        },
+        "derby" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(110),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(1200),
+            minor_survival: 0.15,
+            young_live: Bytes::from_mib(64),
+            promotion: 0.30,
+            live_growth: 0.02,
+            live_cap: Bytes::from_mib(250),
+            min_heap: Bytes::from_mib(330),
+            touch_intensity: 0.7,
+        },
+        "mpegaudio" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(100),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(60),
+            minor_survival: 0.05,
+            young_live: Bytes::from_mib(8),
+            promotion: 0.10,
+            live_growth: 0.001,
+            live_cap: Bytes::from_mib(16),
+            min_heap: Bytes::from_mib(48),
+            touch_intensity: 0.3,
+        },
+        "xml.validation" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(85),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(1500),
+            minor_survival: 0.08,
+            young_live: Bytes::from_mib(40),
+            promotion: 0.15,
+            live_growth: 0.004,
+            live_cap: Bytes::from_mib(80),
+            min_heap: Bytes::from_mib(140),
+            touch_intensity: 0.5,
+        },
+        "xml.transform" => JavaProfile {
+            name: name.into(),
+            total_work: SimDuration::from_secs(95),
+            mutators: 16,
+            alloc_rate: Bytes::from_mib(1300),
+            minor_survival: 0.09,
+            young_live: Bytes::from_mib(44),
+            promotion: 0.18,
+            live_growth: 0.004,
+            live_cap: Bytes::from_mib(90),
+            min_heap: Bytes::from_mib(150),
+            touch_intensity: 0.5,
+        },
+        other => panic!("unknown SPECjvm2008 benchmark {other:?}"),
+    };
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for name in SPECJVM_BENCHMARKS {
+            specjvm_profile(name).validate();
+        }
+    }
+
+    #[test]
+    fn mpegaudio_is_the_gc_light_one() {
+        let mp = specjvm_profile("mpegaudio");
+        for name in SPECJVM_BENCHMARKS {
+            if name != "mpegaudio" {
+                assert!(specjvm_profile(name).alloc_rate > mp.alloc_rate, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_benchmark_panics() {
+        specjvm_profile("crypto.aes");
+    }
+}

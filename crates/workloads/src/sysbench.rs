@@ -1,0 +1,133 @@
+//! sysbench-style CPU hogs: the background load of Figure 8.
+//!
+//! §5.2: "nine containers ran different sysbench benchmarks. The host CPU
+//! was fully utilized when all ten containers were running benchmarks but
+//! CPU availability varied as different sysbench benchmarks completed at
+//! different times." [`CpuHog`] is that pure-CPU workload; [`sysbench_mix`]
+//! builds the staggered set.
+
+use arv_cgroups::CgroupId;
+use arv_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A multithreaded CPU-bound workload with a fixed CPU budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuHog {
+    id: CgroupId,
+    threads: u32,
+    remaining: SimDuration,
+    wall: SimDuration,
+}
+
+impl CpuHog {
+    /// A hog with a fixed CPU budget.
+    pub fn new(id: CgroupId, threads: u32, cpu_work: SimDuration) -> CpuHog {
+        assert!(threads > 0, "a hog needs at least one thread");
+        assert!(!cpu_work.is_zero(), "a hog needs CPU work");
+        CpuHog {
+            id,
+            threads,
+            remaining: cpu_work,
+            wall: SimDuration::ZERO,
+        }
+    }
+
+    /// The container (cgroup) this belongs to.
+    pub fn id(&self) -> CgroupId {
+        self.id
+    }
+
+    /// Whether the workload is still running.
+    pub fn is_running(&self) -> bool {
+        !self.remaining.is_zero()
+    }
+
+    /// Runnable threads this period (zero once finished).
+    pub fn runnable(&self) -> u32 {
+        if self.is_running() {
+            self.threads
+        } else {
+            0
+        }
+    }
+
+    /// Wall time until completion (meaningful once finished).
+    pub fn wall(&self) -> SimDuration {
+        self.wall
+    }
+
+    /// Time until completion assuming a full grant (event-driven step cap).
+    pub fn horizon(&self) -> Option<SimDuration> {
+        self.is_running().then(|| {
+            (self.remaining / u64::from(self.threads)).max(SimDuration::from_micros(500))
+        })
+    }
+
+    /// Consume granted CPU time for one period.
+    pub fn on_period(&mut self, granted: SimDuration, period: SimDuration) {
+        if self.is_running() {
+            self.remaining = self.remaining.saturating_sub(granted);
+            self.wall += period;
+        }
+    }
+}
+
+/// The Figure 8 background mix: `n` hogs with staggered CPU budgets so
+/// they finish at different times and progressively free CPU for the
+/// measured container. Budgets step linearly from `shortest` to
+/// `shortest × n`.
+pub fn sysbench_mix(ids: &[CgroupId], threads: u32, shortest: SimDuration) -> Vec<CpuHog> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, id)| CpuHog::new(*id, threads, shortest * (i as u64 + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hog_consumes_budget_and_stops() {
+        let mut hog = CpuHog::new(CgroupId(0), 2, SimDuration::from_secs(1));
+        let p = SimDuration::from_millis(24);
+        let mut steps = 0;
+        while hog.is_running() {
+            hog.on_period(p * 2, p);
+            steps += 1;
+            assert!(steps < 100_000);
+        }
+        assert_eq!(hog.runnable(), 0);
+        // 1 s of work at 2 CPUs ≈ 0.5 s of wall time.
+        assert!((hog.wall().as_secs_f64() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mix_staggers_budgets() {
+        let ids: Vec<CgroupId> = (0..9).map(CgroupId).collect();
+        let mix = sysbench_mix(&ids, 2, SimDuration::from_secs(10));
+        assert_eq!(mix.len(), 9);
+        // Budgets strictly increase, so completions stagger.
+        for w in mix.windows(2) {
+            assert!(w[0].remaining < w[1].remaining);
+        }
+        assert_eq!(mix[8].remaining, SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn finished_hog_ignores_further_grants() {
+        let mut hog = CpuHog::new(CgroupId(0), 1, SimDuration::from_millis(10));
+        let p = SimDuration::from_millis(24);
+        hog.on_period(p, p);
+        assert!(!hog.is_running());
+        let wall = hog.wall();
+        hog.on_period(p, p);
+        assert_eq!(hog.wall(), wall);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_thread_hog_rejected() {
+        CpuHog::new(CgroupId(0), 0, SimDuration::from_secs(1));
+    }
+}

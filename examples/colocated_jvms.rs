@@ -1,0 +1,84 @@
+//! Colocated JVMs: five containers running the same DaCapo benchmark
+//! under the vanilla, dynamic-GC-threads, and adaptive JVMs — the
+//! Figure 6 scenario as a runnable program.
+//!
+//! ```text
+//! cargo run --release --example colocated_jvms [benchmark]
+//! ```
+
+use arv_container::{ContainerSpec, SimHost};
+use arv_experiments::driver::Fleet;
+use arv_jvm::{HeapPolicy, Jvm, JvmConfig};
+use arv_sim_core::SimDuration;
+use arv_workloads::{dacapo_profile, DACAPO_BENCHMARKS};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "xalan".into());
+    assert!(
+        DACAPO_BENCHMARKS.contains(&bench.as_str()),
+        "unknown benchmark {bench:?}; pick one of {DACAPO_BENCHMARKS:?}"
+    );
+    let mut profile = dacapo_profile(&bench);
+    profile.total_work = profile.total_work.mul_f64(0.25); // keep the demo snappy
+
+    println!("benchmark: {bench} (5 containers x 10-CPU limit on 20 cores)\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>14}",
+        "config", "exec (s)", "GC (s)", "GCs", "workers (last)"
+    );
+
+    let mut baseline = None;
+    for (name, cfg) in [
+        ("vanilla", JvmConfig::vanilla_jdk8()),
+        (
+            "dynamic",
+            JvmConfig::vanilla_jdk8().with_dynamic_gc_threads(true),
+        ),
+        ("adaptive", JvmConfig::adaptive()),
+    ] {
+        let mut host = SimHost::paper_testbed();
+        let mut fleet = Fleet::new();
+        let idxs: Vec<_> = (0..5)
+            .map(|i| {
+                let id = host.launch(
+                    &ContainerSpec::new(format!("c{i}"), 20)
+                        .cpus(10.0)
+                        .cpu_shares(1024),
+                );
+                let cfg = cfg
+                    .clone()
+                    .with_heap_policy(HeapPolicy::FixedMax(profile.paper_heap_size()));
+                fleet.push_jvm(Jvm::launch(&mut host, id, cfg, profile.clone()))
+            })
+            .collect();
+        assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
+
+        let n = idxs.len() as f64;
+        let exec: f64 = idxs
+            .iter()
+            .map(|i| fleet.jvm(*i).metrics().exec_wall.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let gc: f64 = idxs
+            .iter()
+            .map(|i| fleet.jvm(*i).metrics().gc_wall.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let gcs = fleet.jvm(idxs[0]).metrics().gc_count();
+        let last_workers = *fleet.jvm(idxs[0])
+            .metrics()
+            .gc_thread_trace
+            .last()
+            .unwrap_or(&0);
+        println!("{name:<10} {exec:>10.2} {gc:>10.2} {gcs:>8} {last_workers:>14}");
+        if name == "vanilla" {
+            baseline = Some(exec);
+        } else if let Some(base) = baseline {
+            println!(
+                "{:<10} ({:+.1}% vs vanilla)",
+                "",
+                (exec / base - 1.0) * 100.0
+            );
+        }
+    }
+}

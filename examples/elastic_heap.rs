@@ -1,0 +1,64 @@
+//! Elastic heap demo: one container with a 1 GB hard limit running an
+//! allocation-heavy benchmark with no `-Xmx` — the vanilla JVM's
+//! auto-sized 32 GB heap swaps itself into collapse, the elastic heap
+//! tracks effective memory and never does (Figure 11).
+//!
+//! ```text
+//! cargo run --release --example elastic_heap
+//! ```
+
+use arv_cgroups::Bytes;
+use arv_container::{ContainerSpec, SimHost};
+use arv_experiments::driver::Fleet;
+use arv_jvm::{HeapPolicy, Jvm, JvmConfig};
+use arv_sim_core::SimDuration;
+use arv_workloads::dacapo_profile;
+
+fn main() {
+    let mut profile = dacapo_profile("lusearch");
+    profile.total_work = profile.total_work.mul_f64(0.5);
+
+    println!("lusearch in a 1 GB container, -Xms 500 MB, no -Xmx\n");
+    for (name, cfg) in [
+        (
+            "vanilla (auto max = host/4 = 32 GB)",
+            JvmConfig::vanilla_jdk8().with_xms(Bytes::from_mib(500)),
+        ),
+        (
+            "elastic (VirtualMax = effective memory)",
+            JvmConfig::adaptive()
+                .with_heap_policy(HeapPolicy::Elastic)
+                .with_xms(Bytes::from_mib(500))
+                .with_heap_trace(),
+        ),
+    ] {
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("c", 20).memory(Bytes::from_gib(1)));
+        let mut fleet = Fleet::new();
+        let i = fleet.push_jvm(Jvm::launch(&mut host, id, cfg, profile.clone()));
+        assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
+
+        let jvm = fleet.jvm(i);
+        let m = jvm.metrics();
+        println!("== {name} ==");
+        println!(
+            "  outcome: {:?}   exec {:.2}s   GC {:.2}s   {} collections",
+            jvm.outcome(),
+            m.exec_wall.as_secs_f64(),
+            m.gc_wall.as_secs_f64(),
+            m.gc_count(),
+        );
+        println!(
+            "  final committed {}, swap traffic {}",
+            jvm.heap().committed(),
+            host.mem().swap_out_total(),
+        );
+        if !m.committed_series.is_empty() {
+            println!("  committed trace (GiB):");
+            for (t, v) in m.committed_series.downsample(8).samples() {
+                println!("    {:>7.1}s  {v:.3}", t.as_secs_f64());
+            }
+        }
+        println!();
+    }
+}

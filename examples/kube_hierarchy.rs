@@ -1,0 +1,75 @@
+//! Hierarchical cgroups demo: a Kubernetes-style tree
+//! (`kubepods` → pods → containers) with CFS group scheduling and
+//! tree-aware Algorithm 1 bounds — the nesting real orchestrators add on
+//! top of the paper's flat Docker layout.
+//!
+//! ```text
+//! cargo run --release --example kube_hierarchy
+//! ```
+
+use arv_cfs::{allocate_tree, CfsSim, LeafDemand};
+use arv_cgroups::hierarchy::{CgroupTree, ROOT};
+use arv_cgroups::{CgroupId, CgroupSpec, CpuController, MemController};
+use arv_resview::CpuBounds;
+use arv_sim_core::SimDuration;
+use std::collections::BTreeMap;
+
+fn spec(shares: u64, quota: Option<f64>) -> CgroupSpec {
+    let mut cpu = CpuController::unlimited(20).with_shares(shares);
+    if let Some(q) = quota {
+        cpu = cpu.with_quota_cpus(q);
+    }
+    CgroupSpec::new(cpu, MemController::unlimited())
+}
+
+fn main() {
+    // root ── kubepods (shares 8192)
+    //         ├── pod-a (shares 2048, quota 8 CPUs) ── web, sidecar
+    //         └── pod-b (shares 1024)               ── batch
+    //      └─ system   (shares 1024)                ── journald
+    let mut tree = CgroupTree::new();
+    let kubepods = tree.create(ROOT, spec(8192, None));
+    let system = tree.create(ROOT, spec(1024, None));
+    let pod_a = tree.create(kubepods, spec(2048, Some(8.0)));
+    let pod_b = tree.create(kubepods, spec(1024, None));
+    let web = tree.create(pod_a, spec(2048, None));
+    let sidecar = tree.create(pod_a, spec(512, None));
+    let batch = tree.create(pod_b, spec(1024, None));
+    let journald = tree.create(system, spec(1024, None));
+
+    let cfs = CfsSim::with_cpus(20);
+    let online = cfs.online();
+    let period = SimDuration::from_millis(24);
+    let names: [(CgroupId, &str); 4] = [
+        (web, "pod-a/web"),
+        (sidecar, "pod-a/sidecar"),
+        (batch, "pod-b/batch"),
+        (journald, "system/journald"),
+    ];
+
+    println!("tree-aware Algorithm 1 bounds (20-core host):");
+    for (id, name) in names {
+        let b = CpuBounds::compute_in_tree(&tree, id, online);
+        println!("  {name:<18} guaranteed {:>2} CPUs, capped at {:>2}", b.lower, b.upper);
+    }
+
+    let scenarios: [(&str, Vec<CgroupId>); 3] = [
+        ("everyone busy", vec![web, sidecar, batch, journald]),
+        ("pod-b idle (its share flows inside kubepods)", vec![web, sidecar, journald]),
+        ("only web busy (quota of pod-a caps it at 8)", vec![web]),
+    ];
+    for (label, active) in scenarios {
+        let mut demands = BTreeMap::new();
+        for id in &active {
+            demands.insert(*id, LeafDemand::cpu_bound(20));
+        }
+        let alloc = allocate_tree(&cfs, period, &tree, &demands);
+        println!("\n{label}:");
+        for (id, name) in names {
+            if demands.contains_key(&id) {
+                println!("  {name:<18} {:>6.2} CPUs", alloc.granted_cpus(id));
+            }
+        }
+        println!("  {:<18} {:>6.2} CPUs idle", "(slack)", alloc.slack.ratio(period));
+    }
+}

@@ -1,0 +1,109 @@
+//! The live threaded resource view: a real `ns_monitor` thread updating
+//! atomic namespace cells while application threads query them
+//! concurrently — the §5.4 deployment shape with actual OS threads.
+//!
+//! ```text
+//! cargo run --release --example live_view
+//! ```
+
+use arv_cgroups::{Bytes, CgroupId};
+use arv_resview::effective_cpu::{CpuBounds, CpuSample};
+use arv_resview::effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+use arv_resview::live::{HostSampler, LiveMonitor, LiveRegistry, LiveSample};
+use arv_resview::EffectiveCpuConfig;
+use arv_sim_core::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A toy host whose slack oscillates: even seconds are busy (no slack),
+/// odd seconds idle — the view should breathe with it.
+struct OscillatingHost {
+    started: Instant,
+    samples: AtomicU64,
+}
+
+impl HostSampler for OscillatingHost {
+    fn sample(&self, _id: CgroupId) -> Option<LiveSample> {
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        let t = SimDuration::from_millis(24);
+        let busy = self.started.elapsed().as_millis() / 250 % 2 == 0;
+        Some(LiveSample {
+            cpu: CpuSample {
+                usage: t * 10, // the container is always hungry
+                period: t,
+                slack: if busy { SimDuration::ZERO } else { t * 4 },
+            },
+            mem: MemSample {
+                free: Bytes::from_gib(64),
+                usage: Bytes::from_mib(480),
+                reclaiming: false,
+            },
+        })
+    }
+}
+
+fn main() {
+    let registry = LiveRegistry::new();
+    let cell = registry.register(
+        CgroupId(0),
+        CpuBounds { lower: 4, upper: 10 },
+        EffectiveCpuConfig::default(),
+        EffectiveMemory::new(
+            Bytes::from_mib(500),
+            Bytes::from_gib(1),
+            Bytes::from_mib(1280),
+            Bytes::from_mib(2560),
+            EffectiveMemoryConfig::default(),
+        ),
+    );
+
+    let sampler = Arc::new(OscillatingHost {
+        started: Instant::now(),
+        samples: AtomicU64::new(0),
+    });
+    let monitor = LiveMonitor::spawn(
+        registry.clone(),
+        Arc::clone(&sampler) as Arc<dyn HostSampler>,
+        Duration::from_millis(5),
+    );
+
+    // Application threads hammer the lock-free query path while the
+    // monitor updates in the background.
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let c = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let mut queries = 0u64;
+                let deadline = Instant::now() + Duration::from_millis(900);
+                let mut min = u32::MAX;
+                let mut max = 0;
+                while Instant::now() < deadline {
+                    let v = c.effective_cpu();
+                    min = min.min(v);
+                    max = max.max(v);
+                    queries += 1;
+                }
+                (r, queries, min, max)
+            })
+        })
+        .collect();
+
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(150));
+        println!(
+            "t={:>4}ms  E_CPU={:>2}  E_MEM={}  (updates so far: {})",
+            sampler.started.elapsed().as_millis(),
+            cell.effective_cpu(),
+            cell.effective_memory(),
+            cell.update_count(),
+        );
+    }
+
+    for r in readers {
+        let (id, queries, min, max) = r.join().unwrap();
+        println!("reader {id}: {queries} lock-free queries, saw E_CPU range {min}..={max}");
+    }
+    monitor.shutdown();
+    println!("monitor stopped after {} updates", cell.update_count());
+}

@@ -1,0 +1,72 @@
+//! OpenMP thread-strategy comparison on an NPB kernel — the Figure 10
+//! scenarios as a runnable program.
+//!
+//! ```text
+//! cargo run --release --example openmp_scaling [kernel]
+//! ```
+
+use arv_container::{ContainerSpec, SimHost};
+use arv_experiments::driver::Fleet;
+use arv_omp::{OmpRuntime, ThreadStrategy};
+use arv_sim_core::SimDuration;
+use arv_workloads::{npb_profile, NPB_BENCHMARKS};
+
+fn main() {
+    let kernel = std::env::args().nth(1).unwrap_or_else(|| "cg".into());
+    assert!(
+        NPB_BENCHMARKS.contains(&kernel.as_str()),
+        "unknown kernel {kernel:?}; pick one of {NPB_BENCHMARKS:?}"
+    );
+    let mut profile = npb_profile(&kernel);
+    profile.regions = profile.regions.min(40);
+
+    println!("NPB {kernel}: five equal-share containers (paper Figure 10(a))\n");
+    run_scenario(&profile, 5, None, 100.0);
+
+    println!("\nNPB {kernel}: one container with a 4-CPU quota (Figure 10(b))\n");
+    run_scenario(&profile, 1, Some(4.0), 0.0);
+}
+
+fn run_scenario(profile: &arv_omp::OmpProfile, n: u32, quota: Option<f64>, loadavg: f64) {
+    println!(
+        "{:<26} {:>10} {:>16}",
+        "strategy", "exec (s)", "threads (median)"
+    );
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        ("static (20 = online CPUs)", ThreadStrategy::Static(20)),
+        ("dynamic (n_onln - load)", ThreadStrategy::Dynamic),
+        ("adaptive (E_CPU)", ThreadStrategy::Adaptive),
+    ] {
+        let mut host = SimHost::paper_testbed();
+        host.prime_loadavg(loadavg);
+        let mut fleet = Fleet::new();
+        let idxs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut spec = ContainerSpec::new(format!("omp{i}"), 20);
+                if let Some(q) = quota {
+                    spec = spec.cpus(q);
+                }
+                let id = host.launch(&spec);
+                fleet.push_omp(OmpRuntime::launch(id, strategy, profile.clone()))
+            })
+            .collect();
+        assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
+
+        let exec = idxs
+            .iter()
+            .map(|i| fleet.omp(*i).metrics().exec_wall.as_secs_f64())
+            .sum::<f64>()
+            / idxs.len() as f64;
+        let mut teams = fleet.omp(idxs[0]).metrics().thread_trace.clone();
+        teams.sort_unstable();
+        let median = teams.get(teams.len() / 2).copied().unwrap_or(0);
+        println!("{name:<26} {exec:>10.2} {median:>16}");
+        results.push((name, exec));
+    }
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    println!("-> fastest: {}", best.0);
+}

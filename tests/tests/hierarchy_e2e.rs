@@ -1,0 +1,152 @@
+//! The adaptive view over a Kubernetes-style cgroup hierarchy: tree-aware
+//! Algorithm 1 bounds driven by the hierarchical CFS allocator.
+
+use arv_cfs::{allocate_tree, CfsSim, LeafDemand};
+use arv_cgroups::hierarchy::{CgroupTree, ROOT};
+use arv_cgroups::{CgroupId, CgroupSpec, CpuController, MemController};
+use arv_resview::effective_cpu::{CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig};
+use arv_sim_core::SimDuration;
+use std::collections::BTreeMap;
+
+fn spec(shares: u64, quota: Option<f64>) -> CgroupSpec {
+    let mut cpu = CpuController::unlimited(20).with_shares(shares);
+    if let Some(q) = quota {
+        cpu = cpu.with_quota_cpus(q);
+    }
+    CgroupSpec::new(cpu, MemController::unlimited())
+}
+
+/// root → kubepods(8192){pod-a(2048, 8cpu){web, sidecar}, pod-b(1024){batch}},
+///        system(1024){journald}
+struct Cluster {
+    tree: CgroupTree,
+    web: CgroupId,
+    sidecar: CgroupId,
+    batch: CgroupId,
+    journald: CgroupId,
+}
+
+fn cluster() -> Cluster {
+    let mut tree = CgroupTree::new();
+    let kubepods = tree.create(ROOT, spec(8192, None));
+    let system = tree.create(ROOT, spec(1024, None));
+    let pod_a = tree.create(kubepods, spec(2048, Some(8.0)));
+    let pod_b = tree.create(kubepods, spec(1024, None));
+    let web = tree.create(pod_a, spec(2048, None));
+    let sidecar = tree.create(pod_a, spec(512, None));
+    let batch = tree.create(pod_b, spec(1024, None));
+    let journald = tree.create(system, spec(1024, None));
+    Cluster {
+        tree,
+        web,
+        sidecar,
+        batch,
+        journald,
+    }
+}
+
+#[test]
+fn adaptive_view_converges_over_the_hierarchy() {
+    let c = cluster();
+    let cfs = CfsSim::with_cpus(20);
+    let period = SimDuration::from_millis(24);
+
+    // One Algorithm-1 machine per container, bounded by the tree.
+    let mut views: BTreeMap<CgroupId, EffectiveCpu> = [c.web, c.sidecar, c.batch, c.journald]
+        .into_iter()
+        .map(|id| {
+            let bounds = CpuBounds::compute_in_tree(&c.tree, id, cfs.online());
+            (id, EffectiveCpu::new(bounds, EffectiveCpuConfig::default()))
+        })
+        .collect();
+
+    let drive = |views: &mut BTreeMap<CgroupId, EffectiveCpu>,
+                 active: &[(CgroupId, u32)],
+                 periods: u32| {
+        for _ in 0..periods {
+            let mut demands = BTreeMap::new();
+            for (id, runnable) in active {
+                demands.insert(*id, LeafDemand::cpu_bound(*runnable));
+            }
+            let alloc = allocate_tree(&cfs, period, &c.tree, &demands);
+            for (id, view) in views.iter_mut() {
+                view.update(CpuSample {
+                    usage: alloc.granted_to(*id),
+                    period,
+                    slack: alloc.slack,
+                });
+            }
+        }
+    };
+
+    // Phase 1: only web runs — pod-a's nested 8-CPU quota caps its view
+    // even though the machine is idle.
+    drive(&mut views, &[(c.web, 20)], 40);
+    assert_eq!(views[&c.web].value(), 8);
+
+    // Phase 2: everyone saturates — no slack, views decay to the
+    // tree-composed guarantees.
+    drive(
+        &mut views,
+        &[(c.web, 20), (c.sidecar, 20), (c.batch, 20), (c.journald, 20)],
+        60,
+    );
+    for (id, name) in [
+        (c.web, "web"),
+        (c.sidecar, "sidecar"),
+        (c.batch, "batch"),
+        (c.journald, "journald"),
+    ] {
+        let view = &views[&id];
+        let b = view.bounds();
+        assert_eq!(
+            view.value(),
+            b.lower,
+            "{name} should sit at its guaranteed share under full load"
+        );
+    }
+
+    // Phase 3: the whole of kubepods goes idle; journald (wanting 16
+    // CPUs, so slack stays observable — Algorithm 1 only grows into
+    // measured slack) expands far beyond its guaranteed share.
+    drive(&mut views, &[(c.journald, 16)], 60);
+    let grown = views[&c.journald].value();
+    assert!(
+        (16..=17).contains(&grown),
+        "journald should expand to its demand: {grown}"
+    );
+}
+
+#[test]
+fn tree_bounds_always_contain_tree_grants() {
+    // For every subset of active containers, the grant a saturated leaf
+    // receives under hierarchical allocation never exceeds its tree upper
+    // bound (the bound is a true cap).
+    let c = cluster();
+    let cfs = CfsSim::with_cpus(20);
+    let period = SimDuration::from_millis(24);
+    let leaves = [c.web, c.sidecar, c.batch, c.journald];
+
+    for mask in 1u32..16 {
+        let active: Vec<CgroupId> = leaves
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id)
+            .collect();
+        let mut demands = BTreeMap::new();
+        for id in &active {
+            demands.insert(*id, LeafDemand::cpu_bound(20));
+        }
+        let alloc = allocate_tree(&cfs, period, &c.tree, &demands);
+        for id in &active {
+            let b = CpuBounds::compute_in_tree(&c.tree, *id, cfs.online());
+            let granted = alloc.granted_cpus(*id);
+            assert!(
+                granted <= f64::from(b.upper) + 1e-6,
+                "mask {mask:04b}: leaf {id:?} granted {granted} above upper {}",
+                b.upper
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's §5.1 methodology, reproduced: "Each result was the average
+//! of 10 runs." Runs differ through seeded profile jitter; conclusions
+//! must hold for every seed, not just the mean.
+
+use arv_container::{ContainerSpec, SimHost};
+use arv_experiments::driver::Fleet;
+use arv_jvm::{HeapPolicy, Jvm, JvmConfig};
+use arv_omp::{OmpRuntime, ThreadStrategy};
+use arv_sim_core::{stats, SimDuration, SimRng};
+use arv_workloads::{dacapo_profile, npb_profile};
+
+/// Mean exec seconds of 5 colocated xalan copies under `cfg`, with ±3%
+/// seeded jitter on the profile.
+fn fig6_style_run(cfg: &JvmConfig, seed: u64) -> f64 {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut base = dacapo_profile("xalan");
+    base.total_work = SimDuration::from_secs(6);
+    let mut host = SimHost::paper_testbed();
+    let mut fleet = Fleet::new();
+    let idxs: Vec<_> = (0..5)
+        .map(|i| {
+            let id = host.launch(
+                &ContainerSpec::new(format!("c{i}"), 20)
+                    .cpus(10.0)
+                    .cpu_shares(1024),
+            );
+            let profile = base.jittered(&mut rng, 0.03);
+            let cfg = cfg
+                .clone()
+                .with_heap_policy(HeapPolicy::FixedMax(profile.paper_heap_size()));
+            fleet.push_jvm(Jvm::launch(&mut host, id, cfg, profile))
+        })
+        .collect();
+    assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
+    idxs.iter()
+        .map(|i| fleet.jvm(*i).metrics().exec_wall.as_secs_f64())
+        .sum::<f64>()
+        / idxs.len() as f64
+}
+
+#[test]
+fn adaptive_beats_vanilla_across_ten_seeded_runs() {
+    let mut vanilla_runs = Vec::new();
+    let mut adaptive_runs = Vec::new();
+    for seed in 0..10 {
+        let v = fig6_style_run(&JvmConfig::vanilla_jdk8(), seed);
+        let a = fig6_style_run(&JvmConfig::adaptive(), seed);
+        assert!(
+            a < v,
+            "seed {seed}: adaptive {a:.2}s must beat vanilla {v:.2}s in every run"
+        );
+        vanilla_runs.push(v);
+        adaptive_runs.push(a);
+    }
+    // Averages show the gain; variance across runs stays small (the
+    // jitter is ±3%, so the spread must be of the same order).
+    let v_mean = stats::mean(&vanilla_runs);
+    let a_mean = stats::mean(&adaptive_runs);
+    assert!(a_mean < v_mean * 0.95);
+    assert!(stats::stddev(&vanilla_runs) / v_mean < 0.05);
+    assert!(stats::stddev(&adaptive_runs) / a_mean < 0.05);
+}
+
+#[test]
+fn openmp_strategy_ranking_is_seed_stable() {
+    let run = |strategy: ThreadStrategy, seed: u64| -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut base = npb_profile("cg");
+        base.regions = 20;
+        let profile = base.jittered(&mut rng, 0.05);
+        let mut host = SimHost::paper_testbed();
+        let id = host.launch(&ContainerSpec::new("omp", 20).cpus(4.0));
+        let mut fleet = Fleet::new();
+        let i = fleet.push_omp(OmpRuntime::launch(id, strategy, profile));
+        assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
+        fleet.omp(i).metrics().exec_wall.as_secs_f64()
+    };
+    for seed in 0..10 {
+        let over = run(ThreadStrategy::Static(20), seed);
+        let adaptive = run(ThreadStrategy::Adaptive, seed);
+        assert!(
+            adaptive < over,
+            "seed {seed}: adaptive {adaptive:.2}s vs static-20 {over:.2}s"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_results() {
+    let a = fig6_style_run(&JvmConfig::adaptive(), 42);
+    let b = fig6_style_run(&JvmConfig::adaptive(), 42);
+    assert_eq!(a, b, "same seed must be bit-for-bit reproducible");
+    let c = fig6_style_run(&JvmConfig::adaptive(), 43);
+    assert_ne!(a, c, "different seeds must differ");
+}
