@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+# Everything runs against the vendored/shimmed workspace — no network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci: all green"

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_algorithm1(c: &mut Criterion) {
     let t = SimDuration::from_millis(24);
     let mut e = EffectiveCpu::new(
-        CpuBounds { lower: 4, upper: 10 },
+        CpuBounds {
+            lower: 4,
+            upper: 10,
+        },
         EffectiveCpuConfig::default(),
     );
     let sample = CpuSample {
@@ -85,11 +88,7 @@ fn bench_task_queue(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     let mut q = GcTaskQueue::new();
-                    q.refill(decompose_minor(
-                        SimDuration::from_millis(100),
-                        64,
-                        workers,
-                    ));
+                    q.refill(decompose_minor(SimDuration::from_millis(100), 64, workers));
                     black_box(makespan(&mut q, workers))
                 })
             },

@@ -19,7 +19,10 @@ use std::sync::Arc;
 fn mk_cell(reg: &LiveRegistry, id: u32) -> Arc<NsCell> {
     reg.register(
         CgroupId(id),
-        CpuBounds { lower: 4, upper: 10 },
+        CpuBounds {
+            lower: 4,
+            upper: 10,
+        },
         EffectiveCpuConfig::default(),
         EffectiveMemory::new(
             Bytes::from_mib(500),
@@ -53,7 +56,9 @@ fn bench_overhead(c: &mut Criterion) {
     let s = sample();
 
     // The paper's "update to a sys_namespace takes 1 µs".
-    c.bench_function("sys_namespace_update", |b| b.iter(|| cell.apply(black_box(s))));
+    c.bench_function("sys_namespace_update", |b| {
+        b.iter(|| cell.apply(black_box(s)))
+    });
 
     // The container-side sysconf query (paper: 5 µs effective CPU).
     c.bench_function("query_effective_cpu", |b| {

@@ -43,8 +43,7 @@ fn bench_memory_charging(c: &mut Criterion) {
         for i in 0..8 {
             mem.register(
                 arv_cgroups::CgroupId(i),
-                arv_cgroups::MemController::unlimited()
-                    .with_soft_limit(Bytes::from_mib(128)),
+                arv_cgroups::MemController::unlimited().with_soft_limit(Bytes::from_mib(128)),
             );
             let _ = mem.charge(arv_cgroups::CgroupId(i), Bytes::from_mib(500));
         }

@@ -1,0 +1,73 @@
+//! `arv-viewd` serving-path microbenchmarks.
+//!
+//! The daemon's two serving paths bracket the §5.4 query cost: a cached
+//! hit is a generation load plus an `Arc` clone out of a fixed-slot
+//! cache, an uncached render builds a whole `/proc` file image from one
+//! snapshot. The experiment runner (`--fig viewd`) reports the same
+//! paths from the daemon's own histograms; these benches measure them
+//! with Criterion statistics.
+
+use arv_cgroups::{Bytes, CgroupId};
+use arv_resview::effective_cpu::CpuBounds;
+use arv_resview::effective_mem::{EffectiveMemory, EffectiveMemoryConfig};
+use arv_resview::{EffectiveCpuConfig, Sysconf};
+use arv_viewd::{HostSpec, ViewServer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mk_server(containers: u32) -> ViewServer {
+    let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+    for i in 0..containers {
+        server.register(
+            CgroupId(i),
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            EffectiveMemory::new(
+                Bytes::from_mib(500),
+                Bytes::from_gib(1),
+                Bytes::from_mib(1280),
+                Bytes::from_mib(2560),
+                EffectiveMemoryConfig::default(),
+            ),
+        );
+    }
+    server
+}
+
+fn bench_viewd(c: &mut Criterion) {
+    let server = mk_server(100);
+    let client = server.client();
+    let id = Some(CgroupId(42));
+
+    // Warm the cache, then measure the steady-state hit path.
+    client.read(id, "/proc/cpuinfo");
+    c.bench_function("viewd_cached_hit_cpuinfo", |b| {
+        b.iter(|| black_box(client.read(id, "/proc/cpuinfo")))
+    });
+
+    // Publishing before every read forces a render each time.
+    let mut cpus = 4u32;
+    c.bench_function("viewd_uncached_render_cpuinfo", |b| {
+        b.iter(|| {
+            cpus = 4 + (cpus + 1) % 6;
+            let view = Bytes::from_mib(100 * u64::from(cpus));
+            server.mirror(CgroupId(42), cpus, view, view);
+            black_box(client.read(id, "/proc/cpuinfo"))
+        })
+    });
+
+    c.bench_function("viewd_sysconf_nprocessors", |b| {
+        b.iter(|| black_box(client.sysconf(id, Sysconf::NprocessorsOnln)))
+    });
+
+    // Sharded-registry lookup under a 100-container population.
+    c.bench_function("viewd_lookup_miss_unknown_container", |b| {
+        b.iter(|| black_box(client.read(Some(CgroupId(9999)), "/proc/cpuinfo")))
+    });
+}
+
+criterion_group!(benches, bench_viewd);
+criterion_main!(benches);

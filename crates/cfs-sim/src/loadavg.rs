@@ -9,7 +9,6 @@
 //! heuristic misbehaves).
 
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Time constant of the 1-minute series — the `getloadavg()[0]` value
 /// libgomp's dynamic-thread heuristic actually reads.
@@ -17,7 +16,7 @@ pub const ONE_MINUTE: SimDuration = SimDuration::from_secs(60);
 /// Default time constant: 15 minutes, matching `loadavg`'s slowest series.
 pub const FIFTEEN_MINUTES: SimDuration = SimDuration::from_secs(15 * 60);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 /// An exponentially-weighted moving average of the runnable task count.
 pub struct Loadavg {
     tau: SimDuration,

@@ -116,10 +116,7 @@ impl CfsSim {
             .iter()
             .map(|d| {
                 assert!(d.weight > 0, "cpu.shares must be positive");
-                (
-                    d.weight as f64,
-                    d.effective_cap(period).as_micros() as f64,
-                )
+                (d.weight as f64, d.effective_cap(period).as_micros() as f64)
             })
             .collect();
         let grants = weighted_max_min(supply_us, &items);

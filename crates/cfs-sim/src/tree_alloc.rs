@@ -198,7 +198,10 @@ mod tests {
             demands.insert(c, LeafDemand::cpu_bound(20));
         }
         let a = allocate_tree(&cfs, P, &t, &demands);
-        assert!((a.granted_cpus(c1) - 8.0).abs() < 1e-6, "c1 absorbs podA's quota");
+        assert!(
+            (a.granted_cpus(c1) - 8.0).abs() < 1e-6,
+            "c1 absorbs podA's quota"
+        );
         assert!((a.granted_cpus(c3) - 8.0).abs() < 1e-6);
         assert!((a.granted_cpus(sysd) - 2.0).abs() < 1e-6);
     }
@@ -260,7 +263,13 @@ mod tests {
         let cfs = CfsSim::with_cpus(18);
         let mut demands = BTreeMap::new();
         demands.insert(c1, LeafDemand::cpu_bound(3));
-        demands.insert(c3, LeafDemand { runnable: 8, demand_cpus: 2.5 });
+        demands.insert(
+            c3,
+            LeafDemand {
+                runnable: 8,
+                demand_cpus: 2.5,
+            },
+        );
         let a = allocate_tree(&cfs, P, &t, &demands);
         let total: u64 = a.granted.values().map(|g| g.as_micros()).sum();
         let supply = P.as_micros() * 18;
@@ -281,9 +290,7 @@ mod proptests {
 
     /// Build a random two-level tree: `pods` top-level groups, each with
     /// 1–4 leaf containers, random shares and optional quotas.
-    fn random_tree(
-        pods: &[(u64, Option<f64>, Vec<(u64, u32)>)],
-    ) -> (CgroupTree, Vec<CgroupId>) {
+    fn random_tree(pods: &[(u64, Option<f64>, Vec<(u64, u32)>)]) -> (CgroupTree, Vec<CgroupId>) {
         let mut tree = CgroupTree::new();
         let mut leaves = Vec::new();
         for (shares, quota, containers) in pods {

@@ -1,7 +1,6 @@
 //! The cgroup cpu controller: shares, CFS bandwidth (quota/period), cpuset.
 
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Default `cpu.shares` in Linux.
 pub const DEFAULT_SHARES: u64 = 1024;
@@ -10,7 +9,7 @@ pub const DEFAULT_CFS_PERIOD: SimDuration = SimDuration::from_micros(100_000);
 
 /// A set of CPUs (`cpuset.cpus`), modelled as a bitmask over up to 128
 /// logical CPUs — far beyond the paper's 20-core testbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpuSet(u128);
 
 impl CpuSet {
@@ -75,7 +74,7 @@ impl CpuSet {
 }
 
 /// Per-cgroup cpu controller settings.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuController {
     /// `cpu.shares` — relative weight when competing for CPU.
     pub shares: u64,

@@ -10,13 +10,12 @@
 
 use crate::cpu::CpuController;
 use crate::manager::{CgroupId, CgroupSpec};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of the implicit root of the tree.
 pub const ROOT: CgroupId = CgroupId(u32::MAX);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node {
     spec: CgroupSpec,
     parent: CgroupId,
@@ -24,7 +23,7 @@ struct Node {
 }
 
 /// A tree of cgroups under an implicit root.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CgroupTree {
     nodes: BTreeMap<CgroupId, Node>,
     root_children: Vec<CgroupId>,
@@ -69,10 +68,7 @@ impl CgroupTree {
     /// kernel: `rmdir` fails on a populated cgroup).
     pub fn remove(&mut self, id: CgroupId) -> Option<CgroupSpec> {
         let node = self.nodes.get(&id)?;
-        assert!(
-            node.children.is_empty(),
-            "cgroup {id:?} still has children"
-        );
+        assert!(node.children.is_empty(), "cgroup {id:?} still has children");
         let parent = node.parent;
         let node = self.nodes.remove(&id).expect("present");
         if parent == ROOT {

@@ -10,17 +10,14 @@
 
 use crate::cpu::CpuController;
 use crate::memory::MemController;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of a cgroup (and, one-to-one in this model, of a container).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CgroupId(pub u32);
 
 /// Full resource specification of one cgroup.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgroupSpec {
     /// The cpu controller settings.
     pub cpu: CpuController,
@@ -37,7 +34,7 @@ impl CgroupSpec {
 }
 
 /// A change to the cgroup tree, in the order it happened.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CgroupEvent {
     /// A cgroup was created.
     Created(CgroupId),

@@ -4,12 +4,9 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// A byte quantity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -147,7 +144,7 @@ impl fmt::Display for Bytes {
 ///   container "either is killed or starts swapping" (§2.1).
 /// * `soft_limit` — `memory.soft_limit_in_bytes`: reclaimed down to under
 ///   system-wide memory pressure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemController {
     /// `memory.limit_in_bytes`; `None` = unlimited.
     pub hard_limit: Option<Bytes>,

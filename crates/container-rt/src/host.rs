@@ -6,8 +6,9 @@ use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
 use arv_resview::effective_mem::EffectiveMemoryConfig;
 use arv_resview::namespace::Pid;
-use arv_resview::{HostView, NsMonitor, Sysconf, VirtualSysfs};
+use arv_resview::{CpuBounds, EffectiveMemory, HostView, NsMonitor, Sysconf, VirtualSysfs};
 use arv_sim_core::{clock::sched_period, SimClock, SimDuration, SimTime};
+use arv_viewd::{HostSpec, ViewServer};
 use std::collections::BTreeMap;
 
 use crate::spec::ContainerSpec;
@@ -46,6 +47,9 @@ pub struct SimHost {
     containers: BTreeMap<CgroupId, ContainerMeta>,
     next_pid: u32,
     update_timer_elapsed: SimDuration,
+    cpu_cfg: EffectiveCpuConfig,
+    mem_cfg: EffectiveMemoryConfig,
+    viewd: Option<ViewServer>,
 }
 
 impl SimHost {
@@ -80,6 +84,9 @@ impl SimHost {
             containers: BTreeMap::new(),
             next_pid: 1000,
             update_timer_elapsed: SimDuration::ZERO,
+            cpu_cfg,
+            mem_cfg,
+            viewd: None,
         }
     }
 
@@ -127,6 +134,12 @@ impl SimHost {
                 init_pid: new_init,
             },
         );
+        if let Some(server) = self.viewd.clone() {
+            self.viewd_register(&server, id);
+            // A launch changes the share denominator, so every
+            // container's bounds (and clamped views) may have moved.
+            self.viewd_mirror_all();
+        }
         id
     }
 
@@ -137,6 +150,10 @@ impl SimHost {
             self.mem.unregister(id);
             self.ledger.forget(id);
             self.monitor.sync(&mut self.cgm);
+            if let Some(server) = &self.viewd {
+                server.unregister(id);
+                self.viewd_mirror_all();
+            }
         }
     }
 
@@ -146,6 +163,77 @@ impl SimHost {
         self.cgm.update(id, CgroupSpec::new(spec.cpu, spec.mem));
         self.mem.set_limits(id, spec.mem);
         self.monitor.sync(&mut self.cgm);
+        self.viewd_mirror_all();
+    }
+
+    // --- view daemon attachment ---
+
+    /// A [`HostSpec`] describing this host's physical configuration, for
+    /// building a [`ViewServer`] whose host-fallback answers match.
+    pub fn viewd_host_spec(&self) -> HostSpec {
+        HostSpec {
+            online_cpus: self.cfs.online_count(),
+            total_memory: self.mem.total(),
+            free_memory: self.mem.free(),
+            cfs_period_us: arv_cgroups::cpu::DEFAULT_CFS_PERIOD.as_micros(),
+        }
+    }
+
+    /// Attach a view-serving daemon. Every current and future container
+    /// is registered with `server`, and its effective view is mirrored
+    /// into the daemon's seqlocked cells whenever the `sys_namespace`
+    /// update timer fires — so the daemon's concurrent query threads
+    /// always answer with the same view the simulated kernel holds,
+    /// while the simulation itself stays single-threaded.
+    pub fn attach_viewd(&mut self, server: ViewServer) {
+        let ids: Vec<CgroupId> = self.containers.keys().copied().collect();
+        for id in &ids {
+            self.viewd_register(&server, *id);
+        }
+        self.viewd = Some(server);
+        for id in &ids {
+            self.viewd_mirror(*id);
+        }
+    }
+
+    /// The attached view daemon, if any.
+    pub fn viewd(&self) -> Option<&ViewServer> {
+        self.viewd.as_ref()
+    }
+
+    /// Register one container with the daemon, rebuilding the same
+    /// initial state `ns_monitor` gave its namespace.
+    fn viewd_register(&self, server: &ViewServer, id: CgroupId) {
+        let Some(spec) = self.cgm.get(id) else { return };
+        let bounds = CpuBounds::compute(&spec.cpu, self.cgm.total_shares(), self.cfs.online());
+        let wm = self.mem.watermarks();
+        let e_mem = EffectiveMemory::new(
+            spec.mem.soft_limit_or(self.mem.total()),
+            spec.mem.hard_limit_or(self.mem.total()),
+            wm.low,
+            wm.high,
+            self.mem_cfg,
+        );
+        server.register(id, bounds, self.cpu_cfg, e_mem);
+    }
+
+    /// Push a container's current effective view into the daemon.
+    fn viewd_mirror(&self, id: CgroupId) {
+        let (Some(server), Some(ns)) = (&self.viewd, self.monitor.namespace(id)) else {
+            return;
+        };
+        server.mirror(
+            id,
+            ns.effective_cpu(),
+            ns.effective_memory(),
+            ns.available_memory(),
+        );
+    }
+
+    fn viewd_mirror_all(&self) {
+        for id in self.containers.keys() {
+            self.viewd_mirror(*id);
+        }
     }
 
     /// The container's name, if it exists.
@@ -192,6 +280,9 @@ impl SimHost {
             self.monitor.tick_window(&self.ledger, &self.mem);
             self.ledger.reset_window();
             self.update_timer_elapsed = SimDuration::ZERO;
+            if self.viewd.is_some() {
+                self.viewd_mirror_all();
+            }
         }
         self.loadavg.observe(total_runnable, period);
         let now = self.clock.advance(period);
@@ -483,6 +574,79 @@ mod tests {
         }
         // 48 ms of 1 ms steps = at most 2 update-timer firings.
         assert!(changes <= 2, "view moved {changes} times in 48 ms");
+    }
+
+    #[test]
+    fn attached_viewd_mirrors_launch_step_and_terminate() {
+        let mut host = SimHost::paper_testbed();
+        let server = ViewServer::new(host.viewd_host_spec(), 8);
+        host.attach_viewd(server.clone());
+        let ids = five_paper_containers(&mut host);
+        assert_eq!(server.len(), 5);
+        let client = server.client();
+        // Mirrored at launch: the daemon answers exactly what the
+        // simulated kernel's namespace holds for every container (the
+        // last-launched are born at the 4-CPU lower bound; earlier ones
+        // keep their elevated views until the update timer contracts
+        // them).
+        for id in &ids {
+            assert_eq!(
+                client.sysconf(Some(*id), Sysconf::NprocessorsOnln),
+                u64::from(host.effective_cpu(*id))
+            );
+        }
+        assert_eq!(client.sysconf(Some(ids[4]), Sysconf::NprocessorsOnln), 4);
+        // Only container 0 runs; work conservation grows its view, and
+        // every update-timer firing pushes the new view to the daemon.
+        for _ in 0..50 {
+            let demands = vec![host.demand(ids[0], 20)];
+            host.step(&demands);
+        }
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+        let online = client
+            .read(Some(ids[0]), "/sys/devices/system/cpu/online")
+            .unwrap();
+        assert_eq!(online.image.as_str(), "0-9");
+        host.terminate(ids[0]);
+        assert_eq!(server.len(), 4);
+        // Unknown again: the daemon falls back to the host view.
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 20);
+    }
+
+    #[test]
+    fn attach_viewd_registers_existing_containers() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        let server = ViewServer::new(host.viewd_host_spec(), 4);
+        host.attach_viewd(server.clone());
+        assert_eq!(server.len(), 5);
+        let client = server.client();
+        assert_eq!(
+            client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln),
+            u64::from(host.effective_cpu(ids[0]))
+        );
+    }
+
+    #[test]
+    fn update_limits_mirrors_into_viewd() {
+        let mut host = SimHost::paper_testbed();
+        let server = ViewServer::new(host.viewd_host_spec(), 4);
+        host.attach_viewd(server.clone());
+        let id = host.launch(&ContainerSpec::new("c", 20).cpus(10.0));
+        host.update_limits(
+            id,
+            &ContainerSpec::new("c", 20)
+                .cpus(2.0)
+                .memory(Bytes::from_gib(1)),
+        );
+        let client = server.client();
+        assert_eq!(
+            client.sysconf(Some(id), Sysconf::PhysPages) * arv_resview::PAGE_SIZE,
+            Bytes::from_gib(1).as_u64()
+        );
+        let gen_after_update = client.generation(id).unwrap();
+        assert!(gen_after_update >= 4, "launch + update both published");
     }
 
     #[test]

@@ -2,10 +2,9 @@
 //! experiments use).
 
 use arv_cgroups::{Bytes, CpuController, CpuSet, MemController};
-use serde::{Deserialize, Serialize};
 
 /// Resource specification for launching a container.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ContainerSpec {
     /// The container's name.
     pub name: String,
@@ -63,7 +62,9 @@ mod tests {
     #[test]
     fn builder_produces_paper_fig2a_container() {
         // §2.2: CPU limit of 10 cores, equal shares, on a 20-core host.
-        let spec = ContainerSpec::new("dacapo-0", 20).cpus(10.0).cpu_shares(1024);
+        let spec = ContainerSpec::new("dacapo-0", 20)
+            .cpus(10.0)
+            .cpu_shares(1024);
         assert_eq!(spec.cpu.quota_ratio(), Some(10.0));
         assert_eq!(spec.cpu.shares, 1024);
         assert!(spec.mem.hard_limit.is_none());

@@ -17,10 +17,9 @@
 use arv_cgroups::hierarchy::{CgroupTree, ROOT};
 use arv_cgroups::{CgroupId, CpuController, CpuSet};
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Tunables of Algorithm 1; defaults are the paper's.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EffectiveCpuConfig {
     /// `UTIL_THRSHD`: utilization above which effective CPU grows
     /// ("we empirically set UTIL_THRSHD to 95%").
@@ -43,7 +42,7 @@ impl Default for EffectiveCpuConfig {
 ///
 /// Recomputed by `ns_monitor` on container creation/deletion and cgroup
 /// changes; constant otherwise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuBounds {
     /// `LOWER_CPU`: the guaranteed CPU count.
     pub lower: u32,
@@ -65,14 +64,11 @@ impl CpuBounds {
     /// a thread pool with zero processors.
     pub fn compute(cpu: &CpuController, total_shares: u64, online: CpuSet) -> CpuBounds {
         let mask = cpu.cpuset.intersection(online).count();
-        let quota_cpus = cpu
-            .quota_ratio()
-            .map_or(f64::INFINITY, |q| q.max(0.0));
+        let quota_cpus = cpu.quota_ratio().map_or(f64::INFINITY, |q| q.max(0.0));
         let upper = (quota_cpus.min(mask as f64)).ceil().max(1.0) as u32;
 
         let total_shares = total_shares.max(cpu.shares);
-        let share_cpus =
-            (cpu.shares as f64 / total_shares as f64 * online.count() as f64).ceil();
+        let share_cpus = (cpu.shares as f64 / total_shares as f64 * online.count() as f64).ceil();
         let lower = (share_cpus.min(quota_cpus).min(mask as f64))
             .ceil()
             .max(1.0) as u32;
@@ -94,7 +90,9 @@ impl CpuBounds {
         let mut share_fraction = 1.0;
         let mut cur = id;
         while cur != ROOT {
-            let Some(parent) = tree.parent(cur) else { break };
+            let Some(parent) = tree.parent(cur) else {
+                break;
+            };
             let own = tree.cpu(cur).map_or(1024.0, |c| c.shares as f64);
             let sibling_total: f64 = tree
                 .children(parent)
@@ -119,7 +117,7 @@ impl CpuBounds {
 }
 
 /// One update period's scheduler observation for a container.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuSample {
     /// CPU time the container consumed this period (`u_i`).
     pub usage: SimDuration,
@@ -131,7 +129,7 @@ pub struct CpuSample {
 }
 
 /// The dynamic effective-CPU state machine (Algorithm 1 lines 6–19).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EffectiveCpu {
     cfg: EffectiveCpuConfig,
     bounds: CpuBounds,
@@ -205,7 +203,13 @@ mod tests {
         let online = CpuSet::first_n(20);
         let cpu = CpuController::unlimited(20).with_quota_cpus(10.0);
         let b = CpuBounds::compute(&cpu, 1024 * 5, online);
-        assert_eq!(b, CpuBounds { lower: 4, upper: 10 });
+        assert_eq!(
+            b,
+            CpuBounds {
+                lower: 4,
+                upper: 10
+            }
+        );
     }
 
     #[test]
@@ -254,7 +258,10 @@ mod tests {
 
     #[test]
     fn grows_one_per_period_under_slack_and_load() {
-        let bounds = CpuBounds { lower: 4, upper: 10 };
+        let bounds = CpuBounds {
+            lower: 4,
+            upper: 10,
+        };
         let mut e = EffectiveCpu::new(bounds, EffectiveCpuConfig::default());
         assert_eq!(e.value(), 4);
         // Saturated (util 100%) with host slack: climb 4 → 10, one per tick.
@@ -266,7 +273,10 @@ mod tests {
 
     #[test]
     fn no_growth_below_threshold() {
-        let bounds = CpuBounds { lower: 4, upper: 10 };
+        let bounds = CpuBounds {
+            lower: 4,
+            upper: 10,
+        };
         let mut e = EffectiveCpu::new(bounds, EffectiveCpuConfig::default());
         // Using 3.7 of 4 CPUs = 92.5% < 95%: stays put.
         assert_eq!(e.update(sample(3.7, 5.0)), 4);
@@ -274,7 +284,10 @@ mod tests {
 
     #[test]
     fn shrinks_without_slack() {
-        let bounds = CpuBounds { lower: 4, upper: 10 };
+        let bounds = CpuBounds {
+            lower: 4,
+            upper: 10,
+        };
         let mut e = EffectiveCpu::new(bounds, EffectiveCpuConfig::default());
         for _ in 0..6 {
             e.update(sample(e.value() as f64, 1.0));
@@ -298,7 +311,10 @@ mod tests {
     #[test]
     fn set_bounds_clamps_current_value() {
         let mut e = EffectiveCpu::new(
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
         );
         for _ in 0..6 {
@@ -457,7 +473,7 @@ mod proptests {
 /// count", §3.1). This variant keeps the same feedback loop but moves in
 /// sub-CPU steps and can report the un-rounded capacity, quantifying what
 /// the discretization costs in tracking accuracy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FractionalEffectiveCpu {
     cfg: EffectiveCpuConfig,
     bounds: CpuBounds,
@@ -522,7 +538,10 @@ mod fractional_tests {
     #[test]
     fn fractional_tracks_sub_cpu_allocations() {
         let mut e = FractionalEffectiveCpu::new(
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             0.25,
         );
@@ -531,14 +550,21 @@ mod fractional_tests {
         for _ in 0..64 {
             e.update(sample(6.7, 2.0));
         }
-        assert!((e.capacity() - 7.0).abs() < 0.31, "capacity {}", e.capacity());
+        assert!(
+            (e.capacity() - 7.0).abs() < 0.31,
+            "capacity {}",
+            e.capacity()
+        );
         assert_eq!(e.count(), 7);
     }
 
     #[test]
     fn fractional_respects_bounds() {
         let mut e = FractionalEffectiveCpu::new(
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             0.5,
         );
@@ -555,7 +581,10 @@ mod fractional_tests {
 
     #[test]
     fn step_of_one_matches_the_integer_machine() {
-        let bounds = CpuBounds { lower: 4, upper: 10 };
+        let bounds = CpuBounds {
+            lower: 4,
+            upper: 10,
+        };
         let mut frac = FractionalEffectiveCpu::new(bounds, EffectiveCpuConfig::default(), 1.0);
         let mut int = EffectiveCpu::new(bounds, EffectiveCpuConfig::default());
         for (used, slack) in [(10.0, 1.0); 8].iter().chain([(10.0, 0.0); 8].iter()) {

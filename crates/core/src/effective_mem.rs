@@ -10,10 +10,9 @@
 //! reclaim will take away.
 
 use arv_cgroups::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Tunables of Algorithm 2; defaults are the paper's.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EffectiveMemoryConfig {
     /// Usage fraction of the current view above which growth is attempted
     /// (line 6: `cmem / E_MEM > 90%`).
@@ -33,7 +32,7 @@ impl Default for EffectiveMemoryConfig {
 }
 
 /// One update period's memory observation for a container.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemSample {
     /// System-wide free memory now (`cfree`).
     pub free: Bytes,
@@ -47,7 +46,7 @@ pub struct MemSample {
 ///
 /// Keeps the previous sample internally to evaluate the line-8 prediction
 /// `Δ_predict = (pfree − cfree)/(cmem − pmem) · Δ`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EffectiveMemory {
     cfg: EffectiveMemoryConfig,
     soft: Bytes,
@@ -88,6 +87,13 @@ impl EffectiveMemory {
     /// The soft limit anchoring the view.
     pub fn soft_limit(&self) -> Bytes {
         self.soft
+    }
+
+    /// The container's usage from the most recent sample, if any period
+    /// has fired yet. Lets the query side answer "available" questions
+    /// (`_SC_AVPHYS_PAGES`) as view minus consumption.
+    pub fn last_usage(&self) -> Option<Bytes> {
+        self.prev.map(|s| s.usage)
     }
 
     /// The hard limit capping the view.

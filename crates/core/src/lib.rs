@@ -52,12 +52,16 @@ pub mod effective_mem;
 pub mod live;
 pub mod monitor;
 pub mod namespace;
+pub mod render;
 pub mod sysfs;
 
 pub use effective_cpu::{
     CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig, FractionalEffectiveCpu,
 };
 pub use effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+pub use live::{
+    CgroupChange, HostSampler, LiveMonitor, LiveRegistry, LiveSample, NsCell, ViewSnapshot,
+};
 pub use monitor::NsMonitor;
 pub use namespace::SysNamespace;
 pub use sysfs::{HostView, Sysconf, VirtualSysfs, PAGE_SIZE};

@@ -11,11 +11,10 @@
 //! reported 1 µs update and 5 µs query costs.
 
 use arv_cgroups::{Bytes, CgroupId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -53,16 +52,41 @@ pub struct CgroupChange {
     pub hard: Bytes,
 }
 
+/// A consistent point-in-time view published by an [`NsCell`].
+///
+/// `cpus` and `bytes` are guaranteed to come from the *same* update —
+/// [`NsCell::snapshot`] retries across concurrent writes (seqlock), so a
+/// reader can never observe the CPU view of one generation paired with
+/// the memory view of another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewSnapshot {
+    /// Effective CPU count at this generation.
+    pub cpus: u32,
+    /// Effective memory at this generation.
+    pub bytes: Bytes,
+    /// Unused portion of the view at this generation (effective memory
+    /// minus the last observed usage, clamped at zero).
+    pub avail: Bytes,
+    /// Generation stamp: even, monotonically increasing; bumped by two on
+    /// every published update. View servers key render caches on it.
+    pub generation: u64,
+}
+
 /// The atomic per-container namespace cell.
 ///
 /// `effective_cpu`/`effective_memory` are the published views (lock-free
 /// reads); `state` carries the algorithm state machines and is touched
-/// only by the updater.
+/// only by the updater. A seqlock-style `generation` counter brackets
+/// every publish: it is odd while a write is in flight and even once the
+/// pair of values is consistent, letting readers take untorn
+/// [`ViewSnapshot`]s without a lock.
 #[derive(Debug)]
 pub struct NsCell {
     e_cpu: AtomicU32,
     e_mem: AtomicU64,
+    e_avail: AtomicU64,
     updates: AtomicU64,
+    generation: AtomicU64,
     state: Mutex<CellState>,
 }
 
@@ -77,7 +101,9 @@ impl NsCell {
         NsCell {
             e_cpu: AtomicU32::new(cpu.value()),
             e_mem: AtomicU64::new(mem.value().as_u64()),
+            e_avail: AtomicU64::new(mem.value().as_u64()),
             updates: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
             state: Mutex::new(CellState { cpu, mem }),
         }
     }
@@ -94,29 +120,91 @@ impl NsCell {
         Bytes(self.e_mem.load(Ordering::Acquire))
     }
 
+    /// Lock-free read of available memory (view minus last observed
+    /// usage, clamped at zero).
+    #[inline]
+    pub fn available_memory(&self) -> Bytes {
+        Bytes(self.e_avail.load(Ordering::Acquire))
+    }
+
+    /// Current publish generation: even when stable, odd while an update
+    /// is mid-flight. Monotone per cell.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A consistent `(cpus, bytes, generation)` triple (seqlock read):
+    /// retries while a writer is mid-publish or raced past us, so the two
+    /// values always belong to the same update.
+    pub fn snapshot(&self) -> ViewSnapshot {
+        loop {
+            let g1 = self.generation.load(Ordering::Acquire);
+            if g1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let cpus = self.e_cpu.load(Ordering::Acquire);
+            let bytes = Bytes(self.e_mem.load(Ordering::Acquire));
+            let avail = Bytes(self.e_avail.load(Ordering::Acquire));
+            if self.generation.load(Ordering::Acquire) == g1 {
+                return ViewSnapshot {
+                    cpus,
+                    bytes,
+                    avail,
+                    generation: g1,
+                };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
     /// Number of updates applied so far.
     pub fn update_count(&self) -> u64 {
         self.updates.load(Ordering::Relaxed)
     }
 
+    /// Publish `(cpu, mem)` under the seqlock: generation goes odd, the
+    /// values land, generation goes even. Callers hold the state mutex, so
+    /// writers are already serialized.
+    fn publish(&self, cpu: u32, mem: Bytes, avail: Bytes) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.e_cpu.store(cpu, Ordering::Release);
+        self.e_mem.store(mem.as_u64(), Ordering::Release);
+        self.e_avail.store(avail.as_u64(), Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
     /// Apply one update (the per-period refresh). Called by the monitor
     /// thread; also directly from benches to measure the update cost.
     pub fn apply(&self, sample: LiveSample) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let cpu = st.cpu.update(sample.cpu);
         let mem = st.mem.update(sample.mem);
-        self.e_cpu.store(cpu, Ordering::Release);
-        self.e_mem.store(mem.as_u64(), Ordering::Release);
+        let avail = mem.saturating_sub(sample.mem.usage);
+        self.publish(cpu, mem, avail);
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Refresh static bounds/limits (cgroup change).
     pub fn set_static(&self, bounds: CpuBounds, soft: Bytes, hard: Bytes) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.cpu.set_bounds(bounds);
         st.mem.set_limits(soft, hard);
-        self.e_cpu.store(st.cpu.value(), Ordering::Release);
-        self.e_mem.store(st.mem.value().as_u64(), Ordering::Release);
+        let mem = st.mem.value();
+        let avail = mem.saturating_sub(st.mem.last_usage().unwrap_or(Bytes(0)));
+        self.publish(st.cpu.value(), mem, avail);
+    }
+
+    /// Publish externally computed views, bypassing the cell's own
+    /// algorithm state (still seqlock-bracketed and serialized with other
+    /// writers). This is the mirror path for drivers — the simulated host
+    /// runs Algorithms 1–2 in its single-threaded `NsMonitor` and pushes
+    /// the results here so the view daemon serves them concurrently.
+    pub fn force_publish(&self, cpus: u32, mem: Bytes, avail: Bytes) {
+        let _st = self.state.lock().unwrap();
+        self.publish(cpus, mem, avail);
+        self.updates.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -142,7 +230,7 @@ impl LiveRegistry {
         mem: EffectiveMemory,
     ) -> Arc<NsCell> {
         let cell = Arc::new(NsCell::new(EffectiveCpu::new(bounds, cpu_cfg), mem));
-        let prev = self.cells.write().insert(id, Arc::clone(&cell));
+        let prev = self.cells.write().unwrap().insert(id, Arc::clone(&cell));
         assert!(prev.is_none(), "container {id:?} already registered");
         cell
     }
@@ -151,27 +239,28 @@ impl LiveRegistry {
     /// last published values (the namespace outlives the registry entry,
     /// like a namespace held open by a process).
     pub fn unregister(&self, id: CgroupId) {
-        self.cells.write().remove(&id);
+        self.cells.write().unwrap().remove(&id);
     }
 
     /// Look up a container's cell.
     pub fn get(&self, id: CgroupId) -> Option<Arc<NsCell>> {
-        self.cells.read().get(&id).cloned()
+        self.cells.read().unwrap().get(&id).cloned()
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.cells.read().len()
+        self.cells.read().unwrap().len()
     }
 
     /// Whether there are no entries.
     pub fn is_empty(&self) -> bool {
-        self.cells.read().is_empty()
+        self.cells.read().unwrap().is_empty()
     }
 
     fn snapshot(&self) -> Vec<(CgroupId, Arc<NsCell>)> {
         self.cells
             .read()
+            .unwrap()
             .iter()
             .map(|(id, c)| (*id, Arc::clone(c)))
             .collect()
@@ -198,7 +287,7 @@ impl LiveMonitor {
     ) -> LiveMonitor {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let (tx, rx): (Sender<CgroupChange>, Receiver<CgroupChange>) = unbounded();
+        let (tx, rx): (Sender<CgroupChange>, Receiver<CgroupChange>) = channel();
         let handle = std::thread::Builder::new()
             .name("ns_monitor".into())
             .spawn(move || {
@@ -290,7 +379,10 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );
@@ -304,7 +396,10 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );
@@ -351,7 +446,10 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );
@@ -387,11 +485,18 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );
-        let mon = LiveMonitor::spawn(reg.clone(), Arc::new(ConstSampler), Duration::from_millis(1));
+        let mon = LiveMonitor::spawn(
+            reg.clone(),
+            Arc::new(ConstSampler),
+            Duration::from_millis(1),
+        );
         // Concurrent queries while the monitor updates.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while cell.effective_cpu() < 10 && std::time::Instant::now() < deadline {
@@ -407,11 +512,18 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );
-        let mon = LiveMonitor::spawn(reg.clone(), Arc::new(ConstSampler), Duration::from_millis(1));
+        let mon = LiveMonitor::spawn(
+            reg.clone(),
+            Arc::new(ConstSampler),
+            Duration::from_millis(1),
+        );
         // A `docker update` narrows the quota to 2 CPUs.
         mon.change_sender()
             .send(CgroupChange {
@@ -448,7 +560,10 @@ mod tests {
         let reg = LiveRegistry::new();
         let cell = reg.register(
             CgroupId(0),
-            CpuBounds { lower: 4, upper: 10 },
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
             EffectiveCpuConfig::default(),
             mk_mem(),
         );

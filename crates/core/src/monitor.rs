@@ -224,11 +224,7 @@ mod tests {
     fn testbed() -> (CgroupManager, NsMonitor, CfsSim, MemSim, UsageLedger) {
         let cfs = CfsSim::with_cpus(20);
         let mem = MemSim::new(MemSimConfig::paper_testbed());
-        let monitor = NsMonitor::with_defaults(
-            cfs.online(),
-            mem.total(),
-            *mem.watermarks(),
-        );
+        let monitor = NsMonitor::with_defaults(cfs.online(), mem.total(), *mem.watermarks());
         (CgroupManager::new(), monitor, cfs, mem, UsageLedger::new())
     }
 
@@ -252,7 +248,13 @@ mod tests {
         // lower = 4, E starts at 4.
         for id in &ids {
             let ns = mon.namespace(*id).unwrap();
-            assert_eq!(ns.cpu_bounds(), CpuBounds { lower: 4, upper: 10 });
+            assert_eq!(
+                ns.cpu_bounds(),
+                CpuBounds {
+                    lower: 4,
+                    upper: 10
+                }
+            );
             assert_eq!(ns.effective_cpu(), 4);
         }
     }
@@ -316,6 +318,41 @@ mod tests {
         }
         // With slack and saturation, E climbs to the 10-core upper bound.
         assert_eq!(mon.effective_cpu(a), Some(10));
+    }
+
+    #[test]
+    fn removal_between_ticks_leaves_no_stale_namespace() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        let a = cgm.create(paper_spec());
+        let b = cgm.create(paper_spec());
+        for id in [a, b] {
+            mem.register(id, MemController::unlimited());
+        }
+        mon.sync(&mut cgm);
+        // One tick with both containers running.
+        let demands = [
+            GroupDemand::cpu_bound(a, 20, 1024, 10.0),
+            GroupDemand::cpu_bound(b, 20, 1024, 10.0),
+        ];
+        ledger.record(&cfs.allocate(P, &demands));
+        mon.tick(&ledger, &mem);
+        let e_a_before = mon.effective_cpu(a).unwrap();
+        // `b` disappears between ticks; the ledger still carries its
+        // last-window usage when the next tick fires.
+        cgm.remove(b);
+        mem.unregister(b);
+        mon.sync(&mut cgm);
+        assert_eq!(mon.len(), 1);
+        assert!(mon.namespace(b).is_none());
+        assert!(mon.effective_cpu(b).is_none());
+        ledger.record(&cfs.allocate(P, &demands[..1]));
+        mon.tick(&ledger, &mem);
+        // No stale update resurrected `b`, and `a` keeps adapting —
+        // alone now, its bounds opened up to the full 10-core quota.
+        assert_eq!(mon.len(), 1);
+        assert!(mon.namespace(b).is_none());
+        assert!(mon.effective_cpu(a).unwrap() >= e_a_before);
+        assert_eq!(mon.namespace(a).unwrap().cpu_bounds().lower, 10);
     }
 
     #[test]

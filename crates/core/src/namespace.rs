@@ -9,18 +9,17 @@
 //! reaching the namespace for the container's whole lifetime.
 
 use arv_cgroups::{Bytes, CgroupId};
-use serde::{Deserialize, Serialize};
 
 use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig};
 use crate::effective_mem::{EffectiveMemory, MemSample};
 
 /// A process id inside the simulated host (only used for the namespace
 /// ownership-transfer semantics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pid(pub u32);
 
 /// Per-container view of effective resources.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SysNamespace {
     id: CgroupId,
     owner: Pid,
@@ -72,6 +71,15 @@ impl SysNamespace {
         self.e_mem.value()
     }
 
+    /// Memory still unused inside the view: effective memory minus the
+    /// last observed usage, clamped at zero (usage can overshoot the view
+    /// transiently when the view just shrank). Before the first update
+    /// period fires the whole view counts as available.
+    pub fn available_memory(&self) -> Bytes {
+        let used = self.e_mem.last_usage().unwrap_or(Bytes(0));
+        self.e_mem.value().saturating_sub(used)
+    }
+
     /// The static CPU bounds.
     pub fn cpu_bounds(&self) -> CpuBounds {
         self.e_cpu.bounds()
@@ -109,8 +117,8 @@ impl SysNamespace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use arv_sim_core::SimDuration;
     use crate::effective_mem::EffectiveMemoryConfig;
+    use arv_sim_core::SimDuration;
 
     const T: SimDuration = SimDuration::from_millis(24);
 

@@ -11,6 +11,7 @@
 use arv_cgroups::{Bytes, CgroupId};
 
 use crate::monitor::NsMonitor;
+use crate::render;
 
 /// `_SC_PAGESIZE`: 4 KiB pages, as on the paper's x86-64 testbed.
 pub const PAGE_SIZE: u64 = 4096;
@@ -79,9 +80,10 @@ impl<'m> VirtualSysfs<'m> {
             }
             (Sysconf::PhysPages, Some(ns)) => ns.effective_memory().as_u64() / PAGE_SIZE,
             (Sysconf::PhysPages, None) => self.host.total_memory.as_u64() / PAGE_SIZE,
-            // Available memory inside the view: the view itself is the
-            // budget the container may safely treat as "available".
-            (Sysconf::AvphysPages, Some(ns)) => ns.effective_memory().as_u64() / PAGE_SIZE,
+            // Available memory inside the view: what the container has
+            // not yet consumed of its budget (clamped at zero when usage
+            // transiently overshoots a shrinking view).
+            (Sysconf::AvphysPages, Some(ns)) => ns.available_memory().as_u64() / PAGE_SIZE,
             (Sysconf::AvphysPages, None) => self.host.free_memory.as_u64() / PAGE_SIZE,
         }
     }
@@ -101,60 +103,24 @@ impl<'m> VirtualSysfs<'m> {
     /// actually touches; unknown paths return `None` (ENOENT).
     pub fn read(&self, caller: Option<CgroupId>, path: &str) -> Option<String> {
         match path {
-            "/sys/devices/system/cpu/online" => {
-                Some(cpu_list(self.online_cpus(caller)))
-            }
+            "/sys/devices/system/cpu/online" => Some(render::cpu_list(self.online_cpus(caller))),
             "/sys/devices/system/cpu/possible" | "/sys/devices/system/cpu/present" => {
                 // Possible/present CPUs are a hardware property; the view
                 // virtualizes *online*, as CPU hotplug does.
-                Some(cpu_list(self.host.online_cpus))
+                Some(render::cpu_list(self.host.online_cpus))
             }
-            "/proc/cpuinfo" => {
-                // One `processor : N` stanza per visible CPU — the file
-                // `std::thread::available_parallelism` and many runtimes
-                // fall back to parsing.
-                let n = self.online_cpus(caller);
-                let mut out = String::new();
-                for cpu in 0..n {
-                    out.push_str(&format!(
-                        "processor\t: {cpu}\nmodel name\t: simulated\n\n"
-                    ));
-                }
-                Some(out)
-            }
-            "/proc/stat" => {
-                // Aggregate line plus one `cpuN` line per visible CPU
-                // (LXCFS virtualizes exactly this file).
-                let n = self.online_cpus(caller);
-                let mut out = String::from("cpu  0 0 0 0 0 0 0 0 0 0\n");
-                for cpu in 0..n {
-                    out.push_str(&format!("cpu{cpu} 0 0 0 0 0 0 0 0 0 0\n"));
-                }
-                Some(out)
-            }
+            "/proc/cpuinfo" => Some(render::cpuinfo(self.online_cpus(caller))),
+            "/proc/stat" => Some(render::stat(self.online_cpus(caller))),
             "/proc/meminfo" => {
                 let total = self.memory_bytes(caller);
                 let free = match caller.and_then(|id| self.monitor.namespace(id)) {
-                    Some(_) => total,
+                    Some(ns) => ns.available_memory(),
                     None => self.host.free_memory,
                 };
-                Some(format!(
-                    "MemTotal: {} kB\nMemFree: {} kB\n",
-                    total.as_u64() / 1024,
-                    free.as_u64() / 1024
-                ))
+                Some(render::meminfo(total, free))
             }
             _ => None,
         }
-    }
-}
-
-/// Kernel cpu-list syntax for CPUs `0..n`: `"0-3"`, or `"0"` for one CPU.
-fn cpu_list(n: u32) -> String {
-    if n <= 1 {
-        "0".to_string()
-    } else {
-        format!("0-{}", n - 1)
     }
 }
 
@@ -237,16 +203,47 @@ mod tests {
             "0-19"
         );
         assert_eq!(
-            fs.read(Some(id), "/sys/devices/system/cpu/possible").unwrap(),
+            fs.read(Some(id), "/sys/devices/system/cpu/possible")
+                .unwrap(),
             "0-19"
         );
     }
 
     #[test]
-    fn single_cpu_list_has_no_dash() {
-        assert_eq!(cpu_list(1), "0");
-        assert_eq!(cpu_list(0), "0");
-        assert_eq!(cpu_list(8), "0-7");
+    fn avphys_pages_subtracts_usage_from_the_view() {
+        let (mut mon, id) = setup();
+        // Before any update period fires, the whole 500 MiB view counts
+        // as available.
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(
+            fs.sysconf(Some(id), Sysconf::AvphysPages) * PAGE_SIZE,
+            Bytes::from_mib(500).as_u64()
+        );
+        // One period with 200 MiB in use: available = view − usage.
+        mon.namespace_mut(id).unwrap().update_mem(crate::MemSample {
+            free: Bytes::from_gib(100),
+            usage: Bytes::from_mib(200),
+            reclaiming: false,
+        });
+        let fs = VirtualSysfs::new(&mon, host());
+        let avail = fs.sysconf(Some(id), Sysconf::AvphysPages) * PAGE_SIZE;
+        let view = fs.memory_bytes(Some(id)).as_u64();
+        assert_eq!(avail, view - Bytes::from_mib(200).as_u64());
+        assert!(avail < view);
+    }
+
+    #[test]
+    fn avphys_pages_clamps_at_zero_when_usage_overshoots() {
+        let (mut mon, id) = setup();
+        // Usage above the hard limit (the view just shrank): clamp to 0,
+        // never underflow.
+        mon.namespace_mut(id).unwrap().update_mem(crate::MemSample {
+            free: Bytes::from_mib(100), // below low watermark → reset to soft
+            usage: Bytes::from_gib(2),
+            reclaiming: true,
+        });
+        let fs = VirtualSysfs::new(&mon, host());
+        assert_eq!(fs.sysconf(Some(id), Sysconf::AvphysPages), 0);
     }
 
     #[test]
@@ -268,10 +265,38 @@ mod tests {
         let host_cpuinfo = fs.read(None, "/proc/cpuinfo").unwrap();
         assert_eq!(host_cpuinfo.matches("processor").count(), 20);
         let stat = fs.read(Some(id), "/proc/stat").unwrap();
-        // Aggregate line + 4 per-CPU lines.
-        assert_eq!(stat.lines().count(), 5);
+        // Aggregate line + 4 per-CPU lines (plus the scalar tail).
+        assert_eq!(stat.lines().filter(|l| l.starts_with("cpu")).count(), 5);
         assert!(stat.contains("cpu3 "));
         assert!(!stat.contains("cpu4 "));
+    }
+
+    #[test]
+    fn virtualized_paths_differ_between_host_and_container() {
+        let (mon, id) = setup();
+        let fs = VirtualSysfs::new(&mon, host());
+        // Every view-dependent file renders differently inside the
+        // container (4 effective CPUs, 500 MiB) than on the host.
+        for path in [
+            "/sys/devices/system/cpu/online",
+            "/proc/cpuinfo",
+            "/proc/stat",
+            "/proc/meminfo",
+        ] {
+            let inside = fs.read(Some(id), path).unwrap();
+            let outside = fs.read(None, path).unwrap();
+            assert_ne!(inside, outside, "{path} is not virtualized");
+            // A container the monitor doesn't know falls back to the
+            // host image on the same path.
+            assert_eq!(fs.read(Some(CgroupId(999)), path).unwrap(), outside);
+        }
+        // Hardware-property files are identical inside and out.
+        for path in [
+            "/sys/devices/system/cpu/possible",
+            "/sys/devices/system/cpu/present",
+        ] {
+            assert_eq!(fs.read(Some(id), path), fs.read(None, path));
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! A small, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The CI containers for this workspace have **no crates.io access**, so
+//! the real `criterion` cannot be resolved. This crate implements the
+//! subset of its API our benches use — `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId::from_parameter`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated timing loop
+//! instead of criterion's statistical machinery. Reported numbers are
+//! mean wall-clock per iteration; good enough to compare paths and spot
+//! regressions, not a substitute for real confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to each registered bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Shrink/grow the per-bench sample budget. The shim only scales its
+    /// measurement window: smaller sample counts mean a shorter window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scaled = (self.measurement_time.as_millis() as u64).min(20 * n as u64);
+        self.measurement_time = Duration::from_millis(scaled.max(20));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (parameter label inside a group).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<N: Display, P: Display>(name: N, p: P) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Timing loop handle handed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over enough iterations to fill the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        black_box(f());
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(5).as_nanos() / probe.as_nanos()).clamp(1, 1 << 20);
+
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < self.window {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            n += batch as u64;
+        }
+        self.iters = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, window: Duration, f: &mut F) {
+    let mut b = Bencher {
+        window,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns = b.ns_per_iter();
+    let (value, unit) = if ns >= 1_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else if ns >= 1_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!(
+        "{name:<44} time: {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Define the function Criterion invokes for a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| {
+                hits += u64::from(n);
+            })
+        });
+        group.finish();
+        assert!(hits >= 4);
+    }
+}

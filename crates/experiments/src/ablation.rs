@@ -11,8 +11,8 @@
 use arv_cgroups::Bytes;
 use arv_container::{ContainerSpec, SimHost};
 use arv_jvm::{HeapPolicy, Jvm, JvmConfig};
-use arv_resview::effective_cpu::{CpuSample, EffectiveCpu, FractionalEffectiveCpu};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
+use arv_resview::effective_cpu::{CpuSample, EffectiveCpu, FractionalEffectiveCpu};
 use arv_resview::effective_mem::EffectiveMemoryConfig;
 use arv_sim_core::SimDuration;
 use arv_workloads::dacapo_profile;
@@ -251,7 +251,10 @@ mod tests {
             "80% threshold ({lax}) should over-provision vs 99% ({strict})"
         );
         let paper = t.get("95%", "settled_e_at_6cpu_demand").unwrap();
-        assert!((6.0..=7.0).contains(&paper), "95% should settle near 6: {paper}");
+        assert!(
+            (6.0..=7.0).contains(&paper),
+            "95% should settle near 6: {paper}"
+        );
     }
 
     #[test]

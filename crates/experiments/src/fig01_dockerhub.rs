@@ -41,11 +41,7 @@ mod tests {
     fn reproduces_the_papers_aggregates() {
         let rep = run();
         let t = &rep.tables[0];
-        let affected: f64 = t
-            .rows
-            .iter()
-            .map(|r| r.values[0].unwrap())
-            .sum();
+        let affected: f64 = t.rows.iter().map(|r| r.values[0].unwrap()).sum();
         assert_eq!(affected, 62.0);
         assert_eq!(t.get("java", "unaffected"), Some(0.0));
         assert_eq!(t.get("php", "unaffected"), Some(0.0));

@@ -37,10 +37,7 @@ pub fn run_gc_threads(scale: f64) -> FigReport {
         ("Opt_JVM8", JvmConfig::vanilla_jdk8, Some(4)),
     ];
 
-    let mut table = Table::new(
-        "normalized_exec_time",
-        &configs.map(|(name, _, _)| name),
-    );
+    let mut table = Table::new("normalized_exec_time", &configs.map(|(name, _, _)| name));
     for bench in DACAPO_BENCHMARKS {
         let profile = scale_java(dacapo_profile(bench), scale);
         let mut execs = Vec::new();
@@ -59,10 +56,15 @@ pub fn run_gc_threads(scale: f64) -> FigReport {
         ));
     }
 
-    let mut rep = FigReport::new("2a", "Impact of GC-thread configuration (5 containers, 20 cores)");
+    let mut rep = FigReport::new(
+        "2a",
+        "Impact of GC-thread configuration (5 containers, 20 cores)",
+    );
     rep.tables.push(table);
     rep.note("values are execution time normalized to Auto_JVM9 (lower is better)");
-    rep.note("hand-optimized JVMs use 4 GC threads — the effective share of 20 cores over 5 containers");
+    rep.note(
+        "hand-optimized JVMs use 4 GC threads — the effective share of 20 cores over 5 containers",
+    );
     rep
 }
 
@@ -101,7 +103,9 @@ pub fn run_heap_size(scale: f64) -> FigReport {
     );
     rep.tables.push(table);
     rep.note("values are execution time normalized to Hard_JVM8 (lower is better)");
-    rep.note("OOM/DNF cells reproduce the paper's missing bars (H2 cannot fit in JDK 9's 256 MB heap)");
+    rep.note(
+        "OOM/DNF cells reproduce the paper's missing bars (H2 cannot fit in JDK 9's 256 MB heap)",
+    );
     rep
 }
 
@@ -121,7 +125,10 @@ fn run_one_with_pressure(cfg: &JvmConfig, profile: &arv_jvm::JavaProfile) -> Opt
     // the kswapd low watermark for the whole run.
     let target = host.total_memory() - Bytes::from_mib(900);
     fleet.push_mem_hog(MemHog::new(hog_container, Bytes::from_gib(8), target));
-    let deadline = profile.total_work.mul_f64(200.0).max(SimDuration::from_secs(600));
+    let deadline = profile
+        .total_work
+        .mul_f64(200.0)
+        .max(SimDuration::from_secs(600));
     fleet.run(&mut host, deadline);
 
     let jvm = fleet.jvm(jvm_idx);

@@ -95,7 +95,10 @@ mod tests {
             let d = exec.get(bench, "Dynamic").unwrap();
             let a = exec.get(bench, "Adaptive").unwrap();
             assert!(d <= 1.02, "{bench}: dynamic {d} should not lose to vanilla");
-            assert!(a <= d + 0.05, "{bench}: adaptive {a} should match/beat dynamic {d}");
+            assert!(
+                a <= d + 0.05,
+                "{bench}: adaptive {a} should match/beat dynamic {d}"
+            );
         }
     }
 
@@ -105,7 +108,10 @@ mod tests {
         let tput = &rep.tables[1];
         for bench in arv_workloads::SPECJVM_BENCHMARKS {
             let a = tput.get(bench, "Adaptive").unwrap();
-            assert!(a >= 0.97, "{bench}: adaptive throughput {a} must not regress");
+            assert!(
+                a >= 0.97,
+                "{bench}: adaptive throughput {a} must not regress"
+            );
         }
         // The GC-light benchmark has the least to gain.
         let mpeg = tput.get("mpegaudio", "Adaptive").unwrap();
@@ -121,7 +127,10 @@ mod tests {
         for bench in ["lusearch", "xalan"] {
             let g = gc.get(bench, "Adaptive").unwrap();
             let e = exec.get(bench, "Adaptive").unwrap();
-            assert!(g <= e, "{bench}: GC gain {g} should drive the exec gain {e}");
+            assert!(
+                g <= e,
+                "{bench}: GC gain {g} should drive the exec gain {e}"
+            );
         }
     }
 }

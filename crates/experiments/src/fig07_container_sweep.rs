@@ -98,11 +98,7 @@ mod tests {
     #[test]
     fn exec_time_grows_with_container_count() {
         let rep = run(0.05);
-        let exec = rep
-            .tables
-            .iter()
-            .find(|t| t.name == "h2_exec_ms")
-            .unwrap();
+        let exec = rep.tables.iter().find(|t| t.name == "h2_exec_ms").unwrap();
         let a2 = exec.get("Adaptive", "2").unwrap();
         let a10 = exec.get("Adaptive", "10").unwrap();
         assert!(a10 > a2, "more containers must mean slower runs");

@@ -39,7 +39,10 @@ fn run_one(cfg: &JvmConfig, profile: &arv_jvm::JavaProfile) -> JvmRunStats {
     for hog in sysbench_mix(&ids[1..], 2, shortest) {
         fleet.push_hog(hog);
     }
-    let deadline = profile.total_work.mul_f64(100.0).max(SimDuration::from_secs(600));
+    let deadline = profile
+        .total_work
+        .mul_f64(100.0)
+        .max(SimDuration::from_secs(600));
     fleet.run(&mut host, deadline);
     crate::scenarios::JvmRunStats {
         outcome: fleet.jvm(jvm_idx).outcome(),
@@ -60,7 +63,10 @@ pub fn run(scale: f64) -> FigReport {
         let profile = scale_java(dacapo_profile(bench), scale);
         let mut gcs = Vec::new();
         for name in CONFIGS {
-            let stats = run_one(&config(name).with_heap_policy(paper_heap(&profile)), &profile);
+            let stats = run_one(
+                &config(name).with_heap_policy(paper_heap(&profile)),
+                &profile,
+            );
             assert!(stats.completed(), "{bench}/{name} must complete");
             gcs.push(stats.gc_s);
             if bench == "sunflow" {

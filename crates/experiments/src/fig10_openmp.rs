@@ -46,11 +46,24 @@ fn run_case(
     let mut fleet = Fleet::new();
     let idxs: Vec<usize> = ids
         .iter()
-        .map(|id| fleet.push_omp(OmpRuntime::launch(*id, strategy(strat, online), profile.clone())))
+        .map(|id| {
+            fleet.push_omp(OmpRuntime::launch(
+                *id,
+                strategy(strat, online),
+                profile.clone(),
+            ))
+        })
         .collect();
-    let deadline = profile.total_work().mul_f64(200.0).max(SimDuration::from_secs(600));
+    let deadline = profile
+        .total_work()
+        .mul_f64(200.0)
+        .max(SimDuration::from_secs(600));
     let finished = fleet.run(&mut host, deadline);
-    assert!(finished, "NPB {} under {strat} did not finish", profile.name);
+    assert!(
+        finished,
+        "NPB {} under {strat} did not finish",
+        profile.name
+    );
     let total: f64 = idxs
         .iter()
         .map(|i| fleet.omp(*i).metrics().exec_wall.as_secs_f64())

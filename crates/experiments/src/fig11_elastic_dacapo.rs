@@ -97,7 +97,10 @@ mod tests {
         for bench in ["lusearch", "xalan"] {
             let v = counts.get(bench, "Vanilla").unwrap();
             let e = counts.get(bench, "Elastic").unwrap();
-            assert!(e >= v, "{bench}: elastic should collect at least as often ({e} vs {v})");
+            assert!(
+                e >= v,
+                "{bench}: elastic should collect at least as often ({e} vs {v})"
+            );
         }
     }
 }

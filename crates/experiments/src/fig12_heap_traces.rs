@@ -127,7 +127,11 @@ fn relabel(s: &TimeSeries, name: String) -> TimeSeries {
 /// Run this study and produce its report.
 pub fn run(scale: f64) -> FigReport {
     let s = scaled(scale);
-    let generous = s.profile.total_work.mul_f64(100.0).max(SimDuration::from_secs(600));
+    let generous = s
+        .profile
+        .total_work
+        .mul_f64(100.0)
+        .max(SimDuration::from_secs(600));
 
     // (a) single container, vanilla.
     let (out_a, traces_a, wall_a, swap_a) = run_case(&s, 1, &vanilla_cfg(), "a_vanilla", generous);
@@ -144,10 +148,7 @@ pub fn run(scale: f64) -> FigReport {
     let (out_c_vanilla, _, wall_c_vanilla, swap_c_vanilla) =
         run_case(&s, 5, &vanilla_cfg(), "c_vanilla", generous);
 
-    let mut outcomes = Table::new(
-        "outcomes",
-        &["completed", "of", "wall_s", "swap_gib"],
-    );
+    let mut outcomes = Table::new("outcomes", &["completed", "of", "wall_s", "swap_gib"]);
     let count = |outs: &[JvmOutcome]| {
         f64::from(outs.iter().filter(|o| **o == JvmOutcome::Completed).count() as u32)
     };

@@ -24,10 +24,12 @@ pub mod fig09_hibench;
 pub mod fig10_openmp;
 pub mod fig11_elastic_dacapo;
 pub mod fig12_heap_traces;
+pub mod json;
 pub mod overhead;
 pub mod report;
 pub mod scenarios;
 pub mod view_accuracy;
+pub mod viewd;
 
 pub use report::{FigReport, Row, Table};
 
@@ -48,14 +50,28 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "overhead" => overhead::run(),
         "ablations" => ablation::run(scale),
         "accuracy" => view_accuracy::run(scale),
+        "viewd" => viewd::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 13] = [
-    "1", "2a", "2b", "6", "7", "8", "9", "10", "11", "12", "overhead", "ablations", "accuracy",
+pub const ALL_FIGURES: [&str; 14] = [
+    "1",
+    "2a",
+    "2b",
+    "6",
+    "7",
+    "8",
+    "9",
+    "10",
+    "11",
+    "12",
+    "overhead",
+    "ablations",
+    "accuracy",
+    "viewd",
 ];
 
 #[cfg(test)]
@@ -77,6 +93,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 13);
+        assert_eq!(ALL_FIGURES.len(), 14);
     }
 }

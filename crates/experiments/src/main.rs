@@ -88,7 +88,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         println!("{}", report.render_text());
-        println!("[figure {id} regenerated in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[figure {id} regenerated in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &args.out {
             if let Err(e) = report.write_csv(dir) {
                 eprintln!("error writing CSVs for figure {id}: {e}");

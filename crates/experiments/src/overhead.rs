@@ -40,7 +40,10 @@ pub fn run() -> FigReport {
     let registry = LiveRegistry::new();
     let cell = registry.register(
         CgroupId(0),
-        CpuBounds { lower: 4, upper: 10 },
+        CpuBounds {
+            lower: 4,
+            upper: 10,
+        },
         EffectiveCpuConfig::default(),
         EffectiveMemory::new(
             Bytes::from_mib(500),

@@ -1,13 +1,13 @@
 //! Report structures: the rows and series a figure regenerates, plus
 //! text and CSV rendering.
 
+use crate::json::Json;
 use arv_sim_core::TimeSeries;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One row of a table. `None` values are the paper's missing bars
 /// (OOM crashes / runs that did not finish).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (benchmark or configuration name).
     pub label: String,
@@ -34,7 +34,7 @@ impl Row {
 }
 
 /// A labelled table (one sub-plot of a figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The container's name.
     pub name: String,
@@ -134,7 +134,7 @@ impl Table {
 }
 
 /// A full figure report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigReport {
     /// Figure id, e.g. `"2a"`.
     pub id: String,
@@ -196,18 +196,129 @@ impl FigReport {
 
     /// Serialize the whole report as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FigReport serializes")
+        let row_json = |r: &Row| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(r.label.clone())),
+                (
+                    "values".into(),
+                    Json::Arr(
+                        r.values
+                            .iter()
+                            .map(|v| v.map_or(Json::Null, Json::Num))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let table_json = |t: &Table| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(t.name.clone())),
+                (
+                    "columns".into(),
+                    Json::Arr(t.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                (
+                    "rows".into(),
+                    Json::Arr(t.rows.iter().map(row_json).collect()),
+                ),
+            ])
+        };
+        let series_json = |s: &TimeSeries| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name().to_string())),
+                (
+                    "samples".into(),
+                    Json::Arr(
+                        s.samples()
+                            .iter()
+                            .map(|(t, v)| Json::Arr(vec![Json::Num(t.0 as f64), Json::Num(*v)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            (
+                "tables".into(),
+                Json::Arr(self.tables.iter().map(table_json).collect()),
+            ),
+            (
+                "series".into(),
+                Json::Arr(self.series.iter().map(series_json).collect()),
+            ),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parse a report previously produced by [`FigReport::to_json`].
+    pub fn from_json(input: &str) -> Result<FigReport, String> {
+        let root = Json::parse(input)?;
+        let str_field = |v: &Json, key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let arr_field = |v: &Json, key: &str| -> Result<Vec<Json>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .ok_or_else(|| format!("missing array field {key:?}"))
+        };
+        let mut report = FigReport::new(str_field(&root, "id")?, str_field(&root, "title")?);
+        for t in arr_field(&root, "tables")? {
+            let mut table = Table {
+                name: str_field(&t, "name")?,
+                columns: arr_field(&t, "columns")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+                    .collect::<Result<_, _>>()?,
+                rows: Vec::new(),
+            };
+            for r in arr_field(&t, "rows")? {
+                table.rows.push(Row {
+                    label: str_field(&r, "label")?,
+                    values: arr_field(&r, "values")?
+                        .iter()
+                        .map(|v| v.as_f64())
+                        .collect(),
+                });
+            }
+            report.tables.push(table);
+        }
+        for s in arr_field(&root, "series")? {
+            let mut series = TimeSeries::new(str_field(&s, "name")?);
+            for sample in arr_field(&s, "samples")? {
+                let pair = sample.as_arr().ok_or("non-array sample")?;
+                let (Some(t), Some(v)) = (
+                    pair.first().and_then(Json::as_f64),
+                    pair.get(1).and_then(Json::as_f64),
+                ) else {
+                    return Err("sample must be a [time, value] pair".into());
+                };
+                series.push(arv_sim_core::SimTime(t as u64), v);
+            }
+            report.series.push(series);
+        }
+        for n in arr_field(&root, "notes")? {
+            report
+                .notes
+                .push(n.as_str().ok_or("non-string note")?.to_string());
+        }
+        Ok(report)
     }
 
     /// Write each table/series as a CSV file under `dir`.
     pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for t in &self.tables {
-            let file = dir.join(format!(
-                "fig{}_{}.csv",
-                self.id,
-                sanitize(&t.name)
-            ));
+            let file = dir.join(format!("fig{}_{}.csv", self.id, sanitize(&t.name)));
             std::fs::write(file, t.to_csv())?;
         }
         for s in &self.series {
@@ -314,8 +425,10 @@ mod tests {
         rep.tables.push(table());
         let json = rep.to_json();
         assert!(json.contains("\"id\": \"6\""));
-        let back: FigReport = serde_json::from_str(&json).unwrap();
+        let back = FigReport::from_json(&json).unwrap();
         assert_eq!(back.tables[0].get("h2", "adaptive"), Some(0.7));
+        assert_eq!(back.tables[0].get("xalan", "adaptive"), None);
+        assert_eq!(back.title, "test figure");
     }
 
     #[test]

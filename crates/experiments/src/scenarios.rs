@@ -145,9 +145,14 @@ pub fn colocated_same_bench(
         .collect();
     // Generous deadline: enough for order-of-magnitude swap collapapses to
     // finish, short enough that genuine thrash-livelock reports DNF.
-    let deadline = profile.total_work.mul_f64(100.0).max(SimDuration::from_secs(600));
+    let deadline = profile
+        .total_work
+        .mul_f64(100.0)
+        .max(SimDuration::from_secs(600));
     fleet.run(&mut host, deadline);
-    idxs.iter().map(|i| JvmRunStats::from_jvm(fleet.jvm(*i))).collect()
+    idxs.iter()
+        .map(|i| JvmRunStats::from_jvm(fleet.jvm(*i)))
+        .collect()
 }
 
 #[cfg(test)]

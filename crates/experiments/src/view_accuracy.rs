@@ -113,7 +113,9 @@ pub fn run(_scale: f64) -> FigReport {
     rep.series.push(actual_series.downsample(48));
     rep.series.push(adaptive_series.downsample(48));
     rep.note("four 10-core-limit containers; container 0 always saturated, neighbours churn through a 6-phase schedule");
-    rep.note("error = |view − CPUs actually granted| per scheduling period, for the saturated container");
+    rep.note(
+        "error = |view − CPUs actually granted| per scheduling period, for the saturated container",
+    );
     rep.note("the adaptive view's residual error is Algorithm 1's conservative regime: with zero host slack it decays toward the share-derived lower bound even when work conservation grants more — it only expands into measured slack");
     rep
 }
@@ -126,7 +128,9 @@ mod tests {
     fn adaptive_view_tracks_far_better_than_static_views() {
         let rep = run(1.0);
         let t = &rep.tables[0];
-        let limit = t.get("limit_view (LXCFS/JDK9)", "mean_abs_error_cpus").unwrap();
+        let limit = t
+            .get("limit_view (LXCFS/JDK9)", "mean_abs_error_cpus")
+            .unwrap();
         let share = t.get("share_view (JDK10)", "mean_abs_error_cpus").unwrap();
         let adaptive = t
             .get("adaptive_view (paper)", "mean_abs_error_cpus")

@@ -17,12 +17,11 @@
 
 use arv_cgroups::Bytes;
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::tasks::imbalance_factor;
 
 /// Calibrated GC cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GcCostModel {
     /// Parallel CPU cost per MiB copied in a minor collection
     /// (~330 MiB/s per core — evacuation of pointer-dense object graphs).
@@ -56,7 +55,7 @@ impl Default for GcCostModel {
 }
 
 /// Kind of collection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcKind {
     /// Young-generation (parallel scavenge) collection.
     Minor,
@@ -65,7 +64,7 @@ pub enum GcKind {
 }
 
 /// One in-flight collection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GcWork {
     /// Minor or major.
     pub kind: GcKind,
@@ -224,7 +223,10 @@ mod tests {
         let expected = w.remaining();
         let wall = run_to_completion(&mut w, &m, 1.0);
         let slack = wall.as_micros() as i64 - expected.as_micros() as i64;
-        assert!(slack.abs() <= P.as_micros() as i64, "wall {wall} vs {expected}");
+        assert!(
+            slack.abs() <= P.as_micros() as i64,
+            "wall {wall} vs {expected}"
+        );
     }
 
     #[test]
@@ -257,10 +259,7 @@ mod tests {
     fn zero_byte_collection_still_pays_serial_cost() {
         let m = GcCostModel::default();
         let w = GcWork::minor(&m, Bytes::ZERO, 4);
-        assert_eq!(
-            w.remaining(),
-            m.minor_serial + m.worker_startup * 4
-        );
+        assert_eq!(w.remaining(), m.minor_serial + m.worker_startup * 4);
     }
 
     #[test]

@@ -9,14 +9,13 @@
 //! with `YoungMax`/`OldMax` keeping the young:old = 1:2 ratio.
 
 use arv_cgroups::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Young:old generation split — the JVM "maintains a fixed ratio of 1:2
 /// between the sizes of the young and old generations".
 pub const YOUNG_FRACTION: f64 = 1.0 / 3.0;
 
 /// Static and dynamic heap size limits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeapLimits {
     /// `MaxHeapSize`: the reserved space, fixed at JVM launch.
     pub reserved: Bytes,
@@ -67,7 +66,7 @@ pub struct MajorGcResult {
 }
 
 /// The generational heap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Heap {
     limits: HeapLimits,
     young_committed: Bytes,
@@ -266,8 +265,7 @@ impl Heap {
     /// True when committed space overruns the current maxima (elastic
     /// case 2: red lines crossed black lines).
     pub fn committed_over_max(&self) -> bool {
-        self.young_committed > self.limits.young_max()
-            || self.old_committed > self.old_limit()
+        self.young_committed > self.limits.young_max() || self.old_committed > self.old_limit()
     }
 }
 
@@ -423,7 +421,11 @@ mod proptests {
     #[derive(Debug, Clone)]
     enum Op {
         Alloc(u64),
-        Minor { survival: f64, promotion: f64, live_mib: u64 },
+        Minor {
+            survival: f64,
+            promotion: f64,
+            live_mib: u64,
+        },
         Major,
         GrowYoung,
         SetVirtualMax(u64),
@@ -433,12 +435,13 @@ mod proptests {
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
             (1u64..256).prop_map(Op::Alloc),
-            (0.0f64..1.0, 0.0f64..1.0, 0u64..32)
-                .prop_map(|(survival, promotion, live_mib)| Op::Minor {
+            (0.0f64..1.0, 0.0f64..1.0, 0u64..32).prop_map(|(survival, promotion, live_mib)| {
+                Op::Minor {
                     survival,
                     promotion,
-                    live_mib
-                }),
+                    live_mib,
+                }
+            }),
             Just(Op::Major),
             Just(Op::GrowYoung),
             (64u64..2048).prop_map(Op::SetVirtualMax),

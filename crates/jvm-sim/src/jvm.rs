@@ -5,18 +5,16 @@
 use arv_cgroups::{Bytes, CgroupId};
 use arv_container::SimHost;
 use arv_sim_core::{SimDuration, SimTime, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 use crate::gc::{GcCostModel, GcKind, GcWork};
 use crate::heap::{Heap, HeapLimits};
 use crate::policy::{
-    dynamic_active_workers, gc_workers, hotspot_default_gc_threads, ContainerAwareness,
-    HeapPolicy,
+    dynamic_active_workers, gc_workers, hotspot_default_gc_threads, ContainerAwareness, HeapPolicy,
 };
 use crate::profile::JavaProfile;
 
 /// Full JVM configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JvmConfig {
     /// How the JVM discovers its resources at launch.
     pub awareness: ContainerAwareness,
@@ -118,7 +116,7 @@ impl JvmConfig {
 }
 
 /// Lifecycle state of the JVM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JvmOutcome {
     /// Still executing.
     Running,
@@ -132,7 +130,7 @@ pub enum JvmOutcome {
 }
 
 /// Measurements collected over a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JvmMetrics {
     /// Total wall time from launch to completion.
     pub exec_wall: SimDuration,
@@ -325,8 +323,8 @@ impl Jvm {
         }
         let wall = match &self.phase {
             Phase::Mutator => {
-                let to_fill = self.heap.eden_room().as_u64() as f64
-                    / self.profile.alloc_rate.as_u64() as f64;
+                let to_fill =
+                    self.heap.eden_room().as_u64() as f64 / self.profile.alloc_rate.as_u64() as f64;
                 let cpu = to_fill.min(self.work_remaining.as_secs_f64());
                 SimDuration::from_secs_f64(cpu / f64::from(self.profile.mutators.max(1)))
             }
@@ -361,11 +359,7 @@ impl Jvm {
                 // actually touches.
                 let hot = self.heap.young_committed()
                     + self.heap.old_live().mul_f64(self.profile.touch_intensity);
-                let slow = slow_factor(
-                    self.cfg.swap_penalty,
-                    hot,
-                    host.memory_usage(self.id),
-                );
+                let slow = slow_factor(self.cfg.swap_penalty, hot, host.memory_usage(self.id));
                 let progress = granted.mul_f64(1.0 / slow);
                 self.work_remaining = self.work_remaining.saturating_sub(progress);
                 if self.work_remaining.is_zero() {
@@ -373,10 +367,8 @@ impl Jvm {
                     self.record_trace(host);
                     return;
                 }
-                let alloc = self
-                    .profile
-                    .alloc_rate
-                    .mul_f64(progress.as_secs_f64()) + std::mem::take(&mut self.pending_alloc);
+                let alloc = self.profile.alloc_rate.mul_f64(progress.as_secs_f64())
+                    + std::mem::take(&mut self.pending_alloc);
                 self.alloc_since_minor += alloc;
                 let overflow = self.heap.allocate(alloc);
                 if !overflow.is_zero() {
@@ -393,11 +385,7 @@ impl Jvm {
                     GcKind::Minor => self.heap.young_committed(),
                     GcKind::Major => self.heap.committed(),
                 };
-                let slow = slow_factor(
-                    self.cfg.swap_penalty,
-                    hot,
-                    host.memory_usage(self.id),
-                );
+                let slow = slow_factor(self.cfg.swap_penalty, hot, host.memory_usage(self.id));
                 if work.advance(&self.cfg.gc_cost, granted, period, slow) {
                     let kind = work.kind;
                     let wall = work.wall();
@@ -459,7 +447,9 @@ impl Jvm {
                 let copied = self
                     .heap
                     .minor_copied(self.profile.minor_survival, self.profile.young_live);
-                let result = self.heap.minor_gc(copied, self.profile.promotion, live_delta);
+                let result = self
+                    .heap
+                    .minor_gc(copied, self.profile.promotion, live_delta);
                 if result.needs_major {
                     self.start_major_gc(host);
                     return;
@@ -623,9 +613,7 @@ mod tests {
         let mut jvm = Jvm::launch(
             &mut host,
             id,
-            JvmConfig::vanilla_jdk8().with_heap_policy(HeapPolicy::FixedMax(Bytes::from_mib(
-                240,
-            ))),
+            JvmConfig::vanilla_jdk8().with_heap_policy(HeapPolicy::FixedMax(Bytes::from_mib(240))),
             small_profile(),
         );
         drive(&mut host, std::slice::from_mut(&mut jvm), 200_000);
@@ -783,7 +771,10 @@ mod tests {
         );
         drive(&mut host, std::slice::from_mut(&mut jvm), 3_000_000);
         assert_eq!(jvm.outcome(), JvmOutcome::Completed);
-        assert!(host.mem().swap_out_total() > Bytes::ZERO, "should have swapped");
+        assert!(
+            host.mem().swap_out_total() > Bytes::ZERO,
+            "should have swapped"
+        );
     }
 
     #[test]
@@ -842,7 +833,10 @@ mod tests {
         let h = jvm.horizon().expect("running JVM has a horizon");
         let eden = jvm.heap().eden_room().as_u64() as f64;
         let expected = eden / Bytes::from_mib(200).as_u64() as f64 / 4.0;
-        assert!((h.as_secs_f64() - expected).abs() < 0.01, "{h} vs {expected}");
+        assert!(
+            (h.as_secs_f64() - expected).abs() < 0.01,
+            "{h} vs {expected}"
+        );
     }
 
     #[test]

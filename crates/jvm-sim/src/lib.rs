@@ -33,8 +33,7 @@ pub use gc::{GcCostModel, GcKind, GcWork};
 pub use heap::{Heap, HeapLimits};
 pub use jvm::{Jvm, JvmConfig, JvmMetrics, JvmOutcome};
 pub use policy::{
-    dynamic_active_workers, gc_workers, hotspot_default_gc_threads, ContainerAwareness,
-    HeapPolicy,
+    dynamic_active_workers, gc_workers, hotspot_default_gc_threads, ContainerAwareness, HeapPolicy,
 };
 pub use profile::JavaProfile;
 pub use tasks::{GcTask, GcTaskQueue};

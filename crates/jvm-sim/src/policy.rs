@@ -2,10 +2,9 @@
 //! generation (and the paper's adaptive JVM) believes about its container.
 
 use arv_cgroups::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// How the JVM discovers its resources at launch (§2.2, §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ContainerAwareness {
     /// JDK 8 and earlier: probes the host — online CPUs and physical
     /// memory — oblivious to cgroup limits.
@@ -22,7 +21,7 @@ pub enum ContainerAwareness {
 }
 
 /// How the maximum heap size is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HeapPolicy {
     /// `MaxHeapSize = fraction × visible memory` (HotSpot default: 1/4 of
     /// whatever memory the awareness level exposes).
@@ -69,11 +68,7 @@ pub fn dynamic_active_workers(mutators: u32, heap_committed: Bytes, launch_threa
 /// Per-collection worker count (§4.1):
 /// `N_gc = min(N, N_active?, E_CPU?)` — `N_active` only with dynamic GC
 /// threads enabled, `E_CPU` only for the adaptive JVM.
-pub fn gc_workers(
-    launch_threads: u32,
-    n_active: Option<u32>,
-    effective_cpu: Option<u32>,
-) -> u32 {
+pub fn gc_workers(launch_threads: u32, n_active: Option<u32>, effective_cpu: Option<u32>) -> u32 {
     let mut n = launch_threads;
     if let Some(a) = n_active {
         n = n.min(a);

@@ -8,10 +8,9 @@
 
 use arv_cgroups::Bytes;
 use arv_sim_core::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one Java workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JavaProfile {
     /// Benchmark name (reporting only).
     pub name: String,
@@ -63,7 +62,10 @@ impl JavaProfile {
     pub fn validate(&self) {
         assert!(!self.total_work.is_zero(), "profile needs mutator work");
         assert!(self.mutators > 0, "profile needs at least one thread");
-        assert!(!self.alloc_rate.is_zero(), "profile needs an allocation rate");
+        assert!(
+            !self.alloc_rate.is_zero(),
+            "profile needs an allocation rate"
+        );
         for (v, what) in [
             (self.minor_survival, "minor_survival"),
             (self.promotion, "promotion"),

@@ -12,11 +12,10 @@
 //! in [`crate::gc`]).
 
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One unit of GC work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GcTask {
     /// What kind of work this task is.
     pub kind: GcTaskKind,
@@ -25,7 +24,7 @@ pub struct GcTask {
 }
 
 /// Task kinds of a PS minor collection (Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcTaskKind {
     /// `OldToYoungRootsTask`: scan old-to-young card-table stripes.
     OldToYoungRoots,
@@ -191,7 +190,10 @@ mod tests {
             );
         }
         assert_eq!(
-            tasks.iter().filter(|t| t.kind == GcTaskKind::RefProc).count(),
+            tasks
+                .iter()
+                .filter(|t| t.kind == GcTaskKind::RefProc)
+                .count(),
             1
         );
     }

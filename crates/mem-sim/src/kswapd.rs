@@ -1,12 +1,11 @@
 //! Watermarks and the kswapd activity state machine.
 
 use arv_cgroups::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// The three free-memory watermarks kswapd tracks (§3.1 of the paper):
 /// reclaim starts below `low`, stops at `high`, and direct reclaim kicks in
 /// below `min`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Watermarks {
     /// Direct reclaim kicks in below this.
     pub min: Bytes,
@@ -40,7 +39,7 @@ impl Watermarks {
 ///
 /// Hysteresis matches the kernel: once woken below `low`, kswapd keeps
 /// reclaiming until free memory reaches `high`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KswapdState {
     #[default]
     /// Free memory is comfortable; kswapd sleeps.

@@ -1,13 +1,12 @@
 //! The host memory manager: charging, limits, reclaim, swap accounting.
 
 use arv_cgroups::{Bytes, CgroupId, MemController};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::kswapd::{KswapdState, Watermarks};
 
 /// Host-level memory configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemSimConfig {
     /// Physical memory size.
     pub total: Bytes,
@@ -40,7 +39,7 @@ impl MemSimConfig {
 }
 
 /// Result of a charge attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChargeOutcome {
     /// Charge succeeded.
     Charged {
@@ -188,9 +187,9 @@ impl MemSim {
     /// Fraction of the container's footprint that lives on swap, in
     /// `[0, 1]`. Runtime models turn this into mutator slowdown.
     pub fn swapped_fraction(&self, id: CgroupId) -> f64 {
-        self.groups.get(&id).map_or(0.0, |g| {
-            g.swapped.ratio(g.resident + g.swapped)
-        })
+        self.groups
+            .get(&id)
+            .map_or(0.0, |g| g.swapped.ratio(g.resident + g.swapped))
     }
 
     /// The container's resolved hard limit.
@@ -433,7 +432,10 @@ mod tests {
         );
         // 128 resident + 64 swap is the most this group can ever hold.
         assert!(m.charge(gid(0), Bytes::from_mib(192)).is_ok());
-        assert_eq!(m.charge(gid(0), Bytes::from_mib(1)), ChargeOutcome::OomKilled);
+        assert_eq!(
+            m.charge(gid(0), Bytes::from_mib(1)),
+            ChargeOutcome::OomKilled
+        );
         // State unchanged by the failed charge.
         assert_eq!(m.footprint(gid(0)), Bytes::from_mib(192));
     }

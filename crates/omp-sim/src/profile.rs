@@ -1,10 +1,9 @@
 //! OpenMP workload profiles: a program as a sequence of parallel regions.
 
 use arv_sim_core::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one OpenMP program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OmpProfile {
     /// Benchmark name (reporting only).
     pub name: String,
@@ -22,10 +21,7 @@ impl OmpProfile {
     /// Panic unless the parameters are internally consistent.
     pub fn validate(&self) {
         assert!(self.regions > 0, "program needs at least one region");
-        assert!(
-            !self.work_per_region.is_zero(),
-            "regions need CPU work"
-        );
+        assert!(!self.work_per_region.is_zero(), "regions need CPU work");
         assert!(
             (0.0..1.0).contains(&self.serial_frac),
             "serial fraction must be in [0,1)"

@@ -3,12 +3,11 @@
 use arv_cgroups::CgroupId;
 use arv_container::SimHost;
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::profile::OmpProfile;
 
 /// How the team size of each parallel region is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadStrategy {
     /// Fixed team for every region (`OMP_NUM_THREADS`, defaulting to the
     /// online CPU count the runtime observed at startup).
@@ -21,7 +20,7 @@ pub enum ThreadStrategy {
 }
 
 /// Lifecycle state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OmpOutcome {
     /// Still executing parallel regions.
     Running,
@@ -30,7 +29,7 @@ pub enum OmpOutcome {
 }
 
 /// Measurements collected over a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OmpMetrics {
     /// Total wall time from launch to completion.
     pub exec_wall: SimDuration,
@@ -126,9 +125,7 @@ impl OmpRuntime {
             return None;
         }
         let wall = match &self.current {
-            Some(r) => {
-                (r.serial_remaining + r.parallel_remaining) / u64::from(r.team.max(1))
-            }
+            Some(r) => (r.serial_remaining + r.parallel_remaining) / u64::from(r.team.max(1)),
             None => {
                 let team = self.team_size(host).max(1);
                 self.profile.work_per_region / u64::from(team)
@@ -159,7 +156,10 @@ impl OmpRuntime {
         if self.current.is_none() {
             let team = self.team_size(host);
             self.metrics.thread_trace.push(team);
-            let serial = self.profile.work_per_region.mul_f64(self.profile.serial_frac)
+            let serial = self
+                .profile
+                .work_per_region
+                .mul_f64(self.profile.serial_frac)
                 + self.profile.sync_per_thread * u64::from(team);
             let parallel = self
                 .profile
@@ -266,8 +266,11 @@ mod tests {
         let run = |threads: u32| -> SimDuration {
             let mut host = SimHost::paper_testbed();
             let id = host.launch(&ContainerSpec::new("omp", 20).cpus(4.0));
-            let mut rt =
-                OmpRuntime::launch(id, ThreadStrategy::Static(threads), OmpProfile::test_profile());
+            let mut rt = OmpRuntime::launch(
+                id,
+                ThreadStrategy::Static(threads),
+                OmpProfile::test_profile(),
+            );
             drive(&mut host, std::slice::from_mut(&mut rt), 200_000);
             rt.metrics().exec_wall
         };
@@ -335,6 +338,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn static_zero_threads_rejected() {
-        OmpRuntime::launch(CgroupId(0), ThreadStrategy::Static(0), OmpProfile::test_profile());
+        OmpRuntime::launch(
+            CgroupId(0),
+            ThreadStrategy::Static(0),
+            OmpProfile::test_profile(),
+        );
     }
 }

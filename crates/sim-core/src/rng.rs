@@ -3,39 +3,62 @@
 //! All stochastic behaviour in the reproduction (e.g. small variation in
 //! per-iteration allocation sizes) flows through [`SimRng`], which is
 //! seeded explicitly so every experiment run is bit-for-bit reproducible.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! The generator is a splitmix64 core (Steele et al., "Fast splittable
+//! pseudorandom number generators") — tiny, dependency-free, and with
+//! full 64-bit avalanche per output, which is all simulation jitter
+//! needs.
 
 /// Deterministic random source for simulations.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
+}
+
+/// splitmix64: one full-avalanche 64-bit output per step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        // One warm-up step decorrelates small consecutive seeds.
+        let mut state = seed;
+        splitmix64(&mut state);
+        SimRng { state }
+    }
+
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
     }
 
     /// Derive an independent child RNG (e.g. one per container) so adding a
     /// consumer does not perturb the stream seen by others.
     pub fn fork(&mut self, tag: u64) -> SimRng {
-        let s: u64 = self.inner.random();
+        let s: u64 = self.next_u64();
         SimRng::seed_from_u64(s ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.random_range(lo..hi)
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        let span = hi - lo;
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of a 64-bit product is irrelevant for simulation jitter.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
     }
 
     /// Multiplicative jitter in `[1-amp, 1+amp]`.

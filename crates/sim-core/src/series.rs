@@ -6,10 +6,9 @@
 //! down-sampling so reports stay readable.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A named sequence of `(time, value)` samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     name: String,
     samples: Vec<(SimTime, f64)>,

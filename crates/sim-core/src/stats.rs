@@ -1,4 +1,7 @@
-//! Small statistics helpers shared by experiment reports.
+//! Small statistics helpers shared by experiment reports, plus a
+//! thread-safe latency histogram for live measurement paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Arithmetic mean; 0.0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -57,6 +60,97 @@ pub fn improvement(old: f64, new: f64) -> f64 {
     }
 }
 
+/// A lock-free latency histogram with power-of-two buckets.
+///
+/// Bucket `i` counts samples whose value (typically nanoseconds) has
+/// `i` significant bits, i.e. lands in `[2^(i−1), 2^i)`; bucket 0 counts
+/// zeros. Recording is a single relaxed `fetch_add`, so hot query paths
+/// can record without perturbing what they measure. Precision is the
+/// usual factor-of-two bucketing — good enough for the order-of-magnitude
+/// comparisons the paper's §5.4 overhead table makes.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean of all recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`), or 0 when empty. `quantile(0.5)` is a median estimate
+    /// within a factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_edge(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Highest non-empty bucket's upper edge (0 when empty).
+    pub fn max_bucket(&self) -> u64 {
+        for i in (0..self.buckets.len()).rev() {
+            if self.buckets[i].load(Ordering::Relaxed) > 0 {
+                return bucket_edge(i);
+            }
+        }
+        0
+    }
+}
+
+/// Exclusive upper edge of bucket `i` (saturated for the top bucket).
+fn bucket_edge(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => 1u64 << i,
+        _ => u64::MAX,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +185,61 @@ mod tests {
         assert_eq!(normalize(5.0, 0.0), 0.0);
         assert!((improvement(10.0, 5.1) - 0.49).abs() < 1e-12);
         assert_eq!(improvement(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [100, 200, 400] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 233.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1000); // bucket [512, 1024) → edge 1024
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), 1024);
+        assert_eq!(h.quantile(0.99), 1024);
+        assert!(h.quantile(1.0) >= 1_000_000);
+        assert!(h.max_bucket() >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.max_bucket(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in 1..=1000u64 {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
     }
 }

@@ -1,0 +1,38 @@
+//! `arv-viewd`: a concurrent view-serving daemon over adaptive resource
+//! views.
+//!
+//! The paper's kernel keeps per-container *effective* CPU/memory views
+//! current (Algorithms 1–2) and answers `sysconf`/procfs queries from
+//! them (§2.2); its evaluation prices a query at ~5 µs (§5.4). This crate
+//! is the user-space serving layer for those views:
+//!
+//! * [`server::ViewServer`] — registry of live [`arv_resview::NsCell`]s,
+//!   **sharded** by cgroup-id hash so concurrent lookups don't contend on
+//!   one lock, each entry carrying a **generation-stamped render cache**
+//!   ([`cache::RenderCache`]): a rendered `/proc/cpuinfo` or
+//!   `/proc/meminfo` image is reused until the cell's seqlock generation
+//!   moves, and every render draws all its numbers from one untorn
+//!   [`arv_resview::ViewSnapshot`] — a served image can never mix the CPU
+//!   count of one update with the memory size of another;
+//! * [`server::ViewClient`] — the in-process query handle (file reads
+//!   and `sysconf`);
+//! * [`wire`] — a length-prefixed request/response protocol over a
+//!   Unix-domain socket for out-of-process consumers, with
+//!   [`wire::WireServer`] and [`wire::WireClient`];
+//! * [`metrics`] — lock-free counters (queries, cache hits/misses, wire
+//!   traffic) and nanosecond latency histograms built on
+//!   [`arv_sim_core::stats::Histogram`].
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use cache::{CachedImage, PathId, RenderCache};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
+pub use shard::{ContainerEntry, ShardedRegistry};
+pub use wire::{WireClient, WireResponse, WireServer};

@@ -1,0 +1,101 @@
+//! Daemon-wide counters and latency histograms.
+//!
+//! Everything here is updated from hot query paths, so all state is
+//! atomic — recording never takes a lock. Latencies are recorded in
+//! nanoseconds into the power-of-two [`Histogram`] from
+//! `arv_sim_core::stats`, matching the resolution the paper's §5.4
+//! overhead table needs (microsecond-scale means, order-of-magnitude
+//! tails).
+
+use arv_sim_core::stats::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared metrics for one [`crate::server::ViewServer`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries answered (file reads and sysconf calls, in-process or wire).
+    pub queries: AtomicU64,
+    /// Queries answered from a cached render.
+    pub cache_hits: AtomicU64,
+    /// Queries that had to render (cold path or stale generation).
+    pub cache_misses: AtomicU64,
+    /// Queries that failed (unknown container, unknown path/key).
+    pub failures: AtomicU64,
+    /// Requests decoded off the wire.
+    pub wire_requests: AtomicU64,
+    /// Malformed or failed wire requests.
+    pub wire_errors: AtomicU64,
+    /// Nanoseconds per query, cached-hit path.
+    pub hit_latency: Histogram,
+    /// Nanoseconds per query, render (miss) path.
+    pub miss_latency: Histogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Point-in-time copy of every counter (values may be mutually
+    /// slightly out of sync under concurrent load; each is individually
+    /// exact at its read instant).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            wire_requests: self.wire_requests.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            hit_latency_ns: self.hit_latency.mean(),
+            miss_latency_ns: self.miss_latency.mean(),
+            hit_p99_ns: self.hit_latency.quantile(0.99),
+            miss_p99_ns: self.miss_latency.quantile(0.99),
+        }
+    }
+}
+
+/// Plain-value copy of [`Metrics`] for reports and assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries answered.
+    pub queries: u64,
+    /// Cached-render answers.
+    pub cache_hits: u64,
+    /// Fresh-render answers.
+    pub cache_misses: u64,
+    /// Failed queries.
+    pub failures: u64,
+    /// Wire requests decoded.
+    pub wire_requests: u64,
+    /// Wire requests rejected.
+    pub wire_errors: u64,
+    /// Mean nanoseconds on the hit path.
+    pub hit_latency_ns: f64,
+    /// Mean nanoseconds on the miss path.
+    pub miss_latency_ns: f64,
+    /// 99th-percentile bucket edge on the hit path.
+    pub hit_p99_ns: u64,
+    /// 99th-percentile bucket edge on the miss path.
+    pub miss_p99_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.queries.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.hit_latency.record(500);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.cache_hits + s.cache_misses, 3);
+        assert!(s.hit_latency_ns > 0.0);
+        assert_eq!(s.failures, 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The view server and its in-process client handle.
+//!
+//! `arv-viewd` owns a [`ShardedRegistry`] of live namespace cells and
+//! answers two kinds of queries for any registered container:
+//!
+//! * **file reads** — full images of the virtual files resource probing
+//!   opens (`/proc/cpuinfo`, `/proc/meminfo`, `/proc/stat`,
+//!   `/sys/devices/system/cpu/online`, and the container's own cgroup
+//!   interface files `cpu.max` / `memory.max`), rendered from one untorn
+//!   [`ViewSnapshot`] and cached per `(container, path)` behind the
+//!   cell's generation stamp;
+//! * **sysconf** — the scalar parameters glibc derives from those files.
+//!
+//! Queries from host processes (no container identity) and for unknown
+//! containers fall back to the physical host view, mirroring
+//! [`arv_resview::VirtualSysfs`].
+
+use arv_cgroups::{Bytes, CgroupId};
+use arv_resview::{
+    render, CpuBounds, EffectiveCpuConfig, EffectiveMemory, LiveRegistry, NsCell, Sysconf,
+    ViewSnapshot, PAGE_SIZE,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::PathId;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::shard::{ContainerEntry, ShardedRegistry};
+
+/// The host's physical configuration, answered to non-container callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// Online CPUs on the host.
+    pub online_cpus: u32,
+    /// Physical memory size.
+    pub total_memory: Bytes,
+    /// Free physical memory (static over a server's lifetime; the host
+    /// side is not what the paper virtualizes).
+    pub free_memory: Bytes,
+    /// CFS period used when rendering `cpu.max`, in microseconds.
+    pub cfs_period_us: u64,
+}
+
+impl HostSpec {
+    /// The paper's testbed: 20 cores, 128 GiB, default 100 ms CFS period.
+    pub fn paper_testbed() -> HostSpec {
+        HostSpec {
+            online_cpus: 20,
+            total_memory: Bytes::from_gib(128),
+            free_memory: Bytes::from_gib(100),
+            cfs_period_us: 100_000,
+        }
+    }
+}
+
+/// A successful file read: the image plus the generation it reflects.
+#[derive(Debug, Clone)]
+pub struct ViewImage {
+    /// The rendered file contents.
+    pub image: Arc<String>,
+    /// Generation of the snapshot the image was rendered from (0 for
+    /// host images, which never change).
+    pub generation: u64,
+}
+
+struct ServerInner {
+    live: LiveRegistry,
+    shards: ShardedRegistry,
+    host: HostSpec,
+    host_images: HashMap<&'static str, Arc<String>>,
+    metrics: Metrics,
+}
+
+/// The daemon state: registry, caches, host fallback, metrics.
+///
+/// Cloning is cheap (one `Arc`); [`ViewServer::client`] hands out
+/// [`ViewClient`] query handles backed by the same state.
+#[derive(Clone)]
+pub struct ViewServer {
+    inner: Arc<ServerInner>,
+}
+
+/// Paths the server can render for a container.
+pub const CONTAINER_PATHS: [&str; 6] = [
+    "/proc/cpuinfo",
+    "/proc/meminfo",
+    "/proc/stat",
+    "/sys/devices/system/cpu/online",
+    "cpu.max",
+    "memory.max",
+];
+
+impl ViewServer {
+    /// A server for `host` with `shards` registry shards.
+    pub fn new(host: HostSpec, shards: usize) -> ViewServer {
+        let mut host_images: HashMap<&'static str, Arc<String>> = HashMap::new();
+        // Host images are immutable for the server's lifetime; render
+        // them once so the host path is always a cache hit.
+        host_images.insert("/proc/cpuinfo", Arc::new(render::cpuinfo(host.online_cpus)));
+        host_images.insert("/proc/stat", Arc::new(render::stat(host.online_cpus)));
+        host_images.insert(
+            "/proc/meminfo",
+            Arc::new(render::meminfo(host.total_memory, host.free_memory)),
+        );
+        let cpu_list = Arc::new(render::cpu_list(host.online_cpus));
+        host_images.insert("/sys/devices/system/cpu/online", Arc::clone(&cpu_list));
+        host_images.insert("/sys/devices/system/cpu/possible", Arc::clone(&cpu_list));
+        host_images.insert("/sys/devices/system/cpu/present", cpu_list);
+        ViewServer {
+            inner: Arc::new(ServerInner {
+                live: LiveRegistry::new(),
+                shards: ShardedRegistry::new(shards),
+                host,
+                host_images,
+                metrics: Metrics::new(),
+            }),
+        }
+    }
+
+    /// Register a container; the returned cell is shared with the
+    /// registry (updaters apply samples through it or through
+    /// [`arv_resview::LiveMonitor`] on [`ViewServer::live_registry`]).
+    pub fn register(
+        &self,
+        id: CgroupId,
+        bounds: CpuBounds,
+        cpu_cfg: EffectiveCpuConfig,
+        mem: EffectiveMemory,
+    ) -> Arc<NsCell> {
+        let cell = self.inner.live.register(id, bounds, cpu_cfg, mem);
+        self.inner.shards.insert(id, Arc::clone(&cell));
+        cell
+    }
+
+    /// Remove a container (its cell stays valid for outstanding holders).
+    pub fn unregister(&self, id: CgroupId) {
+        self.inner.shards.remove(id);
+        self.inner.live.unregister(id);
+    }
+
+    /// The underlying live registry, e.g. to spawn a
+    /// [`arv_resview::LiveMonitor`] updating every registered cell.
+    pub fn live_registry(&self) -> LiveRegistry {
+        self.inner.live.clone()
+    }
+
+    /// Number of registered containers.
+    pub fn len(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Whether no container is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.shards.is_empty()
+    }
+
+    /// An in-process query handle.
+    pub fn client(&self) -> ViewClient {
+        ViewClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The live metrics (counters update concurrently).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Direct access for instrumenting callers (wire server, benches).
+    pub(crate) fn metrics_ref(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Mirror externally computed views into a container's cell (the
+    /// simulation driver path; see [`arv_resview::NsCell::force_publish`]).
+    pub fn mirror(&self, id: CgroupId, cpus: u32, mem: Bytes, avail: Bytes) -> bool {
+        match self.inner.shards.get(id) {
+            Some(entry) => {
+                entry.cell.force_publish(cpus, mem, avail);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for ViewServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewServer")
+            .field("containers", &self.len())
+            .field("shards", &self.inner.shards.shard_count())
+            .finish()
+    }
+}
+
+/// In-process query handle over a [`ViewServer`]'s state.
+#[derive(Clone)]
+pub struct ViewClient {
+    inner: Arc<ServerInner>,
+}
+
+impl ViewClient {
+    /// Read a virtual file as seen by `caller`. `None` caller — or a
+    /// container the server doesn't know — gets the host image. Returns
+    /// `None` for unsupported paths (ENOENT).
+    pub fn read(&self, caller: Option<CgroupId>, path: &str) -> Option<ViewImage> {
+        let m = &self.inner.metrics;
+        m.queries.fetch_add(1, Ordering::Relaxed);
+        let entry = caller.and_then(|id| self.inner.shards.get(id));
+        let result = match entry {
+            Some(entry) => self.read_container(&entry, path),
+            None => self.read_host(path),
+        };
+        if result.is_none() {
+            m.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn read_host(&self, path: &str) -> Option<ViewImage> {
+        let start = Instant::now();
+        let image = self.inner.host_images.get(path).cloned()?;
+        self.inner
+            .metrics
+            .hit_latency
+            .record(start.elapsed().as_nanos() as u64);
+        self.inner
+            .metrics
+            .cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        Some(ViewImage {
+            image,
+            generation: 0,
+        })
+    }
+
+    fn read_container(&self, entry: &ContainerEntry, path: &str) -> Option<ViewImage> {
+        // Hardware-property files are host-global even inside a view.
+        if matches!(
+            path,
+            "/sys/devices/system/cpu/possible" | "/sys/devices/system/cpu/present"
+        ) {
+            return self.read_host(path);
+        }
+        let m = &self.inner.metrics;
+        let start = Instant::now();
+        let id = PathId::resolve(path)?;
+        // Fast path: one generation load. If the stamp is even (no write
+        // in flight) and the cache holds an image at exactly that stamp,
+        // the image is consistent by construction — it was rendered from
+        // a snapshot taken at the same generation.
+        let generation = entry.cell.generation();
+        if generation & 1 == 0 {
+            if let Some(image) = entry.cache.get(id, generation) {
+                m.hit_latency.record(start.elapsed().as_nanos() as u64);
+                m.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(ViewImage { image, generation });
+            }
+        }
+        // Miss (or mid-publish): take a full untorn snapshot and render
+        // from it alone, so an image can never mix two generations.
+        let snap = entry.cell.snapshot();
+        let rendered = Arc::new(render_container_image(id, &snap, &self.inner.host));
+        entry.cache.put(id, snap.generation, Arc::clone(&rendered));
+        m.miss_latency.record(start.elapsed().as_nanos() as u64);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        Some(ViewImage {
+            image: rendered,
+            generation: snap.generation,
+        })
+    }
+
+    /// Answer a `sysconf` query for `caller` (host values for `None` or
+    /// unknown containers, like [`arv_resview::VirtualSysfs::sysconf`]).
+    pub fn sysconf(&self, caller: Option<CgroupId>, query: Sysconf) -> u64 {
+        let m = &self.inner.metrics;
+        m.queries.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let entry = caller.and_then(|id| self.inner.shards.get(id));
+        let value = match entry {
+            Some(entry) => {
+                let snap = entry.cell.snapshot();
+                match query {
+                    Sysconf::PageSize => PAGE_SIZE,
+                    Sysconf::NprocessorsOnln | Sysconf::NprocessorsConf => u64::from(snap.cpus),
+                    Sysconf::PhysPages => snap.bytes.as_u64() / PAGE_SIZE,
+                    Sysconf::AvphysPages => snap.avail.as_u64() / PAGE_SIZE,
+                }
+            }
+            None => {
+                let host = &self.inner.host;
+                match query {
+                    Sysconf::PageSize => PAGE_SIZE,
+                    Sysconf::NprocessorsOnln | Sysconf::NprocessorsConf => {
+                        u64::from(host.online_cpus)
+                    }
+                    Sysconf::PhysPages => host.total_memory.as_u64() / PAGE_SIZE,
+                    Sysconf::AvphysPages => host.free_memory.as_u64() / PAGE_SIZE,
+                }
+            }
+        };
+        // Sysconf needs no render; it always counts as the cheap path.
+        m.hit_latency.record(start.elapsed().as_nanos() as u64);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// The generation currently published for a container (`None` if the
+    /// container is unknown).
+    pub fn generation(&self, id: CgroupId) -> Option<u64> {
+        self.inner.shards.get(id).map(|e| e.cell.generation())
+    }
+}
+
+impl std::fmt::Debug for ViewClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewClient").finish_non_exhaustive()
+    }
+}
+
+/// Render a container-visible file image entirely from one snapshot.
+fn render_container_image(id: PathId, snap: &ViewSnapshot, host: &HostSpec) -> String {
+    match id {
+        PathId::Cpuinfo => render::cpuinfo(snap.cpus),
+        PathId::Stat => render::stat(snap.cpus),
+        PathId::Meminfo => render::meminfo(snap.bytes, snap.avail),
+        PathId::OnlineCpus => render::cpu_list(snap.cpus),
+        // The container's own cgroup interface files, rendered from the
+        // *effective* view (what the adaptive runtime should size to).
+        PathId::CpuMax => render::cpu_max(snap.cpus, host.cfs_period_us),
+        PathId::MemoryMax => render::memory_max(snap.bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_resview::EffectiveMemoryConfig;
+
+    fn mk_mem(soft_mib: u64, hard_mib: u64) -> EffectiveMemory {
+        EffectiveMemory::new(
+            Bytes::from_mib(soft_mib),
+            Bytes::from_mib(hard_mib),
+            Bytes::from_mib(64),
+            Bytes::from_mib(128),
+            EffectiveMemoryConfig::default(),
+        )
+    }
+
+    fn server_with_one() -> (ViewServer, CgroupId) {
+        let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+        let id = CgroupId(1);
+        server.register(
+            id,
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(500, 1024),
+        );
+        (server, id)
+    }
+
+    #[test]
+    fn container_reads_render_the_view() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        let cpuinfo = client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert_eq!(cpuinfo.image.matches("processor").count(), 4);
+        let online = client
+            .read(Some(id), "/sys/devices/system/cpu/online")
+            .unwrap();
+        assert_eq!(online.image.as_str(), "0-3");
+        let meminfo = client.read(Some(id), "/proc/meminfo").unwrap();
+        assert!(meminfo
+            .image
+            .contains(&format!("MemTotal: {} kB", 500 * 1024)));
+        assert_eq!(
+            client.read(Some(id), "cpu.max").unwrap().image.as_str(),
+            "400000 100000\n"
+        );
+        // Both cgroup interface files reflect the *effective* view (4
+        // CPUs, 500 MiB soft limit at start), not the static hard caps.
+        assert_eq!(
+            client.read(Some(id), "memory.max").unwrap().image.as_str(),
+            format!("{}\n", Bytes::from_mib(500).as_u64())
+        );
+    }
+
+    #[test]
+    fn host_and_unknown_container_get_host_images() {
+        let (server, _) = server_with_one();
+        let client = server.client();
+        let host_cpuinfo = client.read(None, "/proc/cpuinfo").unwrap();
+        assert_eq!(host_cpuinfo.image.matches("processor").count(), 20);
+        assert_eq!(host_cpuinfo.generation, 0);
+        let unknown = client.read(Some(CgroupId(99)), "/proc/cpuinfo").unwrap();
+        assert_eq!(unknown.image.matches("processor").count(), 20);
+    }
+
+    #[test]
+    fn unknown_path_is_none_and_counts_as_failure() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        assert!(client.read(Some(id), "/sys/kernel/unrelated").is_none());
+        assert_eq!(server.metrics().failures, 1);
+    }
+
+    #[test]
+    fn second_read_hits_the_cache() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        let first = client.read(Some(id), "/proc/cpuinfo").unwrap();
+        let second = client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert!(Arc::ptr_eq(&first.image, &second.image));
+        let m = server.metrics();
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn update_invalidates_via_generation() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        let before = client
+            .read(Some(id), "/sys/devices/system/cpu/online")
+            .unwrap();
+        assert_eq!(before.image.as_str(), "0-3");
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(800));
+        let after = client
+            .read(Some(id), "/sys/devices/system/cpu/online")
+            .unwrap();
+        assert_eq!(after.image.as_str(), "0-7");
+        assert!(after.generation > before.generation);
+        let m = server.metrics();
+        assert_eq!(m.cache_misses, 2); // one per generation
+    }
+
+    #[test]
+    fn sysconf_matches_file_images() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        assert_eq!(client.sysconf(Some(id), Sysconf::NprocessorsOnln), 4);
+        assert_eq!(
+            client.sysconf(Some(id), Sysconf::PhysPages) * PAGE_SIZE,
+            Bytes::from_mib(500).as_u64()
+        );
+        assert_eq!(
+            client.sysconf(Some(id), Sysconf::AvphysPages) * PAGE_SIZE,
+            Bytes::from_mib(500).as_u64() // no usage observed yet
+        );
+        assert_eq!(client.sysconf(None, Sysconf::NprocessorsOnln), 20);
+        assert_eq!(client.sysconf(Some(id), Sysconf::PageSize), PAGE_SIZE);
+    }
+
+    #[test]
+    fn unregister_falls_back_to_host() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        assert_eq!(server.len(), 1);
+        server.unregister(id);
+        assert!(server.is_empty());
+        assert_eq!(
+            client
+                .read(Some(id), "/proc/cpuinfo")
+                .unwrap()
+                .image
+                .matches("processor")
+                .count(),
+            20
+        );
+        assert!(client.generation(id).is_none());
+    }
+
+    #[test]
+    fn hardware_property_files_stay_physical() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        let possible = client
+            .read(Some(id), "/sys/devices/system/cpu/possible")
+            .unwrap();
+        assert_eq!(possible.image.as_str(), "0-19");
+    }
+}

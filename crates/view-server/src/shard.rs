@@ -1,0 +1,169 @@
+//! The sharded container registry.
+//!
+//! A single `RwLock<HashMap>` serializes registration against every
+//! concurrent query's lookup; with hundreds of containers and many query
+//! threads that lock becomes the daemon's hot spot. The registry is
+//! therefore split into `N` independent shards keyed by a multiplicative
+//! hash of the [`CgroupId`], so lookups for different containers contend
+//! only when they land on the same shard. Each entry pairs the
+//! container's live [`NsCell`] with its [`RenderCache`].
+
+use arv_cgroups::CgroupId;
+use arv_resview::NsCell;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::cache::RenderCache;
+
+/// One registered container: its view cell plus its render cache.
+#[derive(Debug)]
+pub struct ContainerEntry {
+    /// The live namespace cell (shared with the updater).
+    pub cell: Arc<NsCell>,
+    /// Rendered-image cache for this container.
+    pub cache: RenderCache,
+}
+
+type Shard = RwLock<HashMap<CgroupId, Arc<ContainerEntry>>>;
+
+/// Registry of containers, sharded by `CgroupId` hash.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Box<[Shard]>,
+    mask: u64,
+}
+
+impl ShardedRegistry {
+    /// A registry with `shards` shards, rounded up to a power of two (so
+    /// shard selection is a mask, not a division).
+    pub fn new(shards: usize) -> ShardedRegistry {
+        let n = shards.max(1).next_power_of_two();
+        ShardedRegistry {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: CgroupId) -> &Shard {
+        // Fibonacci (multiplicative) hashing spreads sequential ids —
+        // the common case, since the cgroup manager hands them out in
+        // order — across shards instead of clustering them.
+        let h = (u64::from(id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Insert a container. Panics if it is already present (registration
+    /// is owned by one control path, as in the kernel).
+    pub fn insert(&self, id: CgroupId, cell: Arc<NsCell>) {
+        let entry = Arc::new(ContainerEntry {
+            cell,
+            cache: RenderCache::new(),
+        });
+        let prev = self.shard_for(id).write().unwrap().insert(id, entry);
+        assert!(prev.is_none(), "container {id:?} already in registry");
+    }
+
+    /// Remove a container's entry, returning it if present.
+    pub fn remove(&self, id: CgroupId) -> Option<Arc<ContainerEntry>> {
+        self.shard_for(id).write().unwrap().remove(&id)
+    }
+
+    /// Look up a container (read-locks only that container's shard).
+    pub fn get(&self, id: CgroupId) -> Option<Arc<ContainerEntry>> {
+        self.shard_for(id).read().unwrap().get(&id).cloned()
+    }
+
+    /// Total containers across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether no container is registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().unwrap().is_empty())
+    }
+
+    /// All registered ids (unordered; for iteration by updaters/tools).
+    pub fn ids(&self) -> Vec<CgroupId> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arv_cgroups::Bytes;
+    use arv_resview::LiveRegistry;
+    use arv_resview::{CpuBounds, EffectiveCpuConfig, EffectiveMemory, EffectiveMemoryConfig};
+
+    fn mk_cell(live: &LiveRegistry, id: CgroupId) -> Arc<NsCell> {
+        live.register(
+            id,
+            CpuBounds { lower: 2, upper: 8 },
+            EffectiveCpuConfig::default(),
+            EffectiveMemory::new(
+                Bytes::from_mib(500),
+                Bytes::from_gib(1),
+                Bytes::from_mib(64),
+                Bytes::from_mib(128),
+                EffectiveMemoryConfig::default(),
+            ),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let live = LiveRegistry::new();
+        let reg = ShardedRegistry::new(8);
+        for i in 0..50 {
+            reg.insert(CgroupId(i), mk_cell(&live, CgroupId(i)));
+        }
+        assert_eq!(reg.len(), 50);
+        assert_eq!(reg.ids().len(), 50);
+        assert!(reg.get(CgroupId(17)).is_some());
+        assert!(reg.get(CgroupId(99)).is_none());
+        assert!(reg.remove(CgroupId(17)).is_some());
+        assert!(reg.get(CgroupId(17)).is_none());
+        assert_eq!(reg.len(), 49);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedRegistry::new(0).shard_count(), 1);
+        assert_eq!(ShardedRegistry::new(5).shard_count(), 8);
+        assert_eq!(ShardedRegistry::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let live = LiveRegistry::new();
+        let reg = ShardedRegistry::new(8);
+        for i in 0..64 {
+            reg.insert(CgroupId(i), mk_cell(&live, CgroupId(i)));
+        }
+        let occupied = reg
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().is_empty())
+            .count();
+        assert!(occupied >= 6, "ids clustered on {occupied} of 8 shards");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_insert_panics() {
+        let live = LiveRegistry::new();
+        let reg = ShardedRegistry::new(4);
+        reg.insert(CgroupId(1), mk_cell(&live, CgroupId(1)));
+        let second = LiveRegistry::new();
+        reg.insert(CgroupId(1), mk_cell(&second, CgroupId(1)));
+    }
+}

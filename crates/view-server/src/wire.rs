@@ -1,0 +1,512 @@
+//! Length-prefixed request/response protocol over a Unix-domain socket.
+//!
+//! The in-process [`crate::server::ViewClient`] works only for threads
+//! sharing the daemon's address space; real consumers (an LD_PRELOAD
+//! shim, an LXCFS-style FUSE bridge) sit in other processes. The wire
+//! format is deliberately minimal:
+//!
+//! ```text
+//! request  := u32le len | u8 kind | u32le container | key-bytes
+//!   kind 0 = read file (key = path), 1 = sysconf (key = name)
+//!   container u32::MAX = host caller (no container identity)
+//! response := u32le len | u8 status | u64le generation | body-bytes
+//!   status 0 = ok, 1 = not found (unknown path / sysconf key)
+//!   body: file image for reads, decimal value for sysconf
+//! ```
+//!
+//! One connection carries any number of request/response pairs in order;
+//! concurrent clients each get their own connection (the listener spawns
+//! a thread per accept).
+
+use arv_cgroups::CgroupId;
+use arv_resview::Sysconf;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::server::ViewServer;
+
+/// Request kind: read a virtual file.
+pub const KIND_READ: u8 = 0;
+/// Request kind: sysconf scalar query.
+pub const KIND_SYSCONF: u8 = 1;
+/// Container id meaning "host caller".
+pub const HOST_CALLER: u32 = u32::MAX;
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: unknown path or sysconf key.
+pub const STATUS_NOT_FOUND: u8 = 1;
+
+/// Largest accepted request frame (paths and key names are short).
+const MAX_REQUEST: u32 = 4096;
+
+/// Parse a wire sysconf key name.
+pub fn sysconf_key(name: &str) -> Option<Sysconf> {
+    match name {
+        "nprocessors_onln" => Some(Sysconf::NprocessorsOnln),
+        "nprocessors_conf" => Some(Sysconf::NprocessorsConf),
+        "phys_pages" => Some(Sysconf::PhysPages),
+        "avphys_pages" => Some(Sysconf::AvphysPages),
+        "pagesize" => Some(Sysconf::PageSize),
+        _ => None,
+    }
+}
+
+fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+fn read_frame(stream: &mut impl Read, max: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        // Clean EOF between frames ends the conversation.
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One poll of the server-side frame reader.
+enum ServerRead {
+    /// A whole request frame.
+    Frame(Vec<u8>),
+    /// Peer closed between frames.
+    Eof,
+    /// No frame started within the poll window; check the stop flag.
+    Idle,
+}
+
+/// Read a request frame on a stream with a read timeout. A timeout
+/// *before any byte of the length prefix* is an idle poll; once a frame
+/// has started, keep reading through timeouts so a slow writer can't
+/// corrupt framing.
+fn server_read_frame(stream: &mut UnixStream, max: u32) -> io::Result<ServerRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(ServerRead::Eof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(ServerRead::Idle);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ServerRead::Frame(payload))
+}
+
+fn encode_response(status: u8, generation: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + body.len());
+    out.push(status);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Handle one connection until EOF, error, or server shutdown.
+fn serve_connection(
+    server: &ViewServer,
+    mut stream: UnixStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let client = server.client();
+    loop {
+        let req = match server_read_frame(&mut stream, MAX_REQUEST)? {
+            ServerRead::Frame(req) => req,
+            ServerRead::Eof => return Ok(()),
+            ServerRead::Idle => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        server
+            .metrics_ref()
+            .wire_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let response = match decode_request(&req) {
+            Some((KIND_READ, caller, key)) => match client.read(caller, key) {
+                Some(view) => encode_response(STATUS_OK, view.generation, view.image.as_bytes()),
+                None => encode_response(STATUS_NOT_FOUND, 0, &[]),
+            },
+            Some((KIND_SYSCONF, caller, key)) => match sysconf_key(key) {
+                Some(q) => {
+                    let value = client.sysconf(caller, q);
+                    let generation = caller.and_then(|id| client.generation(id)).unwrap_or(0);
+                    encode_response(STATUS_OK, generation, value.to_string().as_bytes())
+                }
+                None => encode_response(STATUS_NOT_FOUND, 0, &[]),
+            },
+            _ => {
+                server
+                    .metrics_ref()
+                    .wire_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                encode_response(STATUS_NOT_FOUND, 0, &[])
+            }
+        };
+        write_frame(&mut stream, &response)?;
+    }
+}
+
+fn decode_request(payload: &[u8]) -> Option<(u8, Option<CgroupId>, &str)> {
+    if payload.len() < 5 {
+        return None;
+    }
+    let kind = payload[0];
+    if kind != KIND_READ && kind != KIND_SYSCONF {
+        return None;
+    }
+    let raw = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+    let caller = (raw != HOST_CALLER).then_some(CgroupId(raw));
+    let key = std::str::from_utf8(&payload[5..]).ok()?;
+    Some((kind, caller, key))
+}
+
+/// The listening daemon front-end: accepts connections on a Unix socket
+/// and serves them, each on its own thread, until shut down.
+#[derive(Debug)]
+pub struct WireServer {
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    socket_path: PathBuf,
+}
+
+impl WireServer {
+    /// Bind `socket_path` (removing any stale socket file first) and
+    /// start accepting.
+    pub fn spawn(server: ViewServer, socket_path: impl AsRef<Path>) -> io::Result<WireServer> {
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)?;
+        // Nonblocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("arv-viewd-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            // Blocking reads with a short timeout: the
+                            // connection thread polls the stop flag
+                            // between frames, so shutdown can always
+                            // join it.
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+                            let server = server.clone();
+                            let stop3 = Arc::clone(&stop2);
+                            workers.push(
+                                std::thread::Builder::new()
+                                    .name("arv-viewd-conn".into())
+                                    .spawn(move || {
+                                        let _ = serve_connection(&server, stream, &stop3);
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                    workers.retain(|w| !w.is_finished());
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(WireServer {
+            stop,
+            accept_handle: Some(accept_handle),
+            socket_path,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// Stop accepting, wait for in-flight connections, unlink the socket.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Client side of the wire protocol.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: UnixStream,
+}
+
+/// A successful wire read: body bytes plus the server-side generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The response body (file image, or decimal sysconf value).
+    pub body: Vec<u8>,
+    /// Generation of the view that produced the answer.
+    pub generation: u64,
+}
+
+impl WireClient {
+    /// Connect to a daemon's socket.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<WireClient> {
+        Ok(WireClient {
+            stream: UnixStream::connect(socket_path)?,
+        })
+    }
+
+    fn request(
+        &mut self,
+        kind: u8,
+        caller: Option<CgroupId>,
+        key: &str,
+    ) -> io::Result<Option<WireResponse>> {
+        let mut payload = Vec::with_capacity(5 + key.len());
+        payload.push(kind);
+        payload.extend_from_slice(&caller.map_or(HOST_CALLER, |c| c.0).to_le_bytes());
+        payload.extend_from_slice(key.as_bytes());
+        write_frame(&mut self.stream, &payload)?;
+        let Some(resp) = read_frame(&mut self.stream, u32::MAX)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            ));
+        };
+        if resp.len() < 9 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "short response frame",
+            ));
+        }
+        let status = resp[0];
+        let generation = u64::from_le_bytes(resp[1..9].try_into().unwrap());
+        match status {
+            STATUS_OK => Ok(Some(WireResponse {
+                body: resp[9..].to_vec(),
+                generation,
+            })),
+            _ => Ok(None),
+        }
+    }
+
+    /// Read a virtual file as `caller`; `Ok(None)` is ENOENT.
+    pub fn read(
+        &mut self,
+        caller: Option<CgroupId>,
+        path: &str,
+    ) -> io::Result<Option<WireResponse>> {
+        self.request(KIND_READ, caller, path)
+    }
+
+    /// Query a sysconf value by wire key name (e.g. `"nprocessors_onln"`).
+    pub fn sysconf(&mut self, caller: Option<CgroupId>, key: &str) -> io::Result<Option<u64>> {
+        let resp = self.request(KIND_SYSCONF, caller, key)?;
+        match resp {
+            Some(r) => {
+                let text = std::str::from_utf8(&r.body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let value = text
+                    .parse::<u64>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HostSpec;
+    use arv_cgroups::Bytes;
+    use arv_resview::{CpuBounds, EffectiveCpuConfig, EffectiveMemory, EffectiveMemoryConfig};
+
+    fn test_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("arv-viewd-test-{}-{tag}.sock", std::process::id()))
+    }
+
+    fn spawn_server(tag: &str) -> (ViewServer, WireServer, CgroupId) {
+        let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+        let id = CgroupId(7);
+        server.register(
+            id,
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            EffectiveMemory::new(
+                Bytes::from_mib(500),
+                Bytes::from_gib(1),
+                Bytes::from_mib(64),
+                Bytes::from_mib(128),
+                EffectiveMemoryConfig::default(),
+            ),
+        );
+        let wire = WireServer::spawn(server.clone(), test_socket(tag)).unwrap();
+        (server, wire, id)
+    }
+
+    #[test]
+    fn round_trip_read_and_sysconf() {
+        let (server, wire, id) = spawn_server("rt");
+        let mut client = WireClient::connect(wire.socket_path()).unwrap();
+        let resp = client.read(Some(id), "/proc/cpuinfo").unwrap().unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        assert_eq!(text.matches("processor").count(), 4);
+        assert_eq!(
+            client.sysconf(Some(id), "nprocessors_onln").unwrap(),
+            Some(4)
+        );
+        assert_eq!(client.sysconf(None, "nprocessors_onln").unwrap(), Some(20));
+        assert_eq!(client.sysconf(Some(id), "pagesize").unwrap(), Some(4096));
+        assert!(server.metrics().wire_requests >= 4);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn not_found_paths_and_keys() {
+        let (_server, wire, id) = spawn_server("enoent");
+        let mut client = WireClient::connect(wire.socket_path()).unwrap();
+        assert!(client.read(Some(id), "/nope").unwrap().is_none());
+        assert!(client.sysconf(Some(id), "bogus_key").unwrap().is_none());
+        wire.shutdown();
+    }
+
+    #[test]
+    fn generation_travels_with_responses() {
+        let (server, wire, id) = spawn_server("gen");
+        let mut client = WireClient::connect(wire.socket_path()).unwrap();
+        let before = client.read(Some(id), "/proc/meminfo").unwrap().unwrap();
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        let after = client.read(Some(id), "/proc/meminfo").unwrap().unwrap();
+        assert!(after.generation > before.generation);
+        assert!(String::from_utf8(after.body)
+            .unwrap()
+            .contains(&format!("MemTotal: {} kB", 800 * 1024)));
+        wire.shutdown();
+    }
+
+    #[test]
+    fn multiple_concurrent_connections() {
+        let (_server, wire, id) = spawn_server("conc");
+        let path = wire.socket_path().to_path_buf();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut client = WireClient::connect(&path).unwrap();
+                    for _ in 0..50 {
+                        let v = client.sysconf(Some(id), "nprocessors_onln").unwrap();
+                        assert_eq!(v, Some(4));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        wire.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_counts_as_wire_error() {
+        let (server, wire, _) = spawn_server("bad");
+        let mut stream = UnixStream::connect(wire.socket_path()).unwrap();
+        // kind 9 is unknown; server must answer NOT_FOUND, not hang.
+        write_frame(&mut stream, &[9u8, 0, 0, 0, 0]).unwrap();
+        let resp = read_frame(&mut stream, u32::MAX).unwrap().unwrap();
+        assert_eq!(resp[0], STATUS_NOT_FOUND);
+        // Give the counter a moment (same thread wrote it before reply).
+        assert!(server.metrics().wire_errors >= 1);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_closes_connection() {
+        let (_server, wire, _) = spawn_server("big");
+        let mut stream = UnixStream::connect(wire.socket_path()).unwrap();
+        stream.write_all(&(10_000_000u32).to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 64]).unwrap();
+        // Server drops the connection; the next read sees EOF.
+        let mut buf = [0u8; 1];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0);
+        wire.shutdown();
+    }
+}

@@ -115,7 +115,10 @@ mod tests {
         assert!(dacapo_profile("h2").min_heap > Bytes::from_mib(256));
         // Everyone else fits.
         for name in ["jython", "lusearch", "sunflow", "xalan"] {
-            assert!(dacapo_profile(name).min_heap <= Bytes::from_mib(256), "{name}");
+            assert!(
+                dacapo_profile(name).min_heap <= Bytes::from_mib(256),
+                "{name}"
+            );
         }
     }
 

@@ -12,13 +12,11 @@
 //! every stated aggregate: 62/100 affected, all Java and PHP images
 //! affected, a majority of C++ and half of C.
 
-use serde::{Deserialize, Serialize};
-
 /// The languages of Figure 1, in its x-axis order.
 pub const LANGUAGES: [&str; 7] = ["c", "c++", "java", "go", "python", "php", "ruby"];
 
 /// One image in the census.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImageRecord {
     /// Image name.
     pub name: &'static str,
@@ -31,7 +29,7 @@ pub struct ImageRecord {
 }
 
 /// Per-language aggregate (one bar pair in Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LanguageStat {
     /// Implementation language (Figure 1 buckets).
     pub language: &'static str,
@@ -51,13 +49,13 @@ impl LanguageStat {
 /// Per-language counts: (language, affected, unaffected). Sums to 100
 /// images, 62 affected.
 const CENSUS_SHAPE: [(&str, u32, u32); 7] = [
-    ("c", 8, 8),        // half of C affected (httpd, nginx workers, ...)
-    ("c++", 10, 4),     // majority of C++ (mongodb, rocksdb-based, ...)
-    ("java", 24, 0),    // all Java (tomcat, elasticsearch, kafka, ...)
-    ("go", 3, 7),       // Go runtime reads GOMAXPROCS (mostly unaffected)
-    ("python", 4, 10),  // a few pools size from cpu_count()
-    ("php", 11, 0),     // all PHP (fpm pool sizing)
-    ("ruby", 2, 9),     // puma/sidekiq defaults occasionally
+    ("c", 8, 8),       // half of C affected (httpd, nginx workers, ...)
+    ("c++", 10, 4),    // majority of C++ (mongodb, rocksdb-based, ...)
+    ("java", 24, 0),   // all Java (tomcat, elasticsearch, kafka, ...)
+    ("go", 3, 7),      // Go runtime reads GOMAXPROCS (mostly unaffected)
+    ("python", 4, 10), // a few pools size from cpu_count()
+    ("php", 11, 0),    // all PHP (fpm pool sizing)
+    ("ruby", 2, 9),    // puma/sidekiq defaults occasionally
 ];
 
 /// The full 100-image census.
@@ -100,33 +98,118 @@ pub fn language_stats(records: &[ImageRecord]) -> Vec<LanguageStat> {
 /// Representative image names per language bucket (top-DockerHub-style).
 fn image_name(language: &str, idx: u32) -> &'static str {
     const C: [&str; 16] = [
-        "httpd", "nginx", "redis", "memcached", "postgres", "mariadb", "haproxy", "varnish",
-        "busybox", "alpine", "debian", "ubuntu", "centos", "fedora", "hello-world", "registry",
+        "httpd",
+        "nginx",
+        "redis",
+        "memcached",
+        "postgres",
+        "mariadb",
+        "haproxy",
+        "varnish",
+        "busybox",
+        "alpine",
+        "debian",
+        "ubuntu",
+        "centos",
+        "fedora",
+        "hello-world",
+        "registry",
     ];
     const CPP: [&str; 14] = [
-        "mongo", "mysql", "rethinkdb", "couchbase", "influxdb", "rocksdb-tools", "clickhouse",
-        "percona", "aerospike", "foundationdb", "chromium", "node-v8-tools", "swift", "gcc",
+        "mongo",
+        "mysql",
+        "rethinkdb",
+        "couchbase",
+        "influxdb",
+        "rocksdb-tools",
+        "clickhouse",
+        "percona",
+        "aerospike",
+        "foundationdb",
+        "chromium",
+        "node-v8-tools",
+        "swift",
+        "gcc",
     ];
     const JAVA: [&str; 24] = [
-        "tomcat", "openjdk", "elasticsearch", "kafka", "cassandra", "solr", "jenkins", "maven",
-        "groovy", "zookeeper", "neo4j", "sonarqube", "jetty", "glassfish", "wildfly", "activemq",
-        "flink", "storm", "hbase", "hadoop", "spark", "nifi", "logstash", "gradle",
+        "tomcat",
+        "openjdk",
+        "elasticsearch",
+        "kafka",
+        "cassandra",
+        "solr",
+        "jenkins",
+        "maven",
+        "groovy",
+        "zookeeper",
+        "neo4j",
+        "sonarqube",
+        "jetty",
+        "glassfish",
+        "wildfly",
+        "activemq",
+        "flink",
+        "storm",
+        "hbase",
+        "hadoop",
+        "spark",
+        "nifi",
+        "logstash",
+        "gradle",
     ];
     const GO: [&str; 10] = [
-        "traefik", "consul", "vault", "etcd", "influxdb-v2", "telegraf", "caddy", "minio",
-        "prometheus", "grafana-agent",
+        "traefik",
+        "consul",
+        "vault",
+        "etcd",
+        "influxdb-v2",
+        "telegraf",
+        "caddy",
+        "minio",
+        "prometheus",
+        "grafana-agent",
     ];
     const PYTHON: [&str; 14] = [
-        "python", "django-app", "celery", "odoo", "superset", "airflow", "jupyter", "sentry",
-        "ansible", "saltstack", "flask-app", "gunicorn-app", "uwsgi-app", "scrapy",
+        "python",
+        "django-app",
+        "celery",
+        "odoo",
+        "superset",
+        "airflow",
+        "jupyter",
+        "sentry",
+        "ansible",
+        "saltstack",
+        "flask-app",
+        "gunicorn-app",
+        "uwsgi-app",
+        "scrapy",
     ];
     const PHP: [&str; 11] = [
-        "php", "wordpress", "drupal", "joomla", "nextcloud", "owncloud", "phpmyadmin",
-        "mediawiki", "matomo", "magento", "laravel-app",
+        "php",
+        "wordpress",
+        "drupal",
+        "joomla",
+        "nextcloud",
+        "owncloud",
+        "phpmyadmin",
+        "mediawiki",
+        "matomo",
+        "magento",
+        "laravel-app",
     ];
     const RUBY: [&str; 11] = [
-        "ruby", "rails-app", "redmine", "gitlab-ce", "discourse", "fluentd", "sidekiq-app",
-        "puma-app", "jekyll", "vagrant", "chef",
+        "ruby",
+        "rails-app",
+        "redmine",
+        "gitlab-ce",
+        "discourse",
+        "fluentd",
+        "sidekiq-app",
+        "puma-app",
+        "jekyll",
+        "vagrant",
+        "chef",
     ];
     let table: &[&'static str] = match language {
         "c" => &C,

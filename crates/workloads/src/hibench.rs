@@ -94,7 +94,10 @@ mod tests {
             .max()
             .unwrap();
         for name in HIBENCH_BENCHMARKS {
-            assert!(hibench_profile(name).min_heap > max_dacapo.mul_f64(3.0), "{name}");
+            assert!(
+                hibench_profile(name).min_heap > max_dacapo.mul_f64(3.0),
+                "{name}"
+            );
         }
     }
 
@@ -103,7 +106,10 @@ mod tests {
         // ≥ 64 MiB/worker keeps the dynamic heuristic from capping below
         // the 4-CPU effective share.
         for name in HIBENCH_BENCHMARKS {
-            assert!(hibench_profile(name).young_live >= Bytes::from_mib(256), "{name}");
+            assert!(
+                hibench_profile(name).young_live >= Bytes::from_mib(256),
+                "{name}"
+            );
         }
     }
 

@@ -8,10 +8,9 @@
 
 use arv_cgroups::CgroupId;
 use arv_sim_core::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A multithreaded CPU-bound workload with a fixed CPU budget.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuHog {
     id: CgroupId,
     threads: u32,
@@ -58,9 +57,8 @@ impl CpuHog {
 
     /// Time until completion assuming a full grant (event-driven step cap).
     pub fn horizon(&self) -> Option<SimDuration> {
-        self.is_running().then(|| {
-            (self.remaining / u64::from(self.threads)).max(SimDuration::from_micros(500))
-        })
+        self.is_running()
+            .then(|| (self.remaining / u64::from(self.threads)).max(SimDuration::from_micros(500)))
     }
 
     /// Consume granted CPU time for one period.

@@ -65,7 +65,8 @@ fn main() {
             .sum::<f64>()
             / n;
         let gcs = fleet.jvm(idxs[0]).metrics().gc_count();
-        let last_workers = *fleet.jvm(idxs[0])
+        let last_workers = *fleet
+            .jvm(idxs[0])
             .metrics()
             .gc_thread_trace
             .last()

@@ -50,12 +50,18 @@ fn main() {
     println!("tree-aware Algorithm 1 bounds (20-core host):");
     for (id, name) in names {
         let b = CpuBounds::compute_in_tree(&tree, id, online);
-        println!("  {name:<18} guaranteed {:>2} CPUs, capped at {:>2}", b.lower, b.upper);
+        println!(
+            "  {name:<18} guaranteed {:>2} CPUs, capped at {:>2}",
+            b.lower, b.upper
+        );
     }
 
     let scenarios: [(&str, Vec<CgroupId>); 3] = [
         ("everyone busy", vec![web, sidecar, batch, journald]),
-        ("pod-b idle (its share flows inside kubepods)", vec![web, sidecar, journald]),
+        (
+            "pod-b idle (its share flows inside kubepods)",
+            vec![web, sidecar, journald],
+        ),
         ("only web busy (quota of pod-a caps it at 8)", vec![web]),
     ];
     for (label, active) in scenarios {
@@ -70,6 +76,10 @@ fn main() {
                 println!("  {name:<18} {:>6.2} CPUs", alloc.granted_cpus(id));
             }
         }
-        println!("  {:<18} {:>6.2} CPUs idle", "(slack)", alloc.slack.ratio(period));
+        println!(
+            "  {:<18} {:>6.2} CPUs idle",
+            "(slack)",
+            alloc.slack.ratio(period)
+        );
     }
 }

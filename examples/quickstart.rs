@@ -58,8 +58,7 @@ fn main() {
     println!(
         "inside container:  {} CPUs, {:5.1} GiB memory",
         host.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln),
-        Bytes(host.sysconf(Some(ids[0]), Sysconf::PhysPages) * arv_resview::PAGE_SIZE)
-            .as_gib_f64(),
+        Bytes(host.sysconf(Some(ids[0]), Sysconf::PhysPages) * arv_resview::PAGE_SIZE).as_gib_f64(),
     );
     println!(
         "virtual sysfs:     /sys/devices/system/cpu/online = {:?}",

@@ -49,7 +49,10 @@ fn docker_update_shrinks_the_view_and_the_gc_team() {
     }
     assert_eq!(fleet.jvm(i).outcome(), JvmOutcome::Completed);
     let after = &fleet.jvm(i).metrics().gc_thread_trace[before.len()..];
-    assert!(!after.is_empty(), "collections must continue after the update");
+    assert!(
+        !after.is_empty(),
+        "collections must continue after the update"
+    );
     // Allow the collection in flight at update time to finish wide; all
     // subsequent teams must respect the new 2-CPU bound.
     assert!(
@@ -178,10 +181,7 @@ fn launch_into_a_full_host_starts_at_the_fair_share() {
     assert_eq!(host.effective_cpu(late), 4);
     // The incumbents' lower bounds moved too.
     for id in &ids {
-        assert_eq!(
-            host.monitor().namespace(*id).unwrap().cpu_bounds().lower,
-            4
-        );
+        assert_eq!(host.monitor().namespace(*id).unwrap().cpu_bounds().lower, 4);
     }
 }
 

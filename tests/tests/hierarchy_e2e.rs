@@ -60,24 +60,23 @@ fn adaptive_view_converges_over_the_hierarchy() {
         })
         .collect();
 
-    let drive = |views: &mut BTreeMap<CgroupId, EffectiveCpu>,
-                 active: &[(CgroupId, u32)],
-                 periods: u32| {
-        for _ in 0..periods {
-            let mut demands = BTreeMap::new();
-            for (id, runnable) in active {
-                demands.insert(*id, LeafDemand::cpu_bound(*runnable));
+    let drive =
+        |views: &mut BTreeMap<CgroupId, EffectiveCpu>, active: &[(CgroupId, u32)], periods: u32| {
+            for _ in 0..periods {
+                let mut demands = BTreeMap::new();
+                for (id, runnable) in active {
+                    demands.insert(*id, LeafDemand::cpu_bound(*runnable));
+                }
+                let alloc = allocate_tree(&cfs, period, &c.tree, &demands);
+                for (id, view) in views.iter_mut() {
+                    view.update(CpuSample {
+                        usage: alloc.granted_to(*id),
+                        period,
+                        slack: alloc.slack,
+                    });
+                }
             }
-            let alloc = allocate_tree(&cfs, period, &c.tree, &demands);
-            for (id, view) in views.iter_mut() {
-                view.update(CpuSample {
-                    usage: alloc.granted_to(*id),
-                    period,
-                    slack: alloc.slack,
-                });
-            }
-        }
-    };
+        };
 
     // Phase 1: only web runs — pod-a's nested 8-CPU quota caps its view
     // even though the machine is idle.
@@ -88,7 +87,12 @@ fn adaptive_view_converges_over_the_hierarchy() {
     // tree-composed guarantees.
     drive(
         &mut views,
-        &[(c.web, 20), (c.sidecar, 20), (c.batch, 20), (c.journald, 20)],
+        &[
+            (c.web, 20),
+            (c.sidecar, 20),
+            (c.batch, 20),
+            (c.journald, 20),
+        ],
         60,
     );
     for (id, name) in [

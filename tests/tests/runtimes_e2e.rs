@@ -87,11 +87,13 @@ fn elastic_heap_survives_what_kills_the_static_heap() {
         (fleet.jvm(i).outcome(), host.mem().swap_out_total())
     };
     let (vanilla_outcome, vanilla_swap) = scenario(JvmConfig::vanilla_jdk8());
-    let (elastic_outcome, elastic_swap) = scenario(
-        JvmConfig::adaptive().with_heap_policy(HeapPolicy::Elastic),
-    );
+    let (elastic_outcome, elastic_swap) =
+        scenario(JvmConfig::adaptive().with_heap_policy(HeapPolicy::Elastic));
     assert_eq!(vanilla_outcome, JvmOutcome::Completed);
-    assert!(vanilla_swap > Bytes::ZERO, "vanilla must overcommit and swap");
+    assert!(
+        vanilla_swap > Bytes::ZERO,
+        "vanilla must overcommit and swap"
+    );
     assert_eq!(elastic_outcome, JvmOutcome::Completed);
     assert_eq!(elastic_swap, Bytes::ZERO, "elastic must never swap");
 }

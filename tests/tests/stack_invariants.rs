@@ -23,13 +23,15 @@ fn plan_strategy() -> impl Strategy<Value = ContainerPlan> {
         prop::collection::vec(0u32..32, 8..24),
         prop::collection::vec(0u16..200, 8..24),
     )
-        .prop_map(|(quota, shares, hard_mib, runnable, charge_mib)| ContainerPlan {
-            quota,
-            shares,
-            hard_mib,
-            runnable,
-            charge_mib,
-        })
+        .prop_map(
+            |(quota, shares, hard_mib, runnable, charge_mib)| ContainerPlan {
+                quota,
+                shares,
+                hard_mib,
+                runnable,
+                charge_mib,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,198 @@
+//! End-to-end concurrency test for the `arv-viewd` daemon: several query
+//! threads hammer file reads while an updater republishes views, and
+//! every served image must be untorn — all numbers inside one image
+//! belong to one published (cpus, bytes) pair — with per-container
+//! generations observed monotonically by every reader.
+//!
+//! The updater maintains two invariants the readers can check from any
+//! single image: `bytes = cpus × 64 MiB` and `avail = bytes / 2`. A torn
+//! image (CPU count from one update, memory size from another) would
+//! break them.
+
+use arv_cgroups::{Bytes, CgroupId};
+use arv_resview::effective_cpu::CpuBounds;
+use arv_resview::effective_mem::{EffectiveMemory, EffectiveMemoryConfig};
+use arv_resview::{EffectiveCpuConfig, Sysconf, PAGE_SIZE};
+use arv_viewd::{HostSpec, ViewServer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const MIB: u64 = 1024 * 1024;
+const STRIDE: u64 = 64 * MIB;
+const MAX_CPUS: u64 = 16;
+
+fn mk_server(ids: &[CgroupId]) -> ViewServer {
+    let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+    for id in ids {
+        server.register(
+            *id,
+            CpuBounds {
+                lower: 1,
+                upper: 16,
+            },
+            EffectiveCpuConfig::default(),
+            EffectiveMemory::new(
+                Bytes(STRIDE),
+                Bytes(MAX_CPUS * STRIDE),
+                Bytes::from_mib(1280),
+                Bytes::from_mib(2560),
+                EffectiveMemoryConfig::default(),
+            ),
+        );
+    }
+    // Establish the invariants before any reader runs: the registration
+    // state itself doesn't satisfy them.
+    for id in ids {
+        publish(&server, *id, 1);
+    }
+    server
+}
+
+/// Publish the view for round `k`: `cpus` in `1..=16`, `bytes` derived
+/// from it, `avail` half of that.
+fn publish(server: &ViewServer, id: CgroupId, k: u64) {
+    let cpus = (k % MAX_CPUS) + 1;
+    let bytes = cpus * STRIDE;
+    assert!(server.mirror(id, cpus as u32, Bytes(bytes), Bytes(bytes / 2)));
+}
+
+fn parse_meminfo(image: &str) -> (u64, u64) {
+    let field = |name: &str| {
+        let line = image
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("meminfo missing {name}: {image:?}"));
+        let kb: u64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad meminfo line {line:?}"));
+        kb * 1024
+    };
+    (field("MemTotal:"), field("MemFree:"))
+}
+
+#[test]
+fn concurrent_readers_never_see_torn_or_regressing_views() {
+    let ids = [CgroupId(1), CgroupId(2), CgroupId(3)];
+    let server = mk_server(&ids);
+    const READERS: usize = 6; // two per container, ≥4 racing the updater
+    const MIN_READER_ITERS: u64 = 300;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let iters: Arc<Vec<AtomicU64>> = Arc::new((0..READERS).map(|_| AtomicU64::new(0)).collect());
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let client = server.client();
+        let stop = Arc::clone(&stop);
+        let iters = Arc::clone(&iters);
+        let barrier = Arc::clone(&barrier);
+        let id = ids[r % ids.len()];
+        readers.push(thread::spawn(move || {
+            barrier.wait();
+            let mut last_generation = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                // /proc/cpuinfo: stanza count is the published CPU count.
+                let cpuinfo = client.read(Some(id), "/proc/cpuinfo").expect("cpuinfo");
+                let cpus = cpuinfo.image.matches("processor\t:").count() as u64;
+                assert!((1..=MAX_CPUS).contains(&cpus), "cpus {cpus} out of range");
+                assert!(
+                    cpuinfo.generation >= last_generation,
+                    "generation regressed {last_generation} -> {}",
+                    cpuinfo.generation
+                );
+                last_generation = cpuinfo.generation;
+
+                // /proc/meminfo: both lines must come from one publish.
+                let meminfo = client.read(Some(id), "/proc/meminfo").expect("meminfo");
+                let (total, free) = parse_meminfo(&meminfo.image);
+                assert_eq!(total % STRIDE, 0, "torn meminfo: MemTotal {total}");
+                assert!((1..=MAX_CPUS).contains(&(total / STRIDE)));
+                assert_eq!(free, total / 2, "torn meminfo: {total} vs free {free}");
+
+                // Same generation ⇒ the two images describe one
+                // (cpus, bytes) pair and must agree cross-file.
+                if meminfo.generation == cpuinfo.generation {
+                    assert_eq!(
+                        total,
+                        cpus * STRIDE,
+                        "gen {} images disagree: {cpus} cpus vs {total} bytes",
+                        cpuinfo.generation
+                    );
+                }
+                assert!(meminfo.generation >= last_generation);
+                last_generation = meminfo.generation;
+
+                // cpu.max: quota must be an exact multiple of the period.
+                let cpu_max = client.read(Some(id), "cpu.max").expect("cpu.max");
+                let mut parts = cpu_max.image.split_whitespace();
+                let quota: u64 = parts.next().unwrap().parse().unwrap();
+                let period: u64 = parts.next().unwrap().parse().unwrap();
+                assert_eq!(quota % period, 0, "torn cpu.max {:?}", cpu_max.image);
+                assert!((1..=MAX_CPUS).contains(&(quota / period)));
+
+                // sysconf pair from one snapshot each.
+                let n = client.sysconf(Some(id), Sysconf::NprocessorsOnln);
+                assert!((1..=MAX_CPUS).contains(&n));
+                let pages = client.sysconf(Some(id), Sysconf::PhysPages);
+                assert_eq!((pages * PAGE_SIZE) % STRIDE, 0);
+
+                iters[r].fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    barrier.wait();
+    // Updater: republish round-robin until every reader has done enough
+    // full iterations against a moving target.
+    let mut round = 0u64;
+    while iters
+        .iter()
+        .any(|i| i.load(Ordering::Relaxed) < MIN_READER_ITERS)
+    {
+        round += 1;
+        for id in &ids {
+            publish(&server, *id, round);
+        }
+        if round % 16 == 0 {
+            thread::yield_now();
+        }
+        assert!(round < 200_000_000, "readers starved");
+    }
+    stop.store(true, Ordering::Release);
+    for handle in readers {
+        handle.join().expect("reader panicked");
+    }
+
+    // Accounting closes: every query either hit the cache or rendered.
+    let m = server.metrics();
+    assert_eq!(m.failures, 0);
+    assert_eq!(m.cache_hits + m.cache_misses, m.queries);
+    assert!(m.queries >= READERS as u64 * MIN_READER_ITERS * 5);
+    // The updater really raced the readers through many generations.
+    let client = server.client();
+    for id in &ids {
+        assert!(client.generation(*id).unwrap() >= 2 * round.min(1000));
+    }
+}
+
+#[test]
+fn generations_are_monotone_across_unregister_and_reads() {
+    let ids = [CgroupId(7)];
+    let server = mk_server(&ids);
+    let client = server.client();
+    let g0 = client.generation(ids[0]).unwrap();
+    publish(&server, ids[0], 5);
+    let g1 = client.generation(ids[0]).unwrap();
+    assert!(g1 > g0);
+    let read = client.read(Some(ids[0]), "/proc/cpuinfo").unwrap();
+    assert_eq!(read.generation, g1);
+    server.unregister(ids[0]);
+    // Host fallback serves generation 0 images but never fails.
+    let host = client.read(Some(ids[0]), "/proc/cpuinfo").unwrap();
+    assert_eq!(host.generation, 0);
+    assert_eq!(server.metrics().failures, 0);
+}

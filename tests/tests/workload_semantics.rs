@@ -56,7 +56,10 @@ fn mutator_count_bounds_cpu_consumption() {
     ));
     assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
     let exec = fleet.jvm(i).metrics().exec_wall.as_secs_f64();
-    assert!(exec >= 8.0 / 2.0, "8 CPU-s over 2 mutators needs ≥4 s, got {exec:.2}");
+    assert!(
+        exec >= 8.0 / 2.0,
+        "8 CPU-s over 2 mutators needs ≥4 s, got {exec:.2}"
+    );
 }
 
 #[test]
@@ -103,7 +106,11 @@ fn omp_sync_cost_penalizes_large_teams_on_small_regions() {
             sync_per_thread: SimDuration::from_micros(500),
         };
         let mut fleet = Fleet::new();
-        let i = fleet.push_omp(OmpRuntime::launch(id, ThreadStrategy::Static(team), profile));
+        let i = fleet.push_omp(OmpRuntime::launch(
+            id,
+            ThreadStrategy::Static(team),
+            profile,
+        ));
         assert!(fleet.run(&mut host, SimDuration::from_secs(100_000)));
         fleet.omp(i).metrics().exec_wall.as_secs_f64()
     };
