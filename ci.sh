@@ -12,7 +12,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo clippy -p arv-view-server (no unwraps in serving paths)"
+cargo clippy -p arv-view-server -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> fault-pipeline e2e (wire kill/restart under concurrent readers)"
+cargo test -q -p arv-integration-tests --test fault_pipeline_e2e
+
+echo "==> chaos experiment (seeded fault injection, replay-checked)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --scale 0.5 > /dev/null
 
 echo "==> ci: all green"

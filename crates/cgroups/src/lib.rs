@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod events;
 pub mod hierarchy;
 pub mod manager;
 pub mod memory;
 
 pub use cpu::{CpuController, CpuSet};
+pub use events::{EventPipe, SeqEvent, DEFAULT_PIPE_CAPACITY};
 pub use hierarchy::CgroupTree;
 pub use manager::{CgroupEvent, CgroupId, CgroupManager, CgroupSpec};
 pub use memory::{Bytes, MemController};

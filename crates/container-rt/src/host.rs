@@ -1,13 +1,16 @@
 //! The simulated host: all substrates advancing in lock-step.
 
 use arv_cfs::{Allocation, CfsSim, GroupDemand, Loadavg, UsageLedger};
-use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec};
+use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec, EventPipe, DEFAULT_PIPE_CAPACITY};
 use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
 use arv_resview::effective_mem::EffectiveMemoryConfig;
 use arv_resview::namespace::Pid;
-use arv_resview::{CpuBounds, EffectiveMemory, HostView, NsMonitor, Sysconf, VirtualSysfs};
-use arv_sim_core::{clock::sched_period, SimClock, SimDuration, SimTime};
+use arv_resview::{
+    CpuBounds, EffectiveMemory, HostView, NsMonitor, StalenessPolicy, Sysconf, Verdict,
+    VirtualSysfs, Watchdog, WatchdogConfig, WatchdogStats,
+};
+use arv_sim_core::{clock::sched_period, FaultPlan, FaultStats, SimClock, SimDuration, SimTime};
 use arv_viewd::{HostSpec, ViewServer};
 use std::collections::BTreeMap;
 
@@ -35,6 +38,12 @@ struct ContainerMeta {
 /// Owns the cgroup manager, scheduler, memory manager, usage accounting,
 /// load average, and the `ns_monitor`, and advances them together one
 /// scheduling period at a time via [`SimHost::step`].
+///
+/// Cgroup events reach the monitor through a bounded [`EventPipe`]
+/// rather than a direct call, and a [`Watchdog`] audits the delivery:
+/// dropped or overflowed events (and monitor stalls injected via
+/// [`SimHost::inject_monitor_stall`] or a [`FaultPlan`]) are detected
+/// and repaired by a full [`NsMonitor::resync`].
 #[derive(Debug)]
 pub struct SimHost {
     clock: SimClock,
@@ -50,6 +59,13 @@ pub struct SimHost {
     cpu_cfg: EffectiveCpuConfig,
     mem_cfg: EffectiveMemoryConfig,
     viewd: Option<ViewServer>,
+    pipe: EventPipe,
+    watchdog: Watchdog,
+    fault_plan: Option<FaultPlan>,
+    // Remaining update-timer firings the monitor sleeps through.
+    stall_ticks: u64,
+    // Remaining update-timer firings whose viewd publish is suppressed.
+    delay_publish_ticks: u64,
 }
 
 impl SimHost {
@@ -87,6 +103,11 @@ impl SimHost {
             cpu_cfg,
             mem_cfg,
             viewd: None,
+            pipe: EventPipe::new(DEFAULT_PIPE_CAPACITY),
+            watchdog: Watchdog::new(WatchdogConfig::default()),
+            fault_plan: None,
+            stall_ticks: 0,
+            delay_publish_ticks: 0,
         }
     }
 
@@ -117,15 +138,16 @@ impl SimHost {
     pub fn launch(&mut self, spec: &ContainerSpec) -> CgroupId {
         let id = self.cgm.create(CgroupSpec::new(spec.cpu, spec.mem));
         self.mem.register(id, spec.mem);
-        self.monitor.sync(&mut self.cgm);
+        self.pump_events();
 
         let new_init = Pid(self.next_pid);
         self.next_pid += 1;
-        let ns = self
-            .monitor
-            .namespace_mut(id)
-            .expect("sync created the namespace");
-        ns.transfer_ownership(new_init);
+        // Under a fault (stalled monitor, dropped Created event) the
+        // namespace may not exist yet; the watchdog's resync recreates
+        // it and ownership is restored from the container table then.
+        if let Some(ns) = self.monitor.namespace_mut(id) {
+            ns.transfer_ownership(new_init);
+        }
 
         self.containers.insert(
             id,
@@ -149,7 +171,7 @@ impl SimHost {
             self.cgm.remove(id);
             self.mem.unregister(id);
             self.ledger.forget(id);
-            self.monitor.sync(&mut self.cgm);
+            self.pump_events();
             if let Some(server) = &self.viewd {
                 server.unregister(id);
                 self.viewd_mirror_all();
@@ -162,8 +184,99 @@ impl SimHost {
         assert!(self.containers.contains_key(&id), "unknown container");
         self.cgm.update(id, CgroupSpec::new(spec.cpu, spec.mem));
         self.mem.set_limits(id, spec.mem);
-        self.monitor.sync(&mut self.cgm);
+        self.pump_events();
         self.viewd_mirror_all();
+    }
+
+    // --- fault-tolerant event pipeline ---
+
+    /// Route pending cgroup events through the bounded pipe into the
+    /// monitor, and let the watchdog audit the delivery. When the
+    /// monitor is stalled, events pile up in the pipe (possibly
+    /// overflowing it) instead of being delivered.
+    fn pump_events(&mut self) {
+        for ev in self.cgm.drain_events() {
+            self.pipe.push(ev);
+        }
+        if self.monitor_stalled() {
+            return;
+        }
+        let mut events = self.pipe.drain();
+        if let Some(plan) = &mut self.fault_plan {
+            plan.mangle_queue(&mut events);
+        }
+        let report = self.monitor.ingest(&events, &self.cgm);
+        let overflow = self.pipe.take_overflow_dropped();
+        if self.watchdog.after_ingest(&report, overflow) == Verdict::Resync {
+            self.resync_now();
+        }
+    }
+
+    /// Rebuild monitor state from the cgroup hierarchy: recreate missing
+    /// namespaces, drop orphans, recompute every bound, realign the
+    /// event sequence, and restore namespace ownership from the
+    /// container table.
+    fn resync_now(&mut self) {
+        self.monitor.resync(&mut self.cgm);
+        self.monitor.align_seq(self.pipe.next_seq());
+        for (id, meta) in &self.containers {
+            if let Some(ns) = self.monitor.namespace_mut(*id) {
+                if ns.owner() != meta.init_pid {
+                    ns.transfer_ownership(meta.init_pid);
+                }
+            }
+        }
+        self.watchdog.note_resynced();
+    }
+
+    /// Whether the monitor is currently sleeping through its deadlines
+    /// (an injected stall or a [`FaultPlan`] stall window).
+    pub fn monitor_stalled(&self) -> bool {
+        self.stall_ticks > 0
+            || self
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.monitor_stalled(self.monitor.now_tick()))
+    }
+
+    /// Stall the monitor for the next `ticks` update-timer firings: no
+    /// event delivery, no view updates, no publishes. The staleness
+    /// clock keeps running, so served views age honestly.
+    pub fn inject_monitor_stall(&mut self, ticks: u64) {
+        self.stall_ticks += ticks;
+    }
+
+    /// Suppress the viewd publish for the next `ticks` update-timer
+    /// firings (the monitor keeps updating its own namespaces).
+    pub fn inject_publish_delay(&mut self, ticks: u64) {
+        self.delay_publish_ticks += ticks;
+    }
+
+    /// Install a deterministic fault plan driving event mangling and
+    /// stall/delay windows. Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Remove and return the current fault plan.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// Counters from the current fault plan, if one is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault_plan.as_ref().map(|p| p.stats())
+    }
+
+    /// The watchdog's counters (missed ticks, gaps, overflows, resyncs).
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog.stats()
+    }
+
+    /// The monitor's update-timer tick count (advances once per firing,
+    /// stalled or not).
+    pub fn now_tick(&self) -> u64 {
+        self.monitor.now_tick()
     }
 
     // --- view daemon attachment ---
@@ -217,11 +330,14 @@ impl SimHost {
         server.register(id, bounds, self.cpu_cfg, e_mem);
     }
 
-    /// Push a container's current effective view into the daemon.
+    /// Push a container's current effective view into the daemon, along
+    /// with the conservative fallback the daemon serves if this publish
+    /// turns out to be the last one for a while.
     fn viewd_mirror(&self, id: CgroupId) {
         let (Some(server), Some(ns)) = (&self.viewd, self.monitor.namespace(id)) else {
             return;
         };
+        server.set_fallback(id, ns.cpu_bounds().lower, ns.soft_limit());
         server.mirror(
             id,
             ns.effective_cpu(),
@@ -274,20 +390,47 @@ impl SimHost {
         let alloc = self.cfs.allocate(period, demands);
         self.ledger.record(&alloc);
         self.mem.kswapd_step(period);
-        self.monitor.sync(&mut self.cgm);
+        self.pump_events();
         self.update_timer_elapsed += period;
         if self.update_timer_elapsed >= sched {
-            self.monitor.tick_window(&self.ledger, &self.mem);
-            self.ledger.reset_window();
             self.update_timer_elapsed = SimDuration::ZERO;
-            if self.viewd.is_some() {
-                self.viewd_mirror_all();
-            }
+            self.on_update_timer();
         }
         self.loadavg.observe(total_runnable, period);
         let now = self.clock.advance(period);
 
         StepOutcome { period, alloc, now }
+    }
+
+    /// One firing of the `sys_namespace` update timer.
+    fn on_update_timer(&mut self) {
+        // The tick models the timer itself, so it advances whether or
+        // not the monitor gets to its work — that difference is exactly
+        // what staleness measures.
+        self.monitor.observe_tick();
+        if let Some(server) = &self.viewd {
+            server.advance_tick();
+        }
+        if self.monitor_stalled() {
+            self.stall_ticks = self.stall_ticks.saturating_sub(1);
+            self.watchdog.note_missed_deadline();
+            // The usage window keeps accumulating unread; views and
+            // publishes stay frozen at their last values.
+            return;
+        }
+        // A resync latched while the monitor was stalled runs on the
+        // first healthy firing.
+        if self.watchdog.take_pending_resync() {
+            self.resync_now();
+        }
+        self.monitor.tick_window(&self.ledger, &self.mem);
+        self.ledger.reset_window();
+        self.watchdog.note_deadline_met();
+        if self.delay_publish_ticks > 0 {
+            self.delay_publish_ticks -= 1;
+        } else if self.viewd.is_some() {
+            self.viewd_mirror_all();
+        }
     }
 
     /// Build a CPU-bound demand for a container from its cgroup settings.
@@ -324,6 +467,21 @@ impl SimHost {
                 total_memory: self.mem.total(),
                 free_memory: self.mem.free(),
             },
+        )
+    }
+
+    /// Like [`SimHost::sysfs`], but staleness-aware: container queries
+    /// are judged against `policy` and degrade to the conservative
+    /// fallback once their view ages past the budget.
+    pub fn sysfs_with_policy(&self, policy: StalenessPolicy) -> VirtualSysfs<'_> {
+        VirtualSysfs::with_policy(
+            &self.monitor,
+            HostView {
+                online_cpus: self.cfs.online_count(),
+                total_memory: self.mem.total(),
+                free_memory: self.mem.free(),
+            },
+            policy,
         )
     }
 
@@ -654,5 +812,121 @@ mod tests {
         let mut host = SimHost::paper_testbed();
         host.terminate(CgroupId(77));
         assert_eq!(host.container_count(), 0);
+    }
+
+    #[test]
+    fn stalled_monitor_misses_launches_until_resync() {
+        let mut host = SimHost::paper_testbed();
+        let a = host.launch(&ContainerSpec::new("a", 20).cpus(10.0));
+        host.inject_monitor_stall(4);
+        assert!(host.monitor_stalled());
+        let d = host.demand(a, 4);
+        host.step(&[d]);
+        // Launched mid-stall: the Created event is stuck in the pipe.
+        let b = host.launch(&ContainerSpec::new("b", 20).cpus(10.0));
+        assert!(host.monitor().namespace(b).is_none());
+        // Ride out the stall; the first healthy firing resyncs.
+        for _ in 0..5 {
+            let d = host.demand(a, 4);
+            host.step(&[d]);
+        }
+        assert!(!host.monitor_stalled());
+        let ns = host.monitor().namespace(b).expect("resync recreated it");
+        assert_eq!(ns.owner(), host.init_pid(b).unwrap());
+        let w = host.watchdog_stats();
+        assert!(w.missed_ticks >= 3, "stall shows up as missed deadlines");
+        assert!(w.resyncs >= 1);
+    }
+
+    #[test]
+    fn dropped_events_are_detected_as_a_gap_and_resynced() {
+        use arv_sim_core::FaultConfig;
+        let mut host = SimHost::paper_testbed();
+        let _a = host.launch(&ContainerSpec::new("a", 20).cpus(10.0));
+        host.set_fault_plan(FaultPlan::new(
+            7,
+            FaultConfig {
+                drop_prob: 1.0,
+                ..FaultConfig::quiet()
+            },
+        ));
+        let b = host.launch(&ContainerSpec::new("b", 20).cpus(10.0));
+        assert!(
+            host.monitor().namespace(b).is_none(),
+            "Created event was dropped in flight"
+        );
+        assert!(host.fault_stats().unwrap().dropped >= 1);
+        host.take_fault_plan();
+        // The next delivered event exposes the sequence gap; the
+        // watchdog resyncs and recovers container b wholesale.
+        let c = host.launch(&ContainerSpec::new("c", 20).cpus(10.0));
+        assert!(host.monitor().namespace(b).is_some());
+        assert!(host.monitor().namespace(c).is_some());
+        assert_eq!(
+            host.monitor().namespace(b).unwrap().owner(),
+            host.init_pid(b).unwrap()
+        );
+        assert!(host.watchdog_stats().gaps_detected >= 1);
+        assert!(host.watchdog_stats().resyncs >= 1);
+    }
+
+    #[test]
+    fn publish_delay_degrades_viewd_to_lower_bound_and_recovers() {
+        let mut host = SimHost::paper_testbed();
+        let server = ViewServer::new(host.viewd_host_spec(), 4);
+        host.attach_viewd(server.clone());
+        let ids = five_paper_containers(&mut host);
+        for _ in 0..50 {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+        let client = server.client();
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+        // Suppress publishes past the staleness budget: the daemon keeps
+        // answering, but from the conservative fallback (the 4-CPU lower
+        // bound), never the frozen 10-CPU view.
+        let budget = server.policy().budget;
+        host.inject_publish_delay(budget + 2);
+        for _ in 0..(budget + 2) {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        assert!(client.health(Some(ids[0])).is_degraded());
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 4);
+        assert!(server.metrics().degraded_serves >= 1);
+        // Publishes resume: one firing later the live view is back.
+        let d = vec![host.demand(ids[0], 20)];
+        host.step(&d);
+        assert!(client.health(Some(ids[0])).is_fresh());
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+    }
+
+    #[test]
+    fn stalled_monitor_ages_viewd_views_into_degraded_serving() {
+        let mut host = SimHost::paper_testbed();
+        let server = ViewServer::new(host.viewd_host_spec(), 4);
+        host.attach_viewd(server.clone());
+        let ids = five_paper_containers(&mut host);
+        for _ in 0..50 {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        let client = server.client();
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+        let budget = server.policy().budget;
+        host.inject_monitor_stall(budget + 2);
+        for _ in 0..(budget + 2) {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        // The stall froze publishes too; the viewd clock kept ticking.
+        assert!(client.health(Some(ids[0])).is_degraded());
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 4);
+        // Recovery: the post-stall firing updates and republishes.
+        let d = vec![host.demand(ids[0], 20)];
+        host.step(&d);
+        assert!(client.health(Some(ids[0])).is_fresh());
+        assert!(host.watchdog_stats().missed_ticks >= budget);
     }
 }

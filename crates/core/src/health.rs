@@ -1,0 +1,125 @@
+//! View staleness classification.
+//!
+//! Every published view carries the update-timer tick it was computed
+//! at. Consumers compare that stamp against the current tick and get a
+//! [`ViewHealth`]: `Fresh` while the monitor is keeping up, `Stale` once
+//! an update has been missed, and `Degraded` past a configurable
+//! staleness budget — at which point the serving layer stops forwarding
+//! the (possibly wrong) adaptive view and falls back to the paper's own
+//! safe resets: effective CPU clamped to Algorithm 1's lower bound and
+//! effective memory reset to the soft limit. Both are values the
+//! container is entitled to under any interleaving, so a consumer sized
+//! against a degraded view can never over-provision.
+
+/// Health of a served view, judged by its age in update-timer ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewHealth {
+    /// The view reflects the latest (or previous) update period.
+    Fresh,
+    /// Updates have been missed, but the view is within the staleness
+    /// budget and is still served as-is.
+    Stale {
+        /// Ticks since the view was last refreshed.
+        age: u64,
+    },
+    /// The view aged past the staleness budget; the conservative
+    /// fallback view is served instead.
+    Degraded {
+        /// Ticks since the view was last refreshed.
+        age: u64,
+    },
+}
+
+impl ViewHealth {
+    /// Ticks since the last refresh (0 when fresh).
+    pub fn age(&self) -> u64 {
+        match *self {
+            ViewHealth::Fresh => 0,
+            ViewHealth::Stale { age } | ViewHealth::Degraded { age } => age,
+        }
+    }
+
+    /// Whether the fallback view is being served.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ViewHealth::Degraded { .. })
+    }
+
+    /// Whether the view is current.
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, ViewHealth::Fresh)
+    }
+}
+
+/// How many missed update periods a view may age before the serving
+/// layer degrades it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessPolicy {
+    /// Maximum view age, in update-timer ticks (CFS periods), that is
+    /// still served as-is. Ages strictly greater degrade.
+    pub budget: u64,
+}
+
+impl Default for StalenessPolicy {
+    /// The default budget is 4 CFS periods (~96 ms at the paper's 24 ms
+    /// period): long enough to ride out scheduling hiccups, short enough
+    /// that consumers never act on a view a whole second old.
+    fn default() -> StalenessPolicy {
+        StalenessPolicy { budget: 4 }
+    }
+}
+
+impl StalenessPolicy {
+    /// A policy with the given budget.
+    pub fn with_budget(budget: u64) -> StalenessPolicy {
+        StalenessPolicy { budget }
+    }
+
+    /// Classify a view of the given age.
+    ///
+    /// Age 0 or 1 is `Fresh` — a view stamped last tick is simply the
+    /// normal cadence, not a missed deadline.
+    pub fn classify(&self, age: u64) -> ViewHealth {
+        if age <= 1 {
+            ViewHealth::Fresh
+        } else if age <= self.budget {
+            ViewHealth::Stale { age }
+        } else {
+            ViewHealth::Degraded { age }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_brackets() {
+        let p = StalenessPolicy::default();
+        assert_eq!(p.classify(0), ViewHealth::Fresh);
+        assert_eq!(p.classify(1), ViewHealth::Fresh);
+        assert_eq!(p.classify(2), ViewHealth::Stale { age: 2 });
+        assert_eq!(p.classify(4), ViewHealth::Stale { age: 4 });
+        assert_eq!(p.classify(5), ViewHealth::Degraded { age: 5 });
+        assert_eq!(p.classify(1000), ViewHealth::Degraded { age: 1000 });
+    }
+
+    #[test]
+    fn helpers_agree_with_variant() {
+        let p = StalenessPolicy::with_budget(2);
+        assert!(p.classify(1).is_fresh());
+        assert!(!p.classify(3).is_fresh());
+        assert!(p.classify(3).is_degraded());
+        assert_eq!(p.classify(3).age(), 3);
+        assert_eq!(p.classify(0).age(), 0);
+    }
+
+    #[test]
+    fn zero_budget_degrades_anything_not_fresh() {
+        // budget 0 < age 2: even one missed period degrades. Ages ≤ 1
+        // remain fresh by definition of the cadence.
+        let p = StalenessPolicy::with_budget(0);
+        assert!(p.classify(2).is_degraded());
+        assert!(p.classify(1).is_fresh());
+    }
+}

@@ -49,19 +49,23 @@
 
 pub mod effective_cpu;
 pub mod effective_mem;
+pub mod health;
 pub mod live;
 pub mod monitor;
 pub mod namespace;
 pub mod render;
 pub mod sysfs;
+pub mod watchdog;
 
 pub use effective_cpu::{
     CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig, FractionalEffectiveCpu,
 };
 pub use effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
+pub use health::{StalenessPolicy, ViewHealth};
 pub use live::{
     CgroupChange, HostSampler, LiveMonitor, LiveRegistry, LiveSample, NsCell, ViewSnapshot,
 };
-pub use monitor::NsMonitor;
+pub use monitor::{IngestReport, NsMonitor};
 pub use namespace::SysNamespace;
 pub use sysfs::{HostView, Sysconf, VirtualSysfs, PAGE_SIZE};
+pub use watchdog::{Verdict, Watchdog, WatchdogConfig, WatchdogStats};

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig};
 use crate::effective_mem::{EffectiveMemory, MemSample};
+use crate::health::{StalenessPolicy, ViewHealth};
 
 /// One update observation delivered by the host sampler.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +88,12 @@ pub struct NsCell {
     e_avail: AtomicU64,
     updates: AtomicU64,
     generation: AtomicU64,
+    // Tick of the last publish, and the conservative fallback view
+    // (Algorithm 1's lower bound, Algorithm 2's soft limit) served when
+    // the cell ages past the staleness budget.
+    last_tick: AtomicU64,
+    fb_cpu: AtomicU32,
+    fb_mem: AtomicU64,
     state: Mutex<CellState>,
 }
 
@@ -104,6 +111,9 @@ impl NsCell {
             e_avail: AtomicU64::new(mem.value().as_u64()),
             updates: AtomicU64::new(0),
             generation: AtomicU64::new(0),
+            last_tick: AtomicU64::new(0),
+            fb_cpu: AtomicU32::new(cpu.bounds().lower),
+            fb_mem: AtomicU64::new(mem.soft_limit().as_u64()),
             state: Mutex::new(CellState { cpu, mem }),
         }
     }
@@ -177,8 +187,12 @@ impl NsCell {
 
     /// Apply one update (the per-period refresh). Called by the monitor
     /// thread; also directly from benches to measure the update cost.
+    ///
+    /// Lock poisoning is recovered everywhere in this module: a panicked
+    /// updater must not take the registry down for every reader, and the
+    /// seqlock bracket means a half-applied update is never observable.
     pub fn apply(&self, sample: LiveSample) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let cpu = st.cpu.update(sample.cpu);
         let mem = st.mem.update(sample.mem);
         let avail = mem.saturating_sub(sample.mem.usage);
@@ -186,11 +200,14 @@ impl NsCell {
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Refresh static bounds/limits (cgroup change).
+    /// Refresh static bounds/limits (cgroup change). The conservative
+    /// fallback view tracks the new bounds too.
     pub fn set_static(&self, bounds: CpuBounds, soft: Bytes, hard: Bytes) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.cpu.set_bounds(bounds);
         st.mem.set_limits(soft, hard);
+        self.fb_cpu.store(bounds.lower, Ordering::Release);
+        self.fb_mem.store(soft.as_u64(), Ordering::Release);
         let mem = st.mem.value();
         let avail = mem.saturating_sub(st.mem.last_usage().unwrap_or(Bytes(0)));
         self.publish(st.cpu.value(), mem, avail);
@@ -202,9 +219,51 @@ impl NsCell {
     /// runs Algorithms 1–2 in its single-threaded `NsMonitor` and pushes
     /// the results here so the view daemon serves them concurrently.
     pub fn force_publish(&self, cpus: u32, mem: Bytes, avail: Bytes) {
-        let _st = self.state.lock().unwrap();
+        let _st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         self.publish(cpus, mem, avail);
         self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the update-timer tick of the latest publish (set by the
+    /// updater alongside each publish or mirror).
+    #[inline]
+    pub fn stamp(&self, tick: u64) {
+        self.last_tick.store(tick, Ordering::Release);
+    }
+
+    /// Tick of the last publish.
+    #[inline]
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick.load(Ordering::Acquire)
+    }
+
+    /// Refresh the conservative fallback view (Algorithm 1's lower
+    /// bound, the soft memory limit) served while the cell is degraded.
+    pub fn set_fallback(&self, cpus: u32, mem: Bytes) {
+        self.fb_cpu.store(cpus, Ordering::Release);
+        self.fb_mem.store(mem.as_u64(), Ordering::Release);
+    }
+
+    /// Classify this cell's age against `policy` at tick `now`.
+    pub fn health(&self, now: u64, policy: &StalenessPolicy) -> ViewHealth {
+        policy.classify(now.saturating_sub(self.last_tick()))
+    }
+
+    /// The conservative fallback view, served in place of
+    /// [`snapshot`](NsCell::snapshot) once the cell is degraded: CPU at
+    /// Algorithm 1's lower bound, memory reset to the soft limit — the
+    /// paper's own safe resets, legal under any interleaving. Available
+    /// memory never exceeds either the fallback size or the last
+    /// published availability.
+    pub fn degraded_snapshot(&self) -> ViewSnapshot {
+        let last = self.snapshot();
+        let bytes = Bytes(self.fb_mem.load(Ordering::Acquire));
+        ViewSnapshot {
+            cpus: self.fb_cpu.load(Ordering::Acquire),
+            bytes,
+            avail: last.avail.min(bytes),
+            generation: last.generation,
+        }
     }
 }
 
@@ -230,7 +289,11 @@ impl LiveRegistry {
         mem: EffectiveMemory,
     ) -> Arc<NsCell> {
         let cell = Arc::new(NsCell::new(EffectiveCpu::new(bounds, cpu_cfg), mem));
-        let prev = self.cells.write().unwrap().insert(id, Arc::clone(&cell));
+        let prev = self
+            .cells
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::clone(&cell));
         assert!(prev.is_none(), "container {id:?} already registered");
         cell
     }
@@ -239,28 +302,38 @@ impl LiveRegistry {
     /// last published values (the namespace outlives the registry entry,
     /// like a namespace held open by a process).
     pub fn unregister(&self, id: CgroupId) {
-        self.cells.write().unwrap().remove(&id);
+        self.cells
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
     }
 
     /// Look up a container's cell.
     pub fn get(&self, id: CgroupId) -> Option<Arc<NsCell>> {
-        self.cells.read().unwrap().get(&id).cloned()
+        self.cells
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.cells.read().unwrap().len()
+        self.cells.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether there are no entries.
     pub fn is_empty(&self) -> bool {
-        self.cells.read().unwrap().is_empty()
+        self.cells
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
     }
 
     fn snapshot(&self) -> Vec<(CgroupId, Arc<NsCell>)> {
         self.cells
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(id, c)| (*id, Arc::clone(c)))
             .collect()
@@ -460,6 +533,67 @@ mod tests {
         );
         assert_eq!(cell.effective_cpu(), 2);
         assert_eq!(cell.effective_memory(), Bytes::from_mib(100));
+    }
+
+    #[test]
+    fn staleness_health_and_degraded_fallback() {
+        let reg = LiveRegistry::new();
+        let cell = reg.register(
+            CgroupId(0),
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(),
+        );
+        let policy = StalenessPolicy::default(); // budget 4
+        assert!(cell.health(0, &policy).is_fresh());
+        assert!(cell.health(1, &policy).is_fresh());
+        assert_eq!(cell.health(3, &policy), ViewHealth::Stale { age: 3 });
+        assert!(cell.health(5, &policy).is_degraded());
+
+        // Grow the view, then judge it degraded: the fallback snapshot
+        // reverts to the registration-time lower bound and soft limit.
+        for _ in 0..6 {
+            cell.apply(saturated_sample());
+        }
+        cell.stamp(7);
+        assert!(cell.health(8, &policy).is_fresh());
+        assert!(cell.health(20, &policy).is_degraded());
+        let live = cell.snapshot();
+        assert_eq!(live.cpus, 10);
+        let deg = cell.degraded_snapshot();
+        assert_eq!(deg.cpus, 4);
+        assert_eq!(deg.bytes, Bytes::from_mib(500));
+        assert!(deg.avail <= deg.bytes);
+        assert_eq!(deg.generation, live.generation);
+    }
+
+    #[test]
+    fn set_static_moves_the_fallback_view() {
+        let reg = LiveRegistry::new();
+        let cell = reg.register(
+            CgroupId(0),
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(),
+        );
+        cell.set_static(
+            CpuBounds { lower: 2, upper: 6 },
+            Bytes::from_mib(100),
+            Bytes::from_mib(200),
+        );
+        let deg = cell.degraded_snapshot();
+        assert_eq!(deg.cpus, 2);
+        assert_eq!(deg.bytes, Bytes::from_mib(100));
+        // An explicit fallback override (the mirror path) wins.
+        cell.set_fallback(3, Bytes::from_mib(150));
+        let deg = cell.degraded_snapshot();
+        assert_eq!((deg.cpus, deg.bytes), (3, Bytes::from_mib(150)));
     }
 
     struct ConstSampler;

@@ -14,13 +14,28 @@
 //!   memory-manager observations.
 
 use arv_cfs::UsageLedger;
-use arv_cgroups::{Bytes, CgroupEvent, CgroupId, CgroupManager, CpuSet};
+use arv_cgroups::{Bytes, CgroupEvent, CgroupId, CgroupManager, CpuSet, SeqEvent};
 use arv_mem::{MemSim, Watermarks};
 use std::collections::BTreeMap;
 
 use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpuConfig};
 use crate::effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
 use crate::namespace::{Pid, SysNamespace};
+
+/// Outcome of one [`NsMonitor::ingest`] round over sequence-numbered
+/// events. A `gap` means at least one event was lost in transit — the
+/// incremental stream can no longer be trusted and the caller (usually
+/// via the [`Watchdog`](crate::watchdog::Watchdog)) should run
+/// [`NsMonitor::resync`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events applied this round.
+    pub applied: usize,
+    /// Events skipped because their sequence number was already seen.
+    pub duplicates: u64,
+    /// Whether a sequence gap (lost event) was observed.
+    pub gap: bool,
+}
 
 /// The monitor daemon (simulation-side; see [`crate::live`] for the
 /// threaded equivalent).
@@ -33,6 +48,8 @@ pub struct NsMonitor {
     mem_cfg: EffectiveMemoryConfig,
     namespaces: BTreeMap<CgroupId, SysNamespace>,
     next_pid: u32,
+    now_tick: u64,
+    next_seq: u64,
 }
 
 impl NsMonitor {
@@ -52,6 +69,8 @@ impl NsMonitor {
             mem_cfg,
             namespaces: BTreeMap::new(),
             next_pid: 1,
+            now_tick: 0,
+            next_seq: 0,
         }
     }
 
@@ -96,6 +115,21 @@ impl NsMonitor {
         self.namespaces.get(&id).map(|n| n.effective_memory())
     }
 
+    /// The monitor's notion of "now", in update-timer firings.
+    pub fn now_tick(&self) -> u64 {
+        self.now_tick
+    }
+
+    /// Advance the monitor's clock by one update-timer firing.
+    ///
+    /// The driver calls this on *every* firing, including ones where the
+    /// monitor is stalled and does no work — the clock models the timer,
+    /// not the work, so view ages keep growing while the monitor is
+    /// wedged and staleness classification stays honest.
+    pub fn observe_tick(&mut self) {
+        self.now_tick += 1;
+    }
+
     /// Drain pending cgroup events and refresh static inputs.
     ///
     /// Any create/remove/update changes the share denominator `Σ w_j`, so
@@ -118,7 +152,72 @@ impl NsMonitor {
         self.recompute_all(cgm);
     }
 
+    /// Apply a batch of sequence-numbered events (delivered through an
+    /// [`arv_cgroups::EventPipe`]), detecting loss and duplication.
+    ///
+    /// Duplicated events (sequence already consumed) are skipped —
+    /// re-creating an existing namespace would reset its dynamic state.
+    /// A sequence number beyond the expected one means events were lost;
+    /// the batch is still applied best-effort, but the report flags the
+    /// gap so the caller can schedule a [`resync`](NsMonitor::resync).
+    /// Reordered deliveries surface as a gap too, which is the safe,
+    /// conservative reading.
+    pub fn ingest(&mut self, events: &[SeqEvent], cgm: &CgroupManager) -> IngestReport {
+        let mut report = IngestReport::default();
+        for ev in events {
+            if ev.seq < self.next_seq {
+                report.duplicates += 1;
+                continue;
+            }
+            if ev.seq > self.next_seq {
+                report.gap = true;
+            }
+            self.next_seq = ev.seq + 1;
+            match ev.event {
+                CgroupEvent::Created(id) => self.create_namespace(id, cgm),
+                CgroupEvent::Removed(id) => {
+                    self.namespaces.remove(&id);
+                }
+                CgroupEvent::Updated(_) => {}
+            }
+            report.applied += 1;
+        }
+        if report.applied > 0 {
+            self.recompute_all(cgm);
+        }
+        report
+    }
+
+    /// Full reconcile pass: rescan the cgroup hierarchy from scratch.
+    ///
+    /// Any pending incremental events are discarded (the rescan
+    /// supersedes them): namespaces for departed cgroups are dropped,
+    /// missing namespaces are created, and every static bound is
+    /// recomputed. After a resync the monitor's view of the hierarchy is
+    /// correct regardless of how many events were lost.
+    pub fn resync(&mut self, cgm: &mut CgroupManager) {
+        let _ = cgm.drain_events();
+        self.namespaces.retain(|id, _| cgm.contains(*id));
+        let live: Vec<CgroupId> = cgm.iter().map(|(id, _)| id).collect();
+        for id in live {
+            self.create_namespace(id, cgm);
+        }
+        self.recompute_all(cgm);
+    }
+
+    /// Align the expected event sequence number (after a resync, the
+    /// driver passes its pipe's `next_seq` so already-superseded events
+    /// are not misread as a fresh gap).
+    pub fn align_seq(&mut self, next_seq: u64) {
+        self.next_seq = next_seq;
+    }
+
     fn create_namespace(&mut self, id: CgroupId, cgm: &CgroupManager) {
+        if self.namespaces.contains_key(&id) {
+            // Duplicate create (replayed event): the namespace's dynamic
+            // state must survive, so this is a no-op.
+            return;
+        }
         let Some(spec) = cgm.get(id) else { return };
         let bounds = CpuBounds::compute(&spec.cpu, cgm.total_shares(), self.online);
         let soft = spec.mem.soft_limit_or(self.host_total);
@@ -132,10 +231,9 @@ impl NsMonitor {
         );
         let owner = Pid(self.next_pid);
         self.next_pid += 1;
-        self.namespaces.insert(
-            id,
-            SysNamespace::new(id, owner, bounds, self.cpu_cfg, e_mem),
-        );
+        let mut ns = SysNamespace::new(id, owner, bounds, self.cpu_cfg, e_mem);
+        ns.stamp(self.now_tick);
+        self.namespaces.insert(id, ns);
     }
 
     fn recompute_all(&mut self, cgm: &CgroupManager) {
@@ -170,6 +268,7 @@ impl NsMonitor {
                     reclaiming: mem.is_reclaiming(),
                 },
             );
+            ns.stamp(self.now_tick);
         }
     }
 
@@ -193,6 +292,7 @@ impl NsMonitor {
                     reclaiming: mem.is_reclaiming(),
                 },
             );
+            ns.stamp(self.now_tick);
         }
     }
 
@@ -207,6 +307,7 @@ impl NsMonitor {
                 period: ledger.last_period(),
                 slack: ledger.last_slack(),
             });
+            ns.stamp(self.now_tick);
         }
     }
 }
@@ -391,5 +492,154 @@ mod tests {
         let before = mon.namespace(a).unwrap().cpu_bounds();
         mon.sync(&mut cgm); // no new events
         assert_eq!(mon.namespace(a).unwrap().cpu_bounds(), before);
+    }
+
+    /// Drain the manager through a pipe, numbering events as the host
+    /// driver would.
+    fn pump(
+        cgm: &mut CgroupManager,
+        pipe: &mut arv_cgroups::EventPipe,
+    ) -> Vec<arv_cgroups::SeqEvent> {
+        for ev in cgm.drain_events() {
+            pipe.push(ev);
+        }
+        pipe.drain()
+    }
+
+    #[test]
+    fn ingest_tracks_sequence_and_applies_events() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let mut pipe = arv_cgroups::EventPipe::new(16);
+        let a = cgm.create(paper_spec());
+        let b = cgm.create(paper_spec());
+        let events = pump(&mut cgm, &mut pipe);
+        let rep = mon.ingest(&events, &cgm);
+        assert_eq!(rep.applied, 2);
+        assert_eq!(rep.duplicates, 0);
+        assert!(!rep.gap);
+        assert_eq!(mon.len(), 2);
+        assert!(mon.namespace(a).is_some() && mon.namespace(b).is_some());
+    }
+
+    #[test]
+    fn ingest_skips_duplicates_without_resetting_state() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        let mut pipe = arv_cgroups::EventPipe::new(16);
+        let a = cgm.create(paper_spec());
+        mem.register(a, MemController::unlimited());
+        let events = pump(&mut cgm, &mut pipe);
+        mon.ingest(&events, &cgm);
+        // Grow the dynamic view past its initial value.
+        for _ in 0..3 {
+            let alloc = cfs.allocate(P, &[GroupDemand::cpu_bound(a, 20, 1024, 10.0)]);
+            ledger.record(&alloc);
+            mon.tick(&ledger, &mem);
+        }
+        let grown = mon.effective_cpu(a).unwrap();
+        // Replay the Created event (duplicate delivery).
+        let rep = mon.ingest(&events, &cgm);
+        assert_eq!(rep.duplicates, 1);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(mon.effective_cpu(a), Some(grown), "duplicate reset state");
+    }
+
+    #[test]
+    fn ingest_reports_gap_on_lost_event() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let mut pipe = arv_cgroups::EventPipe::new(16);
+        cgm.create(paper_spec());
+        cgm.create(paper_spec());
+        let mut events = pump(&mut cgm, &mut pipe);
+        events.remove(0); // lose the first Created in transit
+        let rep = mon.ingest(&events, &cgm);
+        assert!(rep.gap);
+        assert_eq!(rep.applied, 1);
+        assert_eq!(mon.len(), 1, "lost create not yet reconciled");
+    }
+
+    #[test]
+    fn resync_recreates_missing_and_drops_orphans() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let ids: Vec<CgroupId> = (0..4).map(|_| cgm.create(paper_spec())).collect();
+        mon.sync(&mut cgm);
+        assert_eq!(mon.len(), 4);
+        // Simulate event loss in both directions: a removal whose event
+        // vanishes (orphan namespace) and a creation whose event
+        // vanishes (missing namespace).
+        cgm.remove(ids[1]);
+        let late = cgm.create(paper_spec());
+        let _ = cgm.drain_events(); // events lost
+        mon.sync(&mut cgm); // nothing to apply — monitor is now wrong
+        assert!(mon.namespace(ids[1]).is_some(), "orphan still present");
+        assert!(mon.namespace(late).is_none(), "new container missing");
+
+        mon.resync(&mut cgm);
+        assert!(mon.namespace(ids[1]).is_none(), "orphan survived resync");
+        assert!(mon.namespace(late).is_some(), "missing ns not recreated");
+        assert_eq!(mon.len(), 4);
+    }
+
+    #[test]
+    fn resync_matches_from_scratch_sync() {
+        // After arbitrary loss, a resynced monitor must agree with a
+        // fresh monitor built from the same hierarchy via sync.
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        cgm.remove(a);
+        let ids: Vec<CgroupId> = (0..3).map(|_| cgm.create(paper_spec())).collect();
+        cgm.update(
+            ids[0],
+            CgroupSpec::new(
+                CpuController::unlimited(20).with_quota_cpus(2.0),
+                MemController::unlimited().with_hard_limit(Bytes::from_gib(1)),
+            ),
+        );
+        let _ = cgm.drain_events(); // every event lost
+        mon.resync(&mut cgm);
+
+        let (_, mut fresh, _, _, _) = testbed();
+        // Replay the hierarchy into a fresh manager so `sync` sees it.
+        let mut cgm2 = CgroupManager::new();
+        // Burn ids so the two managers agree on numbering.
+        let burned = cgm2.create(paper_spec());
+        cgm2.remove(burned);
+        for _ in 0..3 {
+            cgm2.create(paper_spec());
+        }
+        cgm2.update(
+            ids[0],
+            CgroupSpec::new(
+                CpuController::unlimited(20).with_quota_cpus(2.0),
+                MemController::unlimited().with_hard_limit(Bytes::from_gib(1)),
+            ),
+        );
+        fresh.sync(&mut cgm2);
+
+        assert_eq!(mon.len(), fresh.len());
+        for id in &ids {
+            let (r, f) = (mon.namespace(*id).unwrap(), fresh.namespace(*id).unwrap());
+            assert_eq!(r.cpu_bounds(), f.cpu_bounds(), "{id:?} bounds differ");
+            assert_eq!(r.effective_cpu(), f.effective_cpu());
+            assert_eq!(r.effective_memory(), f.effective_memory());
+        }
+    }
+
+    #[test]
+    fn observe_tick_advances_and_updates_stamp_namespaces() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        let a = cgm.create(paper_spec());
+        mem.register(a, MemController::unlimited());
+        mon.sync(&mut cgm);
+        assert_eq!(mon.namespace(a).unwrap().last_tick(), 0);
+        for _ in 0..5 {
+            mon.observe_tick();
+        }
+        assert_eq!(mon.now_tick(), 5);
+        // The namespace has not been refreshed: its stamp lags.
+        assert_eq!(mon.namespace(a).unwrap().last_tick(), 0);
+        ledger.record(&cfs.allocate(P, &[GroupDemand::cpu_bound(a, 20, 1024, 10.0)]));
+        mon.tick_window(&ledger, &mem);
+        assert_eq!(mon.namespace(a).unwrap().last_tick(), 5);
     }
 }

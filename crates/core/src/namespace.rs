@@ -25,6 +25,7 @@ pub struct SysNamespace {
     owner: Pid,
     e_cpu: EffectiveCpu,
     e_mem: EffectiveMemory,
+    last_tick: u64,
 }
 
 impl SysNamespace {
@@ -41,6 +42,7 @@ impl SysNamespace {
             owner,
             e_cpu: EffectiveCpu::new(cpu_bounds, cpu_cfg),
             e_mem,
+            last_tick: 0,
         }
     }
 
@@ -83,6 +85,31 @@ impl SysNamespace {
     /// The static CPU bounds.
     pub fn cpu_bounds(&self) -> CpuBounds {
         self.e_cpu.bounds()
+    }
+
+    /// The soft memory limit (Algorithm 2's safe-reset anchor).
+    pub fn soft_limit(&self) -> Bytes {
+        self.e_mem.soft_limit()
+    }
+
+    /// The hard memory limit.
+    pub fn hard_limit(&self) -> Bytes {
+        self.e_mem.hard_limit()
+    }
+
+    /// Last observed memory usage (zero before the first update).
+    pub fn last_usage(&self) -> Bytes {
+        self.e_mem.last_usage().unwrap_or(Bytes(0))
+    }
+
+    /// Update-timer tick this namespace's views were last refreshed at.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Record the tick a refresh happened at (set by `ns_monitor`).
+    pub fn stamp(&mut self, tick: u64) {
+        self.last_tick = tick;
     }
 
     /// Static-bound refresh from `ns_monitor` (cgroup events).

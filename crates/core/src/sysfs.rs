@@ -10,7 +10,9 @@
 
 use arv_cgroups::{Bytes, CgroupId};
 
+use crate::health::{StalenessPolicy, ViewHealth};
 use crate::monitor::NsMonitor;
+use crate::namespace::SysNamespace;
 use crate::render;
 
 /// `_SC_PAGESIZE`: 4 KiB pages, as on the paper's x86-64 testbed.
@@ -55,12 +57,87 @@ pub struct HostView {
 pub struct VirtualSysfs<'m> {
     monitor: &'m NsMonitor,
     host: HostView,
+    policy: Option<StalenessPolicy>,
 }
 
 impl<'m> VirtualSysfs<'m> {
     /// A front-end over `monitor` answering with `host` for host processes.
+    ///
+    /// Without a [`StalenessPolicy`] every view is served as-is,
+    /// whatever its age (the pre-fault-tolerance behaviour); see
+    /// [`with_policy`](VirtualSysfs::with_policy).
     pub fn new(monitor: &'m NsMonitor, host: HostView) -> VirtualSysfs<'m> {
-        VirtualSysfs { monitor, host }
+        VirtualSysfs {
+            monitor,
+            host,
+            policy: None,
+        }
+    }
+
+    /// A staleness-aware front-end: views older than the policy's
+    /// budget are served as the conservative fallback (effective CPU at
+    /// Algorithm 1's lower bound, effective memory at the soft limit).
+    pub fn with_policy(
+        monitor: &'m NsMonitor,
+        host: HostView,
+        policy: StalenessPolicy,
+    ) -> VirtualSysfs<'m> {
+        VirtualSysfs {
+            monitor,
+            host,
+            policy: Some(policy),
+        }
+    }
+
+    /// Health of the view `caller` would be served. Host processes (and
+    /// callers without a namespace) read physical values, which are
+    /// always fresh; without a policy, staleness is not judged.
+    pub fn health(&self, caller: Option<CgroupId>) -> ViewHealth {
+        match (
+            self.policy,
+            caller.and_then(|id| self.monitor.namespace(id)),
+        ) {
+            (Some(policy), Some(ns)) => {
+                policy.classify(self.monitor.now_tick().saturating_sub(ns.last_tick()))
+            }
+            _ => ViewHealth::Fresh,
+        }
+    }
+
+    fn is_degraded(&self, ns: &SysNamespace) -> bool {
+        match self.policy {
+            Some(policy) => policy
+                .classify(self.monitor.now_tick().saturating_sub(ns.last_tick()))
+                .is_degraded(),
+            None => false,
+        }
+    }
+
+    /// CPU count served for `ns`, honouring degradation.
+    fn ns_cpus(&self, ns: &SysNamespace) -> u32 {
+        if self.is_degraded(ns) {
+            ns.cpu_bounds().lower
+        } else {
+            ns.effective_cpu()
+        }
+    }
+
+    /// Memory size served for `ns`, honouring degradation.
+    fn ns_memory(&self, ns: &SysNamespace) -> Bytes {
+        if self.is_degraded(ns) {
+            ns.soft_limit()
+        } else {
+            ns.effective_memory()
+        }
+    }
+
+    /// Available memory served for `ns`, honouring degradation.
+    fn ns_available(&self, ns: &SysNamespace) -> Bytes {
+        if self.is_degraded(ns) {
+            ns.soft_limit().saturating_sub(ns.last_usage())
+        } else {
+            ns.available_memory()
+        }
     }
 
     /// Answer a `sysconf` query for `caller`.
@@ -73,17 +150,17 @@ impl<'m> VirtualSysfs<'m> {
         match (query, ns) {
             (Sysconf::PageSize, _) => PAGE_SIZE,
             (Sysconf::NprocessorsOnln, Some(ns)) | (Sysconf::NprocessorsConf, Some(ns)) => {
-                u64::from(ns.effective_cpu())
+                u64::from(self.ns_cpus(ns))
             }
             (Sysconf::NprocessorsOnln, None) | (Sysconf::NprocessorsConf, None) => {
                 u64::from(self.host.online_cpus)
             }
-            (Sysconf::PhysPages, Some(ns)) => ns.effective_memory().as_u64() / PAGE_SIZE,
+            (Sysconf::PhysPages, Some(ns)) => self.ns_memory(ns).as_u64() / PAGE_SIZE,
             (Sysconf::PhysPages, None) => self.host.total_memory.as_u64() / PAGE_SIZE,
             // Available memory inside the view: what the container has
             // not yet consumed of its budget (clamped at zero when usage
             // transiently overshoots a shrinking view).
-            (Sysconf::AvphysPages, Some(ns)) => ns.available_memory().as_u64() / PAGE_SIZE,
+            (Sysconf::AvphysPages, Some(ns)) => self.ns_available(ns).as_u64() / PAGE_SIZE,
             (Sysconf::AvphysPages, None) => self.host.free_memory.as_u64() / PAGE_SIZE,
         }
     }
@@ -114,7 +191,7 @@ impl<'m> VirtualSysfs<'m> {
             "/proc/meminfo" => {
                 let total = self.memory_bytes(caller);
                 let free = match caller.and_then(|id| self.monitor.namespace(id)) {
-                    Some(ns) => ns.available_memory(),
+                    Some(ns) => self.ns_available(ns),
                     None => self.host.free_memory,
                 };
                 Some(render::meminfo(total, free))
@@ -304,5 +381,56 @@ mod tests {
         let (mon, id) = setup();
         let fs = VirtualSysfs::new(&mon, host());
         assert_eq!(fs.read(Some(id), "/sys/kernel/unrelated"), None);
+    }
+
+    #[test]
+    fn without_policy_old_views_are_served_as_is() {
+        let (mut mon, id) = setup();
+        for _ in 0..100 {
+            mon.observe_tick();
+        }
+        let fs = VirtualSysfs::new(&mon, host());
+        assert!(fs.health(Some(id)).is_fresh());
+        assert_eq!(fs.online_cpus(Some(id)), 4);
+        assert_eq!(fs.memory_bytes(Some(id)), Bytes::from_mib(500));
+    }
+
+    #[test]
+    fn degraded_views_fall_back_to_lower_bound_and_soft_limit() {
+        let (mut mon, id) = setup();
+        // Grow the view past its safe floor first.
+        mon.namespace_mut(id).unwrap().update_mem(crate::MemSample {
+            free: Bytes::from_gib(100),
+            usage: Bytes::from_mib(495),
+            reclaiming: false,
+        });
+        let grown = mon.namespace(id).unwrap().effective_memory();
+        assert!(grown > Bytes::from_mib(500));
+        // Monitor clock runs ahead of the namespace stamp: 5 ticks past
+        // a default budget of 4 → degraded.
+        for _ in 0..5 {
+            mon.observe_tick();
+        }
+        let fs = VirtualSysfs::with_policy(&mon, host(), StalenessPolicy::default());
+        assert_eq!(fs.health(Some(id)), ViewHealth::Degraded { age: 5 });
+        assert_eq!(fs.online_cpus(Some(id)), 4); // == lower bound here
+        assert_eq!(fs.memory_bytes(Some(id)), Bytes::from_mib(500));
+        let avail = fs.sysconf(Some(id), Sysconf::AvphysPages) * PAGE_SIZE;
+        assert_eq!(avail, Bytes::from_mib(500 - 495).as_u64());
+        // Host callers never degrade.
+        assert!(fs.health(None).is_fresh());
+        assert_eq!(fs.online_cpus(None), 20);
+    }
+
+    #[test]
+    fn views_within_budget_are_served_as_is() {
+        let (mut mon, id) = setup();
+        for _ in 0..3 {
+            mon.observe_tick();
+        }
+        let fs = VirtualSysfs::with_policy(&mon, host(), StalenessPolicy::default());
+        assert_eq!(fs.health(Some(id)), ViewHealth::Stale { age: 3 });
+        assert_eq!(fs.online_cpus(Some(id)), 4);
+        assert_eq!(fs.memory_bytes(Some(id)), Bytes::from_mib(500));
     }
 }

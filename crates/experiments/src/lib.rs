@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod driver;
 pub mod fig01_dockerhub;
 pub mod fig02_motivation;
@@ -51,13 +52,14 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "ablations" => ablation::run(scale),
         "accuracy" => view_accuracy::run(scale),
         "viewd" => viewd::run(scale),
+        "chaos" => chaos::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 14] = [
+pub const ALL_FIGURES: [&str; 15] = [
     "1",
     "2a",
     "2b",
@@ -72,6 +74,7 @@ pub const ALL_FIGURES: [&str; 14] = [
     "ablations",
     "accuracy",
     "viewd",
+    "chaos",
 ];
 
 #[cfg(test)]
@@ -93,6 +96,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 14);
+        assert_eq!(ALL_FIGURES.len(), 15);
     }
 }

@@ -67,6 +67,18 @@ pub fn run(scale: f64) -> FigReport {
         }
     }
 
+    // Robustness epilogue: age the staleness clock past the budget and
+    // read each image once more — the daemon must answer every query
+    // from the conservative fallback and count the degraded serves.
+    for _ in 0..=server.policy().budget {
+        server.advance_tick();
+    }
+    for id in ids {
+        for path in HEAVY_PATHS {
+            client.read(Some(id), path).expect("renderable path");
+        }
+    }
+
     let m = server.metrics();
     let speedup = m.miss_latency_ns / m.hit_latency_ns.max(1.0);
 
@@ -91,17 +103,43 @@ pub fn run(scale: f64) -> FigReport {
     ));
     accounting.push(Row::full("failures", &[m.failures as f64]));
 
+    let mut robustness = Table::new("robustness_counters", &["count"]);
+    robustness.push(Row::full("stale_serves", &[m.stale_serves as f64]));
+    robustness.push(Row::full("degraded_serves", &[m.degraded_serves as f64]));
+    robustness.push(Row::full("wire_rejected", &[m.wire_rejected as f64]));
+    robustness.push(Row::full(
+        "connections_accepted",
+        &[m.connections_accepted as f64],
+    ));
+    robustness.push(Row::full(
+        "connections_dropped",
+        &[m.connections_dropped as f64],
+    ));
+    robustness.push(Row::full(
+        "staleness_age_mean_ticks",
+        &[m.staleness_age_mean],
+    ));
+    robustness.push(Row::full(
+        "staleness_age_p99_ticks",
+        &[m.staleness_age_p99 as f64],
+    ));
+
     let mut rep = FigReport::new(
         "viewd",
         "arv-viewd serving cost: cached hits vs uncached renders (§5.4)",
     );
     rep.tables.push(latency);
     rep.tables.push(accounting);
+    rep.tables.push(robustness);
     rep.note(format!(
         "{generations} generations x 3 containers; each published view rendered once, then served {HITS_PER_MISS}x from cache"
     ));
     rep.note(format!(
         "cached hit is {speedup:.1}x cheaper than an uncached render; every hit still reflects the current generation"
+    ));
+    rep.note(format!(
+        "epilogue ages the clock past the staleness budget: {} degraded serves answered from the conservative fallback",
+        m.degraded_serves
     ));
     rep
 }
@@ -134,5 +172,19 @@ mod tests {
         // One miss per (generation, container, path): every published
         // view is rendered exactly once per file.
         assert_eq!(misses as u64 % (3 * HEAVY_PATHS.len() as u64), 0);
+    }
+
+    #[test]
+    fn degraded_epilogue_is_counted_and_served() {
+        let rep = run(0.1);
+        let t = &rep.tables[2];
+        // One degraded serve per (container, path) in the epilogue.
+        assert_eq!(
+            t.get("degraded_serves", "count").unwrap(),
+            (3 * HEAVY_PATHS.len()) as f64
+        );
+        // In-process study: no wire traffic at all.
+        assert_eq!(t.get("wire_rejected", "count").unwrap(), 0.0);
+        assert_eq!(t.get("connections_accepted", "count").unwrap(), 0.0);
     }
 }

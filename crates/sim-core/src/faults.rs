@@ -1,0 +1,252 @@
+//! Deterministic fault injection for the view pipeline.
+//!
+//! A [`FaultPlan`] is a seeded source of faults covering every stage of
+//! the pipeline — event delivery (drop / duplicate / reorder), the
+//! monitor itself (stall windows), publication (delay windows), and the
+//! wire protocol (corrupt / truncate / reset frames). Because every
+//! decision flows through a [`SimRng`](crate::SimRng) forked from the
+//! experiment seed, a chaos run is bit-for-bit reproducible: the same
+//! seed injects the same faults at the same ticks, so recovery
+//! invariants can be asserted exactly.
+
+use crate::rng::SimRng;
+
+/// Probabilities and schedules for one fault campaign.
+///
+/// Probabilities are per-item (per event, per frame); schedules are
+/// half-open tick windows `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Probability an event is dropped in transit.
+    pub drop_prob: f64,
+    /// Probability an event is delivered twice.
+    pub dup_prob: f64,
+    /// Probability an adjacent pair of events is swapped.
+    pub reorder_prob: f64,
+    /// Probability a wire frame has one byte flipped.
+    pub corrupt_prob: f64,
+    /// Probability a wire frame is truncated.
+    pub truncate_prob: f64,
+    /// Monitor stall window: `(first_tick, duration_ticks)`.
+    pub stall_at: Option<(u64, u64)>,
+    /// Publish-delay window: `(first_tick, duration_ticks)`.
+    pub publish_delay_at: Option<(u64, u64)>,
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing (useful for reference twins).
+    pub fn quiet() -> FaultConfig {
+        FaultConfig::default()
+    }
+}
+
+/// Counters for what the plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Events dropped.
+    pub dropped: u64,
+    /// Events duplicated.
+    pub duplicated: u64,
+    /// Adjacent event pairs swapped.
+    pub reordered: u64,
+    /// Wire frames with a corrupted byte.
+    pub corrupted: u64,
+    /// Wire frames truncated.
+    pub truncated: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered + self.corrupted + self.truncated
+    }
+}
+
+/// A seeded, replayable fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SimRng,
+    cfg: FaultConfig,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan drawing decisions from `seed` under `cfg`.
+    pub fn new(seed: u64, cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            rng: SimRng::seed_from_u64(seed),
+            cfg,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration this plan runs under.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Whether the monitor is stalled at `tick`.
+    pub fn monitor_stalled(&self, tick: u64) -> bool {
+        in_window(self.cfg.stall_at, tick)
+    }
+
+    /// Whether publishes are delayed at `tick`.
+    pub fn publish_delayed(&self, tick: u64) -> bool {
+        in_window(self.cfg.publish_delay_at, tick)
+    }
+
+    /// Apply drop / duplicate / reorder faults to a queue of events.
+    ///
+    /// Order of passes is fixed (drop, duplicate, reorder) so a given
+    /// seed always mangles a given queue the same way.
+    pub fn mangle_queue<T: Clone>(&mut self, queue: &mut Vec<T>) {
+        if self.cfg.drop_prob > 0.0 {
+            queue.retain(|_| {
+                let keep = self.rng.unit() >= self.cfg.drop_prob;
+                if !keep {
+                    self.stats.dropped += 1;
+                }
+                keep
+            });
+        }
+        if self.cfg.dup_prob > 0.0 {
+            let mut doubled = Vec::with_capacity(queue.len());
+            for item in queue.drain(..) {
+                let dup = self.rng.unit() < self.cfg.dup_prob;
+                if dup {
+                    self.stats.duplicated += 1;
+                    doubled.push(item.clone());
+                }
+                doubled.push(item);
+            }
+            *queue = doubled;
+        }
+        if self.cfg.reorder_prob > 0.0 && queue.len() >= 2 {
+            for i in 0..queue.len() - 1 {
+                if self.rng.unit() < self.cfg.reorder_prob {
+                    queue.swap(i, i + 1);
+                    self.stats.reordered += 1;
+                }
+            }
+        }
+    }
+
+    /// Apply corruption / truncation faults to a wire frame in place.
+    ///
+    /// Returns `true` if the frame was touched. An empty frame is left
+    /// alone (nothing to mangle).
+    pub fn mangle_frame(&mut self, frame: &mut Vec<u8>) -> bool {
+        if frame.is_empty() {
+            return false;
+        }
+        let mut touched = false;
+        if self.cfg.corrupt_prob > 0.0 && self.rng.unit() < self.cfg.corrupt_prob {
+            let idx = self.rng.range_u64(0, frame.len() as u64) as usize;
+            let bit = self.rng.range_u64(0, 8) as u8;
+            frame[idx] ^= 1 << bit;
+            self.stats.corrupted += 1;
+            touched = true;
+        }
+        if self.cfg.truncate_prob > 0.0
+            && self.rng.unit() < self.cfg.truncate_prob
+            && frame.len() > 1
+        {
+            let keep = self.rng.range_u64(1, frame.len() as u64) as usize;
+            frame.truncate(keep);
+            self.stats.truncated += 1;
+            touched = true;
+        }
+        touched
+    }
+}
+
+fn in_window(window: Option<(u64, u64)>, tick: u64) -> bool {
+    match window {
+        Some((start, dur)) => tick >= start && tick < start.saturating_add(dur),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> FaultConfig {
+        FaultConfig {
+            drop_prob: 0.3,
+            dup_prob: 0.2,
+            reorder_prob: 0.2,
+            corrupt_prob: 0.5,
+            truncate_prob: 0.3,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_mangles_identically() {
+        let mut a = FaultPlan::new(11, lossy());
+        let mut b = FaultPlan::new(11, lossy());
+        for round in 0..20 {
+            let mut qa: Vec<u64> = (0..16).map(|i| round * 100 + i).collect();
+            let mut qb = qa.clone();
+            a.mangle_queue(&mut qa);
+            b.mangle_queue(&mut qb);
+            assert_eq!(qa, qb);
+            let mut fa: Vec<u8> = (0..32).map(|i| i as u8).collect();
+            let mut fb = fa.clone();
+            a.mangle_frame(&mut fa);
+            b.mangle_frame(&mut fb);
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "lossy plan injected nothing");
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let mut p = FaultPlan::new(3, FaultConfig::quiet());
+        let mut q: Vec<u32> = (0..64).collect();
+        let orig = q.clone();
+        p.mangle_queue(&mut q);
+        assert_eq!(q, orig);
+        let mut f = vec![1u8, 2, 3, 4];
+        assert!(!p.mangle_frame(&mut f));
+        assert_eq!(f, vec![1, 2, 3, 4]);
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn stall_and_delay_windows_are_half_open() {
+        let cfg = FaultConfig {
+            stall_at: Some((10, 4)),
+            publish_delay_at: Some((20, 1)),
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(0, cfg);
+        assert!(!p.monitor_stalled(9));
+        assert!(p.monitor_stalled(10));
+        assert!(p.monitor_stalled(13));
+        assert!(!p.monitor_stalled(14));
+        assert!(p.publish_delayed(20));
+        assert!(!p.publish_delayed(21));
+    }
+
+    #[test]
+    fn truncation_never_empties_or_grows_the_frame() {
+        let cfg = FaultConfig {
+            truncate_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut p = FaultPlan::new(77, cfg);
+        for len in 2..40usize {
+            let mut f = vec![0xABu8; len];
+            p.mangle_frame(&mut f);
+            assert!(!f.is_empty() && f.len() < len);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod clock;
 pub mod events;
+pub mod faults;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -23,6 +24,7 @@ pub mod time;
 
 pub use clock::SimClock;
 pub use events::{EventQueue, TimerId};
+pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

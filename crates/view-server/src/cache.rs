@@ -99,7 +99,11 @@ impl RenderCache {
     /// exactly `generation` — anything else is stale (or from a future
     /// writer this reader hasn't observed) and must be re-rendered.
     pub fn get(&self, path: PathId, generation: u64) -> Option<Arc<String>> {
-        let entries = self.entries.lock().unwrap();
+        // Poison recovery: a panicking renderer can't leave the whole
+        // container unservable. Every cached value is internally
+        // consistent (written in one assignment), so reading past a
+        // poison marker is safe.
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         entries[path as usize]
             .as_ref()
             .filter(|c| c.generation == generation)
@@ -110,7 +114,7 @@ impl RenderCache {
     /// never overwrites a newer one: stamps only move forward, so cached
     /// generations are monotone per path.
     pub fn put(&self, path: PathId, generation: u64, image: Arc<String>) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         match &mut entries[path as usize] {
             Some(existing) if existing.generation > generation => {}
             slot => *slot = Some(CachedImage { generation, image }),
@@ -121,7 +125,7 @@ impl RenderCache {
     pub fn len(&self) -> usize {
         self.entries
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .filter(|e| e.is_some())
             .count()

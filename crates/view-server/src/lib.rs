@@ -18,11 +18,25 @@
 //!   and `sysconf`);
 //! * [`wire`] — a length-prefixed request/response protocol over a
 //!   Unix-domain socket for out-of-process consumers, with
-//!   [`wire::WireServer`] and [`wire::WireClient`];
+//!   [`wire::WireServer`], the thin [`wire::WireClient`] and the
+//!   fault-tolerant [`wire::RobustWireClient`] (deadlines, seeded
+//!   backoff, reconnect, circuit breaker, last-good fallback);
 //! * [`metrics`] — lock-free counters (queries, cache hits/misses, wire
-//!   traffic) and nanosecond latency histograms built on
-//!   [`arv_sim_core::stats::Histogram`].
+//!   traffic, stale/degraded serves) and latency/staleness histograms
+//!   built on [`arv_sim_core::stats::Histogram`].
+//!
+//! # Fault tolerance
+//!
+//! The server stamps every published view with an update-timer tick
+//! ([`server::ViewServer::advance_tick`]) and judges each query against
+//! a [`arv_resview::StalenessPolicy`]: views past the staleness budget
+//! are answered from the conservative fallback (Algorithm 1's lower
+//! bound, the memory soft limit) and flagged degraded in both the
+//! in-process [`server::ViewImage`] and the wire status byte.
 
+// Production code must not panic on a recoverable fault: unwraps are
+// confined to tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -35,4 +49,8 @@ pub use cache::{CachedImage, PathId, RenderCache};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
 pub use shard::{ContainerEntry, ShardedRegistry};
-pub use wire::{WireClient, WireResponse, WireServer};
+pub use wire::{
+    parse_response, RetryPolicy, RobustWireClient, WireClient, WireClientStats, WireResponse,
+    WireServer, HOST_CALLER, KIND_READ, KIND_SYSCONF, MAX_REQUEST, MAX_RESPONSE, STATUS_NOT_FOUND,
+    STATUS_OK, STATUS_OK_DEGRADED,
+};

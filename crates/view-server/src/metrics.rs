@@ -25,6 +25,20 @@ pub struct Metrics {
     pub wire_requests: AtomicU64,
     /// Malformed or failed wire requests.
     pub wire_errors: AtomicU64,
+    /// Wire frames rejected before decoding (oversized, bad framing).
+    pub wire_rejected: AtomicU64,
+    /// Connections the wire listener accepted.
+    pub connections_accepted: AtomicU64,
+    /// Connections dropped without service (e.g. thread-spawn failure).
+    pub connections_dropped: AtomicU64,
+    /// Container queries answered from a view older than one tick but
+    /// within the staleness budget (served as-is).
+    pub stale_serves: AtomicU64,
+    /// Container queries answered with the conservative fallback view
+    /// because the live view aged past the staleness budget.
+    pub degraded_serves: AtomicU64,
+    /// Age (in update-timer ticks) of every served container view.
+    pub staleness_age: Histogram,
     /// Nanoseconds per query, cached-hit path.
     pub hit_latency: Histogram,
     /// Nanoseconds per query, render (miss) path.
@@ -48,6 +62,13 @@ impl Metrics {
             failures: self.failures.load(Ordering::Relaxed),
             wire_requests: self.wire_requests.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            wire_rejected: self.wire_rejected.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            degraded_serves: self.degraded_serves.load(Ordering::Relaxed),
+            staleness_age_mean: self.staleness_age.mean(),
+            staleness_age_p99: self.staleness_age.quantile(0.99),
             hit_latency_ns: self.hit_latency.mean(),
             miss_latency_ns: self.miss_latency.mean(),
             hit_p99_ns: self.hit_latency.quantile(0.99),
@@ -71,6 +92,20 @@ pub struct MetricsSnapshot {
     pub wire_requests: u64,
     /// Wire requests rejected.
     pub wire_errors: u64,
+    /// Wire frames rejected before decoding.
+    pub wire_rejected: u64,
+    /// Wire connections accepted.
+    pub connections_accepted: u64,
+    /// Wire connections dropped without service.
+    pub connections_dropped: u64,
+    /// Queries served from a stale (within-budget) view.
+    pub stale_serves: u64,
+    /// Queries served with the conservative fallback view.
+    pub degraded_serves: u64,
+    /// Mean age, in ticks, of served container views.
+    pub staleness_age_mean: f64,
+    /// 99th-percentile bucket edge of served view age.
+    pub staleness_age_p99: u64,
     /// Mean nanoseconds on the hit path.
     pub hit_latency_ns: f64,
     /// Mean nanoseconds on the miss path.
@@ -97,5 +132,25 @@ mod tests {
         assert_eq!(s.cache_hits + s.cache_misses, 3);
         assert!(s.hit_latency_ns > 0.0);
         assert_eq!(s.failures, 0);
+    }
+
+    #[test]
+    fn robustness_counters_round_trip() {
+        let m = Metrics::new();
+        m.stale_serves.fetch_add(2, Ordering::Relaxed);
+        m.degraded_serves.fetch_add(1, Ordering::Relaxed);
+        m.connections_accepted.fetch_add(5, Ordering::Relaxed);
+        m.connections_dropped.fetch_add(1, Ordering::Relaxed);
+        m.wire_rejected.fetch_add(3, Ordering::Relaxed);
+        m.staleness_age.record(0);
+        m.staleness_age.record(6);
+        let s = m.snapshot();
+        assert_eq!(s.stale_serves, 2);
+        assert_eq!(s.degraded_serves, 1);
+        assert_eq!(s.connections_accepted, 5);
+        assert_eq!(s.connections_dropped, 1);
+        assert_eq!(s.wire_rejected, 3);
+        assert!(s.staleness_age_mean > 0.0);
+        assert!(s.staleness_age_p99 >= 6);
     }
 }

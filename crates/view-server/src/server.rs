@@ -17,11 +17,11 @@
 
 use arv_cgroups::{Bytes, CgroupId};
 use arv_resview::{
-    render, CpuBounds, EffectiveCpuConfig, EffectiveMemory, LiveRegistry, NsCell, Sysconf,
-    ViewSnapshot, PAGE_SIZE,
+    render, CpuBounds, EffectiveCpuConfig, EffectiveMemory, LiveRegistry, NsCell, StalenessPolicy,
+    Sysconf, ViewHealth, ViewSnapshot, PAGE_SIZE,
 };
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,6 +63,10 @@ pub struct ViewImage {
     /// Generation of the snapshot the image was rendered from (0 for
     /// host images, which never change).
     pub generation: u64,
+    /// Health of the view the image was rendered from. `Degraded` means
+    /// the image shows the conservative fallback view, not the live one.
+    /// Host images are always `Fresh`.
+    pub health: ViewHealth,
 }
 
 struct ServerInner {
@@ -71,6 +75,10 @@ struct ServerInner {
     host: HostSpec,
     host_images: HashMap<&'static str, Arc<String>>,
     metrics: Metrics,
+    policy: StalenessPolicy,
+    // Update-timer tick, advanced by the driver; cells whose stamp lags
+    // this clock past the policy budget are served degraded.
+    clock: AtomicU64,
 }
 
 /// The daemon state: registry, caches, host fallback, metrics.
@@ -93,8 +101,17 @@ pub const CONTAINER_PATHS: [&str; 6] = [
 ];
 
 impl ViewServer {
-    /// A server for `host` with `shards` registry shards.
+    /// A server for `host` with `shards` registry shards and the default
+    /// [`StalenessPolicy`]. The staleness clock starts at 0 and only
+    /// moves when the driver calls [`advance_tick`](ViewServer::advance_tick),
+    /// so a server that never advances it behaves exactly as before
+    /// staleness awareness existed.
     pub fn new(host: HostSpec, shards: usize) -> ViewServer {
+        ViewServer::with_policy(host, shards, StalenessPolicy::default())
+    }
+
+    /// A server with an explicit staleness policy.
+    pub fn with_policy(host: HostSpec, shards: usize, policy: StalenessPolicy) -> ViewServer {
         let mut host_images: HashMap<&'static str, Arc<String>> = HashMap::new();
         // Host images are immutable for the server's lifetime; render
         // them once so the host path is always a cache hit.
@@ -115,7 +132,38 @@ impl ViewServer {
                 host,
                 host_images,
                 metrics: Metrics::new(),
+                policy,
+                clock: AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// Advance the staleness clock by one update-timer firing. Called by
+    /// the driver on every firing, whether or not views were refreshed —
+    /// that difference is exactly what staleness measures.
+    pub fn advance_tick(&self) -> u64 {
+        self.inner.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current staleness-clock tick.
+    pub fn now_tick(&self) -> u64 {
+        self.inner.clock.load(Ordering::Acquire)
+    }
+
+    /// The staleness policy views are judged against.
+    pub fn policy(&self) -> StalenessPolicy {
+        self.inner.policy
+    }
+
+    /// Refresh a container's conservative fallback view (Algorithm 1's
+    /// lower bound and the soft limit), used when its live view degrades.
+    pub fn set_fallback(&self, id: CgroupId, cpus: u32, mem: Bytes) -> bool {
+        match self.inner.shards.get(id) {
+            Some(entry) => {
+                entry.cell.set_fallback(cpus, mem);
+                true
+            }
+            None => false,
         }
     }
 
@@ -179,6 +227,7 @@ impl ViewServer {
         match self.inner.shards.get(id) {
             Some(entry) => {
                 entry.cell.force_publish(cpus, mem, avail);
+                entry.cell.stamp(self.now_tick());
                 true
             }
             None => false,
@@ -219,6 +268,37 @@ impl ViewClient {
         result
     }
 
+    /// Health of the view `caller` would currently be served (host and
+    /// unknown-container callers read physical values, always fresh).
+    pub fn health(&self, caller: Option<CgroupId>) -> ViewHealth {
+        match caller.and_then(|id| self.inner.shards.get(id)) {
+            Some(entry) => entry
+                .cell
+                .health(self.inner.clock.load(Ordering::Acquire), &self.inner.policy),
+            None => ViewHealth::Fresh,
+        }
+    }
+
+    /// Judge one container entry and record the staleness metrics that
+    /// go with serving it.
+    fn judge(&self, entry: &ContainerEntry) -> ViewHealth {
+        let m = &self.inner.metrics;
+        let health = entry
+            .cell
+            .health(self.inner.clock.load(Ordering::Acquire), &self.inner.policy);
+        m.staleness_age.record(health.age());
+        match health {
+            ViewHealth::Fresh => {}
+            ViewHealth::Stale { .. } => {
+                m.stale_serves.fetch_add(1, Ordering::Relaxed);
+            }
+            ViewHealth::Degraded { .. } => {
+                m.degraded_serves.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        health
+    }
+
     fn read_host(&self, path: &str) -> Option<ViewImage> {
         let start = Instant::now();
         let image = self.inner.host_images.get(path).cloned()?;
@@ -233,6 +313,7 @@ impl ViewClient {
         Some(ViewImage {
             image,
             generation: 0,
+            health: ViewHealth::Fresh,
         })
     }
 
@@ -247,6 +328,22 @@ impl ViewClient {
         let m = &self.inner.metrics;
         let start = Instant::now();
         let id = PathId::resolve(path)?;
+        let health = self.judge(entry);
+        if health.is_degraded() {
+            // Degraded: render the conservative fallback view. Never
+            // cached — the cache is keyed by generation, and the same
+            // generation must go back to serving the live image the
+            // moment the cell is refreshed.
+            let snap = entry.cell.degraded_snapshot();
+            let rendered = Arc::new(render_container_image(id, &snap, &self.inner.host));
+            m.miss_latency.record(start.elapsed().as_nanos() as u64);
+            m.cache_misses.fetch_add(1, Ordering::Relaxed);
+            return Some(ViewImage {
+                image: rendered,
+                generation: snap.generation,
+                health,
+            });
+        }
         // Fast path: one generation load. If the stamp is even (no write
         // in flight) and the cache holds an image at exactly that stamp,
         // the image is consistent by construction — it was rendered from
@@ -256,7 +353,11 @@ impl ViewClient {
             if let Some(image) = entry.cache.get(id, generation) {
                 m.hit_latency.record(start.elapsed().as_nanos() as u64);
                 m.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Some(ViewImage { image, generation });
+                return Some(ViewImage {
+                    image,
+                    generation,
+                    health,
+                });
             }
         }
         // Miss (or mid-publish): take a full untorn snapshot and render
@@ -269,6 +370,7 @@ impl ViewClient {
         Some(ViewImage {
             image: rendered,
             generation: snap.generation,
+            health,
         })
     }
 
@@ -281,7 +383,11 @@ impl ViewClient {
         let entry = caller.and_then(|id| self.inner.shards.get(id));
         let value = match entry {
             Some(entry) => {
-                let snap = entry.cell.snapshot();
+                let snap = if self.judge(&entry).is_degraded() {
+                    entry.cell.degraded_snapshot()
+                } else {
+                    entry.cell.snapshot()
+                };
                 match query {
                     Sysconf::PageSize => PAGE_SIZE,
                     Sysconf::NprocessorsOnln | Sysconf::NprocessorsConf => u64::from(snap.cpus),
@@ -484,5 +590,78 @@ mod tests {
             .read(Some(id), "/sys/devices/system/cpu/possible")
             .unwrap();
         assert_eq!(possible.image.as_str(), "0-19");
+    }
+
+    #[test]
+    fn stale_clock_degrades_to_fallback_and_recovers() {
+        use arv_resview::ViewHealth;
+        let (server, id) = server_with_one();
+        let client = server.client();
+        // Publish a grown view at tick 0.
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        assert!(client.health(Some(id)).is_fresh());
+        assert_eq!(client.sysconf(Some(id), Sysconf::NprocessorsOnln), 8);
+
+        // The timer keeps firing but nothing republishes: within budget
+        // (default 4) the live view is still served, flagged stale.
+        for _ in 0..3 {
+            server.advance_tick();
+        }
+        assert_eq!(client.health(Some(id)), ViewHealth::Stale { age: 3 });
+        assert_eq!(client.sysconf(Some(id), Sysconf::NprocessorsOnln), 8);
+
+        // Past the budget the conservative fallback takes over: the
+        // registration-time lower bound and soft limit.
+        for _ in 0..2 {
+            server.advance_tick();
+        }
+        let img = client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert!(img.health.is_degraded());
+        assert_eq!(img.image.matches("processor").count(), 4);
+        assert_eq!(client.sysconf(Some(id), Sysconf::NprocessorsOnln), 4);
+        assert_eq!(
+            client.sysconf(Some(id), Sysconf::PhysPages) * PAGE_SIZE,
+            Bytes::from_mib(500).as_u64()
+        );
+        let m = server.metrics();
+        assert!(m.degraded_serves >= 3);
+        assert!(m.stale_serves >= 1);
+
+        // A fresh publish restores the live view immediately — and the
+        // cache never served the degraded image for a live generation.
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        assert!(client.health(Some(id)).is_fresh());
+        let img = client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert!(img.health.is_fresh());
+        assert_eq!(img.image.matches("processor").count(), 8);
+    }
+
+    #[test]
+    fn explicit_fallback_override_is_served_when_degraded() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        assert!(server.set_fallback(id, 2, Bytes::from_mib(250)));
+        for _ in 0..(server.policy().budget + 1) {
+            server.advance_tick();
+        }
+        assert_eq!(client.sysconf(Some(id), Sysconf::NprocessorsOnln), 2);
+        assert_eq!(
+            client.sysconf(Some(id), Sysconf::PhysPages) * PAGE_SIZE,
+            Bytes::from_mib(250).as_u64()
+        );
+        assert!(!server.set_fallback(CgroupId(99), 1, Bytes::from_mib(1)));
+    }
+
+    #[test]
+    fn host_callers_never_degrade() {
+        let (server, _) = server_with_one();
+        let client = server.client();
+        for _ in 0..50 {
+            server.advance_tick();
+        }
+        assert!(client.health(None).is_fresh());
+        let img = client.read(None, "/proc/cpuinfo").unwrap();
+        assert!(img.health.is_fresh());
+        assert_eq!(img.image.matches("processor").count(), 20);
     }
 }

@@ -64,35 +64,57 @@ impl ShardedRegistry {
             cell,
             cache: RenderCache::new(),
         });
-        let prev = self.shard_for(id).write().unwrap().insert(id, entry);
+        let prev = self
+            .shard_for(id)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, entry);
         assert!(prev.is_none(), "container {id:?} already in registry");
     }
 
     /// Remove a container's entry, returning it if present.
     pub fn remove(&self, id: CgroupId) -> Option<Arc<ContainerEntry>> {
-        self.shard_for(id).write().unwrap().remove(&id)
+        self.shard_for(id)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
     }
 
     /// Look up a container (read-locks only that container's shard).
     pub fn get(&self, id: CgroupId) -> Option<Arc<ContainerEntry>> {
-        self.shard_for(id).read().unwrap().get(&id).cloned()
+        self.shard_for(id)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
     }
 
     /// Total containers across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// Whether no container is registered.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().unwrap().is_empty())
+        self.shards
+            .iter()
+            .all(|s| s.read().unwrap_or_else(|e| e.into_inner()).is_empty())
     }
 
     /// All registered ids (unordered; for iteration by updaters/tools).
     pub fn ids(&self) -> Vec<CgroupId> {
         self.shards
             .iter()
-            .flat_map(|s| s.read().unwrap().keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 }

@@ -10,16 +10,28 @@
 //!   kind 0 = read file (key = path), 1 = sysconf (key = name)
 //!   container u32::MAX = host caller (no container identity)
 //! response := u32le len | u8 status | u64le generation | body-bytes
-//!   status 0 = ok, 1 = not found (unknown path / sysconf key)
+//!   status 0 = ok, 1 = not found (unknown path / sysconf key),
+//!   2 = ok but degraded (the body shows the conservative fallback view)
 //!   body: file image for reads, decimal value for sysconf
 //! ```
 //!
 //! One connection carries any number of request/response pairs in order;
 //! concurrent clients each get their own connection (the listener spawns
 //! a thread per accept).
+//!
+//! Two client flavours exist. [`WireClient`] is the thin original: one
+//! blocking connection, errors surface directly. [`RobustWireClient`]
+//! wraps the same protocol in the failure handling a real consumer
+//! needs: per-request deadlines, bounded exponential backoff with
+//! deterministic seeded jitter, automatic reconnect, and a circuit
+//! breaker that fails fast after repeated failures while serving the
+//! last known-good response, flagged degraded — the wire-level analogue
+//! of the serving layer's staleness fallback.
 
 use arv_cgroups::CgroupId;
 use arv_resview::Sysconf;
+use arv_sim_core::SimRng;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -40,9 +52,18 @@ pub const HOST_CALLER: u32 = u32::MAX;
 pub const STATUS_OK: u8 = 0;
 /// Response status: unknown path or sysconf key.
 pub const STATUS_NOT_FOUND: u8 = 1;
+/// Response status: success, but the body was rendered from the
+/// conservative fallback view because the live view aged past the
+/// staleness budget (or, client-side, replayed from the last known-good
+/// response while the connection is down).
+pub const STATUS_OK_DEGRADED: u8 = 2;
 
 /// Largest accepted request frame (paths and key names are short).
-const MAX_REQUEST: u32 = 4096;
+pub const MAX_REQUEST: u32 = 4096;
+/// Largest accepted response frame. File images are a few KiB even for
+/// many CPUs; the cap bounds the allocation a corrupt or malicious
+/// length prefix can force on a client.
+pub const MAX_RESPONSE: u32 = 256 * 1024;
 
 /// Parse a wire sysconf key name.
 pub fn sysconf_key(name: &str) -> Option<Sysconf> {
@@ -149,12 +170,51 @@ fn server_read_frame(stream: &mut UnixStream, max: u32) -> io::Result<ServerRead
     Ok(ServerRead::Frame(payload))
 }
 
+fn encode_request(kind: u8, raw_caller: u32, key: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + key.len());
+    payload.push(kind);
+    payload.extend_from_slice(&raw_caller.to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload
+}
+
 fn encode_response(status: u8, generation: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(9 + body.len());
     out.push(status);
     out.extend_from_slice(&generation.to_le_bytes());
     out.extend_from_slice(body);
     out
+}
+
+/// Decode a response frame (the payload after the length prefix).
+///
+/// `Ok(None)` is a NOT_FOUND answer. A frame too short to carry the
+/// header, or one with an unknown status byte, is `InvalidData` —
+/// framing can no longer be trusted and the caller should drop the
+/// connection. Never panics, for any input bytes.
+pub fn parse_response(resp: &[u8]) -> io::Result<Option<WireResponse>> {
+    if resp.len() < 9 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "short response frame",
+        ));
+    }
+    let status = resp[0];
+    let mut gen_bytes = [0u8; 8];
+    gen_bytes.copy_from_slice(&resp[1..9]);
+    let generation = u64::from_le_bytes(gen_bytes);
+    match status {
+        STATUS_OK | STATUS_OK_DEGRADED => Ok(Some(WireResponse {
+            body: resp[9..].to_vec(),
+            generation,
+            degraded: status == STATUS_OK_DEGRADED,
+        })),
+        STATUS_NOT_FOUND => Ok(None),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status {other}"),
+        )),
+    }
 }
 
 /// Handle one connection until EOF, error, or server shutdown.
@@ -165,30 +225,59 @@ fn serve_connection(
 ) -> io::Result<()> {
     let client = server.client();
     loop {
-        let req = match server_read_frame(&mut stream, MAX_REQUEST)? {
-            ServerRead::Frame(req) => req,
-            ServerRead::Eof => return Ok(()),
-            ServerRead::Idle => {
+        let req = match server_read_frame(&mut stream, MAX_REQUEST) {
+            Ok(ServerRead::Frame(req)) => req,
+            Ok(ServerRead::Eof) => return Ok(()),
+            Ok(ServerRead::Idle) => {
                 if stop.load(Ordering::Acquire) {
                     return Ok(());
                 }
                 continue;
             }
+            // Oversized or torn frame: count it, drop only this
+            // connection — other clients are unaffected.
+            Err(e) => {
+                server
+                    .metrics_ref()
+                    .wire_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
         };
+        // Check the stop flag per frame, not just on idle polls: a
+        // client in a steady request loop would otherwise keep this
+        // thread alive (and served) forever, and shutdown() joins it.
+        // Dropping the request closes the connection; the peer sees EOF
+        // and treats it like any other server failure.
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
         server
             .metrics_ref()
             .wire_requests
             .fetch_add(1, Ordering::Relaxed);
         let response = match decode_request(&req) {
             Some((KIND_READ, caller, key)) => match client.read(caller, key) {
-                Some(view) => encode_response(STATUS_OK, view.generation, view.image.as_bytes()),
+                Some(view) => {
+                    let status = if view.health.is_degraded() {
+                        STATUS_OK_DEGRADED
+                    } else {
+                        STATUS_OK
+                    };
+                    encode_response(status, view.generation, view.image.as_bytes())
+                }
                 None => encode_response(STATUS_NOT_FOUND, 0, &[]),
             },
             Some((KIND_SYSCONF, caller, key)) => match sysconf_key(key) {
                 Some(q) => {
                     let value = client.sysconf(caller, q);
                     let generation = caller.and_then(|id| client.generation(id)).unwrap_or(0);
-                    encode_response(STATUS_OK, generation, value.to_string().as_bytes())
+                    let status = if client.health(caller).is_degraded() {
+                        STATUS_OK_DEGRADED
+                    } else {
+                        STATUS_OK
+                    };
+                    encode_response(status, generation, value.to_string().as_bytes())
                 }
                 None => encode_response(STATUS_NOT_FOUND, 0, &[]),
             },
@@ -204,6 +293,7 @@ fn serve_connection(
     }
 }
 
+/// Decode a request frame. Never panics, for any input bytes.
 fn decode_request(payload: &[u8]) -> Option<(u8, Option<CgroupId>, &str)> {
     if payload.len() < 5 {
         return None;
@@ -212,7 +302,9 @@ fn decode_request(payload: &[u8]) -> Option<(u8, Option<CgroupId>, &str)> {
     if kind != KIND_READ && kind != KIND_SYSCONF {
         return None;
     }
-    let raw = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+    let mut raw_bytes = [0u8; 4];
+    raw_bytes.copy_from_slice(&payload[1..5]);
+    let raw = u32::from_le_bytes(raw_bytes);
     let caller = (raw != HOST_CALLER).then_some(CgroupId(raw));
     let key = std::str::from_utf8(&payload[5..]).ok()?;
     Some((kind, caller, key))
@@ -229,7 +321,10 @@ pub struct WireServer {
 
 impl WireServer {
     /// Bind `socket_path` (removing any stale socket file first) and
-    /// start accepting.
+    /// start accepting. Fails if the socket can't be bound or the accept
+    /// thread can't be spawned; per-connection thread-spawn failures
+    /// after that are absorbed (the connection is dropped and counted in
+    /// `connections_dropped`), never panicked on.
     pub fn spawn(server: ViewServer, socket_path: impl AsRef<Path>) -> io::Result<WireServer> {
         let socket_path = socket_path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&socket_path);
@@ -245,22 +340,35 @@ impl WireServer {
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _addr)) => {
+                            server
+                                .metrics_ref()
+                                .connections_accepted
+                                .fetch_add(1, Ordering::Relaxed);
                             // Blocking reads with a short timeout: the
                             // connection thread polls the stop flag
                             // between frames, so shutdown can always
                             // join it.
                             let _ = stream.set_nonblocking(false);
                             let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-                            let server = server.clone();
+                            let conn_server = server.clone();
                             let stop3 = Arc::clone(&stop2);
-                            workers.push(
-                                std::thread::Builder::new()
-                                    .name("arv-viewd-conn".into())
-                                    .spawn(move || {
-                                        let _ = serve_connection(&server, stream, &stop3);
-                                    })
-                                    .expect("spawn connection thread"),
-                            );
+                            let spawned = std::thread::Builder::new()
+                                .name("arv-viewd-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(&conn_server, stream, &stop3);
+                                });
+                            match spawned {
+                                Ok(handle) => workers.push(handle),
+                                // Out of threads: shed this connection
+                                // (closing the stream tells the peer)
+                                // and keep the daemon alive.
+                                Err(_) => {
+                                    server
+                                        .metrics_ref()
+                                        .connections_dropped
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(1));
@@ -272,8 +380,7 @@ impl WireServer {
                 for w in workers {
                     let _ = w.join();
                 }
-            })
-            .expect("spawn accept thread");
+            })?;
         Ok(WireServer {
             stop,
             accept_handle: Some(accept_handle),
@@ -306,7 +413,8 @@ impl Drop for WireServer {
     }
 }
 
-/// Client side of the wire protocol.
+/// Client side of the wire protocol (thin, single connection; see
+/// [`RobustWireClient`] for the fault-tolerant flavour).
 #[derive(Debug)]
 pub struct WireClient {
     stream: UnixStream,
@@ -319,6 +427,10 @@ pub struct WireResponse {
     pub body: Vec<u8>,
     /// Generation of the view that produced the answer.
     pub generation: u64,
+    /// Whether the body reflects a degraded (fallback) view rather than
+    /// the live one — either flagged by the server, or replayed from the
+    /// client's last-good cache while the wire is down.
+    pub degraded: bool,
 }
 
 impl WireClient {
@@ -335,31 +447,282 @@ impl WireClient {
         caller: Option<CgroupId>,
         key: &str,
     ) -> io::Result<Option<WireResponse>> {
-        let mut payload = Vec::with_capacity(5 + key.len());
-        payload.push(kind);
-        payload.extend_from_slice(&caller.map_or(HOST_CALLER, |c| c.0).to_le_bytes());
-        payload.extend_from_slice(key.as_bytes());
+        let payload = encode_request(kind, caller.map_or(HOST_CALLER, |c| c.0), key);
         write_frame(&mut self.stream, &payload)?;
-        let Some(resp) = read_frame(&mut self.stream, u32::MAX)? else {
+        let Some(resp) = read_frame(&mut self.stream, MAX_RESPONSE)? else {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed mid-request",
             ));
         };
-        if resp.len() < 9 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "short response frame",
-            ));
+        parse_response(&resp)
+    }
+
+    /// Read a virtual file as `caller`; `Ok(None)` is ENOENT.
+    pub fn read(
+        &mut self,
+        caller: Option<CgroupId>,
+        path: &str,
+    ) -> io::Result<Option<WireResponse>> {
+        self.request(KIND_READ, caller, path)
+    }
+
+    /// Query a sysconf value by wire key name (e.g. `"nprocessors_onln"`).
+    pub fn sysconf(&mut self, caller: Option<CgroupId>, key: &str) -> io::Result<Option<u64>> {
+        let resp = self.request(KIND_SYSCONF, caller, key)?;
+        match resp {
+            Some(r) => {
+                let text = std::str::from_utf8(&r.body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let value = text
+                    .parse::<u64>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(Some(value))
+            }
+            None => Ok(None),
         }
-        let status = resp[0];
-        let generation = u64::from_le_bytes(resp[1..9].try_into().unwrap());
-        match status {
-            STATUS_OK => Ok(Some(WireResponse {
-                body: resp[9..].to_vec(),
-                generation,
-            })),
-            _ => Ok(None),
+    }
+}
+
+/// Retry, backoff, deadline and circuit-breaker policy for
+/// [`RobustWireClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per request (first attempt + retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Read/write deadline applied to the socket for each attempt.
+    pub request_timeout: Duration,
+    /// Consecutive failed *requests* (attempts exhausted) that open the
+    /// circuit breaker.
+    pub breaker_threshold: u32,
+    /// Number of subsequent requests that fail fast (serving the cached
+    /// fallback) while the breaker is open. Counted in requests, not
+    /// wall-clock, so behaviour is deterministic under test.
+    pub breaker_cooldown: u32,
+    /// Seed for the jitter applied to backoff pauses; same seed, same
+    /// pause sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with microsecond-scale backoffs for tests, so failure
+    /// paths run in milliseconds instead of seconds.
+    pub fn fast_test() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            request_timeout: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Pause before retry number `retry` (0-based), with ±30% seeded
+    /// jitter to decorrelate clients hammering a recovering server.
+    fn backoff(&self, retry: u32, rng: &mut SimRng) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(1u32 << retry.min(10));
+        doubled.min(self.max_backoff).mul_f64(rng.jitter(0.3))
+    }
+}
+
+/// Counters describing one [`RobustWireClient`]'s life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireClientStats {
+    /// Requests that got a response (including degraded ones).
+    pub successes: u64,
+    /// Requests that exhausted every attempt.
+    pub failures: u64,
+    /// Individual retry attempts (beyond each request's first try).
+    pub retries: u64,
+    /// Times the client re-established a connection after losing one.
+    pub reconnects: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Requests failed fast because the breaker was open.
+    pub fast_fails: u64,
+    /// Requests answered from the last-good cache instead of the wire.
+    pub fallback_serves: u64,
+}
+
+/// Fault-tolerant wire client: deadlines, retry with seeded backoff,
+/// automatic reconnect, circuit breaker, last-good fallback.
+///
+/// Connection is lazy — constructing the client never touches the
+/// socket, so a consumer can start before the daemon does.
+#[derive(Debug)]
+pub struct RobustWireClient {
+    socket_path: PathBuf,
+    policy: RetryPolicy,
+    stream: Option<UnixStream>,
+    rng: SimRng,
+    ever_connected: bool,
+    consecutive_failures: u32,
+    breaker_remaining: u32,
+    last_good: HashMap<(u8, u32, String), WireResponse>,
+    stats: WireClientStats,
+}
+
+impl RobustWireClient {
+    /// A client for `socket_path` under `policy`. Does not connect yet.
+    pub fn new(socket_path: impl AsRef<Path>, policy: RetryPolicy) -> RobustWireClient {
+        RobustWireClient {
+            socket_path: socket_path.as_ref().to_path_buf(),
+            rng: SimRng::seed_from_u64(policy.jitter_seed),
+            policy,
+            stream: None,
+            ever_connected: false,
+            consecutive_failures: 0,
+            breaker_remaining: 0,
+            last_good: HashMap::new(),
+            stats: WireClientStats::default(),
+        }
+    }
+
+    /// A client with the default [`RetryPolicy`].
+    pub fn with_defaults(socket_path: impl AsRef<Path>) -> RobustWireClient {
+        RobustWireClient::new(socket_path, RetryPolicy::default())
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> WireClientStats {
+        self.stats
+    }
+
+    /// Whether a connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Whether the circuit breaker is currently failing requests fast.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker_remaining > 0
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = UnixStream::connect(&self.socket_path)?;
+        stream.set_read_timeout(Some(self.policy.request_timeout))?;
+        stream.set_write_timeout(Some(self.policy.request_timeout))?;
+        if self.ever_connected {
+            self.stats.reconnects += 1;
+        }
+        self.ever_connected = true;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn try_once(&mut self, payload: &[u8]) -> io::Result<Option<WireResponse>> {
+        self.ensure_connected()?;
+        let stream = match self.stream.as_mut() {
+            Some(s) => s,
+            None => return Err(io::Error::new(io::ErrorKind::NotConnected, "no stream")),
+        };
+        write_frame(stream, payload)?;
+        match read_frame(stream, MAX_RESPONSE)? {
+            Some(resp) => parse_response(&resp),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            )),
+        }
+    }
+
+    /// Serve a request from the last-good cache (flagged degraded), or
+    /// surface an error if nothing was ever cached for this key.
+    fn fallback(
+        &mut self,
+        kind: u8,
+        raw_caller: u32,
+        key: &str,
+        why: &str,
+    ) -> io::Result<Option<WireResponse>> {
+        match self.last_good.get(&(kind, raw_caller, key.to_string())) {
+            Some(cached) => {
+                self.stats.fallback_serves += 1;
+                let mut resp = cached.clone();
+                resp.degraded = true;
+                Ok(Some(resp))
+            }
+            None => Err(io::Error::other(format!("{why}; no cached response"))),
+        }
+    }
+
+    /// Issue one request with the full failure-handling pipeline.
+    ///
+    /// `Ok(None)` is a definitive NOT_FOUND from the server. `Err` means
+    /// every attempt failed *and* no cached response exists to degrade
+    /// to; any successful or fallback answer is `Ok(Some(_))` with its
+    /// `degraded` flag telling the caller which it was.
+    pub fn request(
+        &mut self,
+        kind: u8,
+        caller: Option<CgroupId>,
+        key: &str,
+    ) -> io::Result<Option<WireResponse>> {
+        let raw_caller = caller.map_or(HOST_CALLER, |c| c.0);
+        if self.breaker_remaining > 0 {
+            self.breaker_remaining -= 1;
+            self.stats.fast_fails += 1;
+            return self.fallback(kind, raw_caller, key, "circuit breaker open");
+        }
+        let payload = encode_request(kind, raw_caller, key);
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let pause = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(pause);
+            }
+            match self.try_once(&payload) {
+                Ok(resp) => {
+                    self.consecutive_failures = 0;
+                    self.stats.successes += 1;
+                    if let Some(r) = &resp {
+                        if !r.degraded {
+                            self.last_good
+                                .insert((kind, raw_caller, key.to_string()), r.clone());
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // The stream can't be trusted any more (torn frame,
+                    // timeout mid-read, peer gone): drop it so the next
+                    // attempt reconnects from scratch.
+                    self.stream = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.stats.failures += 1;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.policy.breaker_threshold {
+            self.consecutive_failures = 0;
+            self.breaker_remaining = self.policy.breaker_cooldown;
+            self.stats.breaker_opens += 1;
+        }
+        match self.fallback(kind, raw_caller, key, "request failed") {
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(last_err.unwrap_or_else(|| io::Error::other("request failed"))),
         }
     }
 
@@ -427,6 +790,7 @@ mod tests {
         let (server, wire, id) = spawn_server("rt");
         let mut client = WireClient::connect(wire.socket_path()).unwrap();
         let resp = client.read(Some(id), "/proc/cpuinfo").unwrap().unwrap();
+        assert!(!resp.degraded);
         let text = String::from_utf8(resp.body).unwrap();
         assert_eq!(text.matches("processor").count(), 4);
         assert_eq!(
@@ -464,7 +828,7 @@ mod tests {
 
     #[test]
     fn multiple_concurrent_connections() {
-        let (_server, wire, id) = spawn_server("conc");
+        let (server, wire, id) = spawn_server("conc");
         let path = wire.socket_path().to_path_buf();
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -481,6 +845,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert!(server.metrics().connections_accepted >= 4);
         wire.shutdown();
     }
 
@@ -490,7 +855,7 @@ mod tests {
         let mut stream = UnixStream::connect(wire.socket_path()).unwrap();
         // kind 9 is unknown; server must answer NOT_FOUND, not hang.
         write_frame(&mut stream, &[9u8, 0, 0, 0, 0]).unwrap();
-        let resp = read_frame(&mut stream, u32::MAX).unwrap().unwrap();
+        let resp = read_frame(&mut stream, MAX_RESPONSE).unwrap().unwrap();
         assert_eq!(resp[0], STATUS_NOT_FOUND);
         // Give the counter a moment (same thread wrote it before reply).
         assert!(server.metrics().wire_errors >= 1);
@@ -498,8 +863,8 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frame_closes_connection() {
-        let (_server, wire, _) = spawn_server("big");
+    fn oversized_frame_closes_connection_and_counts() {
+        let (server, wire, _) = spawn_server("big");
         let mut stream = UnixStream::connect(wire.socket_path()).unwrap();
         stream.write_all(&(10_000_000u32).to_le_bytes()).unwrap();
         stream.write_all(&[0u8; 64]).unwrap();
@@ -507,6 +872,204 @@ mod tests {
         let mut buf = [0u8; 1];
         let n = stream.read(&mut buf).unwrap_or(0);
         assert_eq!(n, 0);
+        assert!(server.metrics().wire_rejected >= 1);
         wire.shutdown();
+    }
+
+    #[test]
+    fn degraded_status_travels_over_the_wire() {
+        let (server, wire, id) = spawn_server("deg");
+        let mut client = WireClient::connect(wire.socket_path()).unwrap();
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        assert!(
+            !client
+                .read(Some(id), "/proc/cpuinfo")
+                .unwrap()
+                .unwrap()
+                .degraded
+        );
+        for _ in 0..(server.policy().budget + 1) {
+            server.advance_tick();
+        }
+        let resp = client.read(Some(id), "/proc/cpuinfo").unwrap().unwrap();
+        assert!(resp.degraded);
+        // The degraded body is the conservative fallback: the lower bound.
+        let text = String::from_utf8(resp.body).unwrap();
+        assert_eq!(text.matches("processor").count(), 4);
+        // Host callers never degrade.
+        assert!(
+            !client
+                .read(None, "/proc/cpuinfo")
+                .unwrap()
+                .unwrap()
+                .degraded
+        );
+        wire.shutdown();
+    }
+
+    #[test]
+    fn robust_client_reconnects_after_server_restart() {
+        let (_server, wire, id) = spawn_server("restart");
+        let socket = wire.socket_path().to_path_buf();
+        let mut client = RobustWireClient::new(&socket, RetryPolicy::fast_test());
+        assert_eq!(
+            client.sysconf(Some(id), "nprocessors_onln").unwrap(),
+            Some(4)
+        );
+        assert!(client.is_connected());
+
+        // Kill the server: the in-flight connection dies, retries can't
+        // reconnect (socket unlinked), but the cached answer degrades.
+        wire.shutdown();
+        let resp = client
+            .request(KIND_SYSCONF, Some(id), "nprocessors_onln")
+            .unwrap()
+            .unwrap();
+        assert!(resp.degraded);
+        let s = client.stats();
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.fallback_serves, 1);
+        assert!(s.retries >= 1);
+
+        // Restart on the same socket: the next request reconnects and
+        // gets a live answer again.
+        let (_server2, wire2, _) = {
+            let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+            let id2 = CgroupId(7);
+            server.register(
+                id2,
+                CpuBounds {
+                    lower: 4,
+                    upper: 10,
+                },
+                EffectiveCpuConfig::default(),
+                EffectiveMemory::new(
+                    Bytes::from_mib(500),
+                    Bytes::from_gib(1),
+                    Bytes::from_mib(64),
+                    Bytes::from_mib(128),
+                    EffectiveMemoryConfig::default(),
+                ),
+            );
+            let wire2 = WireServer::spawn(server.clone(), &socket).unwrap();
+            (server, wire2, id2)
+        };
+        let resp = client
+            .request(KIND_SYSCONF, Some(id), "nprocessors_onln")
+            .unwrap()
+            .unwrap();
+        assert!(!resp.degraded);
+        assert!(client.stats().reconnects >= 1);
+        wire2.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_then_recovers() {
+        let socket = test_socket("breaker");
+        let _ = std::fs::remove_file(&socket);
+        let policy = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: 2,
+            ..RetryPolicy::fast_test()
+        };
+        let mut client = RobustWireClient::new(&socket, policy);
+        // Nothing listening and nothing cached: a hard error that opens
+        // the breaker immediately (threshold 1).
+        assert!(client.read(None, "/proc/cpuinfo").is_err());
+        assert!(client.breaker_open());
+        assert_eq!(client.stats().breaker_opens, 1);
+        // Cooldown requests fail fast without touching the socket.
+        assert!(client.read(None, "/proc/cpuinfo").is_err());
+        assert!(client.read(None, "/proc/cpuinfo").is_err());
+        assert_eq!(client.stats().fast_fails, 2);
+        assert!(!client.breaker_open());
+        // A server appears; the next request goes through live.
+        let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+        let wire = WireServer::spawn(server, &socket).unwrap();
+        let resp = client.read(None, "/proc/cpuinfo").unwrap().unwrap();
+        assert!(!resp.degraded);
+        assert_eq!(client.stats().successes, 1);
+        wire.shutdown();
+    }
+
+    mod frame_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary bytes never panic the response parser.
+            #[test]
+            fn parse_response_never_panics(
+                bytes in prop::collection::vec(0u8..255, 0..64)
+            ) {
+                let _ = parse_response(&bytes);
+            }
+
+            /// Arbitrary bytes never panic the request decoder.
+            #[test]
+            fn decode_request_never_panics(
+                bytes in prop::collection::vec(0u8..255, 0..64)
+            ) {
+                let _ = decode_request(&bytes);
+            }
+
+            /// Well-formed responses round-trip, including the degraded
+            /// status; unknown statuses are rejected as errors.
+            #[test]
+            fn response_round_trip(
+                status in 0u8..8,
+                generation in 0u64..u64::MAX,
+                body in prop::collection::vec(0u8..255, 0..48)
+            ) {
+                let frame = encode_response(status, generation, &body);
+                match parse_response(&frame) {
+                    Ok(Some(resp)) => {
+                        prop_assert!(status == STATUS_OK || status == STATUS_OK_DEGRADED);
+                        prop_assert_eq!(resp.body, body);
+                        prop_assert_eq!(resp.generation, generation);
+                        prop_assert_eq!(resp.degraded, status == STATUS_OK_DEGRADED);
+                    }
+                    Ok(None) => prop_assert_eq!(status, STATUS_NOT_FOUND),
+                    Err(_) => prop_assert!(status > STATUS_OK_DEGRADED),
+                }
+            }
+
+            /// Truncating a valid response frame never panics: either it
+            /// still parses (shorter body) or it errors cleanly.
+            #[test]
+            fn truncated_response_never_panics(
+                generation in 0u64..u64::MAX,
+                body in prop::collection::vec(0u8..255, 0..48),
+                cut in 0usize..64
+            ) {
+                let frame = encode_response(STATUS_OK, generation, &body);
+                let keep = cut.min(frame.len());
+                match parse_response(&frame[..keep]) {
+                    Ok(Some(resp)) => {
+                        prop_assert!(keep >= 9);
+                        prop_assert_eq!(resp.generation, generation);
+                    }
+                    Ok(None) => prop_assert!(false, "OK status cannot decode to NOT_FOUND"),
+                    Err(_) => prop_assert!(keep < 9),
+                }
+            }
+
+            /// Flipping one bit of a valid response frame never panics
+            /// the parser (it may still parse, with different contents).
+            #[test]
+            fn corrupted_response_never_panics(
+                generation in 0u64..u64::MAX,
+                body in prop::collection::vec(0u8..255, 1..48),
+                idx in 0usize..1024,
+                bit in 0u8..8
+            ) {
+                let mut frame = encode_response(STATUS_OK, generation, &body);
+                let i = idx % frame.len();
+                frame[i] ^= 1 << bit;
+                let _ = parse_response(&frame);
+            }
+        }
     }
 }
