@@ -24,4 +24,10 @@ cargo test -q -p arv-integration-tests --test fault_pipeline_e2e
 echo "==> chaos experiment (seeded fault injection, replay-checked)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --scale 0.5 > /dev/null
 
+echo "==> observability experiment (provenance replay + trace-overhead budget)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig obs --scale 0.5 > /dev/null
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> ci: all green"

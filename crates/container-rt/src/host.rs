@@ -273,6 +273,22 @@ impl SimHost {
         self.watchdog.stats()
     }
 
+    /// Install a [`Tracer`](arv_telemetry::Tracer): both the
+    /// `ns_monitor` (view decisions, container churn) and the watchdog
+    /// (stalls, event loss) emit provenance into it. Share the same
+    /// tracer with an attached [`ViewServer`] to get the serving
+    /// layer's degraded-fallback decisions in the same ring.
+    pub fn set_tracer(&mut self, tracer: arv_telemetry::Tracer) {
+        self.monitor.set_tracer(tracer.clone());
+        self.watchdog.set_tracer(tracer);
+    }
+
+    /// The monitor's tracer (disabled unless
+    /// [`set_tracer`](SimHost::set_tracer) installed one).
+    pub fn tracer(&self) -> &arv_telemetry::Tracer {
+        self.monitor.tracer()
+    }
+
     /// The monitor's update-timer tick count (advances once per firing,
     /// stalled or not).
     pub fn now_tick(&self) -> u64 {

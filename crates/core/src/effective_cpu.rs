@@ -17,6 +17,7 @@
 use arv_cgroups::hierarchy::{CgroupTree, ROOT};
 use arv_cgroups::{CgroupId, CpuController, CpuSet};
 use arv_sim_core::SimDuration;
+use arv_telemetry::{CpuDecision, DecisionCause};
 
 /// Tunables of Algorithm 1; defaults are the paper's.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,6 +179,34 @@ impl EffectiveCpu {
                 .max(self.bounds.lower);
         }
         self.value
+    }
+
+    /// [`update`](EffectiveCpu::update) with decision provenance: when
+    /// the step changed the value, returns the full
+    /// [`CpuDecision`] — cause, before/after,
+    /// and the utilization/slack inputs that drove Algorithm 1's branch.
+    /// Returns `None` when the view was left unchanged.
+    pub fn update_explained(&mut self, sample: CpuSample) -> Option<CpuDecision> {
+        let before = self.value;
+        let capacity = sample.period * u64::from(before);
+        let utilization = sample.usage.ratio(capacity);
+        let had_slack = !sample.slack.is_zero();
+        let after = self.update(sample);
+        if after == before {
+            return None;
+        }
+        let cause = if after > before {
+            DecisionCause::CpuSaturatedWithSlack
+        } else {
+            DecisionCause::CpuShrinkNoSlack
+        };
+        Some(CpuDecision {
+            cause,
+            before,
+            after,
+            utilization,
+            had_slack,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 //! reclaim will take away.
 
 use arv_cgroups::Bytes;
+use arv_telemetry::{DecisionCause, MemDecision};
 
 /// Tunables of Algorithm 2; defaults are the paper's.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +131,32 @@ impl EffectiveMemory {
         }
         self.prev = Some(sample);
         self.value
+    }
+
+    /// [`update`](EffectiveMemory::update) with decision provenance:
+    /// when the period changed the view, returns the full
+    /// [`MemDecision`] — cause (pressure
+    /// growth vs. reclaim reset), before/after, and the usage/free
+    /// inputs Algorithm 2 branched on. Returns `None` when unchanged
+    /// (including the reset branch re-asserting an already-reset view).
+    pub fn update_explained(&mut self, sample: MemSample) -> Option<MemDecision> {
+        let before = self.value;
+        let after = self.update(sample);
+        if after == before {
+            return None;
+        }
+        let cause = if after > before {
+            DecisionCause::MemPressureGrowth
+        } else {
+            DecisionCause::MemReclaimReset
+        };
+        Some(MemDecision {
+            cause,
+            before,
+            after,
+            usage: sample.usage,
+            free: sample.free,
+        })
     }
 
     /// Line 8: estimate how much system free memory will drop if this

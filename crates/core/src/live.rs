@@ -11,6 +11,7 @@
 //! reported 1 µs update and 5 µs query costs.
 
 use arv_cgroups::{Bytes, CgroupId};
+use arv_telemetry::{CpuDecision, DecisionCause, MemDecision, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -95,6 +96,11 @@ pub struct NsCell {
     fb_cpu: AtomicU32,
     fb_mem: AtomicU64,
     state: Mutex<CellState>,
+    // Decision provenance: which container this cell belongs to and the
+    // (possibly disabled) shared trace ring. Written once at
+    // construction, read-only afterwards.
+    id: CgroupId,
+    tracer: Tracer,
 }
 
 #[derive(Debug)]
@@ -104,7 +110,7 @@ struct CellState {
 }
 
 impl NsCell {
-    fn new(cpu: EffectiveCpu, mem: EffectiveMemory) -> NsCell {
+    fn new(id: CgroupId, cpu: EffectiveCpu, mem: EffectiveMemory, tracer: Tracer) -> NsCell {
         NsCell {
             e_cpu: AtomicU32::new(cpu.value()),
             e_mem: AtomicU64::new(mem.value().as_u64()),
@@ -115,7 +121,15 @@ impl NsCell {
             fb_cpu: AtomicU32::new(cpu.bounds().lower),
             fb_mem: AtomicU64::new(mem.soft_limit().as_u64()),
             state: Mutex::new(CellState { cpu, mem }),
+            id,
+            tracer,
         }
+    }
+
+    /// The container this cell publishes views for.
+    #[inline]
+    pub fn id(&self) -> CgroupId {
+        self.id
     }
 
     /// Lock-free read of effective CPU (the container-side `sysconf`).
@@ -193,24 +207,63 @@ impl NsCell {
     /// seqlock bracket means a half-applied update is never observable.
     pub fn apply(&self, sample: LiveSample) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let cpu = st.cpu.update(sample.cpu);
-        let mem = st.mem.update(sample.mem);
+        let cpu_d = st.cpu.update_explained(sample.cpu);
+        let mem_d = st.mem.update_explained(sample.mem);
+        let cpu = st.cpu.value();
+        let mem = st.mem.value();
         let avail = mem.saturating_sub(sample.mem.usage);
         self.publish(cpu, mem, avail);
         self.updates.fetch_add(1, Ordering::Relaxed);
+        let tick = self.last_tick.load(Ordering::Acquire);
+        if let Some(d) = cpu_d {
+            self.tracer.emit_cpu(tick, self.id, d);
+        }
+        if let Some(d) = mem_d {
+            self.tracer.emit_mem(tick, self.id, d);
+        }
     }
 
     /// Refresh static bounds/limits (cgroup change). The conservative
     /// fallback view tracks the new bounds too.
     pub fn set_static(&self, bounds: CpuBounds, soft: Bytes, hard: Bytes) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let cpu_before = st.cpu.value();
+        let mem_before = st.mem.value();
         st.cpu.set_bounds(bounds);
         st.mem.set_limits(soft, hard);
         self.fb_cpu.store(bounds.lower, Ordering::Release);
         self.fb_mem.store(soft.as_u64(), Ordering::Release);
+        let cpu = st.cpu.value();
         let mem = st.mem.value();
         let avail = mem.saturating_sub(st.mem.last_usage().unwrap_or(Bytes(0)));
-        self.publish(st.cpu.value(), mem, avail);
+        self.publish(cpu, mem, avail);
+        let tick = self.last_tick.load(Ordering::Acquire);
+        if cpu != cpu_before {
+            self.tracer.emit_cpu(
+                tick,
+                self.id,
+                CpuDecision {
+                    cause: DecisionCause::StaticRefresh,
+                    before: cpu_before,
+                    after: cpu,
+                    utilization: 0.0,
+                    had_slack: false,
+                },
+            );
+        }
+        if mem != mem_before {
+            self.tracer.emit_mem(
+                tick,
+                self.id,
+                MemDecision {
+                    cause: DecisionCause::StaticRefresh,
+                    before: mem_before,
+                    after: mem,
+                    usage: Bytes(0),
+                    free: Bytes(0),
+                },
+            );
+        }
     }
 
     /// Publish externally computed views, bypassing the cell's own
@@ -272,12 +325,28 @@ impl NsCell {
 #[derive(Debug, Clone, Default)]
 pub struct LiveRegistry {
     cells: Arc<RwLock<HashMap<CgroupId, Arc<NsCell>>>>,
+    tracer: Tracer,
 }
 
 impl LiveRegistry {
     /// An empty registry.
     pub fn new() -> LiveRegistry {
         LiveRegistry::default()
+    }
+
+    /// An empty registry whose cells emit decision provenance into
+    /// `tracer`.
+    pub fn with_tracer(tracer: Tracer) -> LiveRegistry {
+        LiveRegistry {
+            cells: Arc::default(),
+            tracer,
+        }
+    }
+
+    /// The registry's tracer (disabled unless constructed via
+    /// [`with_tracer`](LiveRegistry::with_tracer)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Register a container and get its query handle.
@@ -288,7 +357,12 @@ impl LiveRegistry {
         cpu_cfg: EffectiveCpuConfig,
         mem: EffectiveMemory,
     ) -> Arc<NsCell> {
-        let cell = Arc::new(NsCell::new(EffectiveCpu::new(bounds, cpu_cfg), mem));
+        let cell = Arc::new(NsCell::new(
+            id,
+            EffectiveCpu::new(bounds, cpu_cfg),
+            mem,
+            self.tracer.clone(),
+        ));
         let prev = self
             .cells
             .write()

@@ -16,6 +16,7 @@
 use arv_cfs::UsageLedger;
 use arv_cgroups::{Bytes, CgroupEvent, CgroupId, CgroupManager, CpuSet, SeqEvent};
 use arv_mem::{MemSim, Watermarks};
+use arv_telemetry::{CpuDecision, DecisionCause, MemDecision, PipelineEvent, Tracer};
 use std::collections::BTreeMap;
 
 use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpuConfig};
@@ -50,6 +51,7 @@ pub struct NsMonitor {
     next_pid: u32,
     now_tick: u64,
     next_seq: u64,
+    tracer: Tracer,
 }
 
 impl NsMonitor {
@@ -71,7 +73,21 @@ impl NsMonitor {
             next_pid: 1,
             now_tick: 0,
             next_seq: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install a [`Tracer`]; every subsequent view change carries its
+    /// decision provenance into the shared trace ring. The default is a
+    /// disabled (no-op) tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The monitor's tracer (disabled unless
+    /// [`set_tracer`](NsMonitor::set_tracer) installed one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Convenience constructor with the paper's default thresholds.
@@ -144,12 +160,18 @@ impl NsMonitor {
             match ev {
                 CgroupEvent::Created(id) => self.create_namespace(*id, cgm),
                 CgroupEvent::Removed(id) => {
-                    self.namespaces.remove(id);
+                    if self.namespaces.remove(id).is_some() {
+                        self.tracer.emit_pipeline(
+                            self.now_tick,
+                            Some(*id),
+                            PipelineEvent::ContainerRemoved,
+                        );
+                    }
                 }
                 CgroupEvent::Updated(_) => {}
             }
         }
-        self.recompute_all(cgm);
+        self.recompute_all(cgm, DecisionCause::StaticRefresh);
     }
 
     /// Apply a batch of sequence-numbered events (delivered through an
@@ -176,14 +198,24 @@ impl NsMonitor {
             match ev.event {
                 CgroupEvent::Created(id) => self.create_namespace(id, cgm),
                 CgroupEvent::Removed(id) => {
-                    self.namespaces.remove(&id);
+                    if self.namespaces.remove(&id).is_some() {
+                        self.tracer.emit_pipeline(
+                            self.now_tick,
+                            Some(id),
+                            PipelineEvent::ContainerRemoved,
+                        );
+                    }
                 }
                 CgroupEvent::Updated(_) => {}
             }
             report.applied += 1;
         }
+        if report.gap {
+            self.tracer
+                .emit_pipeline(self.now_tick, None, PipelineEvent::GapDetected);
+        }
         if report.applied > 0 {
-            self.recompute_all(cgm);
+            self.recompute_all(cgm, DecisionCause::StaticRefresh);
         }
         report
     }
@@ -197,12 +229,22 @@ impl NsMonitor {
     /// correct regardless of how many events were lost.
     pub fn resync(&mut self, cgm: &mut CgroupManager) {
         let _ = cgm.drain_events();
-        self.namespaces.retain(|id, _| cgm.contains(*id));
+        let tracer = self.tracer.clone();
+        let now = self.now_tick;
+        self.namespaces.retain(|id, _| {
+            let keep = cgm.contains(*id);
+            if !keep {
+                tracer.emit_pipeline(now, Some(*id), PipelineEvent::ContainerRemoved);
+            }
+            keep
+        });
         let live: Vec<CgroupId> = cgm.iter().map(|(id, _)| id).collect();
         for id in live {
             self.create_namespace(id, cgm);
         }
-        self.recompute_all(cgm);
+        self.recompute_all(cgm, DecisionCause::WatchdogResync);
+        self.tracer
+            .emit_pipeline(self.now_tick, None, PipelineEvent::Resynced);
     }
 
     /// Align the expected event sequence number (after a resync, the
@@ -234,17 +276,52 @@ impl NsMonitor {
         let mut ns = SysNamespace::new(id, owner, bounds, self.cpu_cfg, e_mem);
         ns.stamp(self.now_tick);
         self.namespaces.insert(id, ns);
+        self.tracer
+            .emit_pipeline(self.now_tick, Some(id), PipelineEvent::ContainerCreated);
     }
 
-    fn recompute_all(&mut self, cgm: &CgroupManager) {
+    /// Refresh every namespace's static inputs, emitting a provenance
+    /// record (with `cause`: static refresh vs. watchdog resync) for
+    /// each view the clamp actually moved.
+    fn recompute_all(&mut self, cgm: &CgroupManager, cause: DecisionCause) {
         let total_shares = cgm.total_shares();
         for (id, ns) in self.namespaces.iter_mut() {
             if let Some(spec) = cgm.get(*id) {
+                let cpu_before = ns.effective_cpu();
+                let mem_before = ns.effective_memory();
                 ns.set_cpu_bounds(CpuBounds::compute(&spec.cpu, total_shares, self.online));
                 ns.set_mem_limits(
                     spec.mem.soft_limit_or(self.host_total),
                     spec.mem.hard_limit_or(self.host_total),
                 );
+                let cpu_after = ns.effective_cpu();
+                let mem_after = ns.effective_memory();
+                if cpu_after != cpu_before {
+                    self.tracer.emit_cpu(
+                        self.now_tick,
+                        *id,
+                        CpuDecision {
+                            cause,
+                            before: cpu_before,
+                            after: cpu_after,
+                            utilization: 0.0,
+                            had_slack: false,
+                        },
+                    );
+                }
+                if mem_after != mem_before {
+                    self.tracer.emit_mem(
+                        self.now_tick,
+                        *id,
+                        MemDecision {
+                            cause,
+                            before: mem_before,
+                            after: mem_after,
+                            usage: Bytes(0),
+                            free: Bytes(0),
+                        },
+                    );
+                }
             }
         }
     }
@@ -256,7 +333,7 @@ impl NsMonitor {
             return; // nothing scheduled yet
         }
         for (id, ns) in self.namespaces.iter_mut() {
-            ns.update(
+            let (cpu_d, mem_d) = ns.update_explained(
                 CpuSample {
                     usage: ledger.last_usage(*id),
                     period: ledger.last_period(),
@@ -268,6 +345,12 @@ impl NsMonitor {
                     reclaiming: mem.is_reclaiming(),
                 },
             );
+            if let Some(d) = cpu_d {
+                self.tracer.emit_cpu(self.now_tick, *id, d);
+            }
+            if let Some(d) = mem_d {
+                self.tracer.emit_mem(self.now_tick, *id, d);
+            }
             ns.stamp(self.now_tick);
         }
     }
@@ -280,7 +363,7 @@ impl NsMonitor {
             return;
         }
         for (id, ns) in self.namespaces.iter_mut() {
-            ns.update(
+            let (cpu_d, mem_d) = ns.update_explained(
                 CpuSample {
                     usage: ledger.window_usage(*id),
                     period: ledger.window_time(),
@@ -292,6 +375,12 @@ impl NsMonitor {
                     reclaiming: mem.is_reclaiming(),
                 },
             );
+            if let Some(d) = cpu_d {
+                self.tracer.emit_cpu(self.now_tick, *id, d);
+            }
+            if let Some(d) = mem_d {
+                self.tracer.emit_mem(self.now_tick, *id, d);
+            }
             ns.stamp(self.now_tick);
         }
     }
@@ -302,11 +391,14 @@ impl NsMonitor {
             return;
         }
         for (id, ns) in self.namespaces.iter_mut() {
-            ns.update_cpu(CpuSample {
+            let cpu_d = ns.update_cpu_explained(CpuSample {
                 usage: ledger.last_usage(*id),
                 period: ledger.last_period(),
                 slack: ledger.last_slack(),
             });
+            if let Some(d) = cpu_d {
+                self.tracer.emit_cpu(self.now_tick, *id, d);
+            }
             ns.stamp(self.now_tick);
         }
     }

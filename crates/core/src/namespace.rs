@@ -9,6 +9,7 @@
 //! reaching the namespace for the container's whole lifetime.
 
 use arv_cgroups::{Bytes, CgroupId};
+use arv_telemetry::{CpuDecision, MemDecision};
 
 use crate::effective_cpu::{CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig};
 use crate::effective_mem::{EffectiveMemory, MemSample};
@@ -138,6 +139,32 @@ impl SysNamespace {
     /// Update only the memory view.
     pub fn update_mem(&mut self, mem: MemSample) {
         self.e_mem.update(mem);
+    }
+
+    /// [`update`](SysNamespace::update) with decision provenance:
+    /// returns what moved (and why) for each resource, `None` per
+    /// resource when its view was left unchanged.
+    pub fn update_explained(
+        &mut self,
+        cpu: CpuSample,
+        mem: MemSample,
+    ) -> (Option<CpuDecision>, Option<MemDecision>) {
+        (
+            self.e_cpu.update_explained(cpu),
+            self.e_mem.update_explained(mem),
+        )
+    }
+
+    /// [`update_cpu`](SysNamespace::update_cpu) with decision
+    /// provenance.
+    pub fn update_cpu_explained(&mut self, cpu: CpuSample) -> Option<CpuDecision> {
+        self.e_cpu.update_explained(cpu)
+    }
+
+    /// [`update_mem`](SysNamespace::update_mem) with decision
+    /// provenance.
+    pub fn update_mem_explained(&mut self, mem: MemSample) -> Option<MemDecision> {
+        self.e_mem.update_explained(mem)
     }
 }
 

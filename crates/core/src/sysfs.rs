@@ -9,6 +9,7 @@
 //! a path-based read of the files runtimes actually open.
 
 use arv_cgroups::{Bytes, CgroupId};
+use arv_telemetry::{CpuDecision, DecisionCause, MemDecision};
 
 use crate::health::{StalenessPolicy, ViewHealth};
 use crate::monitor::NsMonitor;
@@ -113,10 +114,26 @@ impl<'m> VirtualSysfs<'m> {
         }
     }
 
-    /// CPU count served for `ns`, honouring degradation.
+    /// CPU count served for `ns`, honouring degradation. Substituting
+    /// the fallback for a live view is itself a traced decision: the
+    /// served value deviates from the namespace's actual view.
     fn ns_cpus(&self, ns: &SysNamespace) -> u32 {
         if self.is_degraded(ns) {
-            ns.cpu_bounds().lower
+            let fallback = ns.cpu_bounds().lower;
+            if fallback != ns.effective_cpu() {
+                self.monitor.tracer().emit_cpu(
+                    self.monitor.now_tick(),
+                    ns.id(),
+                    CpuDecision {
+                        cause: DecisionCause::DegradedFallback,
+                        before: ns.effective_cpu(),
+                        after: fallback,
+                        utilization: 0.0,
+                        had_slack: false,
+                    },
+                );
+            }
+            fallback
         } else {
             ns.effective_cpu()
         }
@@ -125,7 +142,21 @@ impl<'m> VirtualSysfs<'m> {
     /// Memory size served for `ns`, honouring degradation.
     fn ns_memory(&self, ns: &SysNamespace) -> Bytes {
         if self.is_degraded(ns) {
-            ns.soft_limit()
+            let fallback = ns.soft_limit();
+            if fallback != ns.effective_memory() {
+                self.monitor.tracer().emit_mem(
+                    self.monitor.now_tick(),
+                    ns.id(),
+                    MemDecision {
+                        cause: DecisionCause::DegradedFallback,
+                        before: ns.effective_memory(),
+                        after: fallback,
+                        usage: ns.last_usage(),
+                        free: Bytes(0),
+                    },
+                );
+            }
+            fallback
         } else {
             ns.effective_memory()
         }

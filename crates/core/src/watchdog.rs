@@ -12,6 +12,8 @@
 //! [`NsMonitor::resync`](crate::monitor::NsMonitor::resync) — the full
 //! reconcile pass — instead of trusting the incremental stream.
 
+use arv_telemetry::{PipelineEvent, Tracer};
+
 use crate::monitor::IngestReport;
 
 /// Watchdog tuning.
@@ -61,6 +63,8 @@ pub struct Watchdog {
     stats: WatchdogStats,
     missed_streak: u64,
     pending_resync: bool,
+    ticks_observed: u64,
+    tracer: Tracer,
 }
 
 impl Watchdog {
@@ -77,8 +81,15 @@ impl Watchdog {
         self.stats
     }
 
+    /// Install a [`Tracer`]; pipeline-health findings (stalls, event
+    /// loss, resyncs) are recorded into the shared trace ring.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// The monitor completed its periodic update on time.
     pub fn note_deadline_met(&mut self) {
+        self.ticks_observed += 1;
         self.missed_streak = 0;
     }
 
@@ -89,9 +100,14 @@ impl Watchdog {
     /// [`take_pending_resync`](Watchdog::take_pending_resync) when the
     /// monitor comes back.
     pub fn note_missed_deadline(&mut self) {
+        self.ticks_observed += 1;
         self.stats.missed_ticks += 1;
         self.missed_streak += 1;
         if self.missed_streak > self.cfg.max_missed_ticks {
+            if !self.pending_resync {
+                self.tracer
+                    .emit_pipeline(self.ticks_observed, None, PipelineEvent::StallDetected);
+            }
             self.pending_resync = true;
         }
     }
@@ -106,6 +122,12 @@ impl Watchdog {
             self.stats.gaps_detected += 1;
         }
         if report.gap || overflow_dropped > 0 {
+            if overflow_dropped > 0 {
+                // The monitor traces sequence gaps itself; overflow
+                // drops are only visible here.
+                self.tracer
+                    .emit_pipeline(self.ticks_observed, None, PipelineEvent::GapDetected);
+            }
             self.pending_resync = true;
             Verdict::Resync
         } else {

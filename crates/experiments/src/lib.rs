@@ -26,6 +26,7 @@ pub mod fig10_openmp;
 pub mod fig11_elastic_dacapo;
 pub mod fig12_heap_traces;
 pub mod json;
+pub mod obs;
 pub mod overhead;
 pub mod report;
 pub mod scenarios;
@@ -53,13 +54,14 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "accuracy" => view_accuracy::run(scale),
         "viewd" => viewd::run(scale),
         "chaos" => chaos::run(scale),
+        "obs" => obs::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 15] = [
+pub const ALL_FIGURES: [&str; 16] = [
     "1",
     "2a",
     "2b",
@@ -75,6 +77,7 @@ pub const ALL_FIGURES: [&str; 15] = [
     "accuracy",
     "viewd",
     "chaos",
+    "obs",
 ];
 
 #[cfg(test)]
@@ -96,6 +99,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 15);
+        assert_eq!(ALL_FIGURES.len(), 16);
     }
 }

@@ -67,6 +67,23 @@ pub fn run(scale: f64) -> FigReport {
         }
     }
 
+    // Wire phase: replay a slice of the workload through the socket
+    // protocol so the report can separate protocol overhead (the
+    // dedicated wire-latency histogram) from in-process query cost.
+    let socket = std::env::temp_dir().join(format!("arv-viewd-fig-{}.sock", std::process::id()));
+    let wire = arv_viewd::WireServer::spawn(server.clone(), &socket).expect("bind wire socket");
+    let mut wire_client = arv_viewd::WireClient::connect(wire.socket_path()).expect("wire connect");
+    let wire_reads = ((128.0 * scale) as u32).max(16);
+    for _ in 0..wire_reads {
+        for path in HEAVY_PATHS {
+            wire_client
+                .read(Some(ids[0]), path)
+                .expect("wire read")
+                .expect("renderable path");
+        }
+    }
+    wire.shutdown();
+
     // Robustness epilogue: age the staleness clock past the budget and
     // read each image once more — the daemon must answer every query
     // from the conservative fallback and count the degraded serves.
@@ -91,6 +108,10 @@ pub fn run(scale: f64) -> FigReport {
         "uncached_render",
         &[m.miss_latency_ns, m.miss_p99_ns as f64],
     ));
+    latency.push(Row::full(
+        "wire_request",
+        &[m.wire_latency_ns, m.wire_p99_ns as f64],
+    ));
     latency.push(Row::full("render_over_hit", &[speedup, f64::NAN]));
 
     let mut accounting = Table::new("query_accounting", &["count"]);
@@ -102,6 +123,7 @@ pub fn run(scale: f64) -> FigReport {
         &[(m.cache_hits + m.cache_misses) as f64],
     ));
     accounting.push(Row::full("failures", &[m.failures as f64]));
+    accounting.push(Row::full("wire_requests", &[m.wire_requests as f64]));
 
     let mut robustness = Table::new("robustness_counters", &["count"]);
     robustness.push(Row::full("stale_serves", &[m.stale_serves as f64]));
@@ -140,6 +162,10 @@ pub fn run(scale: f64) -> FigReport {
     rep.note(format!(
         "epilogue ages the clock past the staleness budget: {} degraded serves answered from the conservative fallback",
         m.degraded_serves
+    ));
+    rep.note(format!(
+        "{} wire requests at {:.0} ns mean (p99 {} ns): the protocol layer priced separately from query cost",
+        m.wire_requests, m.wire_latency_ns, m.wire_p99_ns
     ));
     rep
 }
@@ -183,8 +209,19 @@ mod tests {
             t.get("degraded_serves", "count").unwrap(),
             (3 * HEAVY_PATHS.len()) as f64
         );
-        // In-process study: no wire traffic at all.
+        // The wire phase is clean traffic: nothing rejected.
         assert_eq!(t.get("wire_rejected", "count").unwrap(), 0.0);
-        assert_eq!(t.get("connections_accepted", "count").unwrap(), 0.0);
+        assert_eq!(t.get("connections_accepted", "count").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn wire_latency_lands_in_its_own_histogram() {
+        let rep = run(0.1);
+        let latency = &rep.tables[0];
+        assert!(latency.get("wire_request", "mean_ns").unwrap() > 0.0);
+        assert!(latency.get("wire_request", "p99_ns").unwrap() > 0.0);
+        let accounting = &rep.tables[1];
+        // 16 wire rounds x 2 paths at the minimum clamp.
+        assert_eq!(accounting.get("wire_requests", "count").unwrap(), 32.0);
     }
 }

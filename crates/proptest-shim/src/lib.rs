@@ -232,7 +232,7 @@ pub mod strategies {
             VecStrategy { element, size }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

@@ -4,7 +4,7 @@
 //! the pipeline — event delivery (drop / duplicate / reorder), the
 //! monitor itself (stall windows), publication (delay windows), and the
 //! wire protocol (corrupt / truncate / reset frames). Because every
-//! decision flows through a [`SimRng`](crate::SimRng) forked from the
+//! decision flows through a [`SimRng`] forked from the
 //! experiment seed, a chaos run is bit-for-bit reproducible: the same
 //! seed injects the same faults at the same ticks, so recovery
 //! invariants can be asserted exactly.

@@ -223,6 +223,57 @@ mod tests {
         assert_eq!(h.max_bucket(), u64::MAX);
     }
 
+    mod quantile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Upper edge of the bucket a value lands in.
+        fn edge_of(value: u64) -> u64 {
+            bucket_edge((64 - value.leading_zeros()) as usize)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// `quantile` is monotone non-decreasing in `q`, and every
+            /// quantile lies within the edges of the lowest and highest
+            /// buckets that actually received a sample.
+            #[test]
+            fn quantile_is_monotone_and_bounded(
+                values in prop::collection::vec(0u64..(1u64 << 48), 1..64),
+                // Deliberately past 1.0: `quantile` clamps internally.
+                mut qs in prop::collection::vec(0.0f64..1.25, 2..8)
+            ) {
+                let h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                qs.sort_by(f64::total_cmp);
+                let lo = values.iter().copied().map(edge_of).min().unwrap_or(0);
+                let hi = h.max_bucket();
+                let mut prev = 0u64;
+                for &q in &qs {
+                    let e = h.quantile(q);
+                    prop_assert!(e >= prev, "quantile regressed: q={q} gave {e} after {prev}");
+                    prop_assert!(e >= lo, "quantile {e} below lowest recorded edge {lo}");
+                    prop_assert!(e <= hi, "quantile {e} above highest recorded edge {hi}");
+                    prev = e;
+                }
+            }
+
+            /// An empty histogram answers 0 for every quantile; `q`
+            /// outside `[0, 1]` is clamped, never panics.
+            #[test]
+            fn quantile_handles_empty_and_out_of_range(q in -2.0f64..3.0) {
+                let h = Histogram::new();
+                prop_assert_eq!(h.quantile(q), 0);
+                h.record(777);
+                let clamped = h.quantile(q);
+                prop_assert_eq!(clamped, 1024); // bucket [512, 1024)
+            }
+        }
+    }
+
     #[test]
     fn histogram_is_shareable_across_threads() {
         use std::sync::Arc;

@@ -1,0 +1,882 @@
+//! Decision-provenance tracing for the adaptive resource-view pipeline.
+//!
+//! The paper's whole contribution is that a container's *view* changes
+//! over time — Algorithm 1's ±1-CPU steps, Algorithm 2's 10% memory
+//! growth and kswapd resets — yet a pipeline that mutates views
+//! silently cannot answer the operator's first question: *why does
+//! container X currently see 3 CPUs?* This crate provides the answer:
+//!
+//! * a **lock-free bounded trace ring** ([`Tracer`]) into which every
+//!   layer of the pipeline (`ns_monitor`, the live registry, the
+//!   watchdog, `arv-viewd`) emits typed events with tick timestamps;
+//! * a **decision-provenance record** for every view change: each
+//!   effective-CPU step and effective-memory growth/reset carries its
+//!   [`DecisionCause`], its before/after value, and the inputs that
+//!   drove it;
+//! * **query APIs** — [`Tracer::timeline`] reconstructs a container's
+//!   view evolution, [`Tracer::explain`] returns the last decision per
+//!   resource — plus text renderings for the wire `TRACE` opcode;
+//! * a tiny **Prometheus-style text exposition** builder ([`PromText`])
+//!   used by the view server to export its metrics and per-container
+//!   gauges.
+//!
+//! # Design
+//!
+//! The ring is a fixed power-of-two array of 8-word slots, each word an
+//! `AtomicU64`. Writers claim a monotonically increasing *ticket* with
+//! one `fetch_add` and write into slot `ticket % capacity`; the slot's
+//! first word holds `ticket * 2 + 1` while the payload is being written
+//! and `ticket * 2 + 2` once complete, so readers can detect both torn
+//! writes and slots that have since been reused by a newer ticket.
+//! Nothing blocks: emitting is a handful of relaxed stores, reading is
+//! a validated snapshot scan. When the ring wraps, the *oldest* events
+//! are dropped and [`Tracer::dropped_events`] counts them exactly
+//! (`head − capacity`, saturating).
+//!
+//! A disabled tracer ([`Tracer::disabled`], also the `Default`) holds
+//! no ring at all; every emit is a branch on a `None` and the hot
+//! serving paths stay unperturbed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use arv_cgroups::{Bytes, CgroupId};
+
+/// Why a view changed (or why a served value deviated from the view).
+///
+/// Every decision the pipeline traces carries one of these; a
+/// well-instrumented run never produces [`DecisionCause::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionCause {
+    /// Cause could not be attributed (decoder fallback; never emitted
+    /// by the instrumented pipeline itself).
+    Unknown,
+    /// Algorithm 1 grew effective CPU: utilization exceeded the
+    /// threshold (95%) while the host still had scheduling slack.
+    CpuSaturatedWithSlack,
+    /// Algorithm 1 shrank effective CPU toward the lower bound: the
+    /// host had no slack left.
+    CpuShrinkNoSlack,
+    /// Algorithm 2 grew effective memory: usage above 90% of the view
+    /// with free memory above the watermarks.
+    MemPressureGrowth,
+    /// Algorithm 2 reset effective memory to the soft limit: kswapd
+    /// reclaim in progress or free memory too close to the watermarks.
+    MemReclaimReset,
+    /// Static bounds/limits were refreshed from a cgroup event and the
+    /// clamp moved the view.
+    StaticRefresh,
+    /// A watchdog-demanded full reconcile rebuilt the namespace and
+    /// moved the view.
+    WatchdogResync,
+    /// The serving layer substituted the conservative fallback (CPU
+    /// lower bound / memory soft limit) for a degraded view.
+    DegradedFallback,
+}
+
+impl DecisionCause {
+    fn code(self) -> u8 {
+        match self {
+            DecisionCause::Unknown => 0,
+            DecisionCause::CpuSaturatedWithSlack => 1,
+            DecisionCause::CpuShrinkNoSlack => 2,
+            DecisionCause::MemPressureGrowth => 3,
+            DecisionCause::MemReclaimReset => 4,
+            DecisionCause::StaticRefresh => 5,
+            DecisionCause::WatchdogResync => 6,
+            DecisionCause::DegradedFallback => 7,
+        }
+    }
+
+    fn from_code(code: u8) -> DecisionCause {
+        match code {
+            1 => DecisionCause::CpuSaturatedWithSlack,
+            2 => DecisionCause::CpuShrinkNoSlack,
+            3 => DecisionCause::MemPressureGrowth,
+            4 => DecisionCause::MemReclaimReset,
+            5 => DecisionCause::StaticRefresh,
+            6 => DecisionCause::WatchdogResync,
+            7 => DecisionCause::DegradedFallback,
+            _ => DecisionCause::Unknown,
+        }
+    }
+
+    /// Short label used in rendered timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionCause::Unknown => "unknown",
+            DecisionCause::CpuSaturatedWithSlack => "cpu-saturated+slack",
+            DecisionCause::CpuShrinkNoSlack => "cpu-shrink-no-slack",
+            DecisionCause::MemPressureGrowth => "mem-pressure-growth",
+            DecisionCause::MemReclaimReset => "mem-reclaim-reset",
+            DecisionCause::StaticRefresh => "static-refresh",
+            DecisionCause::WatchdogResync => "watchdog-resync",
+            DecisionCause::DegradedFallback => "degraded-fallback",
+        }
+    }
+}
+
+/// One effective-CPU change with the inputs that drove it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuDecision {
+    /// Why the view moved.
+    pub cause: DecisionCause,
+    /// Effective CPU count before the decision.
+    pub before: u32,
+    /// Effective CPU count after the decision.
+    pub after: u32,
+    /// Utilization of the pre-decision capacity observed this period
+    /// (Algorithm 1's `cusage / capacity`); 0 for static refreshes.
+    pub utilization: f64,
+    /// Whether the host scheduler reported slack this period.
+    pub had_slack: bool,
+}
+
+/// One effective-memory change with the inputs that drove it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDecision {
+    /// Why the view moved.
+    pub cause: DecisionCause,
+    /// Effective memory before the decision.
+    pub before: Bytes,
+    /// Effective memory after the decision.
+    pub after: Bytes,
+    /// Container memory usage observed this period (zero for static
+    /// refreshes, which carry no sample).
+    pub usage: Bytes,
+    /// Host free memory observed this period (zero for static
+    /// refreshes).
+    pub free: Bytes,
+}
+
+/// A pipeline lifecycle/health event (not a view-value change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineEvent {
+    /// A namespace was created for a new container.
+    ContainerCreated,
+    /// A container's namespace was torn down.
+    ContainerRemoved,
+    /// The watchdog observed a sequence gap or overflow drop in the
+    /// cgroup event stream.
+    GapDetected,
+    /// The update timer fired but the monitor did no work.
+    StallDetected,
+    /// A full reconcile pass ran.
+    Resynced,
+}
+
+impl PipelineEvent {
+    fn code(self) -> u8 {
+        match self {
+            PipelineEvent::ContainerCreated => 1,
+            PipelineEvent::ContainerRemoved => 2,
+            PipelineEvent::GapDetected => 3,
+            PipelineEvent::StallDetected => 4,
+            PipelineEvent::Resynced => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<PipelineEvent> {
+        match code {
+            1 => Some(PipelineEvent::ContainerCreated),
+            2 => Some(PipelineEvent::ContainerRemoved),
+            3 => Some(PipelineEvent::GapDetected),
+            4 => Some(PipelineEvent::StallDetected),
+            5 => Some(PipelineEvent::Resynced),
+            _ => None,
+        }
+    }
+
+    /// Short label used in rendered timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineEvent::ContainerCreated => "container-created",
+            PipelineEvent::ContainerRemoved => "container-removed",
+            PipelineEvent::GapDetected => "gap-detected",
+            PipelineEvent::StallDetected => "stall-detected",
+            PipelineEvent::Resynced => "resynced",
+        }
+    }
+}
+
+/// The typed payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// An effective-CPU decision.
+    Cpu(CpuDecision),
+    /// An effective-memory decision.
+    Mem(MemDecision),
+    /// A pipeline lifecycle/health event.
+    Pipeline(PipelineEvent),
+}
+
+/// One decoded event from the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission order (the writer's ticket): dense, monotone.
+    pub seq: u64,
+    /// Update-timer tick the event was emitted at.
+    pub tick: u64,
+    /// The container the event concerns, if any (`None` for host-wide
+    /// pipeline events).
+    pub container: Option<CgroupId>,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Render this event as one human-readable line (no trailing
+    /// newline), as used by timelines and the wire `TRACE` body.
+    pub fn render(&self) -> String {
+        let who = match self.container {
+            Some(id) => format!("c{}", id.0),
+            None => "host".to_string(),
+        };
+        match self.kind {
+            EventKind::Cpu(d) => format!(
+                "[tick {:>4}] {} cpu {} -> {} ({}; util={:.2} slack={})",
+                self.tick,
+                who,
+                d.before,
+                d.after,
+                d.cause.label(),
+                d.utilization,
+                d.had_slack
+            ),
+            EventKind::Mem(d) => format!(
+                "[tick {:>4}] {} mem {} -> {} ({}; usage={} free={})",
+                self.tick,
+                who,
+                d.before.0,
+                d.after.0,
+                d.cause.label(),
+                d.usage.0,
+                d.free.0
+            ),
+            EventKind::Pipeline(p) => {
+                format!("[tick {:>4}] {} pipeline {}", self.tick, who, p.label())
+            }
+        }
+    }
+}
+
+/// The last decision the pipeline took for each of a container's
+/// resources, as returned by [`Tracer::explain`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Explanation {
+    /// Most recent effective-CPU decision, if any is still in the ring.
+    pub cpu: Option<TraceEvent>,
+    /// Most recent effective-memory decision, if any is still in the
+    /// ring.
+    pub mem: Option<TraceEvent>,
+}
+
+// Slot word layout. Word 0 is the sequencing word: 0 = never written,
+// `ticket*2+1` = write in progress, `ticket*2+2` = complete. The +1/+2
+// encoding keeps 0 distinct from ticket 0's markers.
+const W_SEQ: usize = 0;
+const W_TICK: usize = 1;
+const W_META: usize = 2; // container u32 | kind u8 | cause u8 | flags u8
+const W_BEFORE: usize = 3;
+const W_AFTER: usize = 4;
+const W_IN_A: usize = 5;
+const W_IN_B: usize = 6;
+const SLOT_WORDS: usize = 8;
+
+const KIND_CPU: u8 = 1;
+const KIND_MEM: u8 = 2;
+const KIND_PIPELINE: u8 = 3;
+
+/// Sentinel in the meta word's container field for "no container".
+const NO_CONTAINER: u32 = u32::MAX;
+
+const FLAG_HAD_SLACK: u64 = 1;
+
+fn pack_meta(container: u32, kind: u8, cause: u8, flags: u8) -> u64 {
+    u64::from(container)
+        | (u64::from(kind) << 32)
+        | (u64::from(cause) << 40)
+        | (u64::from(flags) << 48)
+}
+
+struct Slot {
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.next_power_of_two().max(2);
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::new()).collect();
+        TraceRing {
+            slots: slots.into_boxed_slice(),
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn emit(&self, tick: u64, meta: u64, before: u64, after: u64, in_a: u64, in_b: u64) {
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        slot.words[W_SEQ].store(ticket * 2 + 1, Ordering::Release);
+        slot.words[W_TICK].store(tick, Ordering::Relaxed);
+        slot.words[W_META].store(meta, Ordering::Relaxed);
+        slot.words[W_BEFORE].store(before, Ordering::Relaxed);
+        slot.words[W_AFTER].store(after, Ordering::Relaxed);
+        slot.words[W_IN_A].store(in_a, Ordering::Relaxed);
+        slot.words[W_IN_B].store(in_b, Ordering::Relaxed);
+        slot.words[W_SEQ].store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    fn dropped(&self) -> u64 {
+        self.emitted().saturating_sub(self.capacity())
+    }
+
+    /// Validated snapshot of every event still resident, oldest first.
+    /// Events overwritten mid-scan by concurrent writers are skipped
+    /// (their sequencing word no longer matches the expected ticket).
+    fn events(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.capacity());
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            let slot = &self.slots[(ticket & self.mask) as usize];
+            let want = ticket * 2 + 2;
+            if slot.words[W_SEQ].load(Ordering::Acquire) != want {
+                continue;
+            }
+            let tick = slot.words[W_TICK].load(Ordering::Relaxed);
+            let meta = slot.words[W_META].load(Ordering::Relaxed);
+            let before = slot.words[W_BEFORE].load(Ordering::Relaxed);
+            let after = slot.words[W_AFTER].load(Ordering::Relaxed);
+            let in_a = slot.words[W_IN_A].load(Ordering::Relaxed);
+            let in_b = slot.words[W_IN_B].load(Ordering::Relaxed);
+            // Re-validate: if a newer writer reused the slot while we
+            // were reading, the payload above may be torn — discard it.
+            if slot.words[W_SEQ].load(Ordering::Acquire) != want {
+                continue;
+            }
+            if let Some(ev) = decode(ticket, tick, meta, before, after, in_a, in_b) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+fn decode(
+    seq: u64,
+    tick: u64,
+    meta: u64,
+    before: u64,
+    after: u64,
+    in_a: u64,
+    in_b: u64,
+) -> Option<TraceEvent> {
+    let container_raw = (meta & 0xFFFF_FFFF) as u32;
+    let kind = ((meta >> 32) & 0xFF) as u8;
+    let cause = DecisionCause::from_code(((meta >> 40) & 0xFF) as u8);
+    let flags = (meta >> 48) & 0xFF;
+    let container = if container_raw == NO_CONTAINER {
+        None
+    } else {
+        Some(CgroupId(container_raw))
+    };
+    let kind = match kind {
+        KIND_CPU => EventKind::Cpu(CpuDecision {
+            cause,
+            before: before as u32,
+            after: after as u32,
+            utilization: f64::from_bits(in_a),
+            had_slack: flags & FLAG_HAD_SLACK != 0,
+        }),
+        KIND_MEM => EventKind::Mem(MemDecision {
+            cause,
+            before: Bytes(before),
+            after: Bytes(after),
+            usage: Bytes(in_a),
+            free: Bytes(in_b),
+        }),
+        KIND_PIPELINE => {
+            EventKind::Pipeline(PipelineEvent::from_code(((meta >> 40) & 0xFF) as u8)?)
+        }
+        _ => return None,
+    };
+    Some(TraceEvent {
+        seq,
+        tick,
+        container,
+        kind,
+    })
+}
+
+/// Shared handle into the trace ring.
+///
+/// Cloning is cheap (an `Arc` bump); all clones feed the same ring.
+/// The `Default` tracer is disabled: it holds no ring, every emit is a
+/// single branch, and queries return empty results.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceRing>>,
+}
+
+impl Tracer {
+    /// A no-op tracer (the default): emits are single-branch no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer over a bounded ring holding the most recent `capacity`
+    /// events (rounded up to a power of two, minimum 2). When full,
+    /// the oldest events are dropped.
+    pub fn bounded(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TraceRing::new(capacity))),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of events the ring can hold (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.slots.len())
+    }
+
+    /// Total events ever emitted into this tracer.
+    pub fn emitted(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.emitted())
+    }
+
+    /// Exact count of events lost to ring wrap (oldest-first drops).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.dropped())
+    }
+
+    /// Record an effective-CPU decision for `container` at `tick`.
+    pub fn emit_cpu(&self, tick: u64, container: CgroupId, d: CpuDecision) {
+        if let Some(ring) = &self.inner {
+            let flags = if d.had_slack { FLAG_HAD_SLACK as u8 } else { 0 };
+            ring.emit(
+                tick,
+                pack_meta(container.0, KIND_CPU, d.cause.code(), flags),
+                u64::from(d.before),
+                u64::from(d.after),
+                d.utilization.to_bits(),
+                0,
+            );
+        }
+    }
+
+    /// Record an effective-memory decision for `container` at `tick`.
+    pub fn emit_mem(&self, tick: u64, container: CgroupId, d: MemDecision) {
+        if let Some(ring) = &self.inner {
+            ring.emit(
+                tick,
+                pack_meta(container.0, KIND_MEM, d.cause.code(), 0),
+                d.before.0,
+                d.after.0,
+                d.usage.0,
+                d.free.0,
+            );
+        }
+    }
+
+    /// Record a pipeline lifecycle/health event, optionally tied to a
+    /// container.
+    pub fn emit_pipeline(&self, tick: u64, container: Option<CgroupId>, ev: PipelineEvent) {
+        if let Some(ring) = &self.inner {
+            let raw = container.map_or(NO_CONTAINER, |c| c.0);
+            ring.emit(
+                tick,
+                pack_meta(raw, KIND_PIPELINE, ev.code(), 0),
+                0,
+                0,
+                0,
+                0,
+            );
+        }
+    }
+
+    /// Every event still resident in the ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |r| r.events())
+    }
+
+    /// Reconstruct `container`'s view evolution: every resident event
+    /// concerning it, oldest first.
+    pub fn timeline(&self, container: CgroupId) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.container == Some(container))
+            .collect()
+    }
+
+    /// The last decision the pipeline took for each of `container`'s
+    /// resources (ignores pipeline lifecycle events).
+    pub fn explain(&self, container: CgroupId) -> Explanation {
+        let mut out = Explanation::default();
+        for ev in self.timeline(container) {
+            match ev.kind {
+                EventKind::Cpu(_) => out.cpu = Some(ev),
+                EventKind::Mem(_) => out.mem = Some(ev),
+                EventKind::Pipeline(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Human-readable timeline for `container`, one event per line.
+    pub fn render_timeline(&self, container: CgroupId) -> String {
+        let events = self.timeline(container);
+        if events.is_empty() {
+            return format!("container {}: no trace events\n", container.0);
+        }
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable "why is the view what it is" summary for
+    /// `container`.
+    pub fn render_explain(&self, container: CgroupId) -> String {
+        let ex = self.explain(container);
+        let mut out = String::new();
+        match ex.cpu {
+            Some(ev) => {
+                let _ = writeln!(out, "cpu: {}", ev.render());
+            }
+            None => out.push_str("cpu: no decision traced\n"),
+        }
+        match ex.mem {
+            Some(ev) => {
+                let _ = writeln!(out, "mem: {}", ev.render());
+            }
+            None => out.push_str("mem: no decision traced\n"),
+        }
+        out
+    }
+
+    /// Render every resident event (host-wide), oldest first, with a
+    /// drop summary header.
+    pub fn render_full(&self) -> String {
+        let mut out = format!(
+            "# trace: {} emitted, {} dropped, capacity {}\n",
+            self.emitted(),
+            self.dropped_events(),
+            self.capacity()
+        );
+        for ev in self.events() {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Incremental builder for Prometheus text-format exposition.
+///
+/// Kept deliberately minimal: `# HELP`/`# TYPE` headers plus samples
+/// with optional labels, matching what a scrape endpoint would serve.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emit `# HELP`/`# TYPE` headers for a metric family.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one unlabeled sample.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+    }
+
+    /// Emit one sample with `label_name="label_value"` pairs.
+    pub fn labeled(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        let rendered: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        let _ = writeln!(
+            self.out,
+            "{name}{{{}}} {}",
+            rendered.join(","),
+            fmt_value(value)
+        );
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn fmt_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_step(before: u32, after: u32) -> CpuDecision {
+        CpuDecision {
+            cause: if after > before {
+                DecisionCause::CpuSaturatedWithSlack
+            } else {
+                DecisionCause::CpuShrinkNoSlack
+            },
+            before,
+            after,
+            utilization: 0.97,
+            had_slack: after > before,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        t.emit_cpu(1, CgroupId(1), cpu_step(2, 3));
+        t.emit_pipeline(1, None, PipelineEvent::Resynced);
+        assert!(!t.is_enabled());
+        assert_eq!(t.emitted(), 0);
+        assert_eq!(t.dropped_events(), 0);
+        assert!(t.events().is_empty());
+        assert!(t.explain(CgroupId(1)).cpu.is_none());
+    }
+
+    #[test]
+    fn events_round_trip_with_full_fidelity() {
+        let t = Tracer::bounded(16);
+        t.emit_cpu(7, CgroupId(3), cpu_step(2, 3));
+        t.emit_mem(
+            8,
+            CgroupId(3),
+            MemDecision {
+                cause: DecisionCause::MemReclaimReset,
+                before: Bytes(1000),
+                after: Bytes(600),
+                usage: Bytes(950),
+                free: Bytes(50),
+            },
+        );
+        t.emit_pipeline(9, None, PipelineEvent::GapDetected);
+
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].tick, 7);
+        assert_eq!(evs[0].container, Some(CgroupId(3)));
+        match evs[0].kind {
+            EventKind::Cpu(d) => {
+                assert_eq!(d.before, 2);
+                assert_eq!(d.after, 3);
+                assert_eq!(d.cause, DecisionCause::CpuSaturatedWithSlack);
+                assert!((d.utilization - 0.97).abs() < 1e-12);
+                assert!(d.had_slack);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match evs[1].kind {
+            EventKind::Mem(d) => {
+                assert_eq!(d.before, Bytes(1000));
+                assert_eq!(d.after, Bytes(600));
+                assert_eq!(d.usage, Bytes(950));
+                assert_eq!(d.free, Bytes(50));
+                assert_eq!(d.cause, DecisionCause::MemReclaimReset);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert_eq!(evs[2].container, None);
+        assert_eq!(evs[2].kind, EventKind::Pipeline(PipelineEvent::GapDetected));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_exactly() {
+        let t = Tracer::bounded(8);
+        assert_eq!(t.capacity(), 8);
+        for i in 0..20u32 {
+            t.emit_cpu(u64::from(i), CgroupId(1), cpu_step(i, i + 1));
+        }
+        assert_eq!(t.emitted(), 20);
+        // Exactly head - capacity events were overwritten.
+        assert_eq!(t.dropped_events(), 12);
+        let evs = t.events();
+        assert_eq!(evs.len(), 8);
+        // The survivors are precisely the newest 8, in order.
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.seq, 12 + i as u64);
+            assert_eq!(ev.tick, 12 + i as u64);
+        }
+    }
+
+    #[test]
+    fn no_drops_until_the_ring_is_full() {
+        let t = Tracer::bounded(8);
+        for i in 0..8u32 {
+            t.emit_cpu(u64::from(i), CgroupId(1), cpu_step(i, i + 1));
+        }
+        assert_eq!(t.dropped_events(), 0);
+        t.emit_cpu(8, CgroupId(1), cpu_step(8, 9));
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.events().len(), 8);
+        assert_eq!(t.events()[0].seq, 1, "seq 0 was the one dropped");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Tracer::bounded(5).capacity(), 8);
+        assert_eq!(Tracer::bounded(0).capacity(), 2);
+        assert_eq!(Tracer::bounded(64).capacity(), 64);
+    }
+
+    #[test]
+    fn timeline_filters_by_container_and_explain_takes_last() {
+        let t = Tracer::bounded(32);
+        t.emit_cpu(1, CgroupId(1), cpu_step(2, 3));
+        t.emit_cpu(1, CgroupId(2), cpu_step(4, 5));
+        t.emit_cpu(2, CgroupId(1), cpu_step(3, 4));
+        t.emit_mem(
+            3,
+            CgroupId(1),
+            MemDecision {
+                cause: DecisionCause::MemPressureGrowth,
+                before: Bytes(100),
+                after: Bytes(190),
+                usage: Bytes(95),
+                free: Bytes(10_000),
+            },
+        );
+        t.emit_pipeline(4, Some(CgroupId(1)), PipelineEvent::Resynced);
+
+        let tl = t.timeline(CgroupId(1));
+        assert_eq!(tl.len(), 4);
+        assert!(tl.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        let ex = t.explain(CgroupId(1));
+        match ex.cpu.expect("cpu decision").kind {
+            EventKind::Cpu(d) => assert_eq!((d.before, d.after), (3, 4)),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match ex.mem.expect("mem decision").kind {
+            EventKind::Mem(d) => assert_eq!(d.after, Bytes(190)),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_ring() {
+        let t = Tracer::bounded(64);
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    t.emit_cpu(u64::from(i), CgroupId(w), cpu_step(i % 7, i % 7 + 1));
+                }
+            }));
+        }
+        let reader = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                let mut max_seen = 0usize;
+                for _ in 0..200 {
+                    let evs = t.events();
+                    assert!(evs.len() <= 64);
+                    // Decoded events are internally consistent.
+                    for ev in &evs {
+                        match ev.kind {
+                            EventKind::Cpu(d) => assert_eq!(d.after, d.before + 1),
+                            other => panic!("unexpected kind: {other:?}"),
+                        }
+                    }
+                    max_seen = max_seen.max(evs.len());
+                }
+                max_seen
+            })
+        };
+        for h in handles {
+            h.join().expect("writer");
+        }
+        reader.join().expect("reader");
+        assert_eq!(t.emitted(), 2000);
+        assert_eq!(t.dropped_events(), 2000 - 64);
+        assert_eq!(t.events().len(), 64);
+    }
+
+    #[test]
+    fn render_timeline_and_explain_are_stable() {
+        let t = Tracer::bounded(16);
+        t.emit_cpu(1, CgroupId(9), cpu_step(2, 3));
+        let tl = t.render_timeline(CgroupId(9));
+        assert!(tl.contains("c9 cpu 2 -> 3"));
+        assert!(tl.contains("cpu-saturated+slack"));
+        let ex = t.render_explain(CgroupId(9));
+        assert!(ex.starts_with("cpu: "));
+        assert!(ex.contains("mem: no decision traced"));
+        assert!(t.render_timeline(CgroupId(4)).contains("no trace events"));
+    }
+
+    #[test]
+    fn prom_text_formats_headers_labels_and_values() {
+        let mut p = PromText::new();
+        p.header("arv_queries_total", "Total queries.", "counter");
+        p.sample("arv_queries_total", 42.0);
+        p.labeled("arv_effective_cpus", &[("container", "3".to_string())], 4.0);
+        p.sample("arv_hit_latency_ns", 123.5);
+        let body = p.finish();
+        assert!(body.contains("# HELP arv_queries_total Total queries.\n"));
+        assert!(body.contains("# TYPE arv_queries_total counter\n"));
+        assert!(body.contains("arv_queries_total 42\n"));
+        assert!(body.contains("arv_effective_cpus{container=\"3\"} 4\n"));
+        assert!(body.contains("arv_hit_latency_ns 123.5\n"));
+    }
+}

@@ -51,6 +51,6 @@ pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
 pub use shard::{ContainerEntry, ShardedRegistry};
 pub use wire::{
     parse_response, RetryPolicy, RobustWireClient, WireClient, WireClientStats, WireResponse,
-    WireServer, HOST_CALLER, KIND_READ, KIND_SYSCONF, MAX_REQUEST, MAX_RESPONSE, STATUS_NOT_FOUND,
-    STATUS_OK, STATUS_OK_DEGRADED,
+    WireServer, HOST_CALLER, KIND_READ, KIND_STATS, KIND_SYSCONF, KIND_TRACE, MAX_REQUEST,
+    MAX_RESPONSE, STATUS_NOT_FOUND, STATUS_OK, STATUS_OK_DEGRADED,
 };

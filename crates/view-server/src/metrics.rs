@@ -43,6 +43,11 @@ pub struct Metrics {
     pub hit_latency: Histogram,
     /// Nanoseconds per query, render (miss) path.
     pub miss_latency: Histogram,
+    /// Nanoseconds per wire request, measured from frame decode to
+    /// response encode (excludes socket transfer time). Separates
+    /// protocol overhead from the in-process query cost recorded in
+    /// `hit_latency`/`miss_latency`.
+    pub wire_latency: Histogram,
 }
 
 impl Metrics {
@@ -73,12 +78,22 @@ impl Metrics {
             miss_latency_ns: self.miss_latency.mean(),
             hit_p99_ns: self.hit_latency.quantile(0.99),
             miss_p99_ns: self.miss_latency.quantile(0.99),
+            wire_latency_ns: self.wire_latency.mean(),
+            wire_p99_ns: self.wire_latency.quantile(0.99),
         }
     }
 }
 
 /// Plain-value copy of [`Metrics`] for reports and assertions.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality compares the integer counters only — the derived `f64`
+/// means are excluded because float equality is `NaN`-hostile (a
+/// snapshot holding any `NaN` mean would compare unequal to itself,
+/// breaking `assert_eq!(snap, snap)` and reflexivity-assuming
+/// collections) and because exact float comparison of means is
+/// meaningless across independently-timed runs. Use
+/// [`MetricsSnapshot::counters_eq`] explicitly where intent matters.
+#[derive(Debug, Clone, Copy)]
 pub struct MetricsSnapshot {
     /// Queries answered.
     pub queries: u64,
@@ -114,7 +129,41 @@ pub struct MetricsSnapshot {
     pub hit_p99_ns: u64,
     /// 99th-percentile bucket edge on the miss path.
     pub miss_p99_ns: u64,
+    /// Mean nanoseconds per wire request (decode to encode).
+    pub wire_latency_ns: f64,
+    /// 99th-percentile bucket edge of wire request latency.
+    pub wire_p99_ns: u64,
 }
+
+impl MetricsSnapshot {
+    /// Exact equality over the integer counters and histogram quantile
+    /// edges, ignoring the float means.
+    pub fn counters_eq(&self, other: &MetricsSnapshot) -> bool {
+        self.queries == other.queries
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.failures == other.failures
+            && self.wire_requests == other.wire_requests
+            && self.wire_errors == other.wire_errors
+            && self.wire_rejected == other.wire_rejected
+            && self.connections_accepted == other.connections_accepted
+            && self.connections_dropped == other.connections_dropped
+            && self.stale_serves == other.stale_serves
+            && self.degraded_serves == other.degraded_serves
+            && self.staleness_age_p99 == other.staleness_age_p99
+            && self.hit_p99_ns == other.hit_p99_ns
+            && self.miss_p99_ns == other.miss_p99_ns
+            && self.wire_p99_ns == other.wire_p99_ns
+    }
+}
+
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &MetricsSnapshot) -> bool {
+        self.counters_eq(other)
+    }
+}
+
+impl Eq for MetricsSnapshot {}
 
 #[cfg(test)]
 mod tests {
@@ -152,5 +201,37 @@ mod tests {
         assert_eq!(s.wire_rejected, 3);
         assert!(s.staleness_age_mean > 0.0);
         assert!(s.staleness_age_p99 >= 6);
+    }
+
+    #[test]
+    fn wire_latency_is_its_own_histogram() {
+        let m = Metrics::new();
+        m.wire_latency.record(1_500);
+        m.wire_latency.record(3_000);
+        let s = m.snapshot();
+        assert!(s.wire_latency_ns > 0.0);
+        assert!(s.wire_p99_ns >= 3_000);
+        // Recording wire latency must not pollute the query-path
+        // histograms that feed the §5.4 overhead table.
+        assert_eq!(s.hit_p99_ns, 0);
+        assert_eq!(s.miss_p99_ns, 0);
+    }
+
+    #[test]
+    fn snapshot_equality_ignores_float_means() {
+        // Equality is over counters only: a snapshot whose float means
+        // were forced to NaN still equals its pre-poisoning self.
+        let a = Metrics::new().snapshot();
+        let b = Metrics::new().snapshot();
+        assert_eq!(a, b);
+        assert!(a.counters_eq(&b));
+        let mut poisoned = a;
+        poisoned.hit_latency_ns = f64::NAN;
+        poisoned.staleness_age_mean = f64::NAN;
+        assert_eq!(poisoned, a, "NaN means must not break equality");
+        assert_eq!(poisoned, poisoned, "snapshot must equal itself");
+        let m = Metrics::new();
+        m.queries.fetch_add(1, Ordering::Relaxed);
+        assert_ne!(m.snapshot(), a);
     }
 }

@@ -20,6 +20,7 @@ use arv_resview::{
     render, CpuBounds, EffectiveCpuConfig, EffectiveMemory, LiveRegistry, NsCell, StalenessPolicy,
     Sysconf, ViewHealth, ViewSnapshot, PAGE_SIZE,
 };
+use arv_telemetry::{CpuDecision, DecisionCause, MemDecision, PromText, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +80,9 @@ struct ServerInner {
     // Update-timer tick, advanced by the driver; cells whose stamp lags
     // this clock past the policy budget are served degraded.
     clock: AtomicU64,
+    // Decision-provenance trace shared with the registry's cells (a
+    // disabled tracer unless built via `with_telemetry`).
+    tracer: Tracer,
 }
 
 /// The daemon state: registry, caches, host fallback, metrics.
@@ -112,6 +116,20 @@ impl ViewServer {
 
     /// A server with an explicit staleness policy.
     pub fn with_policy(host: HostSpec, shards: usize, policy: StalenessPolicy) -> ViewServer {
+        ViewServer::with_telemetry(host, shards, policy, Tracer::disabled())
+    }
+
+    /// A server with an explicit staleness policy and a shared
+    /// decision-provenance [`Tracer`]. Every cell registered through
+    /// this server emits into the same trace ring the monitor side
+    /// uses, so a container's timeline interleaves monitor decisions
+    /// with the serving layer's degraded-fallback switches.
+    pub fn with_telemetry(
+        host: HostSpec,
+        shards: usize,
+        policy: StalenessPolicy,
+        tracer: Tracer,
+    ) -> ViewServer {
         let mut host_images: HashMap<&'static str, Arc<String>> = HashMap::new();
         // Host images are immutable for the server's lifetime; render
         // them once so the host path is always a cache hit.
@@ -127,15 +145,23 @@ impl ViewServer {
         host_images.insert("/sys/devices/system/cpu/present", cpu_list);
         ViewServer {
             inner: Arc::new(ServerInner {
-                live: LiveRegistry::new(),
+                live: LiveRegistry::with_tracer(tracer.clone()),
                 shards: ShardedRegistry::new(shards),
                 host,
                 host_images,
                 metrics: Metrics::new(),
                 policy,
                 clock: AtomicU64::new(0),
+                tracer,
             }),
         }
+    }
+
+    /// The decision-provenance tracer this server emits into (disabled
+    /// unless the server was built via
+    /// [`with_telemetry`](ViewServer::with_telemetry)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// Advance the staleness clock by one update-timer firing. Called by
@@ -221,6 +247,136 @@ impl ViewServer {
         &self.inner.metrics
     }
 
+    /// Prometheus text-format exposition of the daemon's counters,
+    /// latency summaries, trace-ring health, and one gauge set per
+    /// registered container (effective CPUs/memory, available memory,
+    /// publish generation).
+    pub fn prometheus_exposition(&self) -> String {
+        let m = self.metrics();
+        let mut out = PromText::new();
+        out.header("arv_viewd_queries", "Queries answered", "counter");
+        out.sample("arv_viewd_queries_total", m.queries as f64);
+        out.header("arv_viewd_cache_hits", "Cached-render answers", "counter");
+        out.sample("arv_viewd_cache_hits_total", m.cache_hits as f64);
+        out.header("arv_viewd_cache_misses", "Fresh-render answers", "counter");
+        out.sample("arv_viewd_cache_misses_total", m.cache_misses as f64);
+        out.header("arv_viewd_failures", "Failed queries", "counter");
+        out.sample("arv_viewd_failures_total", m.failures as f64);
+        out.header(
+            "arv_viewd_wire_requests",
+            "Wire requests decoded",
+            "counter",
+        );
+        out.sample("arv_viewd_wire_requests_total", m.wire_requests as f64);
+        out.header(
+            "arv_viewd_wire_errors",
+            "Malformed wire requests",
+            "counter",
+        );
+        out.sample("arv_viewd_wire_errors_total", m.wire_errors as f64);
+        out.header(
+            "arv_viewd_stale_serves",
+            "Queries served from a within-budget stale view",
+            "counter",
+        );
+        out.sample("arv_viewd_stale_serves_total", m.stale_serves as f64);
+        out.header(
+            "arv_viewd_degraded_serves",
+            "Queries served from the conservative fallback view",
+            "counter",
+        );
+        out.sample("arv_viewd_degraded_serves_total", m.degraded_serves as f64);
+        out.header(
+            "arv_viewd_hit_latency_ns",
+            "Cached-hit query latency, nanoseconds",
+            "gauge",
+        );
+        out.labeled(
+            "arv_viewd_hit_latency_ns",
+            &[("stat", "mean".to_string())],
+            m.hit_latency_ns,
+        );
+        out.labeled(
+            "arv_viewd_hit_latency_ns",
+            &[("stat", "p99".to_string())],
+            m.hit_p99_ns as f64,
+        );
+        out.header(
+            "arv_viewd_wire_latency_ns",
+            "Wire request latency (decode to encode), nanoseconds",
+            "gauge",
+        );
+        out.labeled(
+            "arv_viewd_wire_latency_ns",
+            &[("stat", "mean".to_string())],
+            m.wire_latency_ns,
+        );
+        out.labeled(
+            "arv_viewd_wire_latency_ns",
+            &[("stat", "p99".to_string())],
+            m.wire_p99_ns as f64,
+        );
+        let tracer = self.tracer();
+        out.header(
+            "arv_trace_events",
+            "Decision-provenance events emitted",
+            "counter",
+        );
+        out.sample("arv_trace_events_total", tracer.emitted() as f64);
+        out.header(
+            "arv_trace_dropped",
+            "Trace events overwritten before being read",
+            "counter",
+        );
+        out.sample("arv_trace_dropped_total", tracer.dropped_events() as f64);
+        out.header(
+            "arv_container_effective_cpus",
+            "Per-container effective CPU count",
+            "gauge",
+        );
+        out.header(
+            "arv_container_effective_bytes",
+            "Per-container effective memory size",
+            "gauge",
+        );
+        out.header(
+            "arv_container_available_bytes",
+            "Per-container available memory in the view",
+            "gauge",
+        );
+        out.header(
+            "arv_container_generation",
+            "Per-container view publish generation",
+            "gauge",
+        );
+        let mut ids = self.inner.shards.ids();
+        ids.sort_unstable_by_key(|id| id.0);
+        for id in ids {
+            let Some(entry) = self.inner.shards.get(id) else {
+                continue; // unregistered between listing and lookup
+            };
+            let snap = entry.cell.snapshot();
+            let labels = [("container", id.0.to_string())];
+            out.labeled(
+                "arv_container_effective_cpus",
+                &labels,
+                f64::from(snap.cpus),
+            );
+            out.labeled(
+                "arv_container_effective_bytes",
+                &labels,
+                snap.bytes.as_u64() as f64,
+            );
+            out.labeled(
+                "arv_container_available_bytes",
+                &labels,
+                snap.avail.as_u64() as f64,
+            );
+            out.labeled("arv_container_generation", &labels, snap.generation as f64);
+        }
+        out.finish()
+    }
+
     /// Mirror externally computed views into a container's cell (the
     /// simulation driver path; see [`arv_resview::NsCell::force_publish`]).
     pub fn mirror(&self, id: CgroupId, cpus: u32, mem: Bytes, avail: Bytes) -> bool {
@@ -283,9 +439,8 @@ impl ViewClient {
     /// go with serving it.
     fn judge(&self, entry: &ContainerEntry) -> ViewHealth {
         let m = &self.inner.metrics;
-        let health = entry
-            .cell
-            .health(self.inner.clock.load(Ordering::Acquire), &self.inner.policy);
+        let now = self.inner.clock.load(Ordering::Acquire);
+        let health = entry.cell.health(now, &self.inner.policy);
         m.staleness_age.record(health.age());
         match health {
             ViewHealth::Fresh => {}
@@ -294,9 +449,51 @@ impl ViewClient {
             }
             ViewHealth::Degraded { .. } => {
                 m.degraded_serves.fetch_add(1, Ordering::Relaxed);
+                self.trace_degraded(entry, now);
             }
         }
         health
+    }
+
+    /// Trace the switch to the conservative fallback view, once per
+    /// container per staleness tick (the hot query path may judge the
+    /// same degraded entry thousands of times within one tick).
+    fn trace_degraded(&self, entry: &ContainerEntry, now: u64) {
+        if !self.inner.tracer.is_enabled() {
+            return;
+        }
+        if entry.degraded_tick.swap(now, Ordering::AcqRel) == now {
+            return; // already traced this tick
+        }
+        let live = entry.cell.snapshot();
+        let fallback = entry.cell.degraded_snapshot();
+        let id = entry.cell.id();
+        if live.cpus != fallback.cpus {
+            self.inner.tracer.emit_cpu(
+                now,
+                id,
+                CpuDecision {
+                    cause: DecisionCause::DegradedFallback,
+                    before: live.cpus,
+                    after: fallback.cpus,
+                    utilization: 0.0,
+                    had_slack: false,
+                },
+            );
+        }
+        if live.bytes != fallback.bytes {
+            self.inner.tracer.emit_mem(
+                now,
+                id,
+                MemDecision {
+                    cause: DecisionCause::DegradedFallback,
+                    before: live.bytes,
+                    after: fallback.bytes,
+                    usage: Bytes(0),
+                    free: Bytes(0),
+                },
+            );
+        }
     }
 
     fn read_host(&self, path: &str) -> Option<ViewImage> {
@@ -650,6 +847,75 @@ mod tests {
             Bytes::from_mib(250).as_u64()
         );
         assert!(!server.set_fallback(CgroupId(99), 1, Bytes::from_mib(1)));
+    }
+
+    #[test]
+    fn degraded_provenance_is_deduped_per_tick() {
+        use arv_telemetry::{EventKind, Tracer};
+        let tracer = Tracer::bounded(64);
+        let server = ViewServer::with_telemetry(
+            HostSpec::paper_testbed(),
+            8,
+            StalenessPolicy::default(),
+            tracer.clone(),
+        );
+        let id = CgroupId(1);
+        server.register(
+            id,
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(500, 1024),
+        );
+        let client = server.client();
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        for _ in 0..(server.policy().budget + 1) {
+            server.advance_tick();
+        }
+        let fallback_decisions = |t: &Tracer| {
+            t.events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        EventKind::Cpu(CpuDecision {
+                            cause: DecisionCause::DegradedFallback,
+                            ..
+                        }) | EventKind::Mem(MemDecision {
+                            cause: DecisionCause::DegradedFallback,
+                            ..
+                        })
+                    )
+                })
+                .count()
+        };
+        // Hammering the degraded path within one tick traces exactly one
+        // CPU + one memory decision.
+        for _ in 0..100 {
+            client.read(Some(id), "/proc/cpuinfo").unwrap();
+        }
+        assert_eq!(fallback_decisions(&tracer), 2);
+        // The next tick (still degraded) gets its own pair.
+        server.advance_tick();
+        client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert_eq!(fallback_decisions(&tracer), 4);
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_counters_and_containers() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        client.read(Some(id), "/proc/cpuinfo").unwrap();
+        let text = server.prometheus_exposition();
+        assert!(text.contains("# TYPE arv_viewd_queries counter"));
+        assert!(text.contains("arv_viewd_queries_total 1"));
+        assert!(text.contains("arv_container_effective_cpus{container=\"1\"} 4"));
+        assert!(text.contains(&format!(
+            "arv_container_effective_bytes{{container=\"1\"}} {}",
+            Bytes::from_mib(500).as_u64()
+        )));
     }
 
     #[test]

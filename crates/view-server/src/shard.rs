@@ -11,6 +11,7 @@
 use arv_cgroups::CgroupId;
 use arv_resview::NsCell;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, RwLock};
 
 use crate::cache::RenderCache;
@@ -22,6 +23,11 @@ pub struct ContainerEntry {
     pub cell: Arc<NsCell>,
     /// Rendered-image cache for this container.
     pub cache: RenderCache,
+    /// Last staleness-clock tick at which a degraded-fallback decision
+    /// was traced for this container, deduplicating the provenance
+    /// record to one event pair per container per tick no matter how
+    /// many queries hit the degraded path. `u64::MAX` = never.
+    pub degraded_tick: AtomicU64,
 }
 
 type Shard = RwLock<HashMap<CgroupId, Arc<ContainerEntry>>>;
@@ -63,6 +69,7 @@ impl ShardedRegistry {
         let entry = Arc::new(ContainerEntry {
             cell,
             cache: RenderCache::new(),
+            degraded_tick: AtomicU64::new(u64::MAX),
         });
         let prev = self
             .shard_for(id)

@@ -7,12 +7,16 @@
 //!
 //! ```text
 //! request  := u32le len | u8 kind | u32le container | key-bytes
-//!   kind 0 = read file (key = path), 1 = sysconf (key = name)
+//!   kind 0 = read file (key = path), 1 = sysconf (key = name),
+//!   kind 2 = stats (Prometheus text exposition; container and key ignored),
+//!   kind 3 = trace (rendered decision-provenance: the container's
+//!            timeline, or the whole ring for a host caller; key ignored)
 //!   container u32::MAX = host caller (no container identity)
 //! response := u32le len | u8 status | u64le generation | body-bytes
 //!   status 0 = ok, 1 = not found (unknown path / sysconf key),
 //!   2 = ok but degraded (the body shows the conservative fallback view)
-//!   body: file image for reads, decimal value for sysconf
+//!   body: file image for reads, decimal value for sysconf, rendered
+//!   text for stats/trace
 //! ```
 //!
 //! One connection carries any number of request/response pairs in order;
@@ -46,6 +50,11 @@ use crate::server::ViewServer;
 pub const KIND_READ: u8 = 0;
 /// Request kind: sysconf scalar query.
 pub const KIND_SYSCONF: u8 = 1;
+/// Request kind: Prometheus text exposition of the daemon's metrics.
+pub const KIND_STATS: u8 = 2;
+/// Request kind: rendered decision-provenance trace (the calling
+/// container's timeline, or the full ring for a host caller).
+pub const KIND_TRACE: u8 = 3;
 /// Container id meaning "host caller".
 pub const HOST_CALLER: u32 = u32::MAX;
 /// Response status: success.
@@ -256,6 +265,7 @@ fn serve_connection(
             .metrics_ref()
             .wire_requests
             .fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let response = match decode_request(&req) {
             Some((KIND_READ, caller, key)) => match client.read(caller, key) {
                 Some(view) => {
@@ -281,6 +291,18 @@ fn serve_connection(
                 }
                 None => encode_response(STATUS_NOT_FOUND, 0, &[]),
             },
+            Some((KIND_STATS, _, _)) => {
+                let body = clamp_text_body(server.prometheus_exposition());
+                encode_response(STATUS_OK, 0, body.as_bytes())
+            }
+            Some((KIND_TRACE, caller, _)) => {
+                let rendered = match caller {
+                    Some(id) => server.tracer().render_timeline(id),
+                    None => server.tracer().render_full(),
+                };
+                let body = clamp_text_body(rendered);
+                encode_response(STATUS_OK, 0, body.as_bytes())
+            }
             _ => {
                 server
                     .metrics_ref()
@@ -289,8 +311,26 @@ fn serve_connection(
                 encode_response(STATUS_NOT_FOUND, 0, &[])
             }
         };
+        server
+            .metrics_ref()
+            .wire_latency
+            .record(started.elapsed().as_nanos() as u64);
         write_frame(&mut stream, &response)?;
     }
+}
+
+/// Clamp a rendered text body under the response-frame cap, keeping the
+/// tail — for traces the newest events are the interesting end.
+fn clamp_text_body(text: String) -> String {
+    const LIMIT: usize = (MAX_RESPONSE as usize) - 64;
+    if text.len() <= LIMIT {
+        return text;
+    }
+    let mut idx = text.len() - LIMIT;
+    while !text.is_char_boundary(idx) {
+        idx += 1;
+    }
+    format!("... (truncated)\n{}", &text[idx..])
 }
 
 /// Decode a request frame. Never panics, for any input bytes.
@@ -299,7 +339,7 @@ fn decode_request(payload: &[u8]) -> Option<(u8, Option<CgroupId>, &str)> {
         return None;
     }
     let kind = payload[0];
-    if kind != KIND_READ && kind != KIND_SYSCONF {
+    if !matches!(kind, KIND_READ | KIND_SYSCONF | KIND_STATS | KIND_TRACE) {
         return None;
     }
     let mut raw_bytes = [0u8; 4];
@@ -481,6 +521,24 @@ impl WireClient {
             }
             None => Ok(None),
         }
+    }
+
+    /// Fetch the daemon's Prometheus text exposition.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.text_request(KIND_STATS, None)
+    }
+
+    /// Fetch a rendered decision-provenance trace: one container's
+    /// timeline, or the full ring for `None`.
+    pub fn trace(&mut self, container: Option<CgroupId>) -> io::Result<String> {
+        self.text_request(KIND_TRACE, container)
+    }
+
+    fn text_request(&mut self, kind: u8, caller: Option<CgroupId>) -> io::Result<String> {
+        let resp = self.request(kind, caller, "")?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "text query answered NOT_FOUND")
+        })?;
+        String::from_utf8(resp.body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -904,6 +962,59 @@ mod tests {
                 .unwrap()
                 .degraded
         );
+        wire.shutdown();
+    }
+
+    #[test]
+    fn stats_and_trace_travel_over_the_wire() {
+        use arv_resview::StalenessPolicy;
+        use arv_telemetry::Tracer;
+        let server = ViewServer::with_telemetry(
+            HostSpec::paper_testbed(),
+            8,
+            StalenessPolicy::default(),
+            Tracer::bounded(64),
+        );
+        let id = CgroupId(7);
+        server.register(
+            id,
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            EffectiveMemory::new(
+                Bytes::from_mib(500),
+                Bytes::from_gib(1),
+                Bytes::from_mib(64),
+                Bytes::from_mib(128),
+                EffectiveMemoryConfig::default(),
+            ),
+        );
+        let wire = WireServer::spawn(server.clone(), test_socket("stats")).unwrap();
+        let mut client = WireClient::connect(wire.socket_path()).unwrap();
+        client.read(Some(id), "/proc/cpuinfo").unwrap().unwrap();
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("arv_viewd_queries_total"));
+        assert!(stats.contains("arv_container_effective_cpus{container=\"7\"} 4"));
+
+        // Grow the view, let it age past the budget, and read: the
+        // degraded serve must leave a provenance record.
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        for _ in 0..(server.policy().budget + 1) {
+            server.advance_tick();
+        }
+        client.read(Some(id), "/proc/cpuinfo").unwrap().unwrap();
+        let timeline = client.trace(Some(id)).unwrap();
+        assert!(
+            timeline.contains("degraded-fallback"),
+            "timeline missing fallback decision:\n{timeline}"
+        );
+        assert!(timeline.contains("cpu 8 -> 4"));
+        let full = client.trace(None).unwrap();
+        assert!(full.contains("c7"));
+        // Wire latency landed in its own histogram.
+        assert!(server.metrics().wire_p99_ns > 0);
         wire.shutdown();
     }
 
