@@ -27,6 +27,9 @@ cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --sca
 echo "==> observability experiment (provenance replay + trace-overhead budget)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig obs --scale 0.5 > /dev/null
 
+echo "==> recovery experiment (journaled warm restart + admission-controlled flood)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig recovery --scale 0.5 > /dev/null
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 

@@ -3,12 +3,13 @@
 use arv_cfs::{Allocation, CfsSim, GroupDemand, Loadavg, UsageLedger};
 use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec, EventPipe, DEFAULT_PIPE_CAPACITY};
 use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
+use arv_persist::{Journal, RestoreReport};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
 use arv_resview::effective_mem::EffectiveMemoryConfig;
 use arv_resview::namespace::Pid;
 use arv_resview::{
-    CpuBounds, EffectiveMemory, HostView, NsMonitor, StalenessPolicy, Sysconf, Verdict,
-    VirtualSysfs, Watchdog, WatchdogConfig, WatchdogStats,
+    CpuBounds, EffectiveMemory, HostView, NsMonitor, RecoverOutcome, StalenessPolicy, Sysconf,
+    Verdict, VirtualSysfs, Watchdog, WatchdogConfig, WatchdogStats,
 };
 use arv_sim_core::{clock::sched_period, FaultPlan, FaultStats, SimClock, SimDuration, SimTime};
 use arv_viewd::{HostSpec, ViewServer};
@@ -31,6 +32,26 @@ pub struct StepOutcome {
 struct ContainerMeta {
     name: String,
     init_pid: Pid,
+}
+
+/// Journal state of the monitor daemon: the append-only on-disk log
+/// that survives a crash, plus the compaction cadence.
+#[derive(Debug)]
+struct JournalState {
+    journal: Journal,
+    checkpoint_every: u64,
+}
+
+/// What a warm restart recovered (see [`SimHost::crash_restart`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreEvent {
+    /// Update-timer tick the restart happened at.
+    pub tick: u64,
+    /// What the journal replay salvaged (torn tails, applied deltas).
+    pub report: RestoreReport,
+    /// How the monitor reconciled the snapshot against live cgroups,
+    /// or `None` when no valid checkpoint survived (cold resync).
+    pub outcome: Option<RecoverOutcome>,
 }
 
 /// The simulated host machine.
@@ -66,6 +87,8 @@ pub struct SimHost {
     stall_ticks: u64,
     // Remaining update-timer firings whose viewd publish is suppressed.
     delay_publish_ticks: u64,
+    journal: Option<JournalState>,
+    last_restore: Option<RestoreEvent>,
 }
 
 impl SimHost {
@@ -108,6 +131,8 @@ impl SimHost {
             fault_plan: None,
             stall_ticks: 0,
             delay_publish_ticks: 0,
+            journal: None,
+            last_restore: None,
         }
     }
 
@@ -172,6 +197,11 @@ impl SimHost {
             self.mem.unregister(id);
             self.ledger.forget(id);
             self.pump_events();
+            if !self.monitor_stalled() {
+                if let Some(js) = &mut self.journal {
+                    js.journal.append_remove(id.0);
+                }
+            }
             if let Some(server) = &self.viewd {
                 server.unregister(id);
                 self.viewd_mirror_all();
@@ -230,13 +260,15 @@ impl SimHost {
     }
 
     /// Whether the monitor is currently sleeping through its deadlines
-    /// (an injected stall or a [`FaultPlan`] stall window).
+    /// (an injected stall, a [`FaultPlan`] stall window, or a crash
+    /// window during which the daemon is down entirely).
     pub fn monitor_stalled(&self) -> bool {
+        let tick = self.monitor.now_tick();
         self.stall_ticks > 0
             || self
                 .fault_plan
                 .as_ref()
-                .is_some_and(|p| p.monitor_stalled(self.monitor.now_tick()))
+                .is_some_and(|p| p.monitor_stalled(tick) || p.crashed(tick))
     }
 
     /// Stall the monitor for the next `ticks` update-timer firings: no
@@ -271,6 +303,139 @@ impl SimHost {
     /// The watchdog's counters (missed ticks, gaps, overflows, resyncs).
     pub fn watchdog_stats(&self) -> WatchdogStats {
         self.watchdog.stats()
+    }
+
+    // --- crash-safe journal + warm restart ---
+
+    /// Turn on view-state journaling: every update-timer firing appends
+    /// per-container deltas, and every `checkpoint_every` ticks the
+    /// journal is compacted into a full checkpoint. The journal models
+    /// the daemon's on-disk state file — it survives a
+    /// [`crash_restart`](SimHost::crash_restart).
+    pub fn enable_journal(&mut self, checkpoint_every: u64) {
+        let mut journal = Journal::new();
+        journal.checkpoint(&self.monitor.snapshot());
+        self.journal = Some(JournalState {
+            journal,
+            checkpoint_every: checkpoint_every.max(1),
+        });
+    }
+
+    /// The raw journal bytes, if journaling is enabled.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(|js| js.journal.as_bytes())
+    }
+
+    /// Snapshot every namespace's dynamic view; when journaling is on,
+    /// the journal is compacted to this checkpoint.
+    pub fn checkpoint(&mut self) -> arv_persist::Snapshot {
+        let snap = self.monitor.snapshot();
+        if let Some(js) = &mut self.journal {
+            js.journal.checkpoint(&snap);
+        }
+        snap
+    }
+
+    /// Kill the monitor daemon and warm-restart it from its own
+    /// journal (the intact on-disk bytes). See
+    /// [`restore_from`](SimHost::restore_from).
+    pub fn crash_restart(&mut self) -> RestoreEvent {
+        let bytes: Vec<u8> = self
+            .journal
+            .as_ref()
+            .map(|js| js.journal.as_bytes().to_vec())
+            .unwrap_or_default();
+        self.restore_from(&bytes)
+    }
+
+    /// Kill the monitor daemon and restart it from `bytes` (possibly a
+    /// torn or corrupted journal — crash injection truncates the
+    /// "file" at arbitrary offsets).
+    ///
+    /// The replacement monitor resumes the old tick clock, replays the
+    /// journal, and reconciles the result against the live cgroup
+    /// hierarchy via [`NsMonitor::recover`]; with no salvageable
+    /// checkpoint it falls back to a cold [`NsMonitor::resync`].
+    /// Events queued while the daemon was down are superseded by the
+    /// rescan and discarded. An attached view daemon is rebuilt from
+    /// the reconciled views, so its first-served answers are the
+    /// journaled last-good values rather than the cold floor.
+    pub fn restore_from(&mut self, bytes: &[u8]) -> RestoreEvent {
+        let tick = self.monitor.now_tick();
+        let tracer = self.monitor.tracer().clone();
+        let mut fresh = NsMonitor::new(
+            self.cfs.online(),
+            self.mem.total(),
+            *self.mem.watermarks(),
+            self.cpu_cfg,
+            self.mem_cfg,
+        );
+        fresh.set_tracer(tracer);
+        fresh.align_tick(tick);
+        self.monitor = fresh;
+
+        let report = arv_persist::restore(bytes);
+        let outcome = match &report.snapshot {
+            Some(snap) => Some(self.monitor.recover(snap, &mut self.cgm)),
+            None => {
+                self.monitor.resync(&mut self.cgm);
+                None
+            }
+        };
+        let _ = self.pipe.drain();
+        let _ = self.pipe.take_overflow_dropped();
+        self.monitor.align_seq(self.pipe.next_seq());
+        for (id, meta) in &self.containers {
+            if let Some(ns) = self.monitor.namespace_mut(*id) {
+                if ns.owner() != meta.init_pid {
+                    ns.transfer_ownership(meta.init_pid);
+                }
+            }
+        }
+        self.watchdog.note_resynced();
+        if let Some(server) = self.viewd.clone() {
+            for id in self.containers.keys() {
+                server.unregister(*id);
+                self.viewd_register(&server, *id);
+            }
+            self.viewd_mirror_all();
+            server.note_restore(
+                outcome.map_or(0, |o| o.reconciled as u64),
+                report.truncated_records,
+            );
+        }
+        // Re-seed the journal with a compacted checkpoint of the
+        // reconciled state.
+        if let Some(js) = &mut self.journal {
+            js.journal.checkpoint(&self.monitor.snapshot());
+        }
+        let ev = RestoreEvent {
+            tick,
+            report,
+            outcome,
+        };
+        self.last_restore = Some(ev.clone());
+        ev
+    }
+
+    /// The most recent warm restart, if any.
+    pub fn last_restore(&self) -> Option<&RestoreEvent> {
+        self.last_restore.as_ref()
+    }
+
+    /// Append this firing's view state to the journal (deltas, or a
+    /// compacted checkpoint on the cadence).
+    fn journal_tick(&mut self) {
+        let tick = self.monitor.now_tick();
+        let Some(js) = &mut self.journal else { return };
+        let snap = self.monitor.snapshot();
+        if tick % js.checkpoint_every == 0 {
+            js.journal.checkpoint(&snap);
+        } else {
+            for e in &snap.entries {
+                js.journal.append_delta(e, tick);
+            }
+        }
     }
 
     /// Install a [`Tracer`](arv_telemetry::Tracer): both the
@@ -427,6 +592,20 @@ impl SimHost {
         if let Some(server) = &self.viewd {
             server.advance_tick();
         }
+        // The first tick past a crash window is the warm restart: the
+        // replacement daemon recovers from its journal before this
+        // firing's regular work runs.
+        if self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.restart_tick())
+            .is_some_and(|t| t == self.monitor.now_tick())
+        {
+            self.crash_restart();
+            // The rescan inside the restore supersedes any resync the
+            // watchdog latched while the daemon was down.
+            let _ = self.watchdog.take_pending_resync();
+        }
         if self.monitor_stalled() {
             self.stall_ticks = self.stall_ticks.saturating_sub(1);
             self.watchdog.note_missed_deadline();
@@ -442,6 +621,7 @@ impl SimHost {
         self.monitor.tick_window(&self.ledger, &self.mem);
         self.ledger.reset_window();
         self.watchdog.note_deadline_met();
+        self.journal_tick();
         if self.delay_publish_ticks > 0 {
             self.delay_publish_ticks -= 1;
         } else if self.viewd.is_some() {
@@ -944,5 +1124,130 @@ mod tests {
         host.step(&d);
         assert!(client.health(Some(ids[0])).is_fresh());
         assert!(host.watchdog_stats().missed_ticks >= budget);
+    }
+
+    /// Grow container 0's view to its 10-CPU quota under a 5-way share.
+    fn grow_first(host: &mut SimHost, ids: &[CgroupId]) {
+        for _ in 0..50 {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+    }
+
+    #[test]
+    fn crash_restart_resumes_journaled_views_not_the_floor() {
+        let mut host = SimHost::paper_testbed();
+        host.enable_journal(8);
+        let ids = five_paper_containers(&mut host);
+        grow_first(&mut host, &ids);
+        let grown_mem = host.effective_memory(ids[0]);
+        let ev = host.crash_restart();
+        // The replacement monitor resumed the journaled views, not the
+        // cold 4-CPU lower bound.
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+        assert_eq!(host.effective_memory(ids[0]), grown_mem);
+        assert!(ev.report.snapshot.is_some(), "journal held a checkpoint");
+        assert_eq!(ev.report.truncated_records, 0);
+        let outcome = ev.outcome.expect("recover ran, not cold resync");
+        assert_eq!(outcome.restored + outcome.reconciled, 5);
+        assert_eq!(outcome.dropped, 0);
+        assert_eq!(outcome.admitted, 0);
+        assert_eq!(host.last_restore(), Some(&ev));
+        // The clock kept its place: staleness stays honest.
+        assert!(host.now_tick() > 0);
+        // And adjustment resumes from the restored values.
+        let d = vec![host.demand(ids[0], 20)];
+        host.step(&d);
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+    }
+
+    #[test]
+    fn restore_from_torn_journal_is_prefix_consistent() {
+        let mut host = SimHost::paper_testbed();
+        host.enable_journal(64); // deltas only after the initial checkpoint
+        let ids = five_paper_containers(&mut host);
+        grow_first(&mut host, &ids);
+        let bytes = host.journal_bytes().expect("journaling enabled").to_vec();
+        // Tear the tail mid-record: restore never panics, discards the
+        // torn frame, and lands on the longest valid prefix.
+        let cut = bytes.len() - 7;
+        let ev = host.restore_from(&bytes[..cut]);
+        assert!(ev.report.truncated_records >= 1);
+        assert!(ev.report.snapshot.is_some());
+        // Views are a valid earlier state: between the bounds, and the
+        // monitor keeps adjusting from there.
+        let cpu = host.effective_cpu(ids[0]);
+        assert!((4..=10).contains(&cpu), "restored cpu {cpu} out of bounds");
+        let d = vec![host.demand(ids[0], 20)];
+        host.step(&d);
+        assert!(host.effective_cpu(ids[0]) >= cpu);
+    }
+
+    #[test]
+    fn restore_from_empty_journal_falls_back_to_cold_resync() {
+        let mut host = SimHost::paper_testbed();
+        host.enable_journal(8);
+        let ids = five_paper_containers(&mut host);
+        grow_first(&mut host, &ids);
+        let ev = host.restore_from(&[]);
+        assert!(ev.report.snapshot.is_none());
+        assert!(ev.outcome.is_none(), "no checkpoint: cold resync");
+        // Cold restart: views are rebuilt from static bounds (the floor).
+        assert_eq!(host.effective_cpu(ids[0]), 4);
+        assert!(host.watchdog_stats().resyncs >= 1);
+    }
+
+    #[test]
+    fn fault_plan_crash_window_downs_the_daemon_then_warm_restarts() {
+        use arv_sim_core::FaultConfig;
+        let mut host = SimHost::paper_testbed();
+        let server = ViewServer::new(host.viewd_host_spec(), 4);
+        host.attach_viewd(server.clone());
+        host.enable_journal(4);
+        let ids = five_paper_containers(&mut host);
+        grow_first(&mut host, &ids);
+        let client = server.client();
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+        let crash_start = host.now_tick() + 1;
+        host.set_fault_plan(FaultPlan::new(
+            3,
+            FaultConfig {
+                crash_at: Some((crash_start, 2)),
+                ..FaultConfig::quiet()
+            },
+        ));
+        // Ride through the crash window and the restart tick.
+        for _ in 0..4 {
+            let d = vec![host.demand(ids[0], 20)];
+            host.step(&d);
+        }
+        let ev = host.last_restore().expect("warm restart fired");
+        assert_eq!(ev.tick, crash_start + 2);
+        assert!(ev.outcome.is_some());
+        // First-served views after the restart are the reconciled
+        // journal state, not the cold floor.
+        assert_eq!(host.effective_cpu(ids[0]), 10);
+        assert_eq!(client.sysconf(Some(ids[0]), Sysconf::NprocessorsOnln), 10);
+        assert!(client.health(Some(ids[0])).is_fresh());
+        let m = server.metrics();
+        assert_eq!(m.journal_truncated_records, 0);
+        let w = host.watchdog_stats();
+        assert!(w.missed_ticks >= 2, "crash window missed its deadlines");
+        assert!(w.resyncs >= 1, "restart counts as a recovery pass");
+    }
+
+    #[test]
+    fn terminate_is_journaled_so_restart_drops_the_container() {
+        let mut host = SimHost::paper_testbed();
+        host.enable_journal(64);
+        let ids = five_paper_containers(&mut host);
+        grow_first(&mut host, &ids);
+        host.terminate(ids[4]);
+        let ev = host.crash_restart();
+        assert!(host.monitor().namespace(ids[4]).is_none());
+        let outcome = ev.outcome.expect("recover ran");
+        assert_eq!(outcome.restored + outcome.reconciled, 4);
+        assert_eq!(outcome.dropped, 0, "journal already recorded the remove");
     }
 }

@@ -164,6 +164,14 @@ impl EffectiveCpu {
         self.value = bounds.clamp(self.value);
     }
 
+    /// Resume at a journaled value (warm restart). The value is clamped
+    /// into the **current** bounds — the reconcile rule for recovery —
+    /// and the clamped result is returned.
+    pub fn restore_value(&mut self, value: u32) -> u32 {
+        self.value = self.bounds.clamp(value);
+        self.value
+    }
+
     /// One firing of the update timer. Returns the new value.
     pub fn update(&mut self, sample: CpuSample) -> u32 {
         let capacity = sample.period * u64::from(self.value);

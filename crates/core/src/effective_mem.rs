@@ -113,6 +113,17 @@ impl EffectiveMemory {
         }
     }
 
+    /// Resume at a journaled value (warm restart). The value is clamped
+    /// into the **current** `[soft, hard]` range — the reconcile rule
+    /// for recovery — and the clamped result is returned. The
+    /// prediction history is cleared: the pre-crash free-memory
+    /// response is stale evidence.
+    pub fn restore_value(&mut self, value: Bytes) -> Bytes {
+        self.value = value.clamp(self.soft, self.hard);
+        self.prev = None;
+        self.value
+    }
+
     /// One firing of the update timer. Returns the new value.
     pub fn update(&mut self, sample: MemSample) -> Bytes {
         if sample.free > self.low_watermark && !sample.reclaiming {

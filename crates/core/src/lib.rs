@@ -65,7 +65,7 @@ pub use health::{StalenessPolicy, ViewHealth};
 pub use live::{
     CgroupChange, HostSampler, LiveMonitor, LiveRegistry, LiveSample, NsCell, ViewSnapshot,
 };
-pub use monitor::{IngestReport, NsMonitor};
+pub use monitor::{IngestReport, NsMonitor, RecoverOutcome};
 pub use namespace::SysNamespace;
 pub use sysfs::{HostView, Sysconf, VirtualSysfs, PAGE_SIZE};
 pub use watchdog::{Verdict, Watchdog, WatchdogConfig, WatchdogStats};

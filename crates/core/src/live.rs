@@ -277,6 +277,21 @@ impl NsCell {
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Resume this cell's views from journaled values (warm restart).
+    ///
+    /// The values run through the algorithm state machines'
+    /// clamped-restore paths, so a journaled view that fell outside the
+    /// current static bounds is reconciled rather than trusted. The
+    /// reconciled pair is published under the seqlock and returned.
+    pub fn restore_views(&self, e_cpu: u32, e_mem: Bytes, avail: Bytes, tick: u64) -> (u32, Bytes) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let cpu = st.cpu.restore_value(e_cpu);
+        let mem = st.mem.restore_value(e_mem);
+        self.publish(cpu, mem, avail.min(mem));
+        self.last_tick.store(tick, Ordering::Release);
+        (cpu, mem)
+    }
+
     /// Record the update-timer tick of the latest publish (set by the
     /// updater alongside each publish or mirror).
     #[inline]
@@ -402,6 +417,59 @@ impl LiveRegistry {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .is_empty()
+    }
+
+    /// Capture every cell's published view for journaling, stamped with
+    /// the caller's `tick` (the registry itself has no clock).
+    pub fn checkpoint(&self, tick: u64) -> arv_persist::Snapshot {
+        let mut entries: Vec<arv_persist::ViewState> = self
+            .snapshot()
+            .into_iter()
+            .map(|(id, cell)| {
+                let v = cell.snapshot();
+                arv_persist::ViewState {
+                    id: id.0,
+                    e_cpu: v.cpus,
+                    e_mem: v.bytes.as_u64(),
+                    e_avail: v.avail.as_u64(),
+                    last_tick: cell.last_tick(),
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.id);
+        arv_persist::Snapshot { tick, entries }
+    }
+
+    /// Warm restart: resume registered cells from a journaled snapshot.
+    ///
+    /// Containers must already be registered (registration rebuilds the
+    /// static bounds from the live hierarchy); this pass only resumes
+    /// the *dynamic* views, clamped to those fresh bounds. Snapshot
+    /// entries without a registered cell are dropped. Returns the same
+    /// outcome counters as [`NsMonitor`](crate::monitor::NsMonitor)'s
+    /// [`recover`](crate::monitor::NsMonitor::recover).
+    pub fn restore(&self, snap: &arv_persist::Snapshot) -> crate::monitor::RecoverOutcome {
+        let mut out = crate::monitor::RecoverOutcome::default();
+        let mut seen = 0usize;
+        for entry in &snap.entries {
+            let Some(cell) = self.get(CgroupId(entry.id)) else {
+                out.dropped += 1;
+                continue;
+            };
+            seen += 1;
+            let (cpu, mem) = cell.restore_views(
+                entry.e_cpu,
+                Bytes(entry.e_mem),
+                Bytes(entry.e_avail),
+                entry.last_tick,
+            );
+            out.restored += 1;
+            if cpu != entry.e_cpu || mem != Bytes(entry.e_mem) {
+                out.reconciled += 1;
+            }
+        }
+        out.admitted = self.len().saturating_sub(seen);
+        out
     }
 
     fn snapshot(&self) -> Vec<(CgroupId, Arc<NsCell>)> {
@@ -642,6 +710,83 @@ mod tests {
         assert_eq!(deg.bytes, Bytes::from_mib(500));
         assert!(deg.avail <= deg.bytes);
         assert_eq!(deg.generation, live.generation);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_grown_views() {
+        let reg = LiveRegistry::new();
+        let cell = reg.register(
+            CgroupId(0),
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(),
+        );
+        for _ in 0..6 {
+            cell.apply(saturated_sample());
+        }
+        cell.stamp(6);
+        assert_eq!(cell.effective_cpu(), 10);
+        let snap = reg.checkpoint(6);
+        assert_eq!(snap.tick, 6);
+        assert_eq!(snap.get(0).unwrap().e_cpu, 10);
+
+        // A cold registry would serve 4; restore resumes 10.
+        let reg2 = LiveRegistry::new();
+        let cell2 = reg2.register(
+            CgroupId(0),
+            CpuBounds {
+                lower: 4,
+                upper: 10,
+            },
+            EffectiveCpuConfig::default(),
+            mk_mem(),
+        );
+        assert_eq!(cell2.effective_cpu(), 4);
+        let out = reg2.restore(&snap);
+        assert_eq!(out.restored, 1);
+        assert_eq!(out.reconciled, 0);
+        assert_eq!(cell2.effective_cpu(), 10);
+        assert_eq!(cell2.last_tick(), 6);
+    }
+
+    #[test]
+    fn restore_clamps_to_fresh_bounds_and_drops_vanished() {
+        let reg = LiveRegistry::new();
+        let cell = reg.register(
+            CgroupId(0),
+            // The quota narrowed to 6 CPUs while the daemon was down.
+            CpuBounds { lower: 2, upper: 6 },
+            EffectiveCpuConfig::default(),
+            mk_mem(),
+        );
+        let snap = arv_persist::Snapshot {
+            tick: 9,
+            entries: vec![
+                arv_persist::ViewState {
+                    id: 0,
+                    e_cpu: 10,
+                    e_mem: Bytes::from_mib(700).as_u64(),
+                    e_avail: Bytes::from_mib(300).as_u64(),
+                    last_tick: 9,
+                },
+                arv_persist::ViewState {
+                    id: 7,
+                    e_cpu: 4,
+                    e_mem: 1,
+                    e_avail: 1,
+                    last_tick: 9,
+                },
+            ],
+        };
+        let out = reg.restore(&snap);
+        assert_eq!(out.restored, 1);
+        assert_eq!(out.reconciled, 1, "journaled 10 CPUs clamped to 6");
+        assert_eq!(out.dropped, 1, "vanished container ignored");
+        assert_eq!(cell.effective_cpu(), 6);
+        assert_eq!(cell.effective_memory(), Bytes::from_mib(700));
     }
 
     #[test]

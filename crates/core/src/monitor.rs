@@ -38,6 +38,22 @@ pub struct IngestReport {
     pub gap: bool,
 }
 
+/// Outcome of one [`NsMonitor::recover`] warm-restart pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverOutcome {
+    /// Containers resumed from the journaled snapshot.
+    pub restored: usize,
+    /// Restored views that had to be reconciled: the journaled value
+    /// fell outside the freshly recomputed bounds and was clamped.
+    pub reconciled: usize,
+    /// Snapshot entries dropped because their cgroup vanished while the
+    /// monitor was down.
+    pub dropped: usize,
+    /// Live cgroups absent from the snapshot, admitted cold at the
+    /// lower bounds.
+    pub admitted: usize,
+}
+
 /// The monitor daemon (simulation-side; see [`crate::live`] for the
 /// threaded equivalent).
 #[derive(Debug, Clone)]
@@ -247,11 +263,141 @@ impl NsMonitor {
             .emit_pipeline(self.now_tick, None, PipelineEvent::Resynced);
     }
 
+    /// Capture every namespace's dynamic view for journaling.
+    ///
+    /// The snapshot records only the *dynamic* state (effective CPU and
+    /// memory, availability, refresh tick); static bounds and limits are
+    /// deliberately not persisted — on recovery they are recomputed from
+    /// the live cgroup hierarchy, which is the authority.
+    pub fn snapshot(&self) -> arv_persist::Snapshot {
+        arv_persist::Snapshot {
+            tick: self.now_tick,
+            entries: self
+                .namespaces
+                .values()
+                .map(|ns| arv_persist::ViewState {
+                    id: ns.id().0,
+                    e_cpu: ns.effective_cpu(),
+                    e_mem: ns.effective_memory().as_u64(),
+                    e_avail: ns.available_memory().as_u64(),
+                    last_tick: ns.last_tick(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Warm restart: rebuild membership from the live cgroup hierarchy,
+    /// then resume dynamic views from a journaled `snapshot` instead of
+    /// the cold lower bounds.
+    ///
+    /// Reconcile rules, in order:
+    ///
+    /// 1. membership follows the hierarchy — namespaces for vanished
+    ///    cgroups are dropped, cgroups missing a namespace get one
+    ///    (admitted cold at the lower bounds);
+    /// 2. restored values are clamped into the **freshly recomputed**
+    ///    static bounds (shares, quotas and limits may have changed
+    ///    while the monitor was down);
+    /// 3. snapshot entries for vanished cgroups are discarded.
+    ///
+    /// Emits a [`DecisionCause::Restored`] (or
+    /// [`DecisionCause::RestoreReconciled`] when the clamp moved the
+    /// journaled value) provenance record per resumed view, and one
+    /// [`PipelineEvent::Restored`] for the pass itself.
+    pub fn recover(
+        &mut self,
+        snapshot: &arv_persist::Snapshot,
+        cgm: &mut CgroupManager,
+    ) -> RecoverOutcome {
+        let _ = cgm.drain_events();
+        let tracer = self.tracer.clone();
+        let now = self.now_tick;
+        self.namespaces.retain(|id, _| {
+            let keep = cgm.contains(*id);
+            if !keep {
+                tracer.emit_pipeline(now, Some(*id), PipelineEvent::ContainerRemoved);
+            }
+            keep
+        });
+        let live: Vec<CgroupId> = cgm.iter().map(|(id, _)| id).collect();
+        for id in live {
+            self.create_namespace(id, cgm);
+        }
+        // Fresh static inputs first: restored values clamp against the
+        // hierarchy as it is *now*, not as it was journaled.
+        self.recompute_all(cgm, DecisionCause::StaticRefresh);
+
+        let mut out = RecoverOutcome::default();
+        for entry in &snapshot.entries {
+            let id = CgroupId(entry.id);
+            let Some(ns) = self.namespaces.get_mut(&id) else {
+                out.dropped += 1;
+                continue;
+            };
+            let cpu_before = ns.effective_cpu();
+            let mem_before = ns.effective_memory();
+            let (cpu_after, mem_after) = ns.restore_views(entry.e_cpu, Bytes(entry.e_mem));
+            ns.stamp(self.now_tick);
+            out.restored += 1;
+            let clamped = cpu_after != entry.e_cpu || mem_after != Bytes(entry.e_mem);
+            if clamped {
+                out.reconciled += 1;
+            }
+            let cause = if clamped {
+                DecisionCause::RestoreReconciled
+            } else {
+                DecisionCause::Restored
+            };
+            if cpu_after != cpu_before {
+                self.tracer.emit_cpu(
+                    self.now_tick,
+                    id,
+                    CpuDecision {
+                        cause,
+                        before: cpu_before,
+                        after: cpu_after,
+                        utilization: 0.0,
+                        had_slack: false,
+                    },
+                );
+            }
+            if mem_after != mem_before {
+                self.tracer.emit_mem(
+                    self.now_tick,
+                    id,
+                    MemDecision {
+                        cause,
+                        before: mem_before,
+                        after: mem_after,
+                        usage: Bytes(0),
+                        free: Bytes(0),
+                    },
+                );
+            }
+        }
+        out.admitted = self
+            .namespaces
+            .keys()
+            .filter(|id| snapshot.get(id.0).is_none())
+            .count();
+        self.tracer
+            .emit_pipeline(self.now_tick, None, PipelineEvent::Restored);
+        out
+    }
+
     /// Align the expected event sequence number (after a resync, the
     /// driver passes its pipe's `next_seq` so already-superseded events
     /// are not misread as a fresh gap).
     pub fn align_seq(&mut self, next_seq: u64) {
         self.next_seq = next_seq;
+    }
+
+    /// Align the tick counter (after a warm restart: the update timer's
+    /// cadence is host-side and survives the daemon, so a replacement
+    /// monitor resumes the old clock instead of restarting at zero —
+    /// otherwise every served view would look impossibly fresh).
+    pub fn align_tick(&mut self, tick: u64) {
+        self.now_tick = tick;
     }
 
     fn create_namespace(&mut self, id: CgroupId, cgm: &CgroupManager) {
@@ -715,6 +861,112 @@ mod tests {
             assert_eq!(r.effective_cpu(), f.effective_cpu());
             assert_eq!(r.effective_memory(), f.effective_memory());
         }
+    }
+
+    #[test]
+    fn recover_resumes_views_from_snapshot_not_floor() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        let a = cgm.create(paper_spec());
+        for _ in 0..4 {
+            cgm.create(paper_spec());
+        }
+        mem.register(a, MemController::unlimited());
+        mon.sync(&mut cgm);
+        for _ in 0..10 {
+            mon.observe_tick();
+            ledger.record(&cfs.allocate(P, &[GroupDemand::cpu_bound(a, 20, 1024, 10.0)]));
+            mon.tick(&ledger, &mem);
+        }
+        assert_eq!(mon.effective_cpu(a), Some(10));
+        let snap = mon.snapshot();
+        assert_eq!(snap.get(a.0).unwrap().e_cpu, 10);
+
+        // Cold restart: a fresh monitor would serve the 4-CPU floor.
+        let (_, mut fresh, _, _, _) = testbed();
+        let out = fresh.recover(&snap, &mut cgm);
+        assert_eq!(out.restored, 5);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.admitted, 0);
+        assert_eq!(
+            fresh.effective_cpu(a),
+            Some(10),
+            "warm restart must resume the converged view"
+        );
+    }
+
+    #[test]
+    fn recover_reconciles_against_current_hierarchy() {
+        let (mut cgm, mut mon, _, _, _) = testbed();
+        let a = cgm.create(paper_spec());
+        let b = cgm.create(paper_spec());
+        mon.sync(&mut cgm);
+        let mut snap = mon.snapshot();
+        // Doctor the journal: claim `a` had converged to 16 CPUs —
+        // beyond today's 10-CPU quota — and include a vanished
+        // container.
+        if let Some(e) = snap.entries.iter_mut().find(|e| e.id == a.0) {
+            e.e_cpu = 16;
+        }
+        snap.entries.push(arv_persist::ViewState {
+            id: 999,
+            e_cpu: 8,
+            e_mem: 1 << 30,
+            e_avail: 1 << 29,
+            last_tick: 0,
+        });
+        snap.entries.sort_by_key(|e| e.id);
+        // Meanwhile a new container arrived that the journal never saw.
+        let late = cgm.create(paper_spec());
+
+        let (_, mut fresh, _, _, _) = testbed();
+        let out = fresh.recover(&snap, &mut cgm);
+        assert_eq!(out.restored, 2);
+        assert_eq!(out.reconciled, 1, "16 CPUs clamped to the quota");
+        assert_eq!(out.dropped, 1, "vanished container discarded");
+        assert_eq!(out.admitted, 1, "late container admitted cold");
+        assert_eq!(fresh.effective_cpu(a), Some(10), "clamped to fresh upper");
+        assert!(fresh.namespace(b).is_some());
+        let late_ns = fresh.namespace(late).unwrap();
+        assert_eq!(
+            late_ns.effective_cpu(),
+            late_ns.cpu_bounds().lower,
+            "unjournaled container starts at the floor"
+        );
+        assert!(fresh.namespace(CgroupId(999)).is_none());
+    }
+
+    #[test]
+    fn recover_emits_restored_provenance() {
+        let (mut cgm, mut mon, cfs, mut mem, mut ledger) = testbed();
+        let a = cgm.create(paper_spec());
+        for _ in 0..4 {
+            cgm.create(paper_spec());
+        }
+        mem.register(a, MemController::unlimited());
+        mon.sync(&mut cgm);
+        for _ in 0..10 {
+            ledger.record(&cfs.allocate(P, &[GroupDemand::cpu_bound(a, 20, 1024, 10.0)]));
+            mon.tick(&ledger, &mem);
+        }
+        let snap = mon.snapshot();
+        let (_, mut fresh, _, _, _) = testbed();
+        fresh.set_tracer(arv_telemetry::Tracer::bounded(64));
+        fresh.recover(&snap, &mut cgm);
+        let events = fresh.tracer().events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e.kind,
+                arv_telemetry::EventKind::Pipeline(PipelineEvent::Restored)
+            )),
+            "restored pipeline event missing"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e.kind,
+                arv_telemetry::EventKind::Cpu(d) if d.cause == DecisionCause::Restored
+            )),
+            "restored cpu decision missing"
+        );
     }
 
     #[test]

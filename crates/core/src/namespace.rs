@@ -123,6 +123,16 @@ impl SysNamespace {
         self.e_mem.set_limits(soft, hard);
     }
 
+    /// Resume both views at journaled values (warm restart), clamped to
+    /// the current static bounds and limits. Returns the reconciled
+    /// `(effective_cpu, effective_memory)` actually installed.
+    pub fn restore_views(&mut self, e_cpu: u32, e_mem: Bytes) -> (u32, Bytes) {
+        (
+            self.e_cpu.restore_value(e_cpu),
+            self.e_mem.restore_value(e_mem),
+        )
+    }
+
     /// Periodic update-timer firing.
     pub fn update(&mut self, cpu: CpuSample, mem: MemSample) {
         self.e_cpu.update(cpu);

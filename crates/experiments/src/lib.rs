@@ -28,6 +28,7 @@ pub mod fig12_heap_traces;
 pub mod json;
 pub mod obs;
 pub mod overhead;
+pub mod recovery;
 pub mod report;
 pub mod scenarios;
 pub mod view_accuracy;
@@ -55,13 +56,14 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "viewd" => viewd::run(scale),
         "chaos" => chaos::run(scale),
         "obs" => obs::run(scale),
+        "recovery" => recovery::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 16] = [
+pub const ALL_FIGURES: [&str; 17] = [
     "1",
     "2a",
     "2b",
@@ -78,6 +80,7 @@ pub const ALL_FIGURES: [&str; 16] = [
     "viewd",
     "chaos",
     "obs",
+    "recovery",
 ];
 
 #[cfg(test)]
@@ -99,6 +102,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 16);
+        assert_eq!(ALL_FIGURES.len(), 17);
     }
 }

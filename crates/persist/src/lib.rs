@@ -1,0 +1,670 @@
+//! Crash-safe persistence for adaptive resource views.
+//!
+//! The `ns_monitor` of the paper is a system-wide daemon: when it
+//! restarts, every container's view would collapse back to the static
+//! lower bounds until dynamic adjustment re-converges. This crate keeps
+//! that from happening. A [`Journal`] records view state as a
+//! **versioned, checksummed, append-only byte log**: periodic compacted
+//! [checkpoints](Journal::checkpoint) carrying the full registry
+//! snapshot, with per-container [deltas](Journal::append_delta) and
+//! [removals](Journal::append_remove) appended in between. On restart,
+//! [`restore`] replays the log back into a [`Snapshot`].
+//!
+//! # Wire format
+//!
+//! ```text
+//! header  := magic:u32le ("AVRJ") | version:u32le
+//! record  := len:u32le | body:[u8; len] | crc32:u32le
+//! body    := kind:u8 | payload
+//! ```
+//!
+//! The CRC32 (IEEE, reflected, polynomial `0xEDB88320`) covers the
+//! length prefix *and* the body, so a torn length word is caught too.
+//!
+//! # Crash tolerance
+//!
+//! A journal may be cut at **any byte offset** (torn tail after a
+//! crash) or contain flipped bits. [`restore`] never panics: it decodes
+//! records until the first frame that is truncated or fails its
+//! checksum, drops everything from that frame on, and reports how many
+//! trailing records were discarded. The result is always
+//! *prefix-consistent* — the state after applying some prefix of the
+//! records that were written.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// File magic: `b"AVRJ"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"AVRJ");
+/// Current journal format version.
+pub const VERSION: u32 = 1;
+/// Upper bound on a single record body (corrupt length words must not
+/// cause huge allocations during restore).
+pub const MAX_RECORD: usize = 1 << 20;
+
+const KIND_CHECKPOINT: u8 = 1;
+const KIND_DELTA: u8 = 2;
+const KIND_REMOVE: u8 = 3;
+
+pub mod crc32 {
+    //! Table-driven IEEE CRC32 (the zlib/ethernet polynomial),
+    //! hand-rolled because the CI containers build fully offline.
+
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+
+    const TABLE: [u32; 256] = table();
+
+    /// CRC32 of `bytes` (IEEE, init `0xFFFF_FFFF`, final xor).
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::checksum;
+
+        #[test]
+        fn known_vectors() {
+            // Standard check value for the IEEE polynomial.
+            assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+            assert_eq!(checksum(b""), 0);
+            assert_eq!(checksum(b"a"), 0xE8B7_BE43);
+        }
+
+        #[test]
+        fn sensitive_to_single_bit_flips() {
+            let base = checksum(b"resource view");
+            let mut data = b"resource view".to_vec();
+            for i in 0..data.len() * 8 {
+                data[i / 8] ^= 1 << (i % 8);
+                assert_ne!(checksum(&data), base, "flip at bit {i} undetected");
+                data[i / 8] ^= 1 << (i % 8);
+            }
+        }
+    }
+}
+
+/// The persisted view state of one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewState {
+    /// Cgroup id of the container.
+    pub id: u32,
+    /// Effective CPU count the dynamic loop had converged to.
+    pub e_cpu: u32,
+    /// Effective memory limit, bytes.
+    pub e_mem: u64,
+    /// Available (free-as-seen) memory, bytes.
+    pub e_avail: u64,
+    /// Update-timer tick of the last view refresh.
+    pub last_tick: u64,
+}
+
+/// A full registry snapshot at one point in time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Update-timer tick the snapshot was taken at.
+    pub tick: u64,
+    /// Per-container states, kept sorted by container id.
+    pub entries: Vec<ViewState>,
+}
+
+impl Snapshot {
+    /// A snapshot taken at `tick` with no containers.
+    pub fn at(tick: u64) -> Snapshot {
+        Snapshot {
+            tick,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up a container's persisted state.
+    pub fn get(&self, id: u32) -> Option<&ViewState> {
+        self.entries
+            .binary_search_by_key(&id, |e| e.id)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    fn upsert(&mut self, state: ViewState) {
+        match self.entries.binary_search_by_key(&state.id, |e| e.id) {
+            Ok(i) => self.entries[i] = state,
+            Err(i) => self.entries.insert(i, state),
+        }
+    }
+
+    fn remove(&mut self, id: u32) {
+        if let Ok(i) = self.entries.binary_search_by_key(&id, |e| e.id) {
+            self.entries.remove(i);
+        }
+    }
+}
+
+/// What a [`restore`] recovered from a journal's bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Last-good snapshot with all decodable deltas applied, or `None`
+    /// if no complete checkpoint survived.
+    pub snapshot: Option<Snapshot>,
+    /// Records dropped because they were torn or failed their CRC
+    /// (everything from the first bad frame to the end of the buffer
+    /// counts as one truncation event plus the bad frame itself).
+    pub truncated_records: u64,
+    /// Deltas applied on top of the checkpoint.
+    pub applied_deltas: u64,
+    /// Removals applied on top of the checkpoint.
+    pub applied_removes: u64,
+}
+
+/// An append-only, checksummed journal of view-state changes.
+///
+/// The backing store is an owned byte buffer: the simulation treats it
+/// as the daemon's on-disk state file, and crash injection simply
+/// truncates or corrupts the bytes. [`Journal::checkpoint`] *compacts*:
+/// it rewrites the buffer as `header + one checkpoint record`, so the
+/// journal's size is bounded by checkpoint cadence rather than uptime.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    buf: Vec<u8>,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    /// An empty journal holding only the format header.
+    pub fn new() -> Journal {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        Journal { buf }
+    }
+
+    /// The raw journal bytes (header + records).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the journal, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Size of the journal in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the journal holds only the header.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() <= 8
+    }
+
+    /// Write a compacted checkpoint: the buffer is reset to the header
+    /// plus this single snapshot record, discarding older history.
+    pub fn checkpoint(&mut self, snap: &Snapshot) {
+        self.buf.truncate(8);
+        let mut body = Vec::with_capacity(13 + snap.entries.len() * 28);
+        body.push(KIND_CHECKPOINT);
+        body.extend_from_slice(&snap.tick.to_le_bytes());
+        body.extend_from_slice(&(snap.entries.len() as u32).to_le_bytes());
+        for e in &snap.entries {
+            encode_state(&mut body, e);
+        }
+        self.push_record(&body);
+    }
+
+    /// Append one container's refreshed view.
+    pub fn append_delta(&mut self, state: &ViewState, tick: u64) {
+        let mut body = Vec::with_capacity(37);
+        body.push(KIND_DELTA);
+        body.extend_from_slice(&tick.to_le_bytes());
+        encode_state(&mut body, state);
+        self.push_record(&body);
+    }
+
+    /// Append a container removal.
+    pub fn append_remove(&mut self, id: u32) {
+        let mut body = Vec::with_capacity(5);
+        body.push(KIND_REMOVE);
+        body.extend_from_slice(&id.to_le_bytes());
+        self.push_record(&body);
+    }
+
+    fn push_record(&mut self, body: &[u8]) {
+        let len = (body.len() as u32).to_le_bytes();
+        let mut crc_input = Vec::with_capacity(4 + body.len());
+        crc_input.extend_from_slice(&len);
+        crc_input.extend_from_slice(body);
+        let crc = crc32::checksum(&crc_input);
+        self.buf.extend_from_slice(&len);
+        self.buf.extend_from_slice(body);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+    }
+}
+
+fn encode_state(out: &mut Vec<u8>, e: &ViewState) {
+    out.extend_from_slice(&e.id.to_le_bytes());
+    out.extend_from_slice(&e.e_cpu.to_le_bytes());
+    out.extend_from_slice(&e.e_mem.to_le_bytes());
+    out.extend_from_slice(&e.e_avail.to_le_bytes());
+    out.extend_from_slice(&e.last_tick.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+}
+
+fn decode_state(c: &mut Cursor<'_>) -> Option<ViewState> {
+    Some(ViewState {
+        id: c.u32()?,
+        e_cpu: c.u32()?,
+        e_mem: c.u64()?,
+        e_avail: c.u64()?,
+        last_tick: c.u64()?,
+    })
+}
+
+/// Rebuild the last-good view state from journal bytes.
+///
+/// Tolerates arbitrary truncation and bit corruption: decoding stops at
+/// the first frame whose length is torn or whose CRC fails, and the
+/// surviving prefix is replayed — checkpoint first, then deltas and
+/// removals in order. Never panics, never allocates past
+/// [`MAX_RECORD`] per frame.
+pub fn restore(bytes: &[u8]) -> RestoreReport {
+    let mut report = RestoreReport::default();
+    let mut c = Cursor { bytes, pos: 0 };
+    let (magic, version) = match (c.u32(), c.u32()) {
+        (Some(m), Some(v)) => (m, v),
+        _ => {
+            report.truncated_records = 1;
+            return report;
+        }
+    };
+    if magic != MAGIC || version != VERSION {
+        report.truncated_records = 1;
+        return report;
+    }
+    let mut snap: Option<Snapshot> = None;
+    loop {
+        let frame_start = c.pos;
+        if frame_start == bytes.len() {
+            break; // clean end
+        }
+        let Some(record) = read_record(&mut c) else {
+            // Torn or corrupt tail: drop this frame and everything
+            // after it. One counter bump per discarded tail.
+            report.truncated_records += 1;
+            break;
+        };
+        let mut rc = Cursor {
+            bytes: record,
+            pos: 0,
+        };
+        match rc.u8() {
+            Some(KIND_CHECKPOINT) => {
+                if let Some(s) = decode_checkpoint(&mut rc) {
+                    snap = Some(s);
+                    report.applied_deltas = 0;
+                    report.applied_removes = 0;
+                } else {
+                    report.truncated_records += 1;
+                    break;
+                }
+            }
+            Some(KIND_DELTA) => {
+                let decoded = rc
+                    .u64()
+                    .and_then(|tick| decode_state(&mut rc).map(|state| (tick, state)));
+                match (decoded, &mut snap) {
+                    (Some((tick, state)), Some(s)) => {
+                        s.upsert(state);
+                        s.tick = s.tick.max(tick);
+                        report.applied_deltas += 1;
+                    }
+                    (Some(_), None) => {} // delta with no base: ignore
+                    (None, _) => {
+                        report.truncated_records += 1;
+                        break;
+                    }
+                }
+            }
+            Some(KIND_REMOVE) => match (rc.u32(), &mut snap) {
+                (Some(id), Some(s)) => {
+                    s.remove(id);
+                    report.applied_removes += 1;
+                }
+                (Some(_), None) => {}
+                (None, _) => {
+                    report.truncated_records += 1;
+                    break;
+                }
+            },
+            _ => {
+                // Unknown kind — a later format or corruption the CRC
+                // happened to miss. Stop here; the prefix is still good.
+                report.truncated_records += 1;
+                break;
+            }
+        }
+    }
+    report.snapshot = snap;
+    report
+}
+
+fn read_record<'a>(c: &mut Cursor<'a>) -> Option<&'a [u8]> {
+    let start = c.pos;
+    let len = c.u32()? as usize;
+    if len > MAX_RECORD {
+        return None;
+    }
+    let body = c.take(len)?;
+    let crc = c.u32()?;
+    let covered = &c.bytes[start..start + 4 + len];
+    if crc32::checksum(covered) != crc {
+        return None;
+    }
+    Some(body)
+}
+
+fn decode_checkpoint(rc: &mut Cursor<'_>) -> Option<Snapshot> {
+    let tick = rc.u64()?;
+    let count = rc.u32()? as usize;
+    if count > MAX_RECORD / 28 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(decode_state(rc)?);
+    }
+    entries.sort_by_key(|e: &ViewState| e.id);
+    Some(Snapshot { tick, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(id: u32, cpu: u32, tick: u64) -> ViewState {
+        ViewState {
+            id,
+            e_cpu: cpu,
+            e_mem: 1 << 30,
+            e_avail: 1 << 29,
+            last_tick: tick,
+        }
+    }
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        let snap = Snapshot {
+            tick: 10,
+            entries: vec![state(1, 4, 10), state(2, 8, 10)],
+        };
+        j.checkpoint(&snap);
+        j.append_delta(&state(1, 6, 12), 12);
+        j.append_delta(&state(3, 2, 13), 13);
+        j.append_remove(2);
+        j
+    }
+
+    #[test]
+    fn round_trip_replays_checkpoint_and_deltas() {
+        let j = sample_journal();
+        let r = restore(j.as_bytes());
+        assert_eq!(r.truncated_records, 0);
+        assert_eq!(r.applied_deltas, 2);
+        assert_eq!(r.applied_removes, 1);
+        let s = r.snapshot.expect("checkpoint survived");
+        assert_eq!(s.tick, 13);
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.get(1).unwrap().e_cpu, 6);
+        assert_eq!(s.get(3).unwrap().e_cpu, 2);
+        assert!(s.get(2).is_none(), "removed container stays removed");
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_buffer() {
+        let mut j = sample_journal();
+        let grown = j.len();
+        let r = restore(j.as_bytes());
+        j.checkpoint(r.snapshot.as_ref().unwrap());
+        assert!(j.len() < grown, "compaction shrank the journal");
+        let r2 = restore(j.as_bytes());
+        assert_eq!(r2.snapshot, r.snapshot);
+        assert_eq!(r2.applied_deltas, 0);
+    }
+
+    #[test]
+    fn empty_journal_restores_to_nothing() {
+        let j = Journal::new();
+        assert!(j.is_empty());
+        let r = restore(j.as_bytes());
+        assert_eq!(r.snapshot, None);
+        assert_eq!(r.truncated_records, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_without_panic() {
+        let j = sample_journal();
+        let full = restore(j.as_bytes());
+        let bytes = j.as_bytes();
+        // Cut mid-way through the final record: the prefix still
+        // replays, and exactly one truncation event is reported.
+        let cut = bytes.len() - 3;
+        let r = restore(&bytes[..cut]);
+        assert_eq!(r.truncated_records, 1);
+        let s = r.snapshot.expect("checkpoint still intact");
+        assert!(s.get(2).is_some(), "remove record was the torn one");
+        assert_eq!(
+            s.get(1),
+            full.snapshot.as_ref().unwrap().get(1),
+            "earlier delta survived"
+        );
+    }
+
+    #[test]
+    fn corrupt_byte_stops_replay_at_bad_frame() {
+        let j = sample_journal();
+        let mut bytes = j.as_bytes().to_vec();
+        // Flip a byte inside the second record's body (after header +
+        // first record). Find it structurally: header is 8 bytes, first
+        // record is 4 + len + 4.
+        let len0 = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second = 8 + 4 + len0 + 4;
+        bytes[second + 6] ^= 0x40;
+        let r = restore(&bytes);
+        assert_eq!(r.truncated_records, 1);
+        let s = r.snapshot.expect("checkpoint before the flip is good");
+        assert_eq!(s.get(1).unwrap().e_cpu, 4, "delta after flip not applied");
+    }
+
+    #[test]
+    fn wrong_magic_or_version_restores_to_nothing() {
+        let mut j = Journal::new().into_bytes();
+        j[0] ^= 0xFF;
+        assert_eq!(restore(&j).snapshot, None);
+        let mut j2 = Journal::new().into_bytes();
+        j2[4] = 9;
+        assert_eq!(restore(&j2).snapshot, None);
+        assert_eq!(restore(b"").snapshot, None);
+        assert_eq!(restore(b"AV").snapshot, None);
+    }
+
+    #[test]
+    fn huge_length_word_does_not_allocate() {
+        let mut j = Journal::new().into_bytes();
+        j.extend_from_slice(&u32::MAX.to_le_bytes());
+        j.extend_from_slice(&[0; 16]);
+        let r = restore(&j);
+        assert_eq!(r.truncated_records, 1);
+        assert_eq!(r.snapshot, None);
+    }
+
+    #[test]
+    fn deltas_without_checkpoint_are_ignored() {
+        let mut j = Journal::new();
+        j.append_delta(&state(9, 3, 1), 1);
+        j.append_remove(9);
+        let r = restore(j.as_bytes());
+        assert_eq!(r.snapshot, None);
+        assert_eq!(r.truncated_records, 0);
+    }
+
+    mod journal_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Build a journal from a scripted sequence of operations, and
+        // also compute the expected snapshot after the first `k`
+        // operations, for prefix-consistency checks.
+        fn build(ops: &[(u8, u32, u32, u64)]) -> (Journal, Vec<Snapshot>) {
+            let mut j = Journal::new();
+            let mut s = Snapshot::at(0);
+            j.checkpoint(&s);
+            let mut states = vec![s.clone()];
+            for (i, &(kind, id, cpu, mem)) in ops.iter().enumerate() {
+                let tick = i as u64 + 1;
+                match kind % 3 {
+                    0 => {
+                        let st = ViewState {
+                            id,
+                            e_cpu: cpu,
+                            e_mem: mem,
+                            e_avail: mem / 2,
+                            last_tick: tick,
+                        };
+                        j.append_delta(&st, tick);
+                        s.upsert(st);
+                        s.tick = s.tick.max(tick);
+                    }
+                    1 => {
+                        j.append_remove(id);
+                        s.remove(id);
+                    }
+                    _ => {
+                        j.checkpoint(&s);
+                        // Compaction discards history: earlier prefixes
+                        // are no longer representable, reset the script.
+                        states.clear();
+                    }
+                }
+                states.push(s.clone());
+            }
+            (j, states)
+        }
+
+        proptest! {
+            // The tentpole property: checkpoint → append deltas →
+            // crash at an arbitrary byte offset → restore always
+            // yields a prefix-consistent state and never panics.
+            #[test]
+            fn truncation_at_any_offset_is_prefix_consistent(
+                ops in prop::collection::vec(
+                    (0u8..3, 1u32..6, 1u32..32, 1u64..1_000_000), 0..12),
+                cut_frac in 0.0f64..1.0,
+            ) {
+                let (j, states) = build(&ops);
+                let bytes = j.as_bytes();
+                let cut = (bytes.len() as f64 * cut_frac) as usize;
+                let r = restore(&bytes[..cut.min(bytes.len())]);
+                if let Some(s) = &r.snapshot {
+                    prop_assert!(
+                        states.iter().any(|want| want == s),
+                        "restored state matches no operation prefix: {s:?}"
+                    );
+                }
+                // Full journal always restores losslessly.
+                let full = restore(bytes);
+                prop_assert_eq!(full.truncated_records, 0);
+                prop_assert_eq!(full.snapshot.as_ref(), states.last());
+            }
+
+            #[test]
+            fn corruption_never_panics_and_prefix_is_consistent(
+                ops in prop::collection::vec(
+                    (0u8..3, 1u32..6, 1u32..32, 1u64..1_000_000), 1..10),
+                flip in prop::collection::vec((0usize..4096, 0u8..8), 1..4),
+            ) {
+                let (j, states) = build(&ops);
+                let mut bytes = j.as_bytes().to_vec();
+                for &(pos, bit) in &flip {
+                    let idx = pos % bytes.len();
+                    bytes[idx] ^= 1 << bit;
+                }
+                let r = restore(&bytes); // must not panic
+                if let Some(s) = &r.snapshot {
+                    // A flip the CRC catches truncates the replay; the
+                    // surviving state must still be some prefix (flips
+                    // the CRC misses are ~2^-32 and would fail here).
+                    prop_assert!(
+                        states.iter().any(|want| want == s),
+                        "corrupted restore matches no prefix: {s:?}"
+                    );
+                }
+            }
+
+            #[test]
+            fn journal_bytes_are_deterministic(
+                ops in prop::collection::vec(
+                    (0u8..3, 1u32..6, 1u32..32, 1u64..1_000_000), 0..10),
+            ) {
+                let (a, _) = build(&ops);
+                let (b, _) = build(&ops);
+                prop_assert_eq!(a.as_bytes(), b.as_bytes());
+            }
+        }
+    }
+}

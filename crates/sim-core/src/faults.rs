@@ -31,6 +31,15 @@ pub struct FaultConfig {
     pub stall_at: Option<(u64, u64)>,
     /// Publish-delay window: `(first_tick, duration_ticks)`.
     pub publish_delay_at: Option<(u64, u64)>,
+    /// Daemon crash window: `(crash_tick, downtime_ticks)`. The daemon
+    /// is down for the window and warm-restarts from its journal at the
+    /// first tick past it.
+    pub crash_at: Option<(u64, u64)>,
+    /// Client-flood window: `(first_tick, duration_ticks)` during which
+    /// [`FaultConfig::flood_clients`] greedy clients hammer the daemon.
+    pub flood_at: Option<(u64, u64)>,
+    /// Number of concurrent flooding clients during the flood window.
+    pub flood_clients: u32,
 }
 
 impl FaultConfig {
@@ -98,6 +107,29 @@ impl FaultPlan {
     /// Whether publishes are delayed at `tick`.
     pub fn publish_delayed(&self, tick: u64) -> bool {
         in_window(self.cfg.publish_delay_at, tick)
+    }
+
+    /// Whether the daemon is crashed (down) at `tick`.
+    pub fn crashed(&self, tick: u64) -> bool {
+        in_window(self.cfg.crash_at, tick)
+    }
+
+    /// The tick the daemon warm-restarts at (first tick past the crash
+    /// window), if a crash is scheduled.
+    pub fn restart_tick(&self) -> Option<u64> {
+        self.cfg
+            .crash_at
+            .map(|(start, dur)| start.saturating_add(dur))
+    }
+
+    /// Number of flooding clients active at `tick` (zero outside the
+    /// flood window).
+    pub fn flood_clients(&self, tick: u64) -> u32 {
+        if in_window(self.cfg.flood_at, tick) {
+            self.cfg.flood_clients
+        } else {
+            0
+        }
     }
 
     /// Apply drop / duplicate / reorder faults to a queue of events.
@@ -234,6 +266,30 @@ mod tests {
         assert!(!p.monitor_stalled(14));
         assert!(p.publish_delayed(20));
         assert!(!p.publish_delayed(21));
+    }
+
+    #[test]
+    fn crash_and_flood_windows_are_half_open() {
+        let cfg = FaultConfig {
+            crash_at: Some((30, 5)),
+            flood_at: Some((10, 3)),
+            flood_clients: 8,
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(0, cfg);
+        assert!(!p.crashed(29));
+        assert!(p.crashed(30));
+        assert!(p.crashed(34));
+        assert!(!p.crashed(35));
+        assert_eq!(p.restart_tick(), Some(35));
+        assert_eq!(p.flood_clients(9), 0);
+        assert_eq!(p.flood_clients(10), 8);
+        assert_eq!(p.flood_clients(12), 8);
+        assert_eq!(p.flood_clients(13), 0);
+        let quiet = FaultPlan::new(0, FaultConfig::quiet());
+        assert!(!quiet.crashed(0));
+        assert_eq!(quiet.restart_tick(), None);
+        assert_eq!(quiet.flood_clients(0), 0);
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub enum DecisionCause {
     /// The serving layer substituted the conservative fallback (CPU
     /// lower bound / memory soft limit) for a degraded view.
     DegradedFallback,
+    /// A warm restart resumed the view from a journaled checkpoint
+    /// instead of the cold lower bound.
+    Restored,
+    /// A restored value had to be reconciled: the journaled view fell
+    /// outside the freshly recomputed static bounds and was clamped.
+    RestoreReconciled,
 }
 
 impl DecisionCause {
@@ -88,6 +94,8 @@ impl DecisionCause {
             DecisionCause::StaticRefresh => 5,
             DecisionCause::WatchdogResync => 6,
             DecisionCause::DegradedFallback => 7,
+            DecisionCause::Restored => 8,
+            DecisionCause::RestoreReconciled => 9,
         }
     }
 
@@ -100,6 +108,8 @@ impl DecisionCause {
             5 => DecisionCause::StaticRefresh,
             6 => DecisionCause::WatchdogResync,
             7 => DecisionCause::DegradedFallback,
+            8 => DecisionCause::Restored,
+            9 => DecisionCause::RestoreReconciled,
             _ => DecisionCause::Unknown,
         }
     }
@@ -115,6 +125,8 @@ impl DecisionCause {
             DecisionCause::StaticRefresh => "static-refresh",
             DecisionCause::WatchdogResync => "watchdog-resync",
             DecisionCause::DegradedFallback => "degraded-fallback",
+            DecisionCause::Restored => "restored",
+            DecisionCause::RestoreReconciled => "restore-reconciled",
         }
     }
 }
@@ -166,6 +178,9 @@ pub enum PipelineEvent {
     StallDetected,
     /// A full reconcile pass ran.
     Resynced,
+    /// A warm restart replayed the journal and reconciled the result
+    /// against the live cgroup hierarchy.
+    Restored,
 }
 
 impl PipelineEvent {
@@ -176,6 +191,7 @@ impl PipelineEvent {
             PipelineEvent::GapDetected => 3,
             PipelineEvent::StallDetected => 4,
             PipelineEvent::Resynced => 5,
+            PipelineEvent::Restored => 6,
         }
     }
 
@@ -186,6 +202,7 @@ impl PipelineEvent {
             3 => Some(PipelineEvent::GapDetected),
             4 => Some(PipelineEvent::StallDetected),
             5 => Some(PipelineEvent::Resynced),
+            6 => Some(PipelineEvent::Restored),
             _ => None,
         }
     }
@@ -198,6 +215,7 @@ impl PipelineEvent {
             PipelineEvent::GapDetected => "gap-detected",
             PipelineEvent::StallDetected => "stall-detected",
             PipelineEvent::Resynced => "resynced",
+            PipelineEvent::Restored => "restored",
         }
     }
 }

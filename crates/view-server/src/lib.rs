@@ -50,7 +50,8 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
 pub use shard::{ContainerEntry, ShardedRegistry};
 pub use wire::{
-    parse_response, RetryPolicy, RobustWireClient, WireClient, WireClientStats, WireResponse,
-    WireServer, HOST_CALLER, KIND_READ, KIND_STATS, KIND_SYSCONF, KIND_TRACE, MAX_REQUEST,
-    MAX_RESPONSE, STATUS_NOT_FOUND, STATUS_OK, STATUS_OK_DEGRADED,
+    parse_response, RetryPolicy, RobustWireClient, WireClient, WireClientStats, WireLimits,
+    WireResponse, WireServer, DEFAULT_RETRY_AFTER_MS, HOST_CALLER, KIND_READ, KIND_STATS,
+    KIND_SYSCONF, KIND_TRACE, MAX_REQUEST, MAX_RESPONSE, STATUS_NOT_FOUND, STATUS_OK,
+    STATUS_OK_DEGRADED, STATUS_OK_SHED,
 };

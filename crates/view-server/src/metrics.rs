@@ -37,8 +37,20 @@ pub struct Metrics {
     /// Container queries answered with the conservative fallback view
     /// because the live view aged past the staleness budget.
     pub degraded_serves: AtomicU64,
+    /// Connections evicted because they stalled past the write deadline.
+    pub conns_evicted_slow: AtomicU64,
+    /// Requests refused with `OK_SHED` under overload (render-miss /
+    /// STATS / TRACE work deferred to protect cached reads).
+    pub requests_shed: AtomicU64,
+    /// Containers whose restored views were clamped against the fresh
+    /// cgroup hierarchy during the last warm restart.
+    pub restore_reconciled_containers: AtomicU64,
+    /// Journal records discarded as torn or corrupt during restore.
+    pub journal_truncated_records: AtomicU64,
     /// Age (in update-timer ticks) of every served container view.
     pub staleness_age: Histogram,
+    /// Ticks from warm restart until the first Fresh-health serve.
+    pub recovery_latency: Histogram,
     /// Nanoseconds per query, cached-hit path.
     pub hit_latency: Histogram,
     /// Nanoseconds per query, render (miss) path.
@@ -72,8 +84,16 @@ impl Metrics {
             connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
             stale_serves: self.stale_serves.load(Ordering::Relaxed),
             degraded_serves: self.degraded_serves.load(Ordering::Relaxed),
+            conns_evicted_slow: self.conns_evicted_slow.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            restore_reconciled_containers: self
+                .restore_reconciled_containers
+                .load(Ordering::Relaxed),
+            journal_truncated_records: self.journal_truncated_records.load(Ordering::Relaxed),
             staleness_age_mean: self.staleness_age.mean(),
             staleness_age_p99: self.staleness_age.quantile(0.99),
+            recovery_latency_mean: self.recovery_latency.mean(),
+            recovery_latency_p99: self.recovery_latency.quantile(0.99),
             hit_latency_ns: self.hit_latency.mean(),
             miss_latency_ns: self.miss_latency.mean(),
             hit_p99_ns: self.hit_latency.quantile(0.99),
@@ -117,10 +137,22 @@ pub struct MetricsSnapshot {
     pub stale_serves: u64,
     /// Queries served with the conservative fallback view.
     pub degraded_serves: u64,
+    /// Connections evicted for stalling past the write deadline.
+    pub conns_evicted_slow: u64,
+    /// Requests refused with `OK_SHED` under overload.
+    pub requests_shed: u64,
+    /// Containers reconciled (clamped) during the last warm restart.
+    pub restore_reconciled_containers: u64,
+    /// Journal records discarded as torn or corrupt during restore.
+    pub journal_truncated_records: u64,
     /// Mean age, in ticks, of served container views.
     pub staleness_age_mean: f64,
     /// 99th-percentile bucket edge of served view age.
     pub staleness_age_p99: u64,
+    /// Mean ticks from warm restart to the first Fresh serve.
+    pub recovery_latency_mean: f64,
+    /// 99th-percentile bucket edge of recovery latency, in ticks.
+    pub recovery_latency_p99: u64,
     /// Mean nanoseconds on the hit path.
     pub hit_latency_ns: f64,
     /// Mean nanoseconds on the miss path.
@@ -150,6 +182,11 @@ impl MetricsSnapshot {
             && self.connections_dropped == other.connections_dropped
             && self.stale_serves == other.stale_serves
             && self.degraded_serves == other.degraded_serves
+            && self.conns_evicted_slow == other.conns_evicted_slow
+            && self.requests_shed == other.requests_shed
+            && self.restore_reconciled_containers == other.restore_reconciled_containers
+            && self.journal_truncated_records == other.journal_truncated_records
+            && self.recovery_latency_p99 == other.recovery_latency_p99
             && self.staleness_age_p99 == other.staleness_age_p99
             && self.hit_p99_ns == other.hit_p99_ns
             && self.miss_p99_ns == other.miss_p99_ns
@@ -201,6 +238,25 @@ mod tests {
         assert_eq!(s.wire_rejected, 3);
         assert!(s.staleness_age_mean > 0.0);
         assert!(s.staleness_age_p99 >= 6);
+    }
+
+    #[test]
+    fn recovery_and_shed_counters_round_trip() {
+        let m = Metrics::new();
+        m.conns_evicted_slow.fetch_add(2, Ordering::Relaxed);
+        m.requests_shed.fetch_add(7, Ordering::Relaxed);
+        m.restore_reconciled_containers
+            .fetch_add(3, Ordering::Relaxed);
+        m.journal_truncated_records.fetch_add(1, Ordering::Relaxed);
+        m.recovery_latency.record(2);
+        let s = m.snapshot();
+        assert_eq!(s.conns_evicted_slow, 2);
+        assert_eq!(s.requests_shed, 7);
+        assert_eq!(s.restore_reconciled_containers, 3);
+        assert_eq!(s.journal_truncated_records, 1);
+        assert!(s.recovery_latency_p99 >= 2);
+        let fresh = Metrics::new().snapshot();
+        assert!(!s.counters_eq(&fresh), "shed counters must affect equality");
     }
 
     #[test]

@@ -80,6 +80,10 @@ struct ServerInner {
     // Update-timer tick, advanced by the driver; cells whose stamp lags
     // this clock past the policy budget are served degraded.
     clock: AtomicU64,
+    // Tick of the last warm restart, or `u64::MAX` when no recovery is
+    // in flight. The first Fresh-health serve after a restart records
+    // the recovery latency and resets this to `u64::MAX`.
+    restore_tick: AtomicU64,
     // Decision-provenance trace shared with the registry's cells (a
     // disabled tracer unless built via `with_telemetry`).
     tracer: Tracer,
@@ -152,6 +156,7 @@ impl ViewServer {
                 metrics: Metrics::new(),
                 policy,
                 clock: AtomicU64::new(0),
+                restore_tick: AtomicU64::new(u64::MAX),
                 tracer,
             }),
         }
@@ -287,6 +292,54 @@ impl ViewServer {
         );
         out.sample("arv_viewd_degraded_serves_total", m.degraded_serves as f64);
         out.header(
+            "arv_viewd_requests_shed",
+            "Requests refused with OK_SHED under overload",
+            "counter",
+        );
+        out.sample("arv_viewd_requests_shed_total", m.requests_shed as f64);
+        out.header(
+            "arv_viewd_conns_evicted_slow",
+            "Connections evicted for stalling past the write deadline",
+            "counter",
+        );
+        out.sample(
+            "arv_viewd_conns_evicted_slow_total",
+            m.conns_evicted_slow as f64,
+        );
+        out.header(
+            "arv_viewd_restore_reconciled_containers",
+            "Containers reconciled during warm restarts",
+            "counter",
+        );
+        out.sample(
+            "arv_viewd_restore_reconciled_containers_total",
+            m.restore_reconciled_containers as f64,
+        );
+        out.header(
+            "arv_viewd_journal_truncated_records",
+            "Journal records discarded as torn or corrupt during restore",
+            "counter",
+        );
+        out.sample(
+            "arv_viewd_journal_truncated_records_total",
+            m.journal_truncated_records as f64,
+        );
+        out.header(
+            "arv_viewd_recovery_latency_ticks",
+            "Ticks from warm restart to the first Fresh serve",
+            "gauge",
+        );
+        out.labeled(
+            "arv_viewd_recovery_latency_ticks",
+            &[("stat", "mean".to_string())],
+            m.recovery_latency_mean,
+        );
+        out.labeled(
+            "arv_viewd_recovery_latency_ticks",
+            &[("stat", "p99".to_string())],
+            m.recovery_latency_p99 as f64,
+        );
+        out.header(
             "arv_viewd_hit_latency_ns",
             "Cached-hit query latency, nanoseconds",
             "gauge",
@@ -377,6 +430,22 @@ impl ViewServer {
         out.finish()
     }
 
+    /// Record a warm restart: `reconciled` containers had their restored
+    /// views clamped against the fresh cgroup hierarchy, and `truncated`
+    /// journal records were discarded as torn or corrupt. Starts the
+    /// recovery-latency clock — the first Fresh-health serve after this
+    /// call records how many ticks recovery took.
+    pub fn note_restore(&self, reconciled: u64, truncated: u64) {
+        let m = &self.inner.metrics;
+        m.restore_reconciled_containers
+            .fetch_add(reconciled, Ordering::Relaxed);
+        m.journal_truncated_records
+            .fetch_add(truncated, Ordering::Relaxed);
+        self.inner
+            .restore_tick
+            .store(self.now_tick(), Ordering::Release);
+    }
+
     /// Mirror externally computed views into a container's cell (the
     /// simulation driver path; see [`arv_resview::NsCell::force_publish`]).
     pub fn mirror(&self, id: CgroupId, cpus: u32, mem: Bytes, avail: Bytes) -> bool {
@@ -424,6 +493,60 @@ impl ViewClient {
         result
     }
 
+    /// Read a virtual file only if it can be answered without rendering:
+    /// host images (immutable, always cached) and container images whose
+    /// cached render matches the cell's current generation. Returns
+    /// `None` when answering would require a render (cache miss,
+    /// mid-publish generation, degraded fallback) or the path is
+    /// unknown — the load-shedding tier-2 signal: under pressure the
+    /// wire layer serves what this returns and sheds the rest.
+    pub fn read_cached(&self, caller: Option<CgroupId>, path: &str) -> Option<ViewImage> {
+        let entry = caller.and_then(|id| self.inner.shards.get(id));
+        let Some(entry) = entry else {
+            return self.count_query(self.read_host(path));
+        };
+        if matches!(
+            path,
+            "/sys/devices/system/cpu/possible" | "/sys/devices/system/cpu/present"
+        ) {
+            return self.count_query(self.read_host(path));
+        }
+        let start = Instant::now();
+        let id = PathId::resolve(path)?;
+        let now = self.inner.clock.load(Ordering::Acquire);
+        let health = entry.cell.health(now, &self.inner.policy);
+        if health.is_degraded() {
+            return None; // fallback images are rendered per read
+        }
+        let generation = entry.cell.generation();
+        if generation & 1 != 0 {
+            return None; // publish in flight; snapshot would be a render
+        }
+        let image = entry.cache.get(id, generation)?;
+        let m = &self.inner.metrics;
+        m.queries.fetch_add(1, Ordering::Relaxed);
+        m.staleness_age.record(health.age());
+        if matches!(health, ViewHealth::Stale { .. }) {
+            m.stale_serves.fetch_add(1, Ordering::Relaxed);
+        }
+        m.hit_latency.record(start.elapsed().as_nanos() as u64);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(ViewImage {
+            image,
+            generation,
+            health,
+        })
+    }
+
+    /// Count the query that wrapped a host-image lookup (the host path
+    /// records its own hit metrics; the query counter is the caller's).
+    fn count_query(&self, result: Option<ViewImage>) -> Option<ViewImage> {
+        if result.is_some() {
+            self.inner.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
     /// Health of the view `caller` would currently be served (host and
     /// unknown-container callers read physical values, always fresh).
     pub fn health(&self, caller: Option<CgroupId>) -> ViewHealth {
@@ -443,7 +566,21 @@ impl ViewClient {
         let health = entry.cell.health(now, &self.inner.policy);
         m.staleness_age.record(health.age());
         match health {
-            ViewHealth::Fresh => {}
+            ViewHealth::Fresh => {
+                // First Fresh serve after a warm restart closes the
+                // recovery-latency clock (compare-exchange so exactly
+                // one racing query records it).
+                let restored = self.inner.restore_tick.load(Ordering::Acquire);
+                if restored != u64::MAX
+                    && self
+                        .inner
+                        .restore_tick
+                        .compare_exchange(restored, u64::MAX, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    m.recovery_latency.record(now.saturating_sub(restored));
+                }
+            }
             ViewHealth::Stale { .. } => {
                 m.stale_serves.fetch_add(1, Ordering::Relaxed);
             }
@@ -912,10 +1049,42 @@ mod tests {
         assert!(text.contains("# TYPE arv_viewd_queries counter"));
         assert!(text.contains("arv_viewd_queries_total 1"));
         assert!(text.contains("arv_container_effective_cpus{container=\"1\"} 4"));
+        assert!(text.contains("arv_viewd_requests_shed_total"));
+        assert!(text.contains("arv_viewd_conns_evicted_slow_total"));
+        assert!(text.contains("arv_viewd_restore_reconciled_containers_total"));
+        assert!(text.contains("arv_viewd_journal_truncated_records_total"));
+        assert!(text.contains("arv_viewd_recovery_latency_ticks{stat=\"p99\"}"));
         assert!(text.contains(&format!(
             "arv_container_effective_bytes{{container=\"1\"}} {}",
             Bytes::from_mib(500).as_u64()
         )));
+    }
+
+    #[test]
+    fn note_restore_counts_and_recovery_latency_closes_on_first_fresh() {
+        let (server, id) = server_with_one();
+        let client = server.client();
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        server.advance_tick(); // tick 1
+        server.note_restore(2, 3);
+        // Recovery is in flight; two ticks pass before a fresh publish.
+        server.advance_tick();
+        server.advance_tick(); // tick 3
+        server.mirror(id, 8, Bytes::from_mib(800), Bytes::from_mib(700));
+        client.read(Some(id), "/proc/cpuinfo").unwrap();
+        let m = server.metrics();
+        assert_eq!(m.restore_reconciled_containers, 2);
+        assert_eq!(m.journal_truncated_records, 3);
+        assert!(
+            m.recovery_latency_p99 >= 2,
+            "first Fresh serve must record the recovery latency"
+        );
+        // Later Fresh serves do not re-record.
+        client.read(Some(id), "/proc/cpuinfo").unwrap();
+        assert_eq!(
+            server.metrics().recovery_latency_p99,
+            m.recovery_latency_p99
+        );
     }
 
     #[test]

@@ -15,13 +15,27 @@
 //! response := u32le len | u8 status | u64le generation | body-bytes
 //!   status 0 = ok, 1 = not found (unknown path / sysconf key),
 //!   2 = ok but degraded (the body shows the conservative fallback view)
+//!   3 = shed (overload: request refused; body = decimal retry-after
+//!       hint in milliseconds — come back later)
 //!   body: file image for reads, decimal value for sysconf, rendered
-//!   text for stats/trace
+//!   text for stats/trace, retry-after hint for shed
 //! ```
 //!
 //! One connection carries any number of request/response pairs in order;
 //! concurrent clients each get their own connection (the listener spawns
 //! a thread per accept).
+//!
+//! # Overload protection
+//!
+//! The listener enforces [`WireLimits`]: a cap on concurrently served
+//! connections (excess accepts are closed immediately), a per-connection
+//! token bucket, a write deadline that evicts clients too slow to drain
+//! their responses, and two-tier load shedding. When a connection runs
+//! out of tokens, requests answerable from a cached render (and cheap
+//! sysconf scalars) are still served, while work that would render,
+//! walk the trace ring, or build a stats exposition is refused with
+//! `OK_SHED` and a retry-after hint — so the update timer and
+//! well-behaved readers are never starved by a flood.
 //!
 //! Two client flavours exist. [`WireClient`] is the thin original: one
 //! blocking connection, errors surface directly. [`RobustWireClient`]
@@ -66,6 +80,13 @@ pub const STATUS_NOT_FOUND: u8 = 1;
 /// staleness budget (or, client-side, replayed from the last known-good
 /// response while the connection is down).
 pub const STATUS_OK_DEGRADED: u8 = 2;
+/// Response status: the daemon is shedding load and refused this
+/// request. The body is a decimal retry-after hint in milliseconds.
+/// Cached-generation reads are still served under pressure; only work
+/// that would render, trace, or build a stats exposition is shed.
+pub const STATUS_OK_SHED: u8 = 3;
+/// Retry-after hint used when a shed response carries no parseable one.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 20;
 
 /// Largest accepted request frame (paths and key names are short).
 pub const MAX_REQUEST: u32 = 4096;
@@ -217,7 +238,22 @@ pub fn parse_response(resp: &[u8]) -> io::Result<Option<WireResponse>> {
             body: resp[9..].to_vec(),
             generation,
             degraded: status == STATUS_OK_DEGRADED,
+            shed: false,
+            retry_after_ms: 0,
         })),
+        STATUS_OK_SHED => {
+            let retry_after_ms = std::str::from_utf8(&resp[9..])
+                .ok()
+                .and_then(|t| t.parse::<u64>().ok())
+                .unwrap_or(DEFAULT_RETRY_AFTER_MS);
+            Ok(Some(WireResponse {
+                body: resp[9..].to_vec(),
+                generation,
+                degraded: false,
+                shed: true,
+                retry_after_ms,
+            }))
+        }
         STATUS_NOT_FOUND => Ok(None),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -226,13 +262,89 @@ pub fn parse_response(resp: &[u8]) -> io::Result<Option<WireResponse>> {
     }
 }
 
-/// Handle one connection until EOF, error, or server shutdown.
+/// Admission-control knobs for a [`WireServer`].
+///
+/// The defaults are deliberately generous — a daemon that never sees a
+/// flood behaves exactly as one with no limits at all. Tighten them to
+/// model (or survive) overload.
+#[derive(Debug, Clone, Copy)]
+pub struct WireLimits {
+    /// Concurrently served connections; accepts beyond this are closed
+    /// immediately (the app-level bound on the accept backlog) and
+    /// counted in `connections_dropped`.
+    pub max_connections: usize,
+    /// Token-bucket burst per connection: requests served at full
+    /// service before shedding starts.
+    pub rate_burst: u32,
+    /// Token refill rate per connection, tokens per second. Zero means
+    /// the burst is all a connection ever gets (deterministic in tests).
+    pub rate_refill_per_sec: f64,
+    /// How long a response write may stall before the connection is
+    /// evicted as a slow client (counted in `conns_evicted_slow`).
+    pub write_deadline: Duration,
+    /// Retry-after hint carried in `OK_SHED` responses, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_connections: 64,
+            rate_burst: 1 << 16,
+            rate_refill_per_sec: 1_000_000.0,
+            write_deadline: Duration::from_secs(2),
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+        }
+    }
+}
+
+/// Classic token bucket; `refill_per_sec == 0` never refills, which
+/// makes shed behaviour deterministic under test.
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    refill_per_sec: f64,
+    last: std::time::Instant,
+}
+
+impl TokenBucket {
+    fn new(capacity: u32, refill_per_sec: f64) -> TokenBucket {
+        TokenBucket {
+            tokens: f64::from(capacity),
+            capacity: f64::from(capacity),
+            refill_per_sec,
+            last: std::time::Instant::now(),
+        }
+    }
+
+    fn take(&mut self) -> bool {
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// An `OK_SHED` response carrying the retry-after hint.
+fn shed_response(retry_after_ms: u64) -> Vec<u8> {
+    encode_response(STATUS_OK_SHED, 0, retry_after_ms.to_string().as_bytes())
+}
+
+/// Handle one connection until EOF, error, eviction, or server shutdown.
 fn serve_connection(
     server: &ViewServer,
     mut stream: UnixStream,
     stop: &AtomicBool,
+    limits: WireLimits,
 ) -> io::Result<()> {
     let client = server.client();
+    let mut bucket = TokenBucket::new(limits.rate_burst, limits.rate_refill_per_sec);
     loop {
         let req = match server_read_frame(&mut stream, MAX_REQUEST) {
             Ok(ServerRead::Frame(req)) => req,
@@ -266,7 +378,37 @@ fn serve_connection(
             .wire_requests
             .fetch_add(1, Ordering::Relaxed);
         let started = std::time::Instant::now();
+        // Out of tokens: two-tier shedding. Tier 1 (cached-generation
+        // reads, sysconf scalars) is still served — those are the reads
+        // resource probing depends on and they cost no render. Tier 2
+        // (render misses, stats expositions, trace walks) is refused
+        // with a retry-after hint.
+        let pressured = !bucket.take();
         let response = match decode_request(&req) {
+            Some((KIND_READ, caller, key)) if pressured => match client.read_cached(caller, key) {
+                Some(view) => {
+                    let status = if view.health.is_degraded() {
+                        STATUS_OK_DEGRADED
+                    } else {
+                        STATUS_OK
+                    };
+                    encode_response(status, view.generation, view.image.as_bytes())
+                }
+                None => {
+                    server
+                        .metrics_ref()
+                        .requests_shed
+                        .fetch_add(1, Ordering::Relaxed);
+                    shed_response(limits.retry_after_ms)
+                }
+            },
+            Some((KIND_STATS | KIND_TRACE, _, _)) if pressured => {
+                server
+                    .metrics_ref()
+                    .requests_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                shed_response(limits.retry_after_ms)
+            }
             Some((KIND_READ, caller, key)) => match client.read(caller, key) {
                 Some(view) => {
                     let status = if view.health.is_degraded() {
@@ -315,7 +457,21 @@ fn serve_connection(
             .metrics_ref()
             .wire_latency
             .record(started.elapsed().as_nanos() as u64);
-        write_frame(&mut stream, &response)?;
+        if let Err(e) = write_frame(&mut stream, &response) {
+            // A write stalling past the deadline is a slow client
+            // hogging a connection slot: evict it. Other write errors
+            // (peer gone) just close the connection as before.
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                server
+                    .metrics_ref()
+                    .conns_evicted_slow
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
     }
 }
 
@@ -360,12 +516,21 @@ pub struct WireServer {
 }
 
 impl WireServer {
-    /// Bind `socket_path` (removing any stale socket file first) and
-    /// start accepting. Fails if the socket can't be bound or the accept
-    /// thread can't be spawned; per-connection thread-spawn failures
-    /// after that are absorbed (the connection is dropped and counted in
-    /// `connections_dropped`), never panicked on.
+    /// Bind `socket_path` with the default (generous) [`WireLimits`].
     pub fn spawn(server: ViewServer, socket_path: impl AsRef<Path>) -> io::Result<WireServer> {
+        WireServer::spawn_with_limits(server, socket_path, WireLimits::default())
+    }
+
+    /// Bind `socket_path` (removing any stale socket file first) and
+    /// start accepting under `limits`. Fails if the socket can't be
+    /// bound or the accept thread can't be spawned; per-connection
+    /// thread-spawn failures after that are absorbed (the connection is
+    /// dropped and counted in `connections_dropped`), never panicked on.
+    pub fn spawn_with_limits(
+        server: ViewServer,
+        socket_path: impl AsRef<Path>,
+        limits: WireLimits,
+    ) -> io::Result<WireServer> {
         let socket_path = socket_path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&socket_path);
         let listener = UnixListener::bind(&socket_path)?;
@@ -376,6 +541,7 @@ impl WireServer {
         let accept_handle = std::thread::Builder::new()
             .name("arv-viewd-accept".into())
             .spawn(move || {
+                let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
                 let mut workers: Vec<JoinHandle<()>> = Vec::new();
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
@@ -384,29 +550,47 @@ impl WireServer {
                                 .metrics_ref()
                                 .connections_accepted
                                 .fetch_add(1, Ordering::Relaxed);
-                            // Blocking reads with a short timeout: the
-                            // connection thread polls the stop flag
-                            // between frames, so shutdown can always
-                            // join it.
-                            let _ = stream.set_nonblocking(false);
-                            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-                            let conn_server = server.clone();
-                            let stop3 = Arc::clone(&stop2);
-                            let spawned = std::thread::Builder::new()
-                                .name("arv-viewd-conn".into())
-                                .spawn(move || {
-                                    let _ = serve_connection(&conn_server, stream, &stop3);
-                                });
-                            match spawned {
-                                Ok(handle) => workers.push(handle),
-                                // Out of threads: shed this connection
-                                // (closing the stream tells the peer)
-                                // and keep the daemon alive.
-                                Err(_) => {
-                                    server
-                                        .metrics_ref()
-                                        .connections_dropped
-                                        .fetch_add(1, Ordering::Relaxed);
+                            // Connection cap: the app-level bound on the
+                            // accept backlog. Closing the stream is the
+                            // refusal — the peer sees EOF.
+                            if active.load(Ordering::Acquire) >= limits.max_connections {
+                                server
+                                    .metrics_ref()
+                                    .connections_dropped
+                                    .fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                // Blocking reads with a short timeout:
+                                // the connection thread polls the stop
+                                // flag between frames, so shutdown can
+                                // always join it. The write deadline is
+                                // the slow-client eviction trigger.
+                                let _ = stream.set_nonblocking(false);
+                                let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+                                let _ = stream.set_write_timeout(Some(limits.write_deadline));
+                                let conn_server = server.clone();
+                                let stop3 = Arc::clone(&stop2);
+                                active.fetch_add(1, Ordering::AcqRel);
+                                let active2 = Arc::clone(&active);
+                                let spawned = std::thread::Builder::new()
+                                    .name("arv-viewd-conn".into())
+                                    .spawn(move || {
+                                        let _ =
+                                            serve_connection(&conn_server, stream, &stop3, limits);
+                                        active2.fetch_sub(1, Ordering::AcqRel);
+                                    });
+                                match spawned {
+                                    Ok(handle) => workers.push(handle),
+                                    // Out of threads: shed this
+                                    // connection (closing the stream
+                                    // tells the peer) and keep the
+                                    // daemon alive.
+                                    Err(_) => {
+                                        active.fetch_sub(1, Ordering::AcqRel);
+                                        server
+                                            .metrics_ref()
+                                            .connections_dropped
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                             }
                         }
@@ -471,6 +655,11 @@ pub struct WireResponse {
     /// the live one — either flagged by the server, or replayed from the
     /// client's last-good cache while the wire is down.
     pub degraded: bool,
+    /// Whether the server refused the request under overload
+    /// (`OK_SHED`). The body carries no data, only the retry-after hint.
+    pub shed: bool,
+    /// Retry-after hint in milliseconds (nonzero only when `shed`).
+    pub retry_after_ms: u64,
 }
 
 impl WireClient {
@@ -481,7 +670,11 @@ impl WireClient {
         })
     }
 
-    fn request(
+    /// Issue one raw request and parse the response. The typed helpers
+    /// ([`read`](WireClient::read), [`sysconf`](WireClient::sysconf),
+    /// [`stats`](WireClient::stats), [`trace`](WireClient::trace)) wrap
+    /// this; use it directly to observe raw statuses such as `OK_SHED`.
+    pub fn request(
         &mut self,
         kind: u8,
         caller: Option<CgroupId>,
@@ -617,6 +810,9 @@ pub struct WireClientStats {
     pub fast_fails: u64,
     /// Requests answered from the last-good cache instead of the wire.
     pub fallback_serves: u64,
+    /// `OK_SHED` responses received; each backs off per the server's
+    /// retry-after hint and never counts toward the circuit breaker.
+    pub shed_backoffs: u64,
 }
 
 /// Fault-tolerant wire client: deadlines, retry with seeded backoff,
@@ -744,13 +940,30 @@ impl RobustWireClient {
         }
         let payload = encode_request(kind, raw_caller, key);
         let mut last_err: Option<io::Error> = None;
+        let mut last_shed: Option<WireResponse> = None;
+        let mut skip_backoff = false;
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.stats.retries += 1;
-                let pause = self.policy.backoff(attempt - 1, &mut self.rng);
-                std::thread::sleep(pause);
+                if !skip_backoff {
+                    let pause = self.policy.backoff(attempt - 1, &mut self.rng);
+                    std::thread::sleep(pause);
+                }
             }
+            skip_backoff = false;
             match self.try_once(&payload) {
+                Ok(Some(r)) if r.shed => {
+                    // Overload, not failure: the server is alive and
+                    // saying when to come back. Back off per its hint
+                    // (instead of the exponential schedule) and never
+                    // count it toward the circuit breaker.
+                    self.stats.shed_backoffs += 1;
+                    self.consecutive_failures = 0;
+                    let hint = Duration::from_millis(r.retry_after_ms.max(1));
+                    std::thread::sleep(hint.min(self.policy.max_backoff));
+                    last_shed = Some(r);
+                    skip_backoff = true;
+                }
                 Ok(resp) => {
                     self.consecutive_failures = 0;
                     self.stats.successes += 1;
@@ -769,6 +982,18 @@ impl RobustWireClient {
                     self.stream = None;
                     last_err = Some(e);
                 }
+            }
+        }
+        if last_err.is_none() {
+            if let Some(shed) = last_shed {
+                // Every attempt was shed: still not a failure. Prefer
+                // the last-good cache (flagged degraded); otherwise
+                // surface the shed response so the caller sees the
+                // retry-after hint.
+                return match self.fallback(kind, raw_caller, key, "server shedding") {
+                    Ok(resp) => Ok(resp),
+                    Err(_) => Ok(Some(shed)),
+                };
             }
         }
         self.stats.failures += 1;
@@ -817,11 +1042,35 @@ mod tests {
     use arv_cgroups::Bytes;
     use arv_resview::{CpuBounds, EffectiveCpuConfig, EffectiveMemory, EffectiveMemoryConfig};
 
+    /// Unwrap with context: chaos-style tests issue the same call dozens
+    /// of times across opcodes and seeds, and a bare `unwrap()` failure
+    /// doesn't say which iteration died. Route fallible test calls
+    /// through this so the panic names the operation.
+    #[track_caller]
+    fn expect<T, E: std::fmt::Debug>(result: Result<T, E>, ctx: &str) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => panic!("{ctx}: {e:?}"),
+        }
+    }
+
+    /// Like [`expect`], for `Option`s that must be `Some`.
+    #[track_caller]
+    fn expect_some<T>(option: Option<T>, ctx: &str) -> T {
+        match option {
+            Some(v) => v,
+            None => panic!("{ctx}: unexpectedly None"),
+        }
+    }
+
     fn test_socket(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("arv-viewd-test-{}-{tag}.sock", std::process::id()))
     }
 
-    fn spawn_server(tag: &str) -> (ViewServer, WireServer, CgroupId) {
+    fn spawn_server_with_limits(
+        tag: &str,
+        limits: WireLimits,
+    ) -> (ViewServer, WireServer, CgroupId) {
         let server = ViewServer::new(HostSpec::paper_testbed(), 8);
         let id = CgroupId(7);
         server.register(
@@ -839,8 +1088,15 @@ mod tests {
                 EffectiveMemoryConfig::default(),
             ),
         );
-        let wire = WireServer::spawn(server.clone(), test_socket(tag)).unwrap();
+        let wire = expect(
+            WireServer::spawn_with_limits(server.clone(), test_socket(tag), limits),
+            &format!("spawn wire server '{tag}'"),
+        );
         (server, wire, id)
+    }
+
+    fn spawn_server(tag: &str) -> (ViewServer, WireServer, CgroupId) {
+        spawn_server_with_limits(tag, WireLimits::default())
     }
 
     #[test]
@@ -889,19 +1145,28 @@ mod tests {
         let (server, wire, id) = spawn_server("conc");
         let path = wire.socket_path().to_path_buf();
         let handles: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|worker| {
                 let path = path.clone();
                 std::thread::spawn(move || {
-                    let mut client = WireClient::connect(&path).unwrap();
-                    for _ in 0..50 {
-                        let v = client.sysconf(Some(id), "nprocessors_onln").unwrap();
+                    let mut client = expect(
+                        WireClient::connect(&path),
+                        &format!("worker {worker} connect"),
+                    );
+                    for round in 0..50 {
+                        let v = expect(
+                            client.sysconf(Some(id), "nprocessors_onln"),
+                            &format!("worker {worker} round {round} sysconf"),
+                        );
                         assert_eq!(v, Some(4));
                     }
                 })
             })
             .collect();
-        for h in handles {
-            h.join().unwrap();
+        for (worker, h) in handles.into_iter().enumerate() {
+            expect(
+                h.join().map_err(|e| format!("{e:?}")),
+                &format!("join worker {worker}"),
+            );
         }
         assert!(server.metrics().connections_accepted >= 4);
         wire.shutdown();
@@ -1103,6 +1368,174 @@ mod tests {
         wire.shutdown();
     }
 
+    #[test]
+    fn over_rate_requests_shed_but_cached_reads_survive() {
+        let limits = WireLimits {
+            rate_burst: 2,
+            rate_refill_per_sec: 0.0,
+            retry_after_ms: 7,
+            ..WireLimits::default()
+        };
+        let (server, wire, id) = spawn_server_with_limits("shedtiers", limits);
+        let mut client = expect(WireClient::connect(wire.socket_path()), "connect shedtiers");
+        // Token 1: render + cache /proc/cpuinfo. Token 2: a stats call.
+        let first = expect_some(
+            expect(client.read(Some(id), "/proc/cpuinfo"), "prime cpuinfo"),
+            "prime cpuinfo body",
+        );
+        assert!(!first.shed);
+        expect(client.stats(), "stats within burst");
+        // Bucket empty. Tier 1: the cached read is still served...
+        let cached = expect_some(
+            expect(client.read(Some(id), "/proc/cpuinfo"), "cached read"),
+            "cached read body",
+        );
+        assert!(!cached.shed && !cached.degraded);
+        assert_eq!(cached.generation, first.generation);
+        // ...and sysconf scalars too.
+        assert_eq!(
+            expect(client.sysconf(Some(id), "nprocessors_onln"), "sysconf"),
+            Some(4)
+        );
+        // Tier 2: a render miss and a stats exposition are shed with the
+        // configured retry-after hint.
+        let miss = expect_some(
+            expect(client.read(Some(id), "/proc/meminfo"), "miss read"),
+            "miss read response",
+        );
+        assert!(miss.shed);
+        assert_eq!(miss.retry_after_ms, 7);
+        let raw = expect_some(
+            expect(
+                client.request(KIND_STATS, None, ""),
+                "raw stats under pressure",
+            ),
+            "raw stats response",
+        );
+        assert!(raw.shed);
+        let m = server.metrics();
+        assert!(m.requests_shed >= 2, "sheds counted: {}", m.requests_shed);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_closes_excess_accepts() {
+        let limits = WireLimits {
+            max_connections: 1,
+            ..WireLimits::default()
+        };
+        let (server, wire, id) = spawn_server_with_limits("conncap", limits);
+        let mut first = expect(WireClient::connect(wire.socket_path()), "connect first");
+        // Serve one request so the first connection is surely active.
+        assert_eq!(
+            expect(first.sysconf(Some(id), "nprocessors_onln"), "first conn"),
+            Some(4)
+        );
+        // The second connection is accepted then immediately closed.
+        let mut second = expect(
+            UnixStream::connect(wire.socket_path()),
+            "connect second raw",
+        );
+        let _ = write_frame(&mut second, &encode_request(KIND_SYSCONF, 7, "pagesize"));
+        let mut buf = [0u8; 1];
+        let n = second.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "capped connection must see EOF, not service");
+        assert!(server.metrics().connections_dropped >= 1);
+        // The first connection keeps working.
+        assert_eq!(
+            expect(first.sysconf(Some(id), "pagesize"), "first conn again"),
+            Some(4096)
+        );
+        wire.shutdown();
+    }
+
+    #[test]
+    fn slow_client_is_evicted_at_the_write_deadline() {
+        let limits = WireLimits {
+            write_deadline: Duration::from_millis(25),
+            ..WireLimits::default()
+        };
+        let (server, wire, _id) = spawn_server_with_limits("slow", limits);
+        let stream = expect(UnixStream::connect(wire.socket_path()), "connect slow");
+        let mut writer = stream;
+        expect(
+            writer.set_write_timeout(Some(Duration::from_millis(100))),
+            "set client write timeout",
+        );
+        // Flood stats requests and never read a byte back: responses
+        // pile up until the server's write stalls past its deadline and
+        // the connection is evicted.
+        let req = encode_request(KIND_STATS, HOST_CALLER, "");
+        for _ in 0..20_000 {
+            if server.metrics().conns_evicted_slow >= 1 {
+                break;
+            }
+            if write_frame(&mut writer, &req).is_err() {
+                break; // server closed us: eviction already happened
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.metrics().conns_evicted_slow == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never evicted the stalled client"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.metrics().conns_evicted_slow >= 1);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn shed_burst_does_not_open_the_breaker() {
+        let limits = WireLimits {
+            rate_burst: 1,
+            rate_refill_per_sec: 0.0,
+            retry_after_ms: 1,
+            ..WireLimits::default()
+        };
+        let (server, wire, id) = spawn_server_with_limits("shedburst", limits);
+        let policy = RetryPolicy {
+            breaker_threshold: 1,
+            ..RetryPolicy::fast_test()
+        };
+        let mut client = RobustWireClient::new(wire.socket_path(), policy);
+        // The only token primes the render cache with a live read.
+        let first = expect_some(
+            expect(client.read(Some(id), "/proc/cpuinfo"), "prime read"),
+            "prime read body",
+        );
+        assert!(!first.shed && !first.degraded);
+        // Every further stats call is shed. The client backs off per the
+        // hint and keeps the breaker closed — a shed burst is overload,
+        // not an outage.
+        for round in 0..3 {
+            let resp = expect_some(
+                expect(
+                    client.request(KIND_STATS, None, ""),
+                    &format!("shed stats round {round}"),
+                ),
+                "shed stats response",
+            );
+            assert!(resp.shed, "round {round} must surface the shed");
+            assert_eq!(resp.retry_after_ms, 1);
+            assert!(!client.breaker_open(), "round {round} opened the breaker");
+        }
+        let s = client.stats();
+        assert_eq!(s.breaker_opens, 0);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.fast_fails, 0);
+        assert!(s.shed_backoffs >= 3);
+        // Tier-1 service still flows on the same connection.
+        let cached = expect_some(
+            expect(client.read(Some(id), "/proc/cpuinfo"), "cached read"),
+            "cached read body",
+        );
+        assert!(!cached.shed && !cached.degraded);
+        assert!(server.metrics().requests_shed >= 3);
+        wire.shutdown();
+    }
+
     mod frame_props {
         use super::*;
         use proptest::prelude::*;
@@ -1127,7 +1560,8 @@ mod tests {
             }
 
             /// Well-formed responses round-trip, including the degraded
-            /// status; unknown statuses are rejected as errors.
+            /// and shed statuses; unknown statuses are rejected as
+            /// errors.
             #[test]
             fn response_round_trip(
                 status in 0u8..8,
@@ -1137,13 +1571,54 @@ mod tests {
                 let frame = encode_response(status, generation, &body);
                 match parse_response(&frame) {
                     Ok(Some(resp)) => {
-                        prop_assert!(status == STATUS_OK || status == STATUS_OK_DEGRADED);
+                        prop_assert!(
+                            status == STATUS_OK
+                                || status == STATUS_OK_DEGRADED
+                                || status == STATUS_OK_SHED
+                        );
                         prop_assert_eq!(resp.body, body);
                         prop_assert_eq!(resp.generation, generation);
                         prop_assert_eq!(resp.degraded, status == STATUS_OK_DEGRADED);
+                        prop_assert_eq!(resp.shed, status == STATUS_OK_SHED);
+                        if !resp.shed {
+                            prop_assert_eq!(resp.retry_after_ms, 0);
+                        }
                     }
                     Ok(None) => prop_assert_eq!(status, STATUS_NOT_FOUND),
-                    Err(_) => prop_assert!(status > STATUS_OK_DEGRADED),
+                    Err(_) => prop_assert!(status > STATUS_OK_SHED),
+                }
+            }
+
+            /// A shed frame's retry-after hint round-trips when the body
+            /// is a decimal number, and falls back to the default hint
+            /// for any other body — never an error, never a panic.
+            #[test]
+            fn shed_hint_round_trips_or_defaults(
+                hint in 0u64..100_000,
+                garbage in prop::collection::vec(0u8..255, 0..16)
+            ) {
+                let frame = encode_response(
+                    STATUS_OK_SHED, 0, hint.to_string().as_bytes(),
+                );
+                match parse_response(&frame) {
+                    Ok(Some(resp)) => {
+                        prop_assert!(resp.shed);
+                        prop_assert_eq!(resp.retry_after_ms, hint);
+                    }
+                    other => prop_assert!(false, "shed frame failed to parse: {:?}", other),
+                }
+                let frame = encode_response(STATUS_OK_SHED, 0, &garbage);
+                if let Ok(Some(resp)) = parse_response(&frame) {
+                    prop_assert!(resp.shed);
+                    let parsed = std::str::from_utf8(&garbage)
+                        .ok()
+                        .and_then(|t| t.parse::<u64>().ok());
+                    prop_assert_eq!(
+                        resp.retry_after_ms,
+                        parsed.unwrap_or(DEFAULT_RETRY_AFTER_MS)
+                    );
+                } else {
+                    prop_assert!(false, "shed frame must parse");
                 }
             }
 
