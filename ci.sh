@@ -15,11 +15,17 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo clippy -p arv-view-server (no unwraps in serving paths)"
 cargo clippy -p arv-view-server -- -D warnings -D clippy::unwrap_used
 
+echo "==> cargo clippy -p arv-fleet (no unwraps in the control plane)"
+cargo clippy -p arv-fleet -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> fault-pipeline e2e (wire kill/restart under concurrent readers)"
 cargo test -q -p arv-integration-tests --test fault_pipeline_e2e
+
+echo "==> fleet e2e (multi-periphery ingest under racing rollup readers)"
+cargo test -q -p arv-integration-tests --test fleet_e2e
 
 echo "==> chaos experiment (seeded fault injection, replay-checked)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --scale 0.5 > /dev/null
@@ -29,6 +35,13 @@ cargo run -q --release -p arv-experiments --bin experiments -- --fig obs --scale
 
 echo "==> recovery experiment (journaled warm restart + admission-controlled flood)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig recovery --scale 0.5 > /dev/null
+
+echo "==> fleet experiment (core↔periphery aggregation, partitions, controller failover)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig fleet --scale 0.5 > /dev/null
+
+echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks)"
+cargo bench -q -p arv-bench --bench fleet > /dev/null
+test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -1,0 +1,159 @@
+//! Fleet control-plane benchmarks with a machine-checkable report.
+//!
+//! Unlike the Criterion benches this is a plain harness: it measures the
+//! three numbers the fleet design budgets for — delta-ingest throughput
+//! at the controller, the cluster-rollup query cost, and how many
+//! periphery ticks a sequence-gap resync costs — writes them to
+//! `BENCH_fleet.json`, and exits nonzero if any threshold is breached,
+//! so `ci.sh` can gate on it with a single run.
+//!
+//! Thresholds are deliberately loose (an order of magnitude under the
+//! release-mode numbers on a laptop): they catch algorithmic
+//! regressions — an accidental O(containers) rollup, per-entry frame
+//! re-encoding — not machine noise.
+
+use arv_fleet::{decode_frame, FleetController, FleetPolicy, Frame, Periphery};
+use arv_persist::{Snapshot, ViewState};
+use std::time::Instant;
+
+/// Hosts × containers in the ingest fleet.
+const HOSTS: u32 = 200;
+const CONTAINERS: u32 = 100;
+/// Incremental rounds after the initial full sync.
+const ROUNDS: u32 = 20;
+
+/// Floor for accepted delta entries per second (release builds ingest
+/// millions; debug builds still clear this comfortably).
+const MIN_INGEST_ENTRIES_PER_SEC: f64 = 100_000.0;
+/// Ceiling for one cluster-capacity rollup, nanoseconds. The sharded
+/// running totals make this O(shards); an O(containers) regression at
+/// 20 000 containers blows straight through it.
+const MAX_ROLLUP_QUERY_NS: f64 = 250_000.0;
+/// A gap must heal in at most this many periphery observations (the
+/// rejected delta that surfaces the gap, then the FULL snapshot).
+const MAX_RESYNC_TICKS: u64 = 2;
+
+fn snapshot(host: u32, tick: u64, bump: u32) -> Snapshot {
+    let mut snap = Snapshot::at(tick);
+    for c in 0..CONTAINERS {
+        let mem = 256 + u64::from((host + c) % 512);
+        snap.entries.push(ViewState {
+            id: c,
+            e_cpu: 1 + (c + bump) % 16,
+            e_mem: mem,
+            e_avail: mem / 2,
+            last_tick: tick,
+        });
+    }
+    snap
+}
+
+fn pump(p: &mut Periphery, ctl: &FleetController) {
+    for frame in p.take_frames() {
+        if let Some(resp) = ctl.handle_frame(&frame) {
+            if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                p.handle_ack(&ack);
+            }
+        }
+    }
+}
+
+/// Accepted-entry throughput through `FleetController::handle_frame`.
+fn bench_ingest(ctl: &FleetController) -> f64 {
+    let mut peripheries: Vec<Periphery> = (0..HOSTS).map(Periphery::new).collect();
+    let start = Instant::now();
+    for round in 0..=ROUNDS {
+        for (h, p) in peripheries.iter_mut().enumerate() {
+            p.observe(&snapshot(h as u32, u64::from(round) + 1, round), false, 0);
+            pump(p, ctl);
+        }
+        ctl.advance_tick();
+    }
+    let entries = ctl.metrics().snapshot().delta_entries;
+    entries as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Mean cost of one cluster-capacity rollup over the loaded index.
+fn bench_rollup(ctl: &FleetController) -> f64 {
+    let iters = 2_000u32;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(ctl.cluster_capacity().cpu);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(acc > 0, "rollup must not be optimised away");
+    ns
+}
+
+/// Observations from first dropped frame to totals matching again.
+fn bench_resync_ticks() -> u64 {
+    let ctl = FleetController::new(8, FleetPolicy::default());
+    let mut p = Periphery::new(1);
+    p.observe(&snapshot(1, 1, 0), false, 0);
+    pump(&mut p, &ctl);
+
+    // Lose one frame: the outbox is drained on the floor.
+    p.observe(&snapshot(1, 2, 1), false, 0);
+    let dropped = p.take_frames();
+    assert!(!dropped.is_empty(), "the drop must lose a real frame");
+
+    let mut ticks = 0u64;
+    loop {
+        ticks += 1;
+        p.observe(&snapshot(1, 2 + ticks, 1), false, 0);
+        pump(&mut p, &ctl);
+        let want: u64 = snapshot(1, 0, 1)
+            .entries
+            .iter()
+            .map(|e| u64::from(e.e_cpu))
+            .sum();
+        if ctl.cluster_capacity().cpu == want {
+            return ticks;
+        }
+        assert!(ticks < 16, "resync never converged");
+    }
+}
+
+fn main() {
+    let ctl = FleetController::new(64, FleetPolicy::default());
+    let ingest_entries_per_sec = bench_ingest(&ctl);
+    let rollup_query_ns = bench_rollup(&ctl);
+    let resync_ticks = bench_resync_ticks();
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"hosts\": {HOSTS},\n  \"containers\": {},\n  \
+         \"ingest_entries_per_sec\": {ingest_entries_per_sec:.0},\n  \
+         \"rollup_query_ns\": {rollup_query_ns:.0},\n  \
+         \"periphery_resync_ticks\": {resync_ticks},\n  \"thresholds\": {{\n    \
+         \"min_ingest_entries_per_sec\": {MIN_INGEST_ENTRIES_PER_SEC:.0},\n    \
+         \"max_rollup_query_ns\": {MAX_ROLLUP_QUERY_NS:.0},\n    \
+         \"max_resync_ticks\": {MAX_RESYNC_TICKS}\n  }}\n}}\n",
+        u64::from(HOSTS) * u64::from(CONTAINERS),
+    );
+    // Cargo runs bench binaries with the package as cwd; anchor the
+    // report at the workspace root where ci.sh checks for it.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");
+    std::fs::write(&out, &json).expect("write BENCH_fleet.json");
+    print!("{json}");
+
+    let mut failed = false;
+    if ingest_entries_per_sec < MIN_INGEST_ENTRIES_PER_SEC {
+        eprintln!(
+            "FAIL: ingest {ingest_entries_per_sec:.0} entries/s < {MIN_INGEST_ENTRIES_PER_SEC:.0}"
+        );
+        failed = true;
+    }
+    if rollup_query_ns > MAX_ROLLUP_QUERY_NS {
+        eprintln!("FAIL: rollup query {rollup_query_ns:.0} ns > {MAX_ROLLUP_QUERY_NS:.0} ns");
+        failed = true;
+    }
+    if resync_ticks > MAX_RESYNC_TICKS {
+        eprintln!("FAIL: resync took {resync_ticks} ticks > {MAX_RESYNC_TICKS}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fleet bench: all thresholds met");
+}

@@ -2,6 +2,7 @@
 
 use arv_cfs::{Allocation, CfsSim, GroupDemand, Loadavg, UsageLedger};
 use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec, EventPipe, DEFAULT_PIPE_CAPACITY};
+use arv_fleet::Periphery;
 use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
 use arv_persist::{Journal, RestoreReport};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
@@ -89,6 +90,7 @@ pub struct SimHost {
     delay_publish_ticks: u64,
     journal: Option<JournalState>,
     last_restore: Option<RestoreEvent>,
+    periphery: Option<Periphery>,
 }
 
 impl SimHost {
@@ -133,6 +135,7 @@ impl SimHost {
             delay_publish_ticks: 0,
             journal: None,
             last_restore: None,
+            periphery: None,
         }
     }
 
@@ -495,6 +498,57 @@ impl SimHost {
         self.viewd.as_ref()
     }
 
+    /// Attach a fleet periphery agent. On every update-timer firing the
+    /// agent diffs the monitor's persisted snapshot and queues DELTA
+    /// frames (FULL first), which the fleet transport drains via
+    /// [`SimHost::take_fleet_frames`] — the same mirroring pattern as
+    /// [`SimHost::attach_viewd`], pointed up at the cluster controller
+    /// instead of sideways at local query threads.
+    pub fn attach_periphery(&mut self, periphery: Periphery) {
+        self.periphery = Some(periphery);
+        self.periphery_observe(false);
+    }
+
+    /// The attached fleet periphery, if any.
+    pub fn periphery(&self) -> Option<&Periphery> {
+        self.periphery.as_ref()
+    }
+
+    /// Mutable access to the periphery (tenant assignment, stats).
+    pub fn periphery_mut(&mut self) -> Option<&mut Periphery> {
+        self.periphery.as_mut()
+    }
+
+    /// Drain the periphery's queued fleet frames (empty when detached).
+    pub fn take_fleet_frames(&mut self) -> Vec<Vec<u8>> {
+        self.periphery
+            .as_mut()
+            .map(Periphery::take_frames)
+            .unwrap_or_default()
+    }
+
+    /// Deliver a controller response frame to the periphery. Returns
+    /// whether the frame decoded to an ACK addressed at this host.
+    pub fn deliver_fleet_ack(&mut self, frame: &[u8]) -> bool {
+        let Some(periphery) = self.periphery.as_mut() else {
+            return false;
+        };
+        match arv_fleet::decode_frame(frame) {
+            Some(arv_fleet::Frame::Ack(ack)) => {
+                periphery.handle_ack(&ack);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// One periphery observation of the monitor's current snapshot.
+    fn periphery_observe(&mut self, stalled: bool) {
+        if let Some(periphery) = self.periphery.as_mut() {
+            periphery.observe(&self.monitor.snapshot(), stalled, 0);
+        }
+    }
+
     /// Register one container with the daemon, rebuilding the same
     /// initial state `ns_monitor` gave its namespace.
     fn viewd_register(&self, server: &ViewServer, id: CgroupId) {
@@ -610,7 +664,10 @@ impl SimHost {
             self.stall_ticks = self.stall_ticks.saturating_sub(1);
             self.watchdog.note_missed_deadline();
             // The usage window keeps accumulating unread; views and
-            // publishes stay frozen at their last values.
+            // publishes stay frozen at their last values — but the
+            // periphery still reports the stall upward so the fleet
+            // controller sees the host degrade in real time.
+            self.periphery_observe(true);
             return;
         }
         // A resync latched while the monitor was stalled runs on the
@@ -627,6 +684,7 @@ impl SimHost {
         } else if self.viewd.is_some() {
             self.viewd_mirror_all();
         }
+        self.periphery_observe(false);
     }
 
     /// Build a CPU-bound demand for a container from its cgroup settings.
@@ -814,6 +872,36 @@ mod tests {
             host.step(&demands);
         }
         assert_eq!(host.effective_cpu(ids[0]), 4);
+    }
+
+    #[test]
+    fn attached_periphery_streams_hello_then_deltas() {
+        let mut host = SimHost::paper_testbed();
+        let ids = five_paper_containers(&mut host);
+        host.attach_periphery(Periphery::new(7));
+        for _ in 0..10 {
+            let demands: Vec<_> = ids.iter().map(|id| host.demand(*id, 20)).collect();
+            host.step(&demands);
+        }
+        let frames = host.take_fleet_frames();
+        assert!(frames.len() >= 2, "hello plus at least one delta");
+        assert!(matches!(
+            arv_fleet::decode_frame(&frames[0]),
+            Some(arv_fleet::Frame::Hello(h)) if h.host == 7
+        ));
+        let full = frames.iter().skip(1).any(
+            |f| matches!(arv_fleet::decode_frame(f), Some(arv_fleet::Frame::Delta(d)) if d.full),
+        );
+        assert!(full, "first delta after attach is a FULL snapshot");
+        // A controller resync request schedules another FULL once state moves.
+        let resync = arv_fleet::encode_ack(&arv_fleet::Ack {
+            host: 7,
+            expected_seq: 0,
+            resync: true,
+            policy: None,
+        });
+        assert!(host.deliver_fleet_ack(&resync));
+        assert_eq!(host.periphery().unwrap().stats().resyncs, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod fig09_hibench;
 pub mod fig10_openmp;
 pub mod fig11_elastic_dacapo;
 pub mod fig12_heap_traces;
+pub mod fleet;
 pub mod json;
 pub mod obs;
 pub mod overhead;
@@ -57,13 +58,14 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "chaos" => chaos::run(scale),
         "obs" => obs::run(scale),
         "recovery" => recovery::run(scale),
+        "fleet" => fleet::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 17] = [
+pub const ALL_FIGURES: [&str; 18] = [
     "1",
     "2a",
     "2b",
@@ -81,6 +83,7 @@ pub const ALL_FIGURES: [&str; 17] = [
     "chaos",
     "obs",
     "recovery",
+    "fleet",
 ];
 
 #[cfg(test)]
@@ -102,6 +105,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 17);
+        assert_eq!(ALL_FIGURES.len(), 18);
     }
 }

@@ -1,0 +1,965 @@
+//! The fleet core: a sharded host×container index answering
+//! cluster-wide queries over every periphery's streamed view state.
+//!
+//! The controller ingests [`crate::protocol`] frames (transport-agnostic
+//! — the wire server and the in-process campaign both call
+//! [`FleetController::handle_frame`]), maintains per-shard running
+//! totals so capacity rollups are O(shards) rather than O(containers),
+//! and journals every accepted delta through `arv-persist` so a crashed
+//! controller warm-restarts prefix-consistently and is caught up by
+//! periphery resyncs.
+//!
+//! # Sequence and staleness rules
+//!
+//! Each host's DELTA frames carry a dense sequence number. The
+//! controller applies in-order frames incrementally; any gap flips the
+//! host into `needs_resync` and every ACK requests a FULL snapshot
+//! until one arrives (mirroring the single-host watchdog's gap →
+//! resync rule). A host with no accepted delta for more than the
+//! policy's staleness budget of controller ticks is flagged
+//! *partitioned*: its last-good contribution stays in every rollup,
+//! but the rollup is flagged degraded — the cluster-level analogue of
+//! the staleness fallback.
+
+use arv_persist::{restore, Journal, Snapshot, ViewState};
+use arv_telemetry::{PipelineEvent, PromText, Tracer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::protocol::{
+    decode_frame, encode_ack, encode_policy, encode_rollup, Ack, ClusterRollup, Delta, DeltaEntry,
+    FleetPolicy, Frame, PressurePoint, Query, Rollup, TenantRollup, QUERY_CLUSTER, QUERY_STATS,
+    QUERY_TENANT, QUERY_TOPK,
+};
+
+/// Mask for the host-tick bits of a journaled `last_tick` (the tenant
+/// rides the top 16 bits — see [`pack_id`]).
+const TICK_MASK: u64 = (1 << 48) - 1;
+
+/// Pack a (host, container) pair into a journalable `ViewState` id.
+/// Both must fit 16 bits — the fleet model caps at 65 536 hosts and
+/// 65 536 containers per host, far above the paper's scale.
+fn pack_id(host: u32, container: u32) -> Option<u32> {
+    if host <= 0xFFFF && container <= 0xFFFF {
+        Some((host << 16) | container)
+    } else {
+        None
+    }
+}
+
+/// Lock-free counters for the controller. The four headline counters
+/// (`deltas_ingested`, `deltas_gap_resyncs`, `hosts_partitioned`,
+/// `rollup_queries`) are the ones the Prometheus exposition leads with.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// DELTA frames accepted and applied.
+    pub deltas_ingested: AtomicU64,
+    /// Delta entries applied across all accepted frames.
+    pub delta_entries: AtomicU64,
+    /// Sequence gaps detected (each flips a host into resync).
+    pub deltas_gap_resyncs: AtomicU64,
+    /// FULL snapshots accepted.
+    pub full_syncs: AtomicU64,
+    /// Transitions of a host into the partitioned state.
+    pub hosts_partitioned: AtomicU64,
+    /// Rollup queries answered (cluster, tenant, top-k, stats).
+    pub rollup_queries: AtomicU64,
+    /// Frames that failed to decode (connection-fatal for the sender).
+    pub malformed_frames: AtomicU64,
+    /// Policy blocks pushed down in ACKs.
+    pub policy_pushes: AtomicU64,
+    /// HELLO frames answered.
+    pub hellos: AtomicU64,
+}
+
+/// A point-in-time copy of [`FleetMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetMetricsSnapshot {
+    /// DELTA frames accepted and applied.
+    pub deltas_ingested: u64,
+    /// Delta entries applied across all accepted frames.
+    pub delta_entries: u64,
+    /// Sequence gaps detected.
+    pub deltas_gap_resyncs: u64,
+    /// FULL snapshots accepted.
+    pub full_syncs: u64,
+    /// Transitions of a host into the partitioned state.
+    pub hosts_partitioned: u64,
+    /// Rollup queries answered.
+    pub rollup_queries: u64,
+    /// Frames that failed to decode.
+    pub malformed_frames: u64,
+    /// Policy blocks pushed down in ACKs.
+    pub policy_pushes: u64,
+    /// HELLO frames answered.
+    pub hellos: u64,
+}
+
+impl FleetMetrics {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> FleetMetricsSnapshot {
+        FleetMetricsSnapshot {
+            deltas_ingested: self.deltas_ingested.load(Ordering::Relaxed),
+            delta_entries: self.delta_entries.load(Ordering::Relaxed),
+            deltas_gap_resyncs: self.deltas_gap_resyncs.load(Ordering::Relaxed),
+            full_syncs: self.full_syncs.load(Ordering::Relaxed),
+            hosts_partitioned: self.hosts_partitioned.load(Ordering::Relaxed),
+            rollup_queries: self.rollup_queries.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            policy_pushes: self.policy_pushes.load(Ordering::Relaxed),
+            hellos: self.hellos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One tracked host.
+#[derive(Debug, Default)]
+struct HostEntry {
+    /// Next DELTA sequence accepted in order.
+    expected_seq: u64,
+    /// Controller tick of the last accepted delta (staleness clock).
+    last_delta_tick: u64,
+    /// Host-side update-timer tick of the last accepted delta.
+    host_tick: u64,
+    /// Host-reported health byte of the last accepted delta.
+    health: u8,
+    /// Currently flagged partitioned (contribution served last-good).
+    partitioned: bool,
+    /// A gap was detected; ACKs demand a FULL snapshot until one lands.
+    needs_resync: bool,
+    /// Live container states.
+    containers: HashMap<u32, DeltaEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    cpu: u64,
+    mem: u64,
+    avail: u64,
+    containers: u64,
+}
+
+impl Totals {
+    fn add(&mut self, e: &DeltaEntry) {
+        self.cpu += u64::from(e.e_cpu);
+        self.mem += e.e_mem;
+        self.avail += e.e_avail;
+        self.containers += 1;
+    }
+
+    fn sub(&mut self, e: &DeltaEntry) {
+        self.cpu -= u64::from(e.e_cpu);
+        self.mem -= e.e_mem;
+        self.avail -= e.e_avail;
+        self.containers -= 1;
+    }
+}
+
+/// One shard: a slice of the host index plus its running totals.
+#[derive(Debug, Default)]
+struct Shard {
+    hosts: HashMap<u32, HostEntry>,
+    totals: Totals,
+    tenants: HashMap<u32, Totals>,
+}
+
+impl Shard {
+    fn upsert(&mut self, host: &mut HostEntry, e: DeltaEntry) {
+        if let Some(old) = host.containers.insert(e.id, e) {
+            self.totals.sub(&old);
+            if let Some(t) = self.tenants.get_mut(&old.tenant) {
+                t.sub(&old);
+            }
+        }
+        self.totals.add(&e);
+        self.tenants.entry(e.tenant).or_default().add(&e);
+    }
+
+    fn remove(&mut self, host: &mut HostEntry, id: u32) -> bool {
+        match host.containers.remove(&id) {
+            Some(old) => {
+                self.totals.sub(&old);
+                if let Some(t) = self.tenants.get_mut(&old.tenant) {
+                    t.sub(&old);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Journal plumbing: the append-only log plus its checkpoint cadence.
+#[derive(Debug)]
+struct JournalState {
+    journal: Journal,
+    every: u64,
+    last_checkpoint: u64,
+}
+
+/// The central aggregator of the fleet control plane.
+#[derive(Debug)]
+pub struct FleetController {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    policy: Mutex<FleetPolicy>,
+    tick: AtomicU64,
+    metrics: FleetMetrics,
+    journal: Mutex<Option<JournalState>>,
+    tracer: Tracer,
+}
+
+impl FleetController {
+    /// A controller with `shards` index shards (rounded up to a power of
+    /// two) under `policy`.
+    pub fn new(shards: usize, policy: FleetPolicy) -> FleetController {
+        let n = shards.max(1).next_power_of_two();
+        FleetController {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: n as u64 - 1,
+            policy: Mutex::new(policy),
+            tick: AtomicU64::new(0),
+            metrics: FleetMetrics::default(),
+            journal: Mutex::new(None),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Route fleet pipeline events (partition flagged, gap resync,
+    /// failover) into a trace ring. Call before sharing the controller.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The controller's staleness clock (advanced by the driver once per
+    /// aggregation period).
+    pub fn now_tick(&self) -> u64 {
+        self.tick.load(Ordering::Acquire)
+    }
+
+    /// The policy currently pushed down to peripheries.
+    pub fn policy(&self) -> FleetPolicy {
+        *lock(&self.policy)
+    }
+
+    /// Install a new policy (staleness budget, batch and burst limits).
+    /// The epoch is bumped internally; every periphery adopts it via the
+    /// policy block attached to its next ACK.
+    pub fn set_policy(&mut self, staleness_budget: u64, max_batch: u32, rate_burst: u32) {
+        let mut p = lock(&self.policy);
+        p.epoch += 1;
+        p.staleness_budget = staleness_budget;
+        p.max_batch = max_batch;
+        p.rate_burst = rate_burst;
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// Hosts currently tracked.
+    pub fn host_count(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).hosts.len()).sum()
+    }
+
+    /// Containers currently tracked.
+    pub fn container_count(&self) -> u64 {
+        self.shards.iter().map(|s| lock(s).totals.containers).sum()
+    }
+
+    fn shard_for(&self, host: u32) -> &Mutex<Shard> {
+        let h = u64::from(host).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Advance the controller's staleness clock one aggregation period:
+    /// flag hosts silent past the staleness budget as partitioned, and
+    /// take a journal checkpoint when the cadence is due.
+    pub fn advance_tick(&self) {
+        let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
+        let budget = lock(&self.policy).staleness_budget;
+        for shard in self.shards.iter() {
+            let mut s = lock(shard);
+            for host in s.hosts.values_mut() {
+                if !host.partitioned && now.saturating_sub(host.last_delta_tick) > budget {
+                    host.partitioned = true;
+                    self.metrics
+                        .hosts_partitioned
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.tracer
+                        .emit_pipeline(now, None, PipelineEvent::FleetPartitioned);
+                }
+            }
+        }
+        let mut journal = lock(&self.journal);
+        if let Some(js) = journal.as_mut() {
+            if now.saturating_sub(js.last_checkpoint) >= js.every {
+                let snap = self.index_snapshot(now);
+                js.journal.checkpoint(&snap);
+                js.last_checkpoint = now;
+            }
+        }
+    }
+
+    /// Handle one decoded-or-not request frame; `None` means the frame
+    /// was malformed (or not a request) and the connection should drop.
+    /// Never panics, for any input bytes.
+    pub fn handle_frame(&self, payload: &[u8]) -> Option<Vec<u8>> {
+        match decode_frame(payload) {
+            Some(Frame::Hello(h)) => Some(self.handle_hello(h.host, h.epoch)),
+            Some(Frame::Delta(d)) => Some(self.handle_delta(d)),
+            Some(Frame::Query(q)) => Some(self.handle_query(q)),
+            Some(Frame::Policy(p)) => self.handle_policy_push(p),
+            Some(Frame::Ack(_)) | Some(Frame::Rollup(_)) | None => {
+                self.metrics
+                    .malformed_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn ack_for(&self, host: u32, expected_seq: u64, resync: bool, periphery_epoch: u64) -> Vec<u8> {
+        let policy = *lock(&self.policy);
+        let attach = policy.epoch > periphery_epoch;
+        if attach {
+            self.metrics.policy_pushes.fetch_add(1, Ordering::Relaxed);
+        }
+        encode_ack(&Ack {
+            host,
+            expected_seq,
+            resync,
+            policy: attach.then_some(policy),
+        })
+    }
+
+    fn handle_hello(&self, host: u32, epoch: u64) -> Vec<u8> {
+        self.metrics.hellos.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_tick();
+        let mut s = lock(self.shard_for(host));
+        let entry = s.hosts.entry(host).or_default();
+        entry.last_delta_tick = now;
+        let (expected, resync) = (entry.expected_seq, entry.needs_resync);
+        drop(s);
+        self.ack_for(host, expected, resync, epoch)
+    }
+
+    /// An admin-side policy push: adopt a strictly newer policy and echo
+    /// the one now in force.
+    fn handle_policy_push(&self, p: FleetPolicy) -> Option<Vec<u8>> {
+        let mut cur = lock(&self.policy);
+        if p.epoch > cur.epoch {
+            *cur = p;
+        }
+        let now = *cur;
+        drop(cur);
+        Some(encode_policy(&now))
+    }
+
+    fn handle_delta(&self, d: Delta) -> Vec<u8> {
+        let now = self.now_tick();
+        let host_id = d.host;
+        let epoch = d.epoch;
+        let mut s = lock(self.shard_for(host_id));
+        let shard = &mut *s;
+        // Take the host out of the map so shard totals and host state
+        // can be updated together without aliasing the shard borrow.
+        let mut host = shard.hosts.remove(&host_id).unwrap_or_default();
+
+        let accept = d.full || (d.seq == host.expected_seq && !host.needs_resync);
+        if !accept {
+            // A gap (or an unknown mid-stream host): drop the frame's
+            // contents — applying out-of-order deltas could double-count
+            // — and demand a FULL snapshot, mirroring the watchdog.
+            if !host.needs_resync {
+                host.needs_resync = true;
+                self.metrics
+                    .deltas_gap_resyncs
+                    .fetch_add(1, Ordering::Relaxed);
+                self.tracer
+                    .emit_pipeline(now, None, PipelineEvent::FleetGapResync);
+            }
+            let expected = host.expected_seq;
+            shard.hosts.insert(host_id, host);
+            drop(s);
+            return self.ack_for(host_id, expected, true, epoch);
+        }
+
+        let mut journaled_removals: Vec<u32> = Vec::new();
+        if d.full {
+            // Replace the host's state wholesale; containers absent from
+            // the snapshot are removals the journal must also see.
+            let stale: Vec<u32> = host
+                .containers
+                .keys()
+                .filter(|id| !d.entries.iter().any(|e| e.id == **id))
+                .copied()
+                .collect();
+            for id in stale {
+                shard.remove(&mut host, id);
+                journaled_removals.push(id);
+            }
+            host.needs_resync = false;
+            host.expected_seq = d.seq + 1;
+            self.metrics.full_syncs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            host.expected_seq += 1;
+        }
+        for id in &d.removed {
+            if shard.remove(&mut host, *id) {
+                journaled_removals.push(*id);
+            }
+        }
+        for e in &d.entries {
+            shard.upsert(&mut host, *e);
+        }
+        host.last_delta_tick = now;
+        host.host_tick = d.tick;
+        host.health = d.health;
+        host.partitioned = false;
+        let expected = host.expected_seq;
+        shard.hosts.insert(host_id, host);
+        drop(s);
+
+        self.metrics.deltas_ingested.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .delta_entries
+            .fetch_add(d.entries.len() as u64, Ordering::Relaxed);
+
+        let mut journal = lock(&self.journal);
+        if let Some(js) = journal.as_mut() {
+            for id in &journaled_removals {
+                if let Some(packed) = pack_id(host_id, *id) {
+                    js.journal.append_remove(packed);
+                }
+            }
+            for e in &d.entries {
+                if let Some(packed) = pack_id(host_id, e.id) {
+                    js.journal.append_delta(
+                        &ViewState {
+                            id: packed,
+                            e_cpu: e.e_cpu,
+                            e_mem: e.e_mem,
+                            e_avail: e.e_avail,
+                            last_tick: (u64::from(e.tenant) << 48) | (e.last_tick & TICK_MASK),
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+        drop(journal);
+
+        self.ack_for(host_id, expected, false, epoch)
+    }
+
+    fn handle_query(&self, q: Query) -> Vec<u8> {
+        self.metrics.rollup_queries.fetch_add(1, Ordering::Relaxed);
+        let rollup = match q.kind {
+            QUERY_CLUSTER => {
+                let r = self.cluster_capacity();
+                Rollup::Cluster {
+                    degraded: r.degraded(),
+                    rollup: r,
+                }
+            }
+            QUERY_TENANT => {
+                let (r, degraded) = self.tenant_rollup(q.arg);
+                Rollup::Tenant {
+                    rollup: r,
+                    degraded,
+                }
+            }
+            QUERY_TOPK => Rollup::TopK(self.top_pressured(q.arg as usize)),
+            QUERY_STATS => Rollup::Stats(self.prometheus_exposition()),
+            // decode_frame bounds the kind; unreachable defensively.
+            _ => Rollup::TopK(Vec::new()),
+        };
+        encode_rollup(&rollup)
+    }
+
+    /// Cluster-wide effective capacity: the sum of every container's
+    /// effective view across every host, with partitioned hosts'
+    /// last-good contribution included but flagged.
+    pub fn cluster_capacity(&self) -> ClusterRollup {
+        let mut out = ClusterRollup::default();
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            out.cpu += s.totals.cpu;
+            out.mem += s.totals.mem;
+            out.avail += s.totals.avail;
+            out.containers += s.totals.containers;
+            out.hosts += s.hosts.len() as u32;
+            out.partitioned += s.hosts.values().filter(|h| h.partitioned).count() as u32;
+        }
+        out
+    }
+
+    /// One tenant's rollup, plus whether any host is partitioned (the
+    /// tenant's numbers may then be last-good).
+    pub fn tenant_rollup(&self, tenant: u32) -> (TenantRollup, bool) {
+        let mut out = TenantRollup::default();
+        let mut degraded = false;
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            if let Some(t) = s.tenants.get(&tenant) {
+                out.cpu += t.cpu;
+                out.mem += t.mem;
+                out.avail += t.avail;
+                out.containers += t.containers;
+            }
+            degraded |= s.hosts.values().any(|h| h.partitioned);
+        }
+        (out, degraded)
+    }
+
+    /// The `k` most memory-pressured containers cluster-wide, most
+    /// pressured first (ties broken by host then container id, so the
+    /// answer is deterministic).
+    pub fn top_pressured(&self, k: usize) -> Vec<PressurePoint> {
+        let mut points: Vec<PressurePoint> = Vec::new();
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for (hid, host) in &s.hosts {
+                for e in host.containers.values() {
+                    let pressure = (e.e_avail.min(e.e_mem) * 1000)
+                        .checked_div(e.e_mem)
+                        .map_or(0, |served| (1000 - served) as u32);
+                    points.push(PressurePoint {
+                        host: *hid,
+                        id: e.id,
+                        pressure_milli: pressure,
+                    });
+                }
+            }
+        }
+        points.sort_unstable_by(|a, b| {
+            b.pressure_milli
+                .cmp(&a.pressure_milli)
+                .then(a.host.cmp(&b.host))
+                .then(a.id.cmp(&b.id))
+        });
+        points.truncate(k);
+        points
+    }
+
+    /// Per-host breakdown (host id, partitioned?, containers, cpu sum)
+    /// in host-id order — ground-truth checks in tests and experiments.
+    pub fn host_rollups(&self) -> Vec<(u32, bool, u64, u64)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for (hid, host) in &s.hosts {
+                let cpu: u64 = host.containers.values().map(|e| u64::from(e.e_cpu)).sum();
+                out.push((*hid, host.partitioned, host.containers.len() as u64, cpu));
+            }
+        }
+        out.sort_unstable_by_key(|r| r.0);
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Journaling and failover
+    // -----------------------------------------------------------------
+
+    /// Journal the aggregate state, checkpointing every `every` ticks.
+    pub fn enable_journal(&mut self, every: u64) {
+        let snap = self.index_snapshot(self.now_tick());
+        let mut journal = Journal::new();
+        journal.checkpoint(&snap);
+        *lock(&self.journal) = Some(JournalState {
+            journal,
+            every: every.max(1),
+            last_checkpoint: self.now_tick(),
+        });
+    }
+
+    /// The journal's current bytes (what a failover peer would replay).
+    pub fn journal_bytes(&self) -> Option<Vec<u8>> {
+        lock(&self.journal)
+            .as_ref()
+            .map(|js| js.journal.as_bytes().to_vec())
+    }
+
+    /// Build a persistable snapshot of the whole index: ids packed
+    /// `host << 16 | container`, tenant in the top 16 bits of
+    /// `last_tick` (host ticks never approach 2^48).
+    fn index_snapshot(&self, tick: u64) -> Snapshot {
+        let mut snap = Snapshot::at(tick);
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for (hid, host) in &s.hosts {
+                for e in host.containers.values() {
+                    if let Some(packed) = pack_id(*hid, e.id) {
+                        snap.entries.push(ViewState {
+                            id: packed,
+                            e_cpu: e.e_cpu,
+                            e_mem: e.e_mem,
+                            e_avail: e.e_avail,
+                            last_tick: (u64::from(e.tenant) << 48) | (e.last_tick & TICK_MASK),
+                        });
+                    }
+                }
+            }
+        }
+        snap.entries.sort_unstable_by_key(|e| e.id);
+        snap
+    }
+
+    /// Warm-restart a replacement controller from journal bytes
+    /// (possibly torn mid-record: `arv_persist::restore` keeps the
+    /// longest valid prefix). Every restored host starts partitioned
+    /// and `needs_resync` — rollups serve its last-good state flagged
+    /// degraded until the host's next delta triggers a FULL resync.
+    pub fn restore_from(bytes: &[u8], shards: usize, policy: FleetPolicy) -> FleetController {
+        let report = restore(bytes);
+        let mut ctl = FleetController::new(shards, policy);
+        let Some(snap) = report.snapshot else {
+            return ctl;
+        };
+        ctl.tick = AtomicU64::new(snap.tick);
+        let mut partitioned = 0u64;
+        {
+            let mut seen = std::collections::HashSet::new();
+            for e in &snap.entries {
+                let host_id = e.id >> 16;
+                let container = e.id & 0xFFFF;
+                let tenant = (e.last_tick >> 48) as u32;
+                let mut s = lock(ctl.shard_for(host_id));
+                let shard = &mut *s;
+                let mut host = shard.hosts.remove(&host_id).unwrap_or_default();
+                if seen.insert(host_id) {
+                    host.partitioned = true;
+                    host.needs_resync = true;
+                    host.last_delta_tick = snap.tick;
+                    partitioned += 1;
+                }
+                shard.upsert(
+                    &mut host,
+                    DeltaEntry {
+                        id: container,
+                        tenant,
+                        e_cpu: e.e_cpu,
+                        e_mem: e.e_mem,
+                        e_avail: e.e_avail,
+                        last_tick: e.last_tick & TICK_MASK,
+                    },
+                );
+                shard.hosts.insert(host_id, host);
+            }
+        }
+        ctl.metrics
+            .hosts_partitioned
+            .store(partitioned, Ordering::Relaxed);
+        ctl.tracer
+            .emit_pipeline(snap.tick, None, PipelineEvent::FleetFailover);
+        ctl
+    }
+
+    // -----------------------------------------------------------------
+    // Exposition
+    // -----------------------------------------------------------------
+
+    /// Prometheus text exposition of the fleet counters, in the same
+    /// format (and servable alongside) the viewd metrics.
+    pub fn prometheus_exposition(&self) -> String {
+        let m = self.metrics.snapshot();
+        let r = self.cluster_capacity();
+        let mut out = PromText::new();
+        out.header(
+            "arv_fleet_deltas_ingested",
+            "DELTA frames accepted and applied",
+            "counter",
+        );
+        out.sample("arv_fleet_deltas_ingested_total", m.deltas_ingested as f64);
+        out.header(
+            "arv_fleet_delta_entries",
+            "Delta entries applied across all frames",
+            "counter",
+        );
+        out.sample("arv_fleet_delta_entries_total", m.delta_entries as f64);
+        out.header(
+            "arv_fleet_deltas_gap_resyncs",
+            "Sequence gaps detected (host flipped into resync)",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_deltas_gap_resyncs_total",
+            m.deltas_gap_resyncs as f64,
+        );
+        out.header(
+            "arv_fleet_hosts_partitioned",
+            "Transitions of a host into the partitioned state",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_hosts_partitioned_total",
+            m.hosts_partitioned as f64,
+        );
+        out.header(
+            "arv_fleet_rollup_queries",
+            "Rollup queries answered",
+            "counter",
+        );
+        out.sample("arv_fleet_rollup_queries_total", m.rollup_queries as f64);
+        out.header("arv_fleet_full_syncs", "FULL snapshots accepted", "counter");
+        out.sample("arv_fleet_full_syncs_total", m.full_syncs as f64);
+        out.header(
+            "arv_fleet_malformed_frames",
+            "Frames that failed to decode",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_malformed_frames_total",
+            m.malformed_frames as f64,
+        );
+        out.header(
+            "arv_fleet_policy_pushes",
+            "Policy blocks pushed down in ACKs",
+            "counter",
+        );
+        out.sample("arv_fleet_policy_pushes_total", m.policy_pushes as f64);
+        out.header("arv_fleet_hosts", "Hosts tracked", "gauge");
+        out.sample("arv_fleet_hosts", f64::from(r.hosts));
+        out.header(
+            "arv_fleet_hosts_partitioned_now",
+            "Hosts currently partitioned",
+            "gauge",
+        );
+        out.sample("arv_fleet_hosts_partitioned_now", f64::from(r.partitioned));
+        out.header("arv_fleet_containers", "Containers tracked", "gauge");
+        out.sample("arv_fleet_containers", r.containers as f64);
+        out.finish()
+    }
+}
+
+/// Lock helper mirroring the rest of the project: a poisoned mutex
+/// (panicked peer) still yields the data — counters and index state
+/// remain usable for the surviving threads.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periphery::Periphery;
+    use arv_persist::Snapshot as PSnapshot;
+    use arv_persist::ViewState as PViewState;
+
+    fn snap(tick: u64, states: &[(u32, u32, u64, u64)]) -> PSnapshot {
+        let mut s = PSnapshot::at(tick);
+        for (id, cpu, mem, avail) in states {
+            s.entries.push(PViewState {
+                id: *id,
+                e_cpu: *cpu,
+                e_mem: *mem,
+                e_avail: *avail,
+                last_tick: tick,
+            });
+        }
+        s
+    }
+
+    /// Pump every queued periphery frame into the controller, feeding
+    /// ACKs back.
+    fn pump(p: &mut Periphery, ctl: &FleetController) {
+        for frame in p.take_frames() {
+            if let Some(resp) = ctl.handle_frame(&frame) {
+                if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                    p.handle_ack(&ack);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_equals_ground_truth() {
+        let ctl = FleetController::new(4, FleetPolicy::default());
+        let mut p1 = Periphery::new(1);
+        let mut p2 = Periphery::new(2);
+        p1.set_tenant(10, 7);
+        p1.observe(&snap(1, &[(10, 4, 1000, 500), (11, 2, 600, 300)]), false, 0);
+        p2.observe(&snap(1, &[(10, 8, 2000, 100)]), false, 0);
+        pump(&mut p1, &ctl);
+        pump(&mut p2, &ctl);
+
+        let r = ctl.cluster_capacity();
+        assert_eq!(r.cpu, 14);
+        assert_eq!(r.mem, 3600);
+        assert_eq!(r.avail, 900);
+        assert_eq!(r.hosts, 2);
+        assert_eq!(r.containers, 3);
+        assert!(!r.degraded());
+
+        let (t, _) = ctl.tenant_rollup(7);
+        assert_eq!((t.cpu, t.mem, t.containers), (4, 1000, 1));
+        let (t0, _) = ctl.tenant_rollup(0);
+        assert_eq!(t0.containers, 2);
+
+        // Host 2's lone container has the least available share.
+        let top = ctl.top_pressured(2);
+        assert_eq!(top[0].host, 2);
+        assert_eq!(top[0].pressure_milli, 950);
+    }
+
+    #[test]
+    fn incremental_updates_keep_totals_consistent() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50), (2, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        p.observe(&snap(2, &[(1, 6, 300, 150)]), false, 0);
+        pump(&mut p, &ctl);
+        let r = ctl.cluster_capacity();
+        assert_eq!((r.cpu, r.mem, r.avail, r.containers), (6, 300, 150, 1));
+    }
+
+    #[test]
+    fn gap_triggers_resync_and_recovery() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+
+        // Lose a frame: the next delta arrives with a gapped sequence.
+        p.observe(&snap(2, &[(1, 3, 100, 50)]), false, 0);
+        let lost = p.take_frames();
+        assert_eq!(lost.len(), 1);
+
+        p.observe(&snap(3, &[(1, 4, 100, 50)]), false, 0);
+        pump(&mut p, &ctl); // rejected, resync requested
+        assert_eq!(ctl.metrics().snapshot().deltas_gap_resyncs, 1);
+        // Stale value still served (last-good).
+        assert_eq!(ctl.cluster_capacity().cpu, 2);
+
+        p.observe(&snap(4, &[(1, 5, 100, 50)]), false, 0);
+        pump(&mut p, &ctl); // FULL snapshot realigns
+        assert_eq!(ctl.cluster_capacity().cpu, 5);
+        assert_eq!(ctl.metrics().snapshot().full_syncs, 2);
+        assert_eq!(p.stats().resyncs, 1);
+    }
+
+    #[test]
+    fn silent_host_flagged_partitioned_then_heals() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        for _ in 0..5 {
+            ctl.advance_tick();
+        }
+        let r = ctl.cluster_capacity();
+        assert_eq!(r.partitioned, 1);
+        assert!(r.degraded());
+        assert_eq!(r.cpu, 2, "last-good contribution still served");
+        assert_eq!(ctl.metrics().snapshot().hosts_partitioned, 1);
+
+        p.observe(&snap(2, &[(1, 3, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        let r = ctl.cluster_capacity();
+        assert_eq!(r.partitioned, 0);
+        assert!(!r.degraded());
+        assert_eq!(r.cpu, 3);
+    }
+
+    #[test]
+    fn policy_push_reaches_periphery() {
+        let mut ctl = FleetController::new(2, FleetPolicy::default());
+        ctl.set_policy(7, 32, 64);
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        assert_eq!(p.policy().staleness_budget, 7);
+        assert_eq!(p.policy().max_batch, 32);
+        assert_eq!(p.stats().policy_updates, 1);
+        assert!(ctl.metrics().snapshot().policy_pushes >= 1);
+    }
+
+    #[test]
+    fn journal_restore_is_prefix_consistent_and_resyncs() {
+        let mut ctl = FleetController::new(2, FleetPolicy::default());
+        ctl.enable_journal(2);
+        let mut p = Periphery::new(3);
+        p.set_tenant(1, 9);
+        p.observe(&snap(1, &[(1, 4, 400, 200), (2, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        ctl.advance_tick();
+        p.observe(&snap(2, &[(1, 6, 400, 200)]), false, 0);
+        pump(&mut p, &ctl);
+
+        let bytes = ctl.journal_bytes().expect("journal on");
+        let before = ctl.cluster_capacity();
+
+        // Failover: a replacement controller restores the journal.
+        let ctl2 = FleetController::restore_from(&bytes, 2, FleetPolicy::default());
+        let r = ctl2.cluster_capacity();
+        assert_eq!(
+            (r.cpu, r.mem, r.containers),
+            (before.cpu, before.mem, before.containers)
+        );
+        assert_eq!(r.partitioned, 1, "restored hosts start last-good");
+        let (t, degraded) = ctl2.tenant_rollup(9);
+        assert_eq!(t.cpu, 6, "tenant survives failover");
+        assert!(degraded);
+
+        // The periphery's next delta is rejected (unknown seq) and the
+        // demanded FULL snapshot heals the host to Fresh.
+        p.observe(&snap(3, &[(1, 8, 400, 200)]), false, 0);
+        pump(&mut p, &ctl2);
+        p.observe(&snap(4, &[(1, 8, 400, 200), (2, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl2);
+        let r = ctl2.cluster_capacity();
+        assert_eq!(r.partitioned, 0, "resync heals the restored host");
+        assert_eq!(r.cpu, 10);
+    }
+
+    #[test]
+    fn truncated_journal_restores_a_prefix() {
+        let mut ctl = FleetController::new(2, FleetPolicy::default());
+        ctl.enable_journal(1);
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        let bytes = ctl.journal_bytes().expect("journal on");
+        // Tear the tail mid-record; restore must still see the earlier prefix.
+        let torn = &bytes[..bytes.len() - 3];
+        let ctl2 = FleetController::restore_from(torn, 2, FleetPolicy::default());
+        assert!(ctl2.host_count() <= 1);
+    }
+
+    #[test]
+    fn exposition_names_the_headline_counters() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        ctl.handle_frame(&crate::protocol::encode_query(&Query {
+            kind: QUERY_CLUSTER,
+            arg: 0,
+        }));
+        let text = ctl.prometheus_exposition();
+        for name in [
+            "arv_fleet_deltas_ingested_total",
+            "arv_fleet_deltas_gap_resyncs_total",
+            "arv_fleet_hosts_partitioned_total",
+            "arv_fleet_rollup_queries_total",
+        ] {
+            assert!(text.contains(name), "missing {name} in exposition");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_never_panic_and_are_counted() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        assert!(ctl.handle_frame(&[]).is_none());
+        assert!(ctl.handle_frame(&[0xFF, 1, 2, 3]).is_none());
+        let ack = encode_ack(&Ack {
+            host: 1,
+            expected_seq: 0,
+            resync: false,
+            policy: None,
+        });
+        assert!(ctl.handle_frame(&ack).is_none(), "ACK is not a request");
+        assert_eq!(ctl.metrics().snapshot().malformed_frames, 3);
+    }
+}

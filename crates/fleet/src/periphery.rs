@@ -1,0 +1,356 @@
+//! The periphery: a thin per-host agent that streams view deltas up.
+//!
+//! A [`Periphery`] rides the host's update timer. Each firing it is
+//! handed the monitor's persisted snapshot (the same
+//! [`arv_persist::Snapshot`] the journal checkpoints), diffs it against
+//! what it last shipped, and queues DELTA frames — chunked to the
+//! controller's `max_batch` — on an outbox the transport drains. The
+//! first frame after attach (and after any controller-requested resync)
+//! is a FULL snapshot; everything else is incremental.
+//!
+//! The periphery owns no socket: the caller moves frames and feeds ACKs
+//! back. That keeps it deterministic under simulation and reusable over
+//! either the real wire ([`crate::wire::FleetClient`]) or an in-process
+//! link (the `--fig fleet` campaign).
+
+use arv_persist::Snapshot;
+use std::collections::HashMap;
+
+use crate::protocol::{
+    encode_delta, encode_hello, Ack, Delta, DeltaEntry, FleetPolicy, Hello, HEALTH_DEGRADED,
+    HEALTH_FRESH, HEALTH_STALE,
+};
+
+/// What the periphery has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeripheryStats {
+    /// DELTA frames queued.
+    pub frames: u64,
+    /// Delta entries shipped across all frames.
+    pub entries: u64,
+    /// FULL snapshots sent (first attach and every resync).
+    pub full_syncs: u64,
+    /// Controller-requested resyncs honoured (sequence gaps).
+    pub resyncs: u64,
+    /// Policy updates adopted from ACKs.
+    pub policy_updates: u64,
+}
+
+/// Per-host agent streaming view deltas to the [`crate::FleetController`].
+#[derive(Debug)]
+pub struct Periphery {
+    host: u32,
+    seq: u64,
+    policy: FleetPolicy,
+    said_hello: bool,
+    pending_full: bool,
+    last_health: u8,
+    last_sent: HashMap<u32, DeltaEntry>,
+    tenants: HashMap<u32, u32>,
+    outbox: Vec<Vec<u8>>,
+    stats: PeripheryStats,
+}
+
+impl Periphery {
+    /// A fresh agent for `host`. Its first observation ships a HELLO
+    /// followed by a FULL snapshot.
+    pub fn new(host: u32) -> Periphery {
+        Periphery {
+            host,
+            seq: 0,
+            policy: FleetPolicy::default(),
+            said_hello: false,
+            pending_full: true,
+            last_health: HEALTH_FRESH,
+            last_sent: HashMap::new(),
+            tenants: HashMap::new(),
+            outbox: Vec::new(),
+            stats: PeripheryStats::default(),
+        }
+    }
+
+    /// The host this agent speaks for.
+    pub fn host(&self) -> u32 {
+        self.host
+    }
+
+    /// The policy currently in force (defaults until the first ACK).
+    pub fn policy(&self) -> FleetPolicy {
+        self.policy
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PeripheryStats {
+        self.stats
+    }
+
+    /// Record a container's owning tenant (carried in every delta entry;
+    /// containers without a record roll up under tenant 0).
+    pub fn set_tenant(&mut self, container: u32, tenant: u32) {
+        self.tenants.insert(container, tenant);
+    }
+
+    /// Diff `snap` against the last shipped state and queue the
+    /// resulting DELTA frames. `stalled` marks the host's monitor as
+    /// behind; `staleness_age` is how many ticks behind.
+    pub fn observe(&mut self, snap: &Snapshot, stalled: bool, staleness_age: u64) {
+        if !self.said_hello {
+            self.outbox.push(encode_hello(&Hello {
+                host: self.host,
+                tick: snap.tick,
+                containers: snap.entries.len() as u32,
+                epoch: self.policy.epoch,
+            }));
+            self.said_hello = true;
+        }
+
+        let health = if stalled {
+            HEALTH_DEGRADED
+        } else if staleness_age > 0 {
+            HEALTH_STALE
+        } else {
+            HEALTH_FRESH
+        };
+
+        let full = self.pending_full;
+        let mut entries = Vec::new();
+        for s in &snap.entries {
+            let entry = DeltaEntry {
+                id: s.id,
+                tenant: self.tenants.get(&s.id).copied().unwrap_or(0),
+                e_cpu: s.e_cpu,
+                e_mem: s.e_mem,
+                e_avail: s.e_avail,
+                last_tick: s.last_tick,
+            };
+            if full || self.last_sent.get(&s.id) != Some(&entry) {
+                entries.push(entry);
+            }
+        }
+        let mut removed: Vec<u32> = if full {
+            Vec::new()
+        } else {
+            let mut gone: Vec<u32> = self
+                .last_sent
+                .keys()
+                .filter(|id| snap.get(**id).is_none())
+                .copied()
+                .collect();
+            gone.sort_unstable();
+            gone
+        };
+
+        // A health transition with no view changes still ships one
+        // (empty) delta, so the controller sees Fresh↔Stale↔Degraded
+        // flips as they happen.
+        if !full && entries.is_empty() && removed.is_empty() && health == self.last_health {
+            return;
+        }
+        self.last_health = health;
+
+        // Rebuild the shipped-state mirror.
+        if full {
+            self.last_sent.clear();
+        }
+        for id in &removed {
+            self.last_sent.remove(id);
+            self.tenants.remove(id);
+        }
+        for e in &entries {
+            self.last_sent.insert(e.id, *e);
+        }
+
+        // Chunk into frames of at most `max_batch` entries. The FULL
+        // flag rides only the first frame of a resync; followers are
+        // ordinary increments the controller applies in sequence.
+        let batch = self.policy.max_batch.max(1) as usize;
+        let mut first = true;
+        let mut rest = entries.as_slice();
+        loop {
+            let take = rest.len().min(batch);
+            let (chunk, tail) = rest.split_at(take);
+            let frame_removed = if first || tail.is_empty() {
+                std::mem::take(&mut removed)
+            } else {
+                Vec::new()
+            };
+            self.stats.frames += 1;
+            self.stats.entries += chunk.len() as u64;
+            self.outbox.push(encode_delta(&Delta {
+                host: self.host,
+                seq: self.seq,
+                tick: snap.tick,
+                full: full && first,
+                health,
+                staleness_age,
+                epoch: self.policy.epoch,
+                entries: chunk.to_vec(),
+                removed: frame_removed,
+            }));
+            self.seq += 1;
+            first = false;
+            rest = tail;
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if full {
+            self.stats.full_syncs += 1;
+            self.pending_full = false;
+        }
+    }
+
+    /// Drain the queued frames (HELLO first, then DELTAs in order).
+    pub fn take_frames(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Whether frames are waiting to be drained.
+    pub fn has_frames(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// Apply a controller ACK: adopt a strictly newer policy, and honour
+    /// a resync request by scheduling a FULL snapshot. (The ACK's
+    /// `expected_seq` is informational — with several frames in flight
+    /// it naturally trails the local counter, so only the controller's
+    /// explicit resync flag marks real loss.)
+    pub fn handle_ack(&mut self, ack: &Ack) {
+        if ack.host != self.host {
+            return;
+        }
+        if let Some(p) = &ack.policy {
+            if p.epoch > self.policy.epoch {
+                self.policy = *p;
+                self.stats.policy_updates += 1;
+            }
+        }
+        if ack.resync && !self.pending_full {
+            self.pending_full = true;
+            self.stats.resyncs += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_frame, Frame};
+    use arv_persist::ViewState;
+
+    fn snap(tick: u64, states: &[(u32, u32, u64)]) -> Snapshot {
+        let mut s = Snapshot::at(tick);
+        for (id, cpu, mem) in states {
+            s.entries.push(ViewState {
+                id: *id,
+                e_cpu: *cpu,
+                e_mem: *mem,
+                e_avail: mem / 2,
+                last_tick: tick,
+            });
+        }
+        s
+    }
+
+    fn deltas(frames: Vec<Vec<u8>>) -> Vec<Delta> {
+        frames
+            .into_iter()
+            .filter_map(|f| match decode_frame(&f) {
+                Some(Frame::Delta(d)) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_observation_is_hello_plus_full() {
+        let mut p = Periphery::new(4);
+        p.observe(&snap(1, &[(1, 2, 100), (2, 4, 200)]), false, 0);
+        let frames = p.take_frames();
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(
+            decode_frame(&frames[0]),
+            Some(Frame::Hello(h)) if h.host == 4 && h.containers == 2
+        ));
+        let d = deltas(vec![frames[1].clone()]).remove(0);
+        assert!(d.full);
+        assert_eq!(d.entries.len(), 2);
+        assert_eq!(d.seq, 0);
+    }
+
+    #[test]
+    fn unchanged_state_sends_nothing() {
+        let mut p = Periphery::new(1);
+        let s = snap(1, &[(1, 2, 100)]);
+        p.observe(&s, false, 0);
+        p.take_frames();
+        p.observe(&s, false, 0);
+        assert!(!p.has_frames());
+    }
+
+    #[test]
+    fn incremental_diff_and_removal() {
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100), (2, 4, 200)]), false, 0);
+        p.take_frames();
+        p.observe(&snap(2, &[(1, 3, 100)]), false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1);
+        assert!(!ds[0].full);
+        assert_eq!(ds[0].entries.len(), 1);
+        assert_eq!(ds[0].entries[0].e_cpu, 3);
+        assert_eq!(ds[0].removed, vec![2]);
+    }
+
+    #[test]
+    fn resync_request_triggers_full() {
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100)]), false, 0);
+        p.take_frames();
+        p.handle_ack(&Ack {
+            host: 1,
+            expected_seq: 0,
+            resync: true,
+            policy: None,
+        });
+        p.observe(&snap(2, &[(1, 2, 100)]), false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].full);
+        assert_eq!(p.stats().resyncs, 1);
+    }
+
+    #[test]
+    fn batches_chunk_to_policy() {
+        let mut p = Periphery::new(1);
+        p.handle_ack(&Ack {
+            host: 1,
+            expected_seq: 0,
+            resync: false,
+            policy: Some(FleetPolicy {
+                epoch: 1,
+                max_batch: 3,
+                ..FleetPolicy::default()
+            }),
+        });
+        let states: Vec<(u32, u32, u64)> = (0..10).map(|i| (i, 1, 100)).collect();
+        p.observe(&snap(1, &states), false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 4);
+        assert!(ds[0].full && !ds[1].full);
+        assert_eq!(ds.iter().map(|d| d.entries.len()).sum::<usize>(), 10);
+        let seqs: Vec<u64> = ds.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(p.stats().policy_updates, 1);
+    }
+
+    #[test]
+    fn tenants_ride_entries() {
+        let mut p = Periphery::new(1);
+        p.set_tenant(1, 77);
+        p.observe(&snap(1, &[(1, 2, 100), (2, 2, 100)]), false, 0);
+        let ds = deltas(p.take_frames());
+        let tenants: Vec<u32> = ds[0].entries.iter().map(|e| e.tenant).collect();
+        assert_eq!(tenants, vec![77, 0]);
+    }
+}

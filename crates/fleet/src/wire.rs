@@ -1,0 +1,241 @@
+//! Unix-socket transport for the fleet protocol.
+//!
+//! The controller listens on one socket; peripheries and rollup readers
+//! each hold a connection carrying request/response pairs in order
+//! (HELLO→ACK, DELTA→ACK, QUERY→ROLLUP, POLICY→POLICY echo). Framing is
+//! the shared length-prefixed codec ([`arv_viewd::codec`]) — the same
+//! implementation viewd's wire uses, per the one-codec rule.
+//!
+//! A frame the controller cannot decode is connection-fatal: the server
+//! drops the conversation (the peer sees EOF), exactly like the viewd
+//! wire's response to untrustable framing.
+
+use arv_viewd::codec::{read_frame, server_read_frame, write_frame, ServerRead};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::controller::FleetController;
+use crate::protocol::MAX_FLEET_FRAME;
+
+/// The listening fleet core: accepts connections on a Unix socket and
+/// serves each on its own thread until shut down.
+#[derive(Debug)]
+pub struct FleetWireServer {
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    socket_path: PathBuf,
+}
+
+impl FleetWireServer {
+    /// Bind `socket_path` (removing any stale socket file first) and
+    /// start serving `controller`.
+    pub fn spawn(
+        controller: Arc<FleetController>,
+        socket_path: impl AsRef<Path>,
+    ) -> io::Result<FleetWireServer> {
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)?;
+        // Nonblocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("arv-fleet-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+                            let conn_ctl = Arc::clone(&controller);
+                            let stop3 = Arc::clone(&stop2);
+                            let spawned = std::thread::Builder::new()
+                                .name("arv-fleet-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(&conn_ctl, stream, &stop3);
+                                });
+                            // On spawn failure (out of threads) the
+                            // connection is shed: dropping the stream
+                            // tells the peer, and the core stays alive.
+                            if let Ok(handle) = spawned {
+                                workers.push(handle);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                    workers.retain(|w| !w.is_finished());
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })?;
+        Ok(FleetWireServer {
+            stop,
+            accept_handle: Some(accept_handle),
+            socket_path,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// Stop accepting, join every connection thread, remove the socket.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+impl Drop for FleetWireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    controller: &FleetController,
+    mut stream: UnixStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    loop {
+        let request = match server_read_frame(&mut stream, MAX_FLEET_FRAME) {
+            Ok(ServerRead::Frame(req)) => req,
+            Ok(ServerRead::Eof) => return Ok(()),
+            Ok(ServerRead::Idle) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match controller.handle_frame(&request) {
+            Some(response) => write_frame(&mut stream, &response)?,
+            // Malformed (or non-request) frame: framing can no longer
+            // be trusted — drop the conversation.
+            None => return Ok(()),
+        }
+    }
+}
+
+/// A blocking fleet connection: one stream, request/response in order.
+/// Used by peripheries (HELLO/DELTA) and rollup readers (QUERY) alike.
+#[derive(Debug)]
+pub struct FleetClient {
+    stream: UnixStream,
+}
+
+impl FleetClient {
+    /// Connect to a [`FleetWireServer`].
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<FleetClient> {
+        let stream = UnixStream::connect(socket_path)?;
+        Ok(FleetClient { stream })
+    }
+
+    /// Send one frame and read the response. `Ok(None)` means the
+    /// server closed the conversation (it saw a malformed frame).
+    pub fn request(&mut self, frame: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        write_frame(&mut self.stream, frame)?;
+        read_frame(&mut self.stream, MAX_FLEET_FRAME)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{
+        decode_frame, encode_delta, encode_hello, encode_query, Delta, DeltaEntry, FleetPolicy,
+        Frame, Hello, Query, Rollup, HEALTH_FRESH, QUERY_CLUSTER,
+    };
+
+    fn sock_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("arv-fleet-wire-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn hello_delta_query_over_the_wire() {
+        let controller = Arc::new(FleetController::new(4, FleetPolicy::default()));
+        let path = sock_path("basic");
+        let mut server = FleetWireServer::spawn(Arc::clone(&controller), &path).unwrap();
+
+        let mut client = FleetClient::connect(&path).unwrap();
+        let hello = encode_hello(&Hello {
+            host: 1,
+            tick: 0,
+            containers: 1,
+            epoch: 0,
+        });
+        let resp = client.request(&hello).unwrap().unwrap();
+        assert!(matches!(decode_frame(&resp), Some(Frame::Ack(_))));
+
+        let delta = encode_delta(&Delta {
+            host: 1,
+            seq: 0,
+            tick: 1,
+            full: true,
+            health: HEALTH_FRESH,
+            staleness_age: 0,
+            epoch: 0,
+            entries: vec![DeltaEntry {
+                id: 1,
+                tenant: 0,
+                e_cpu: 4,
+                e_mem: 1000,
+                e_avail: 500,
+                last_tick: 1,
+            }],
+            removed: Vec::new(),
+        });
+        let resp = client.request(&delta).unwrap().unwrap();
+        let Some(Frame::Ack(ack)) = decode_frame(&resp) else {
+            panic!("expected ACK");
+        };
+        assert_eq!(ack.expected_seq, 1);
+        assert!(!ack.resync);
+
+        let query = encode_query(&Query {
+            kind: QUERY_CLUSTER,
+            arg: 0,
+        });
+        let resp = client.request(&query).unwrap().unwrap();
+        let Some(Frame::Rollup(Rollup::Cluster { rollup, degraded })) = decode_frame(&resp) else {
+            panic!("expected cluster rollup");
+        };
+        assert_eq!(rollup.cpu, 4);
+        assert_eq!(rollup.hosts, 1);
+        assert!(!degraded);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_drops_the_connection() {
+        let controller = Arc::new(FleetController::new(2, FleetPolicy::default()));
+        let path = sock_path("malformed");
+        let mut server = FleetWireServer::spawn(Arc::clone(&controller), &path).unwrap();
+
+        let mut client = FleetClient::connect(&path).unwrap();
+        let answer = client.request(&[0xEE, 1, 2, 3]).unwrap();
+        assert!(answer.is_none(), "server must close on garbage");
+        assert!(controller.metrics().snapshot().malformed_frames >= 1);
+
+        server.shutdown();
+    }
+}

@@ -40,6 +40,17 @@ pub struct FaultConfig {
     pub flood_at: Option<(u64, u64)>,
     /// Number of concurrent flooding clients during the flood window.
     pub flood_clients: u32,
+    /// Fleet partition window: `(first_tick, duration_ticks)` during
+    /// which a periphery's frames never reach the controller (the
+    /// controller serves its last-good contribution flagged degraded).
+    pub partition_at: Option<(u64, u64)>,
+    /// Fleet lag: every periphery frame is delivered this many ticks
+    /// late (a lagging host; zero = on time).
+    pub lag_ticks: u64,
+    /// Fleet controller crash window: `(crash_tick, downtime_ticks)`.
+    /// The controller is down for the window and a replacement
+    /// warm-restarts from the journal at the first tick past it.
+    pub controller_crash_at: Option<(u64, u64)>,
 }
 
 impl FaultConfig {
@@ -130,6 +141,30 @@ impl FaultPlan {
         } else {
             0
         }
+    }
+
+    /// Whether the fleet periphery is partitioned from the controller
+    /// at `tick` (its frames are dropped in transit).
+    pub fn partitioned(&self, tick: u64) -> bool {
+        in_window(self.cfg.partition_at, tick)
+    }
+
+    /// How many ticks late every fleet frame arrives (a lagging host).
+    pub fn frame_lag(&self) -> u64 {
+        self.cfg.lag_ticks
+    }
+
+    /// Whether the fleet controller is crashed (down) at `tick`.
+    pub fn controller_crashed(&self, tick: u64) -> bool {
+        in_window(self.cfg.controller_crash_at, tick)
+    }
+
+    /// The tick a replacement controller warm-restarts from the journal
+    /// (first tick past the crash window), if a crash is scheduled.
+    pub fn controller_restart_tick(&self) -> Option<u64> {
+        self.cfg
+            .controller_crash_at
+            .map(|(start, dur)| start.saturating_add(dur))
     }
 
     /// Apply drop / duplicate / reorder faults to a queue of events.
@@ -290,6 +325,31 @@ mod tests {
         assert!(!quiet.crashed(0));
         assert_eq!(quiet.restart_tick(), None);
         assert_eq!(quiet.flood_clients(0), 0);
+    }
+
+    #[test]
+    fn fleet_windows_are_half_open() {
+        let cfg = FaultConfig {
+            partition_at: Some((5, 3)),
+            lag_ticks: 2,
+            controller_crash_at: Some((20, 4)),
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(0, cfg);
+        assert!(!p.partitioned(4));
+        assert!(p.partitioned(5));
+        assert!(p.partitioned(7));
+        assert!(!p.partitioned(8));
+        assert_eq!(p.frame_lag(), 2);
+        assert!(!p.controller_crashed(19));
+        assert!(p.controller_crashed(20));
+        assert!(p.controller_crashed(23));
+        assert!(!p.controller_crashed(24));
+        assert_eq!(p.controller_restart_tick(), Some(24));
+        let quiet = FaultPlan::new(0, FaultConfig::quiet());
+        assert!(!quiet.partitioned(0));
+        assert_eq!(quiet.frame_lag(), 0);
+        assert_eq!(quiet.controller_restart_tick(), None);
     }
 
     #[test]

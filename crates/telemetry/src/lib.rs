@@ -181,6 +181,15 @@ pub enum PipelineEvent {
     /// A warm restart replayed the journal and reconciled the result
     /// against the live cgroup hierarchy.
     Restored,
+    /// The fleet controller detected a periphery sequence gap and
+    /// demanded a FULL resync.
+    FleetGapResync,
+    /// The fleet controller flagged a host partitioned: its rollup
+    /// contribution is served last-good, degraded.
+    FleetPartitioned,
+    /// A replacement fleet controller warm-restarted from the journal
+    /// (failover); every restored host starts last-good until resync.
+    FleetFailover,
 }
 
 impl PipelineEvent {
@@ -192,6 +201,9 @@ impl PipelineEvent {
             PipelineEvent::StallDetected => 4,
             PipelineEvent::Resynced => 5,
             PipelineEvent::Restored => 6,
+            PipelineEvent::FleetGapResync => 7,
+            PipelineEvent::FleetPartitioned => 8,
+            PipelineEvent::FleetFailover => 9,
         }
     }
 
@@ -203,6 +215,9 @@ impl PipelineEvent {
             4 => Some(PipelineEvent::StallDetected),
             5 => Some(PipelineEvent::Resynced),
             6 => Some(PipelineEvent::Restored),
+            7 => Some(PipelineEvent::FleetGapResync),
+            8 => Some(PipelineEvent::FleetPartitioned),
+            9 => Some(PipelineEvent::FleetFailover),
             _ => None,
         }
     }
@@ -216,6 +231,9 @@ impl PipelineEvent {
             PipelineEvent::StallDetected => "stall-detected",
             PipelineEvent::Resynced => "resynced",
             PipelineEvent::Restored => "restored",
+            PipelineEvent::FleetGapResync => "fleet-gap-resync",
+            PipelineEvent::FleetPartitioned => "fleet-partitioned",
+            PipelineEvent::FleetFailover => "fleet-failover",
         }
     }
 }

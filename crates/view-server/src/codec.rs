@@ -1,0 +1,147 @@
+//! Shared length-prefixed frame codec.
+//!
+//! Every wire conversation in the project — viewd's request/response
+//! protocol and the fleet's delta/policy stream — moves frames shaped
+//! `u32le len | payload` over a byte stream. This module is the single
+//! implementation of that framing, used by both [`crate::wire`] and the
+//! `arv-fleet` crate, so the two protocols cannot drift apart in how
+//! they bound, read, or write frames.
+//!
+//! The codec deliberately knows nothing about payload contents: opcode
+//! and body layouts belong to the protocol layers above.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+
+/// Write one frame: a `u32le` length prefix followed by the payload.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+/// Read one frame from a blocking stream.
+///
+/// `Ok(None)` is a clean EOF *between* frames (the peer ended the
+/// conversation). A length prefix above `max` is `InvalidData` — the
+/// cap bounds the allocation a corrupt or malicious prefix can force.
+pub fn read_frame(stream: &mut impl Read, max: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        // Clean EOF between frames ends the conversation.
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One poll of the server-side frame reader.
+pub enum ServerRead {
+    /// A whole request frame.
+    Frame(Vec<u8>),
+    /// Peer closed between frames.
+    Eof,
+    /// No frame started within the poll window; check the stop flag.
+    Idle,
+}
+
+/// Read a request frame on a stream with a read timeout. A timeout
+/// *before any byte of the length prefix* is an idle poll; once a frame
+/// has started, keep reading through timeouts so a slow writer can't
+/// corrupt framing.
+pub fn server_read_frame(stream: &mut UnixStream, max: u32) -> io::Result<ServerRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(ServerRead::Eof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(ServerRead::Idle);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ServerRead::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut rd = Cursor::new(buf);
+        assert_eq!(read_frame(&mut rd, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut rd, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut rd, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut Cursor::new(buf), 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod codec;
 pub mod metrics;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
 pub use cache::{CachedImage, PathId, RenderCache};
+pub use codec::{read_frame, server_read_frame, write_frame, ServerRead};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
 pub use shard::{ContainerEntry, ShardedRegistry};

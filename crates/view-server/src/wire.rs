@@ -50,7 +50,7 @@ use arv_cgroups::CgroupId;
 use arv_resview::Sysconf;
 use arv_sim_core::SimRng;
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,6 +58,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::codec::{read_frame, server_read_frame, write_frame, ServerRead};
 use crate::server::ViewServer;
 
 /// Request kind: read a virtual file.
@@ -105,99 +106,6 @@ pub fn sysconf_key(name: &str) -> Option<Sysconf> {
         "pagesize" => Some(Sysconf::PageSize),
         _ => None,
     }
-}
-
-fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload)
-}
-
-fn read_frame(stream: &mut impl Read, max: u32) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        // Clean EOF between frames ends the conversation.
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > max {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit {max}"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
-
-/// One poll of the server-side frame reader.
-enum ServerRead {
-    /// A whole request frame.
-    Frame(Vec<u8>),
-    /// Peer closed between frames.
-    Eof,
-    /// No frame started within the poll window; check the stop flag.
-    Idle,
-}
-
-/// Read a request frame on a stream with a read timeout. A timeout
-/// *before any byte of the length prefix* is an idle poll; once a frame
-/// has started, keep reading through timeouts so a slow writer can't
-/// corrupt framing.
-fn server_read_frame(stream: &mut UnixStream, max: u32) -> io::Result<ServerRead> {
-    let mut len_buf = [0u8; 4];
-    let mut got = 0usize;
-    while got < 4 {
-        match stream.read(&mut len_buf[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(ServerRead::Eof)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => got += n,
-            Err(e)
-                if got == 0
-                    && matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-            {
-                return Ok(ServerRead::Idle);
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > max {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit {max}"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut filled = 0usize;
-    while filled < payload.len() {
-        match stream.read(&mut payload[filled..]) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(ServerRead::Frame(payload))
 }
 
 fn encode_request(kind: u8, raw_caller: u32, key: &str) -> Vec<u8> {
@@ -1041,6 +949,7 @@ mod tests {
     use crate::server::HostSpec;
     use arv_cgroups::Bytes;
     use arv_resview::{CpuBounds, EffectiveCpuConfig, EffectiveMemory, EffectiveMemoryConfig};
+    use std::io::{Read, Write};
 
     /// Unwrap with context: chaos-style tests issue the same call dozens
     /// of times across opcodes and seeds, and a bare `unwrap()` failure
