@@ -18,6 +18,9 @@ cargo clippy -p arv-view-server -- -D warnings -D clippy::unwrap_used
 echo "==> cargo clippy -p arv-fleet (no unwraps in the control plane)"
 cargo clippy -p arv-fleet -- -D warnings -D clippy::unwrap_used
 
+echo "==> cargo clippy -p arv-persist (no unwraps under the journal/lease)"
+cargo clippy -p arv-persist -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -26,6 +29,9 @@ cargo test -q -p arv-integration-tests --test fault_pipeline_e2e
 
 echo "==> fleet e2e (multi-periphery ingest under racing rollup readers)"
 cargo test -q -p arv-integration-tests --test fleet_e2e
+
+echo "==> fleet failover e2e (replicated pair, primary killed mid-stream)"
+cargo test -q -p arv-integration-tests --test fleet_failover_e2e
 
 echo "==> chaos experiment (seeded fault injection, replay-checked)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --scale 0.5 > /dev/null
@@ -39,7 +45,10 @@ cargo run -q --release -p arv-experiments --bin experiments -- --fig recovery --
 echo "==> fleet experiment (core↔periphery aggregation, partitions, controller failover)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig fleet --scale 0.5 > /dev/null
 
-echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks)"
+echo "==> fleet experiment, rotated seeds (failover/split-brain must hold beyond the canonical seeds)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig fleet --scale 0.5 --seed-offset 1 > /dev/null
+
+echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks, failover convergence)"
 cargo bench -q -p arv-bench --bench fleet > /dev/null
 test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
 

@@ -1,9 +1,11 @@
 //! Fleet control-plane benchmarks with a machine-checkable report.
 //!
 //! Unlike the Criterion benches this is a plain harness: it measures the
-//! three numbers the fleet design budgets for — delta-ingest throughput
-//! at the controller, the cluster-rollup query cost, and how many
-//! periphery ticks a sequence-gap resync costs — writes them to
+//! numbers the fleet design budgets for — delta-ingest throughput at
+//! the controller, the cluster-rollup query cost, how many periphery
+//! ticks a sequence-gap resync costs, how many ticks a promoted standby
+//! needs to converge every host back to Fresh, and how many records the
+//! hot standby trails the primary by in steady state — writes them to
 //! `BENCH_fleet.json`, and exits nonzero if any threshold is breached,
 //! so `ci.sh` can gate on it with a single run.
 //!
@@ -12,7 +14,7 @@
 //! regressions — an accidental O(containers) rollup, per-entry frame
 //! re-encoding — not machine noise.
 
-use arv_fleet::{decode_frame, FleetController, FleetPolicy, Frame, Periphery};
+use arv_fleet::{decode_frame, FleetController, FleetPolicy, Frame, Periphery, SharedLease};
 use arv_persist::{Snapshot, ViewState};
 use std::time::Instant;
 
@@ -32,6 +34,19 @@ const MAX_ROLLUP_QUERY_NS: f64 = 250_000.0;
 /// A gap must heal in at most this many periphery observations (the
 /// rejected delta that surfaces the gap, then the FULL snapshot).
 const MAX_RESYNC_TICKS: u64 = 2;
+
+/// Hosts in the replicated failover fleet (smaller than the ingest
+/// fleet: the metric is convergence shape, not raw volume).
+const FAILOVER_HOSTS: u32 = 32;
+/// A promoted standby must converge every host back to Fresh — rollup
+/// equal to ground truth, nothing partitioned — within this many
+/// aggregation ticks after promotion.
+const MAX_FAILOVER_TICKS_TO_FRESH: u64 = 4;
+/// Ceiling on steady-state replication lag, in journal records queued
+/// at the primary right before each REPL pump. One round of churn here
+/// produces `FAILOVER_HOSTS × CONTAINERS` delta records; a regression
+/// that re-replicates whole snapshots every round blows through 2×.
+const MAX_REPL_LAG_RECORDS: u64 = 2 * (FAILOVER_HOSTS as u64) * (CONTAINERS as u64);
 
 fn snapshot(host: u32, tick: u64, bump: u32) -> Snapshot {
     let mut snap = Snapshot::at(tick);
@@ -115,20 +130,104 @@ fn bench_resync_ticks() -> u64 {
     }
 }
 
+/// Kill a replicated primary mid-stream and measure the failover shape:
+/// aggregation ticks from promotion until every host is Fresh again on
+/// the standby, plus the peak steady-state replication lag (records
+/// queued at the primary right before each REPL pump).
+fn bench_failover() -> (u64, u64) {
+    let lease = SharedLease::new();
+    let primary = FleetController::new(8, FleetPolicy::default());
+    primary.attach_lease(lease.clone(), 1, 3);
+    primary.enable_replication();
+    let standby = FleetController::new(8, FleetPolicy::default());
+    standby.attach_lease(lease, 2, 3);
+
+    let mut peripheries: Vec<Periphery> = (0..FAILOVER_HOSTS).map(Periphery::new).collect();
+    let mut peak_lag = 0u64;
+    for round in 1..=6u64 {
+        for (h, p) in peripheries.iter_mut().enumerate() {
+            p.observe(&snapshot(h as u32, round, round as u32), false, 0);
+            pump(p, &primary);
+        }
+        // Steady-state lag: what a standby trails by if the primary
+        // dies right now. The first round carries the checkpoint that
+        // seeds the stream, so it is not steady state.
+        if round > 1 {
+            peak_lag = peak_lag.max(primary.repl_backlog_records());
+        }
+        for frame in primary.take_repl_frames() {
+            if let Some(resp) = standby.handle_frame(&frame) {
+                if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                    primary.handle_repl_ack(&ack);
+                }
+            }
+        }
+        primary.advance_tick();
+        standby.advance_tick();
+    }
+
+    // Crash: the primary stops ticking with the lease held; the standby
+    // keeps ticking and promotes itself once the lease expires.
+    let mut waited = 0u64;
+    while !standby.is_leader() {
+        standby.advance_tick();
+        waited += 1;
+        assert!(waited < 64, "standby never promoted");
+    }
+
+    // Ticks from promotion until the promoted rollup is Fresh again:
+    // every periphery reconnects (re-HELLO + FULL) and ground truth
+    // must match with nothing partitioned.
+    let want_cpu: u64 = (0..FAILOVER_HOSTS)
+        .map(|h| {
+            snapshot(h, 0, 6)
+                .entries
+                .iter()
+                .map(|e| u64::from(e.e_cpu))
+                .sum::<u64>()
+        })
+        .sum();
+    for p in peripheries.iter_mut() {
+        p.on_reconnect();
+    }
+    let mut ticks = 0u64;
+    loop {
+        ticks += 1;
+        for (h, p) in peripheries.iter_mut().enumerate() {
+            p.observe(&snapshot(h as u32, 100 + ticks, 6), false, 0);
+            pump(p, &standby);
+        }
+        standby.advance_tick();
+        let r = standby.cluster_capacity();
+        if r.partitioned == 0
+            && r.cpu == want_cpu
+            && r.containers == u64::from(FAILOVER_HOSTS) * u64::from(CONTAINERS)
+        {
+            return (ticks, peak_lag);
+        }
+        assert!(ticks < 32, "failover never converged to Fresh");
+    }
+}
+
 fn main() {
     let ctl = FleetController::new(64, FleetPolicy::default());
     let ingest_entries_per_sec = bench_ingest(&ctl);
     let rollup_query_ns = bench_rollup(&ctl);
     let resync_ticks = bench_resync_ticks();
+    let (failover_ticks_to_fresh, repl_lag_records) = bench_failover();
 
     let json = format!(
         "{{\n  \"bench\": \"fleet\",\n  \"hosts\": {HOSTS},\n  \"containers\": {},\n  \
          \"ingest_entries_per_sec\": {ingest_entries_per_sec:.0},\n  \
          \"rollup_query_ns\": {rollup_query_ns:.0},\n  \
-         \"periphery_resync_ticks\": {resync_ticks},\n  \"thresholds\": {{\n    \
+         \"periphery_resync_ticks\": {resync_ticks},\n  \
+         \"failover_ticks_to_fresh\": {failover_ticks_to_fresh},\n  \
+         \"repl_lag_records\": {repl_lag_records},\n  \"thresholds\": {{\n    \
          \"min_ingest_entries_per_sec\": {MIN_INGEST_ENTRIES_PER_SEC:.0},\n    \
          \"max_rollup_query_ns\": {MAX_ROLLUP_QUERY_NS:.0},\n    \
-         \"max_resync_ticks\": {MAX_RESYNC_TICKS}\n  }}\n}}\n",
+         \"max_resync_ticks\": {MAX_RESYNC_TICKS},\n    \
+         \"max_failover_ticks_to_fresh\": {MAX_FAILOVER_TICKS_TO_FRESH},\n    \
+         \"max_repl_lag_records\": {MAX_REPL_LAG_RECORDS}\n  }}\n}}\n",
         u64::from(HOSTS) * u64::from(CONTAINERS),
     );
     // Cargo runs bench binaries with the package as cwd; anchor the
@@ -150,6 +249,17 @@ fn main() {
     }
     if resync_ticks > MAX_RESYNC_TICKS {
         eprintln!("FAIL: resync took {resync_ticks} ticks > {MAX_RESYNC_TICKS}");
+        failed = true;
+    }
+    if failover_ticks_to_fresh > MAX_FAILOVER_TICKS_TO_FRESH {
+        eprintln!(
+            "FAIL: failover took {failover_ticks_to_fresh} ticks to Fresh > \
+             {MAX_FAILOVER_TICKS_TO_FRESH}"
+        );
+        failed = true;
+    }
+    if repl_lag_records > MAX_REPL_LAG_RECORDS {
+        eprintln!("FAIL: replication lag {repl_lag_records} records > {MAX_REPL_LAG_RECORDS}");
         failed = true;
     }
     if failed {

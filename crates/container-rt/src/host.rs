@@ -897,7 +897,9 @@ mod tests {
         let resync = arv_fleet::encode_ack(&arv_fleet::Ack {
             host: 7,
             expected_seq: 0,
+            ctl_epoch: 0,
             resync: true,
+            not_leader: false,
             policy: None,
         });
         assert!(host.deliver_fleet_ack(&resync));

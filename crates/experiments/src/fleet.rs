@@ -24,12 +24,28 @@
 //!   every host last-good, and is healed back to Fresh rollups by
 //!   periphery resyncs).
 //!
+//! * **failover** — a *replicated* pair: the primary streams accepted
+//!   records to a hot standby over REPL while both contend on a shared
+//!   lease. Mid-storm the primary is killed (with a replication-lag
+//!   window ensuring un-shipped records die with it); the standby
+//!   promotes itself once the lease expires, peripheries walk to it,
+//!   and every host must converge back to Fresh with rollups equal to
+//!   ground truth. The promoted leader also tightens `rate_burst`, so
+//!   the enforced periphery token bucket must coalesce (never drop).
+//! * **splitbrain** — the primary's lease renewals stall while it keeps
+//!   serving; the standby takes over at expiry and the two leaders
+//!   briefly coexist. Epoch fencing must win: the standby fences the
+//!   stale primary's REPL frames (its higher-epoch ACK demotes the
+//!   impostor), a late stale ACK duplicated to a periphery is fenced
+//!   without mutating state, and the deposed primary rejoins as a
+//!   standby mirroring the new leader.
+//!
 //! Every scenario runs twice per seed and the outcomes must be
 //! bit-identical — a failing campaign replays exactly.
 
 use arv_cgroups::CgroupId;
 use arv_container::{ContainerSpec, SimHost};
-use arv_fleet::{FleetController, FleetPolicy, Periphery};
+use arv_fleet::{AckDisposition, FleetController, FleetPolicy, Periphery, SharedLease};
 use arv_persist::{Snapshot, ViewState};
 use arv_sim_core::{FaultConfig, FaultPlan, SimRng};
 
@@ -37,6 +53,13 @@ use crate::report::{FigReport, Row, Table};
 
 /// Campaign seeds (distinct from the chaos and recovery suites).
 const SEEDS: [u64; 2] = [0xF1EE7, 0xA66AE6];
+
+/// Derive this run's seeds: a nonzero `offset` rotates every base seed
+/// through a splitmix-style odd multiplier, so `--seed-offset 1` is a
+/// genuinely different campaign that still replays bit-identically.
+fn seeds(offset: u64) -> [u64; 2] {
+    SEEDS.map(|s| s ^ offset.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// The paper's update-timer period is 100 ms; a full fleet ingest round
 /// (every host's frames applied plus one aggregation tick) must fit
@@ -276,12 +299,6 @@ struct Lagged {
     frame: Vec<u8>,
 }
 
-fn paper_spec(host: u32, i: u32) -> ContainerSpec {
-    ContainerSpec::new(format!("fleet-{host}-{i}"), 20)
-        .cpus(10.0)
-        .cpu_shares(1024)
-}
-
 fn run_faults(seed: u64, rounds: u32) -> FaultsOutcome {
     let plan = FaultPlan::new(
         seed,
@@ -293,19 +310,7 @@ fn run_faults(seed: u64, rounds: u32) -> FaultsOutcome {
         },
     );
     let mut rng = SimRng::seed_from_u64(seed ^ 0xF1EE7);
-
-    let mut hosts: Vec<SimHost> = Vec::new();
-    let mut ids: Vec<Vec<CgroupId>> = Vec::new();
-    for h in 0..FAULT_HOSTS {
-        let mut host = SimHost::paper_testbed();
-        ids.push((0..3).map(|i| host.launch(&paper_spec(h, i))).collect());
-        let mut p = Periphery::new(h);
-        for (i, _) in ids[h as usize].iter().enumerate() {
-            p.set_tenant(i as u32 + 1, h % 2);
-        }
-        host.attach_periphery(p);
-        hosts.push(host);
-    }
+    let (mut hosts, ids) = fleet_hosts("fleet");
 
     let mut ctl = FleetController::new(8, FleetPolicy::default());
     ctl.enable_journal(2);
@@ -403,14 +408,8 @@ fn run_faults(seed: u64, rounds: u32) -> FaultsOutcome {
         }
     }
 
-    // Ground truth: the sum of every host's last-observed monitor
-    // snapshot — exactly what the peripheries shipped.
-    let (mut truth_cpu, mut truth_containers) = (0u64, 0u64);
-    for host in &hosts {
-        let snap = host.monitor().snapshot();
-        truth_cpu += snap.entries.iter().map(|e| u64::from(e.e_cpu)).sum::<u64>();
-        truth_containers += snap.entries.len() as u64;
-    }
+    // Ground truth: exactly what the peripheries shipped.
+    let (truth_cpu, truth_containers) = ground_truth(&hosts);
 
     let r = ctl.cluster_capacity();
     let m = ctl.metrics().snapshot();
@@ -471,6 +470,431 @@ fn assert_faults(out: &FaultsOutcome, seed: u64) {
     );
 }
 
+// --- scenario 3: replicated controllers, primary killed mid-storm ---
+
+/// Lease TTL in controller ticks: a dead primary's lease expires (and a
+/// standby may promote) at most this many ticks after its last renewal.
+const LEASE_TTL: u64 = 2;
+
+/// The `rate_burst` the promoted leader pushes: small enough that a
+/// steady periphery diff outruns the bucket, so enforced backpressure
+/// (coalescing) is actually exercised.
+const TIGHT_BURST: u32 = 2;
+
+/// Ship every queued REPL frame from `from` to `to` and feed the
+/// replication ACKs back — one pump of the primary→standby stream.
+fn pump_repl(from: &FleetController, to: &FleetController) {
+    for frame in from.take_repl_frames() {
+        if let Some(resp) = to.handle_frame(&frame) {
+            if let Some(arv_fleet::Frame::Ack(ack)) = arv_fleet::decode_frame(&resp) {
+                from.handle_repl_ack(&ack);
+            }
+        }
+    }
+}
+
+/// Sum of every host's last-observed monitor snapshot — the ground
+/// truth a healed controller's rollup must reproduce exactly.
+fn ground_truth(hosts: &[SimHost]) -> (u64, u64) {
+    let (mut cpu, mut containers) = (0u64, 0u64);
+    for host in hosts {
+        let snap = host.monitor().snapshot();
+        cpu += snap.entries.iter().map(|e| u64::from(e.e_cpu)).sum::<u64>();
+        containers += snap.entries.len() as u64;
+    }
+    (cpu, containers)
+}
+
+fn fleet_hosts(tag: &str) -> (Vec<SimHost>, Vec<Vec<CgroupId>>) {
+    let mut hosts = Vec::new();
+    let mut ids: Vec<Vec<CgroupId>> = Vec::new();
+    for h in 0..FAULT_HOSTS {
+        let mut host = SimHost::paper_testbed();
+        ids.push(
+            (0..3)
+                .map(|i| {
+                    host.launch(
+                        &ContainerSpec::new(format!("{tag}-{h}-{i}"), 20)
+                            .cpus(10.0)
+                            .cpu_shares(1024),
+                    )
+                })
+                .collect(),
+        );
+        let mut p = Periphery::new(h);
+        for (i, _) in ids[h as usize].iter().enumerate() {
+            p.set_tenant(i as u32 + 1, h % 2);
+        }
+        host.attach_periphery(p);
+        hosts.push(host);
+    }
+    (hosts, ids)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FailoverOutcome {
+    hosts: u64,
+    kill_tick: u64,
+    ticks_to_promote: u64,
+    ticks_to_fresh: u64,
+    repl_backlog_at_kill: u64,
+    repl_records_applied: u64,
+    promotions: u64,
+    not_leader_rejects: u64,
+    deltas_coalesced: u64,
+    periphery_failovers: u64,
+    final_epoch: u64,
+    final_partitioned: u64,
+    final_cpu: u64,
+    final_containers: u64,
+    truth_cpu: u64,
+    truth_containers: u64,
+}
+
+fn run_failover(seed: u64, rounds: u32) -> FailoverOutcome {
+    let kill = u64::from(rounds) / 2;
+    let plan = FaultPlan::new(
+        seed,
+        FaultConfig {
+            // The primary never comes back — this is a kill, not the
+            // journal warm-restart the faults scenario covers.
+            primary_crash_at: Some((kill, u64::MAX / 2)),
+            // Replication stalls just before the kill so records die
+            // un-shipped with the primary: the standby must converge
+            // from periphery FULLs, not from a complete stream.
+            repl_lag_at: Some((kill.saturating_sub(3), 3)),
+            ..FaultConfig::quiet()
+        },
+    );
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xFA17);
+    let (mut hosts, ids) = fleet_hosts("failover");
+
+    let lease = SharedLease::new();
+    let primary = FleetController::new(8, FleetPolicy::default());
+    primary.attach_lease(lease.clone(), 1, LEASE_TTL);
+    primary.enable_replication();
+    let mut standby = FleetController::new(8, FleetPolicy::default());
+    standby.attach_lease(lease, 2, LEASE_TTL);
+
+    let mut killed = false;
+    let mut kill_tick = 0u64;
+    let mut backlog_at_kill = 0u64;
+    let mut promote_tick: Option<u64> = None;
+    let mut fresh_tick: Option<u64> = None;
+
+    let total = rounds + HEAL_ROUNDS;
+    for round in 0..u64::from(total) {
+        let healing = round >= u64::from(rounds);
+
+        if !killed && plan.primary_crashed(round) {
+            killed = true;
+            kill_tick = round;
+            // Whatever the lag window queued dies with the primary;
+            // peripheries re-HELLO at the standby.
+            backlog_at_kill = primary.repl_backlog_records();
+            for host in hosts.iter_mut() {
+                if let Some(p) = host.periphery_mut() {
+                    p.on_reconnect();
+                }
+            }
+        }
+
+        for (h, host) in hosts.iter_mut().enumerate() {
+            let demands: Vec<_> = if healing {
+                ids[h].iter().map(|id| host.demand(*id, 20)).collect()
+            } else {
+                let mut picks = Vec::new();
+                for id in &ids[h] {
+                    if rng.unit() > 0.4 {
+                        picks.push(host.demand(*id, rng.range_u64(4, 20) as u32));
+                    }
+                }
+                picks
+            };
+            host.step(&demands);
+            let target = if killed { &standby } else { &primary };
+            for frame in host.take_fleet_frames() {
+                if let Some(resp) = target.handle_frame(&frame) {
+                    host.deliver_fleet_ack(&resp);
+                }
+            }
+        }
+
+        if !killed {
+            primary.advance_tick();
+            if !plan.repl_lagged(round) {
+                pump_repl(&primary, &standby);
+            }
+        }
+        standby.advance_tick();
+        if killed {
+            if promote_tick.is_none() && standby.is_leader() {
+                promote_tick = Some(round);
+                // The new leader tightens the burst: from here on the
+                // peripheries' enforced token bucket must coalesce.
+                standby.set_policy(3, 256, TIGHT_BURST);
+            }
+            if promote_tick.is_some() && fresh_tick.is_none() {
+                let r = standby.cluster_capacity();
+                if r.partitioned == 0 && u64::from(r.hosts) == u64::from(FAULT_HOSTS) {
+                    fresh_tick = Some(round);
+                }
+            }
+        }
+    }
+
+    let (truth_cpu, truth_containers) = ground_truth(&hosts);
+    let r = standby.cluster_capacity();
+    let m = standby.metrics().snapshot();
+    let promote = promote_tick.unwrap_or(u64::MAX);
+    FailoverOutcome {
+        hosts: u64::from(FAULT_HOSTS),
+        kill_tick,
+        ticks_to_promote: promote.saturating_sub(kill_tick),
+        ticks_to_fresh: fresh_tick.map_or(u64::MAX, |f| f.saturating_sub(promote)),
+        repl_backlog_at_kill: backlog_at_kill,
+        repl_records_applied: m.repl_records_applied,
+        promotions: m.promotions,
+        not_leader_rejects: m.not_leader_rejects,
+        deltas_coalesced: hosts
+            .iter()
+            .map(|h| {
+                h.periphery()
+                    .map(|p| p.stats().deltas_coalesced)
+                    .unwrap_or(0)
+            })
+            .sum(),
+        periphery_failovers: hosts
+            .iter()
+            .map(|h| h.periphery().map(|p| p.stats().failovers).unwrap_or(0))
+            .sum(),
+        final_epoch: standby.ctl_epoch(),
+        final_partitioned: u64::from(r.partitioned),
+        final_cpu: r.cpu,
+        final_containers: r.containers,
+        truth_cpu,
+        truth_containers,
+    }
+}
+
+fn assert_failover(out: &FailoverOutcome, seed: u64) {
+    assert_eq!(out.promotions, 1, "seed {seed:#x}: exactly one promotion");
+    assert!(
+        out.ticks_to_promote <= LEASE_TTL + 2,
+        "seed {seed:#x}: promotion took {} ticks — outside the lease budget",
+        out.ticks_to_promote
+    );
+    assert!(
+        out.ticks_to_fresh != u64::MAX && out.ticks_to_fresh <= 6,
+        "seed {seed:#x}: hosts never converged back to Fresh on the standby"
+    );
+    assert!(
+        out.repl_backlog_at_kill >= 1,
+        "seed {seed:#x}: the lag window queued nothing — the kill lost no records, untested"
+    );
+    assert!(
+        out.repl_records_applied >= 1,
+        "seed {seed:#x}: the standby applied no replicated records"
+    );
+    assert!(
+        out.not_leader_rejects >= 1,
+        "seed {seed:#x}: pre-promotion frames must be refused, not applied"
+    );
+    assert!(
+        out.deltas_coalesced >= 1,
+        "seed {seed:#x}: the tightened burst never coalesced — backpressure unenforced"
+    );
+    assert_eq!(
+        out.periphery_failovers, out.hosts,
+        "seed {seed:#x}: every periphery walks to the standby exactly once"
+    );
+    assert_eq!(
+        out.final_epoch, 2,
+        "seed {seed:#x}: the standby promotes into epoch 2"
+    );
+    assert_eq!(out.final_partitioned, 0, "seed {seed:#x}");
+    assert_eq!(
+        (out.final_cpu, out.final_containers),
+        (out.truth_cpu, out.truth_containers),
+        "seed {seed:#x}: post-promotion rollups must equal per-host ground truth"
+    );
+}
+
+// --- scenario 4: split-brain fenced by epochs ---
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SplitBrainOutcome {
+    promotions: u64,
+    primary_demotions: u64,
+    repl_fenced: u64,
+    periphery_acks_fenced: u64,
+    split_brain_rounds: u64,
+    final_partitioned: u64,
+    final_cpu: u64,
+    final_containers: u64,
+    rejoined_cpu: u64,
+    rejoined_containers: u64,
+    truth_cpu: u64,
+    truth_containers: u64,
+}
+
+fn run_splitbrain(seed: u64, rounds: u32) -> SplitBrainOutcome {
+    let stall = u64::from(rounds) / 3;
+    let plan = FaultPlan::new(
+        seed,
+        FaultConfig {
+            // The primary cannot renew for longer than the lease TTL,
+            // but keeps serving: the classic split-brain window.
+            lease_stall_at: Some((stall, LEASE_TTL + 4)),
+            ..FaultConfig::quiet()
+        },
+    );
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5B11);
+    let (mut hosts, ids) = fleet_hosts("split");
+
+    let lease = SharedLease::new();
+    let primary = FleetController::new(8, FleetPolicy::default());
+    primary.attach_lease(lease.clone(), 1, LEASE_TTL);
+    primary.enable_replication();
+    let standby = FleetController::new(8, FleetPolicy::default());
+    standby.attach_lease(lease, 2, LEASE_TTL);
+
+    let mut on_standby = vec![false; FAULT_HOSTS as usize];
+    let mut reversed = false;
+    let mut split_brain_rounds = 0u64;
+    let mut stale_ack: Option<Vec<u8>> = None;
+
+    let total = rounds + HEAL_ROUNDS;
+    for round in 0..u64::from(total) {
+        let healing = round >= u64::from(rounds);
+        primary.set_lease_stalled(plan.lease_stalled(round));
+
+        for (h, host) in hosts.iter_mut().enumerate() {
+            let demands: Vec<_> = if healing {
+                ids[h].iter().map(|id| host.demand(*id, 20)).collect()
+            } else {
+                let mut picks = Vec::new();
+                for id in &ids[h] {
+                    if rng.unit() > 0.4 {
+                        picks.push(host.demand(*id, rng.range_u64(4, 20) as u32));
+                    }
+                }
+                picks
+            };
+            host.step(&demands);
+            let frames = host.take_fleet_frames();
+            for frame in frames {
+                let target = if on_standby[h] { &standby } else { &primary };
+                let Some(resp) = target.handle_frame(&frame) else {
+                    continue;
+                };
+                let Some(arv_fleet::Frame::Ack(ack)) = arv_fleet::decode_frame(&resp) else {
+                    continue;
+                };
+                let disp = host
+                    .periphery_mut()
+                    .map(|p| p.handle_ack(&ack))
+                    .unwrap_or(AckDisposition::Ignored);
+                if disp == AckDisposition::NotLeader && !on_standby[h] {
+                    // Walk the controller list: re-HELLO at the standby.
+                    on_standby[h] = true;
+                    if let Some(p) = host.periphery_mut() {
+                        p.on_reconnect();
+                    }
+                    if h == 0 {
+                        // The network duplicated this stale-epoch ACK;
+                        // the copy straggles in below, after the new
+                        // leader's first ACK raised the seen epoch.
+                        stale_ack = Some(resp.clone());
+                    }
+                }
+                if h == 0 && on_standby[0] && disp == AckDisposition::Applied {
+                    if let Some(dup) = stale_ack.take() {
+                        // The straggler lands after an epoch-2 ACK: the
+                        // periphery must fence it, mutating nothing.
+                        host.deliver_fleet_ack(&dup);
+                    }
+                }
+            }
+        }
+
+        if primary.is_leader() && standby.is_leader() {
+            split_brain_rounds += 1;
+        }
+        if primary.is_leader() {
+            // The stalled primary keeps streaming at its stale epoch;
+            // the promoted standby fences the frames and its ACK
+            // carries the higher epoch that demotes the impostor.
+            pump_repl(&primary, &standby);
+        } else {
+            if !reversed {
+                reversed = true;
+                standby.enable_replication();
+            }
+            // The deposed primary rejoins as a standby: the new leader
+            // leads with a checkpoint, then streams increments.
+            pump_repl(&standby, &primary);
+        }
+        primary.advance_tick();
+        standby.advance_tick();
+    }
+
+    let (truth_cpu, truth_containers) = ground_truth(&hosts);
+    let r = standby.cluster_capacity();
+    let rejoined = primary.cluster_capacity();
+    SplitBrainOutcome {
+        promotions: standby.metrics().snapshot().promotions,
+        primary_demotions: primary.metrics().snapshot().demotions,
+        repl_fenced: standby.metrics().snapshot().repl_fenced,
+        periphery_acks_fenced: hosts[0]
+            .periphery()
+            .map(|p| p.stats().acks_fenced)
+            .unwrap_or(0),
+        split_brain_rounds,
+        final_partitioned: u64::from(r.partitioned),
+        final_cpu: r.cpu,
+        final_containers: r.containers,
+        rejoined_cpu: rejoined.cpu,
+        rejoined_containers: rejoined.containers,
+        truth_cpu,
+        truth_containers,
+    }
+}
+
+fn assert_splitbrain(out: &SplitBrainOutcome, seed: u64) {
+    assert_eq!(out.promotions, 1, "seed {seed:#x}: one takeover");
+    assert!(
+        out.split_brain_rounds >= 1,
+        "seed {seed:#x}: the stall never produced two leaders — untested"
+    );
+    assert!(
+        out.repl_fenced >= 1,
+        "seed {seed:#x}: the stale primary's REPL frames must be fenced"
+    );
+    assert!(
+        out.primary_demotions >= 1,
+        "seed {seed:#x}: the higher-epoch ACK must demote the impostor"
+    );
+    assert!(
+        out.periphery_acks_fenced >= 1,
+        "seed {seed:#x}: the late stale ACK must be fenced by the periphery"
+    );
+    assert_eq!(
+        out.final_partitioned, 0,
+        "seed {seed:#x}: the heal epilogue must clear every partition flag"
+    );
+    assert_eq!(
+        (out.final_cpu, out.final_containers),
+        (out.truth_cpu, out.truth_containers),
+        "seed {seed:#x}: fencing won — the new leader's rollups equal ground truth"
+    );
+    assert_eq!(
+        (out.rejoined_cpu, out.rejoined_containers),
+        (out.truth_cpu, out.truth_containers),
+        "seed {seed:#x}: the deposed primary mirrors the new leader after rejoining"
+    );
+}
+
 // --- harness ---
 
 fn seed_label(seed: u64) -> String {
@@ -478,17 +902,27 @@ fn seed_label(seed: u64) -> String {
 }
 
 /// Run the fleet campaign and produce its report. Panics (on purpose)
-/// if any aggregation, fault-recovery, or same-seed-replay invariant
-/// fails.
+/// if any aggregation, fault-recovery, failover, fencing, or
+/// same-seed-replay invariant fails.
 pub fn run(scale: f64) -> FigReport {
+    run_seeded(scale, 0)
+}
+
+/// [`run`] with this run's seeds rotated by `seed_offset` (the CLI's
+/// `--seed-offset`): offset 0 is the canonical campaign, any other
+/// value a fresh one with identical invariants.
+pub fn run_seeded(scale: f64, seed_offset: u64) -> FigReport {
     let hosts = ((1000.0 * scale) as u32).clamp(32, 2000);
     let containers = ((100.0 * scale) as u32).clamp(8, 200);
     let fault_rounds = ((30.0 * scale) as u32).clamp(20, 40);
+    let run_seeds = seeds(seed_offset);
 
     let mut scales = Vec::new();
     let mut round_ms = Vec::new();
     let mut faults = Vec::new();
-    for &seed in &SEEDS {
+    let mut failovers = Vec::new();
+    let mut splits = Vec::new();
+    for &seed in &run_seeds {
         // Same seed, run twice: a fleet campaign is only useful if a
         // failure replays exactly.
         let (s, ms) = run_scale(seed, hosts, containers);
@@ -502,9 +936,27 @@ pub fn run(scale: f64) -> FigReport {
         assert_eq!(f, run_faults(seed, fault_rounds), "faults replay diverged");
         assert_faults(&f, seed);
         faults.push(f);
+
+        let fo = run_failover(seed, fault_rounds);
+        assert_eq!(
+            fo,
+            run_failover(seed, fault_rounds),
+            "failover replay diverged"
+        );
+        assert_failover(&fo, seed);
+        failovers.push(fo);
+
+        let sb = run_splitbrain(seed, fault_rounds);
+        assert_eq!(
+            sb,
+            run_splitbrain(seed, fault_rounds),
+            "splitbrain replay diverged"
+        );
+        assert_splitbrain(&sb, seed);
+        splits.push(sb);
     }
 
-    let cols: Vec<String> = SEEDS.iter().map(|s| seed_label(*s)).collect();
+    let cols: Vec<String> = run_seeds.iter().map(|s| seed_label(*s)).collect();
     let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
 
     let mut t_scale = Table::new("scale", &cols);
@@ -563,8 +1015,58 @@ pub fn run(scale: f64) -> FigReport {
     t_faults.push(Row::full("final_cpu", &pick(&|o| o.final_cpu as f64)));
     t_faults.push(Row::full("truth_cpu", &pick(&|o| o.truth_cpu as f64)));
 
+    let mut t_failover = Table::new("failover", &cols);
+    let pick = |f: &dyn Fn(&FailoverOutcome) -> f64| [f(&failovers[0]), f(&failovers[1])];
+    t_failover.push(Row::full("kill_tick", &pick(&|o| o.kill_tick as f64)));
+    t_failover.push(Row::full(
+        "ticks_to_promote",
+        &pick(&|o| o.ticks_to_promote as f64),
+    ));
+    t_failover.push(Row::full(
+        "ticks_to_fresh",
+        &pick(&|o| o.ticks_to_fresh as f64),
+    ));
+    t_failover.push(Row::full(
+        "repl_backlog_at_kill",
+        &pick(&|o| o.repl_backlog_at_kill as f64),
+    ));
+    t_failover.push(Row::full(
+        "repl_records_applied",
+        &pick(&|o| o.repl_records_applied as f64),
+    ));
+    t_failover.push(Row::full(
+        "not_leader_rejects",
+        &pick(&|o| o.not_leader_rejects as f64),
+    ));
+    t_failover.push(Row::full(
+        "deltas_coalesced",
+        &pick(&|o| o.deltas_coalesced as f64),
+    ));
+    t_failover.push(Row::full("final_epoch", &pick(&|o| o.final_epoch as f64)));
+    t_failover.push(Row::full("final_cpu", &pick(&|o| o.final_cpu as f64)));
+    t_failover.push(Row::full("truth_cpu", &pick(&|o| o.truth_cpu as f64)));
+
+    let mut t_split = Table::new("splitbrain", &cols);
+    let pick = |f: &dyn Fn(&SplitBrainOutcome) -> f64| [f(&splits[0]), f(&splits[1])];
+    t_split.push(Row::full(
+        "split_brain_rounds",
+        &pick(&|o| o.split_brain_rounds as f64),
+    ));
+    t_split.push(Row::full("repl_fenced", &pick(&|o| o.repl_fenced as f64)));
+    t_split.push(Row::full(
+        "periphery_acks_fenced",
+        &pick(&|o| o.periphery_acks_fenced as f64),
+    ));
+    t_split.push(Row::full(
+        "primary_demotions",
+        &pick(&|o| o.primary_demotions as f64),
+    ));
+    t_split.push(Row::full("final_cpu", &pick(&|o| o.final_cpu as f64)));
+    t_split.push(Row::full("rejoined_cpu", &pick(&|o| o.rejoined_cpu as f64)));
+    t_split.push(Row::full("truth_cpu", &pick(&|o| o.truth_cpu as f64)));
+
     let mut t_det = Table::new("determinism", &["replays_identical"]);
-    for scenario in ["scale", "faults"] {
+    for scenario in ["scale", "faults", "failover", "splitbrain"] {
         // Each scenario already ran twice per seed behind an
         // assert_eq!; reaching this point means every replay matched.
         t_det.push(Row::full(scenario, &[1.0]));
@@ -573,14 +1075,18 @@ pub fn run(scale: f64) -> FigReport {
     let mut rep = FigReport::new(
         "fleet",
         "core↔periphery control plane: exact rollups at fleet scale, degraded serving under \
-         partition, journaled controller failover healed by FULL resyncs",
+         partition, journaled controller failover healed by FULL resyncs, lease-based standby \
+         promotion with epoch fencing",
     );
     rep.tables.push(t_scale);
     rep.tables.push(t_faults);
+    rep.tables.push(t_failover);
+    rep.tables.push(t_split);
     rep.tables.push(t_det);
     rep.note(format!(
-        "seeds {:#x} and {:#x}; every scenario run twice per seed and asserted bit-identical",
-        SEEDS[0], SEEDS[1]
+        "seeds {:#x} and {:#x} (offset {seed_offset}); every scenario run twice per seed and \
+         asserted bit-identical",
+        run_seeds[0], run_seeds[1]
     ));
     rep.note(format!(
         "{hosts} hosts × {containers} containers: capacity and tenant rollups equal ground \
@@ -593,6 +1099,14 @@ pub fn run(scale: f64) -> FigReport {
          heals by FULL resync; a crashed controller restores its journal, serves every host \
          last-good, and recovers to Fresh rollups equal to per-host ground truth",
     ));
+    rep.note(format!(
+        "replicated pair: a mid-storm primary kill promotes the standby within {} ticks of \
+         lease expiry, every host converges back to Fresh, and the promoted leader's rollups \
+         equal ground truth; a lease-stalled split-brain is fenced by epochs — stale REPL \
+         frames counted and refused, the impostor demoted, the deposed primary rejoining as a \
+         mirror of the new leader",
+        LEASE_TTL + 2
+    ));
     rep
 }
 
@@ -603,7 +1117,7 @@ mod tests {
     #[test]
     fn fleet_campaign_passes_and_reports() {
         let rep = run(0.05);
-        assert_eq!(rep.tables.len(), 3);
+        assert_eq!(rep.tables.len(), 5);
         for col in [seed_label(SEEDS[0]), seed_label(SEEDS[1])] {
             assert_eq!(rep.tables[0].get("rollup_mismatches", &col), Some(0.0));
             assert_eq!(rep.tables[1].get("final_partitioned", &col), Some(0.0));
@@ -611,8 +1125,17 @@ mod tests {
                 rep.tables[1].get("final_cpu", &col),
                 rep.tables[1].get("truth_cpu", &col)
             );
+            assert_eq!(
+                rep.tables[2].get("final_cpu", &col),
+                rep.tables[2].get("truth_cpu", &col)
+            );
+            assert_eq!(rep.tables[2].get("final_epoch", &col), Some(2.0));
         }
-        assert_eq!(rep.tables[2].get("faults", "replays_identical"), Some(1.0));
+        assert_eq!(rep.tables[4].get("faults", "replays_identical"), Some(1.0));
+        assert_eq!(
+            rep.tables[4].get("failover", "replays_identical"),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -620,5 +1143,17 @@ mod tests {
         // Compared once more outside run(): guards against global state
         // sneaking into SimHost, the periphery, or the controller.
         assert_eq!(run_faults(3, 20), run_faults(3, 20));
+    }
+
+    #[test]
+    fn failover_scenario_replays_bit_identically() {
+        assert_eq!(run_failover(3, 20), run_failover(3, 20));
+    }
+
+    #[test]
+    fn seed_offset_changes_the_seeds_reversibly() {
+        assert_eq!(seeds(0), SEEDS);
+        assert_ne!(seeds(1), SEEDS);
+        assert_eq!(seeds(1), seeds(1));
     }
 }

@@ -40,6 +40,14 @@ pub use report::{FigReport, Row, Table};
 /// Run a figure by id ("1", "2a", "2b", "6" … "12", "overhead");
 /// `scale` < 1 shrinks workload sizes proportionally for quick runs.
 pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
+    run_figure_seeded(id, scale, 0)
+}
+
+/// [`run_figure`] with a seed offset: seeded campaigns (currently the
+/// fleet suite) rotate their seeds by `seed_offset`, so CI can prove
+/// the invariants hold on more than the canonical seeds. Figures
+/// without seed plumbing ignore the offset.
+pub fn run_figure_seeded(id: &str, scale: f64, seed_offset: u64) -> Option<FigReport> {
     let report = match id {
         "1" => fig01_dockerhub::run(),
         "2a" => fig02_motivation::run_gc_threads(scale),
@@ -58,7 +66,7 @@ pub fn run_figure(id: &str, scale: f64) -> Option<FigReport> {
         "chaos" => chaos::run(scale),
         "obs" => obs::run(scale),
         "recovery" => recovery::run(scale),
-        "fleet" => fleet::run(scale),
+        "fleet" => fleet::run_seeded(scale, seed_offset),
         _ => return None,
     };
     Some(report)

@@ -3,15 +3,17 @@
 //! ```text
 //! experiments --all [--quick] [--out DIR]   # every figure
 //! experiments --fig 6 [--scale 0.2]         # one figure
+//! experiments --fig fleet --seed-offset 1   # seeded campaign, fresh seeds
 //! experiments --list
 //! ```
 
-use arv_experiments::{run_figure, ALL_FIGURES};
+use arv_experiments::{run_figure_seeded, ALL_FIGURES};
 use std::process::ExitCode;
 
 struct Args {
     figures: Vec<String>,
     scale: f64,
+    seed_offset: u64,
     out: Option<std::path::PathBuf>,
     json: bool,
 }
@@ -19,6 +21,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut figures = Vec::new();
     let mut scale = 1.0;
+    let mut seed_offset = 0u64;
     let mut out = None;
     let mut json = false;
     let mut argv = std::env::args().skip(1);
@@ -28,6 +31,13 @@ fn parse_args() -> Result<Args, String> {
             "--fig" => {
                 let id = argv.next().ok_or("--fig needs an id (e.g. 2a)")?;
                 figures.push(id);
+            }
+            "--seed-offset" => {
+                seed_offset = argv
+                    .next()
+                    .ok_or("--seed-offset needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed offset: {e}"))?;
             }
             "--scale" => {
                 scale = argv
@@ -52,7 +62,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments (--all | --fig ID)... [--quick | --scale S] [--out DIR] [--json]"
+                    "usage: experiments (--all | --fig ID)... [--quick | --scale S] \
+                     [--seed-offset N] [--out DIR] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -68,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         figures,
         scale,
+        seed_offset,
         out,
         json,
     })
@@ -83,7 +95,7 @@ fn main() -> ExitCode {
     };
     for id in &args.figures {
         let started = std::time::Instant::now();
-        let Some(report) = run_figure(id, args.scale) else {
+        let Some(report) = run_figure_seeded(id, args.scale, args.seed_offset) else {
             eprintln!("error: unknown figure {id:?} (try --list)");
             return ExitCode::FAILURE;
         };

@@ -9,6 +9,22 @@
 //! controller warm-restarts prefix-consistently and is caught up by
 //! periphery resyncs.
 //!
+//! # Replication and leadership
+//!
+//! A controller can run **replicated**: the primary streams every
+//! accepted journal record to hot standbys over `REPL` frames
+//! ([`FleetController::take_repl_frames`]); a standby applies them into
+//! a *live* shadow index ([`FleetController::handle_frame`] on the
+//! REPL opcode) so promotion costs no replay. Leadership is governed by
+//! a shared [`SharedLease`] with monotone epochs: the holder renews on
+//! every tick (same epoch); a standby acquires only after expiry (epoch
+//! bumped), then marks every host `needs_resync` + partitioned —
+//! last-good rollups stay servable while FULL snapshots converge the
+//! index. Every ACK and ROLLUP is stamped with the sender's epoch;
+//! anything stamped lower than the highest epoch a receiver has seen is
+//! **fenced** (counted, never applied), so a deposed primary cannot
+//! corrupt state no matter how long it keeps talking.
+//!
 //! # Sequence and staleness rules
 //!
 //! Each host's DELTA frames carry a dense sequence number. The
@@ -21,17 +37,50 @@
 //! but the rollup is flagged degraded — the cluster-level analogue of
 //! the staleness fallback.
 
-use arv_persist::{restore, Journal, Snapshot, ViewState};
+use arv_persist::lease::{Lease, LeaseFile};
+use arv_persist::{decode_records, encode_record, restore, Journal, Record, Snapshot, ViewState};
 use arv_telemetry::{PipelineEvent, PromText, Tracer};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::protocol::{
-    decode_frame, encode_ack, encode_policy, encode_rollup, Ack, ClusterRollup, Delta, DeltaEntry,
-    FleetPolicy, Frame, PressurePoint, Query, Rollup, TenantRollup, QUERY_CLUSTER, QUERY_STATS,
-    QUERY_TENANT, QUERY_TOPK,
+    decode_frame, encode_ack, encode_policy, encode_repl, encode_rollup, Ack, ClusterRollup, Delta,
+    DeltaEntry, FleetPolicy, Frame, PressurePoint, Query, Repl, Rollup, RollupFrame, TenantRollup,
+    MAX_FLEET_FRAME, QUERY_CLUSTER, QUERY_STATS, QUERY_TENANT, QUERY_TOPK, REPL_PEER,
 };
+
+/// A lease store shared between contending controllers — the
+/// simulation's stand-in for a lease file on shared storage.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLease(Arc<Mutex<LeaseFile>>);
+
+impl SharedLease {
+    /// An empty (never-granted) shared lease.
+    pub fn new() -> SharedLease {
+        SharedLease::default()
+    }
+
+    /// Rehydrate from persisted bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> SharedLease {
+        SharedLease(Arc::new(Mutex::new(LeaseFile::from_bytes(bytes))))
+    }
+
+    /// Try to acquire or renew for `holder` (see [`LeaseFile::try_acquire`]).
+    pub fn try_acquire(&self, holder: u32, now: u64, ttl: u64) -> Option<Lease> {
+        lock(&self.0).try_acquire(holder, now, ttl)
+    }
+
+    /// The current lease, if intact.
+    pub fn current(&self) -> Option<Lease> {
+        lock(&self.0).current()
+    }
+
+    /// The raw store bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        lock(&self.0).as_bytes().to_vec()
+    }
+}
 
 /// Mask for the host-tick bits of a journaled `last_tick` (the tenant
 /// rides the top 16 bits — see [`pack_id`]).
@@ -71,6 +120,24 @@ pub struct FleetMetrics {
     pub policy_pushes: AtomicU64,
     /// HELLO frames answered.
     pub hellos: AtomicU64,
+    /// Standby→primary promotions (lease takeovers).
+    pub promotions: AtomicU64,
+    /// Primary→standby demotions (lost lease / saw a higher epoch).
+    pub demotions: AtomicU64,
+    /// Journal records streamed out in REPL frames (primary side).
+    pub repl_records_streamed: AtomicU64,
+    /// Journal records applied into the shadow index (standby side).
+    pub repl_records_applied: AtomicU64,
+    /// REPL frames fenced for carrying a stale controller epoch.
+    pub repl_fenced: AtomicU64,
+    /// Full checkpoints queued because a standby lost REPL sequence.
+    pub repl_gap_snapshots: AtomicU64,
+    /// REPL frames whose record stream was torn or corrupt (the valid
+    /// prefix was applied; a checkpoint was demanded).
+    pub repl_truncated: AtomicU64,
+    /// HELLO/DELTA frames rejected because this controller does not
+    /// hold the lease.
+    pub not_leader_rejects: AtomicU64,
 }
 
 /// A point-in-time copy of [`FleetMetrics`].
@@ -94,6 +161,22 @@ pub struct FleetMetricsSnapshot {
     pub policy_pushes: u64,
     /// HELLO frames answered.
     pub hellos: u64,
+    /// Standby→primary promotions.
+    pub promotions: u64,
+    /// Primary→standby demotions.
+    pub demotions: u64,
+    /// Journal records streamed out in REPL frames.
+    pub repl_records_streamed: u64,
+    /// Journal records applied into the shadow index.
+    pub repl_records_applied: u64,
+    /// REPL frames fenced for carrying a stale epoch.
+    pub repl_fenced: u64,
+    /// Full checkpoints queued after a standby REPL gap.
+    pub repl_gap_snapshots: u64,
+    /// REPL frames with a torn or corrupt record stream.
+    pub repl_truncated: u64,
+    /// Frames rejected for lack of the lease.
+    pub not_leader_rejects: u64,
 }
 
 impl FleetMetrics {
@@ -109,6 +192,14 @@ impl FleetMetrics {
             malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
             policy_pushes: self.policy_pushes.load(Ordering::Relaxed),
             hellos: self.hellos.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            repl_records_streamed: self.repl_records_streamed.load(Ordering::Relaxed),
+            repl_records_applied: self.repl_records_applied.load(Ordering::Relaxed),
+            repl_fenced: self.repl_fenced.load(Ordering::Relaxed),
+            repl_gap_snapshots: self.repl_gap_snapshots.load(Ordering::Relaxed),
+            repl_truncated: self.repl_truncated.load(Ordering::Relaxed),
+            not_leader_rejects: self.not_leader_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,6 +289,33 @@ struct JournalState {
     last_checkpoint: u64,
 }
 
+/// Lease plumbing: the shared store this controller contends on.
+#[derive(Debug)]
+struct LeaseState {
+    store: SharedLease,
+    holder: u32,
+    ttl: u64,
+    /// Fault hook: a stalled controller cannot reach the lease store
+    /// (renewals and acquisitions silently fail).
+    stalled: bool,
+}
+
+/// Replication plumbing, used on both sides: the primary's record
+/// outbox and the standby's apply cursor.
+#[derive(Debug, Default)]
+struct ReplState {
+    /// Primary: CRC-framed record bytes not yet shipped.
+    outbox: Vec<Vec<u8>>,
+    /// Primary: sequence of the next REPL frame to send.
+    next_seq: u64,
+    /// Standby: next REPL sequence accepted in order.
+    expected_seq: u64,
+    /// Standby: lost sequence — only a checkpoint-led frame realigns.
+    need_snapshot: bool,
+    /// Primary: a standby demanded a full checkpoint.
+    send_snapshot: bool,
+}
+
 /// The central aggregator of the fleet control plane.
 #[derive(Debug)]
 pub struct FleetController {
@@ -207,6 +325,15 @@ pub struct FleetController {
     tick: AtomicU64,
     metrics: FleetMetrics,
     journal: Mutex<Option<JournalState>>,
+    /// Monotone controller epoch stamped on every ACK and ROLLUP.
+    /// Lease-less controllers stay at epoch 0 (single-controller
+    /// deployments predating replication).
+    ctl_epoch: AtomicU64,
+    /// Whether this controller currently believes it leads. Always true
+    /// without an attached lease.
+    leader: AtomicBool,
+    lease: Mutex<Option<LeaseState>>,
+    repl: Mutex<Option<ReplState>>,
     tracer: Tracer,
 }
 
@@ -222,6 +349,10 @@ impl FleetController {
             tick: AtomicU64::new(0),
             metrics: FleetMetrics::default(),
             journal: Mutex::new(None),
+            ctl_epoch: AtomicU64::new(0),
+            leader: AtomicBool::new(true),
+            lease: Mutex::new(None),
+            repl: Mutex::new(None),
             tracer: Tracer::disabled(),
         }
     }
@@ -236,6 +367,16 @@ impl FleetController {
     /// aggregation period).
     pub fn now_tick(&self) -> u64 {
         self.tick.load(Ordering::Acquire)
+    }
+
+    /// The controller epoch stamped on every ACK and ROLLUP.
+    pub fn ctl_epoch(&self) -> u64 {
+        self.ctl_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether this controller currently believes it holds the lease.
+    pub fn is_leader(&self) -> bool {
+        self.leader.load(Ordering::Acquire)
     }
 
     /// The policy currently pushed down to peripheries.
@@ -275,10 +416,13 @@ impl FleetController {
     }
 
     /// Advance the controller's staleness clock one aggregation period:
-    /// flag hosts silent past the staleness budget as partitioned, and
-    /// take a journal checkpoint when the cadence is due.
+    /// maintain the lease (renew as holder, try to take over as
+    /// standby), flag hosts silent past the staleness budget as
+    /// partitioned, and take a journal checkpoint when the cadence is
+    /// due.
     pub fn advance_tick(&self) {
         let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
+        self.maintain_lease(now);
         let budget = lock(&self.policy).staleness_budget;
         for shard in self.shards.iter() {
             let mut s = lock(shard);
@@ -303,6 +447,98 @@ impl FleetController {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Leadership
+    // -----------------------------------------------------------------
+
+    /// Contend on a shared lease as `holder`, renewing to `now + ttl`
+    /// each tick. The first acquisition attempt happens immediately:
+    /// win and this controller leads at the lease's epoch; lose and it
+    /// becomes a standby that keeps trying every
+    /// [`advance_tick`](Self::advance_tick) and promotes only after the
+    /// holder's lease expires.
+    pub fn attach_lease(&self, store: SharedLease, holder: u32, ttl: u64) {
+        let ttl = ttl.max(1);
+        let now = self.now_tick();
+        let won = store.try_acquire(holder, now, ttl);
+        *lock(&self.lease) = Some(LeaseState {
+            store,
+            holder,
+            ttl,
+            stalled: false,
+        });
+        match won {
+            Some(l) => {
+                self.ctl_epoch.store(l.epoch, Ordering::Release);
+                self.leader.store(true, Ordering::Release);
+            }
+            None => self.leader.store(false, Ordering::Release),
+        }
+    }
+
+    /// Fault hook: while stalled, this controller cannot reach the
+    /// lease store — renewals and takeover attempts silently fail, so a
+    /// stalled primary's lease expires under it.
+    pub fn set_lease_stalled(&self, stalled: bool) {
+        if let Some(ls) = lock(&self.lease).as_mut() {
+            ls.stalled = stalled;
+        }
+    }
+
+    fn maintain_lease(&self, now: u64) {
+        let mut lease = lock(&self.lease);
+        let Some(ls) = lease.as_mut() else {
+            return;
+        };
+        if ls.stalled {
+            return;
+        }
+        let was_leader = self.is_leader();
+        match ls.store.try_acquire(ls.holder, now, ls.ttl) {
+            Some(l) => {
+                self.ctl_epoch.store(l.epoch, Ordering::Release);
+                self.leader.store(true, Ordering::Release);
+                drop(lease);
+                if !was_leader {
+                    self.promote(now);
+                }
+            }
+            None => {
+                self.leader.store(false, Ordering::Release);
+                drop(lease);
+                if was_leader {
+                    self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// A standby just took over the lease: every replicated host may
+    /// lag the dead primary's last accepted frames, so all hosts start
+    /// `needs_resync` + partitioned — rollups serve their last-good
+    /// contribution (degraded) while FULL snapshots converge them back
+    /// to Fresh.
+    fn promote(&self, now: u64) {
+        let mut flagged = 0u64;
+        for shard in self.shards.iter() {
+            let mut s = lock(shard);
+            for host in s.hosts.values_mut() {
+                host.needs_resync = true;
+                if !host.partitioned {
+                    host.partitioned = true;
+                    flagged += 1;
+                }
+                host.last_delta_tick = now;
+            }
+        }
+        self.metrics
+            .hosts_partitioned
+            .fetch_add(flagged, Ordering::Relaxed);
+        self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
+        self.tracer
+            .emit_pipeline(now, None, PipelineEvent::FleetPromoted);
+    }
+
     /// Handle one decoded-or-not request frame; `None` means the frame
     /// was malformed (or not a request) and the connection should drop.
     /// Never panics, for any input bytes.
@@ -312,6 +548,7 @@ impl FleetController {
             Some(Frame::Delta(d)) => Some(self.handle_delta(d)),
             Some(Frame::Query(q)) => Some(self.handle_query(q)),
             Some(Frame::Policy(p)) => self.handle_policy_push(p),
+            Some(Frame::Repl(r)) => Some(self.handle_repl(&r)),
             Some(Frame::Ack(_)) | Some(Frame::Rollup(_)) | None => {
                 self.metrics
                     .malformed_frames
@@ -330,13 +567,34 @@ impl FleetController {
         encode_ack(&Ack {
             host,
             expected_seq,
+            ctl_epoch: self.ctl_epoch(),
             resync,
+            not_leader: false,
             policy: attach.then_some(policy),
+        })
+    }
+
+    /// The ACK a non-leader sends back for HELLO/DELTA: nothing was
+    /// applied; the periphery should walk its controller list.
+    fn not_leader_ack(&self, host: u32, expected_seq: u64) -> Vec<u8> {
+        self.metrics
+            .not_leader_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        encode_ack(&Ack {
+            host,
+            expected_seq,
+            ctl_epoch: self.ctl_epoch(),
+            resync: false,
+            not_leader: true,
+            policy: None,
         })
     }
 
     fn handle_hello(&self, host: u32, epoch: u64) -> Vec<u8> {
         self.metrics.hellos.fetch_add(1, Ordering::Relaxed);
+        if !self.is_leader() {
+            return self.not_leader_ack(host, 0);
+        }
         let now = self.now_tick();
         let mut s = lock(self.shard_for(host));
         let entry = s.hosts.entry(host).or_default();
@@ -359,6 +617,9 @@ impl FleetController {
     }
 
     fn handle_delta(&self, d: Delta) -> Vec<u8> {
+        if !self.is_leader() {
+            return self.not_leader_ack(d.host, d.seq);
+        }
         let now = self.now_tick();
         let host_id = d.host;
         let epoch = d.epoch;
@@ -429,27 +690,38 @@ impl FleetController {
             .fetch_add(d.entries.len() as u64, Ordering::Relaxed);
 
         let mut journal = lock(&self.journal);
-        if let Some(js) = journal.as_mut() {
+        let mut repl = lock(&self.repl);
+        if journal.is_some() || repl.is_some() {
             for id in &journaled_removals {
                 if let Some(packed) = pack_id(host_id, *id) {
-                    js.journal.append_remove(packed);
+                    if let Some(js) = journal.as_mut() {
+                        js.journal.append_remove(packed);
+                    }
+                    if let Some(rs) = repl.as_mut() {
+                        rs.outbox.push(encode_record(&Record::Remove(packed)));
+                    }
                 }
             }
             for e in &d.entries {
                 if let Some(packed) = pack_id(host_id, e.id) {
-                    js.journal.append_delta(
-                        &ViewState {
-                            id: packed,
-                            e_cpu: e.e_cpu,
-                            e_mem: e.e_mem,
-                            e_avail: e.e_avail,
-                            last_tick: (u64::from(e.tenant) << 48) | (e.last_tick & TICK_MASK),
-                        },
-                        now,
-                    );
+                    let state = ViewState {
+                        id: packed,
+                        e_cpu: e.e_cpu,
+                        e_mem: e.e_mem,
+                        e_avail: e.e_avail,
+                        last_tick: (u64::from(e.tenant) << 48) | (e.last_tick & TICK_MASK),
+                    };
+                    if let Some(js) = journal.as_mut() {
+                        js.journal.append_delta(&state, now);
+                    }
+                    if let Some(rs) = repl.as_mut() {
+                        rs.outbox
+                            .push(encode_record(&Record::Delta { state, tick: now }));
+                    }
                 }
             }
         }
+        drop(repl);
         drop(journal);
 
         self.ack_for(host_id, expected, false, epoch)
@@ -477,7 +749,10 @@ impl FleetController {
             // decode_frame bounds the kind; unreachable defensively.
             _ => Rollup::TopK(Vec::new()),
         };
-        encode_rollup(&rollup)
+        encode_rollup(&RollupFrame {
+            ctl_epoch: self.ctl_epoch(),
+            body: rollup,
+        })
     }
 
     /// Cluster-wide effective capacity: the sum of every container's
@@ -581,6 +856,230 @@ impl FleetController {
         lock(&self.journal)
             .as_ref()
             .map(|js| js.journal.as_bytes().to_vec())
+    }
+
+    // -----------------------------------------------------------------
+    // Replication
+    // -----------------------------------------------------------------
+
+    /// Start streaming accepted records to standbys. The first
+    /// [`take_repl_frames`](Self::take_repl_frames) ships a full
+    /// checkpoint so a fresh standby aligns without replaying history.
+    pub fn enable_replication(&self) {
+        let mut repl = lock(&self.repl);
+        let rs = repl.get_or_insert_with(ReplState::default);
+        rs.send_snapshot = true;
+    }
+
+    /// Records queued for standbys but not yet shipped (replication
+    /// lag, in records — the failover bench's headline number).
+    pub fn repl_backlog_records(&self) -> u64 {
+        lock(&self.repl)
+            .as_ref()
+            .map_or(0, |rs| rs.outbox.len() as u64)
+    }
+
+    /// Drain the replication outbox into encoded REPL frames, each
+    /// under [`MAX_FLEET_FRAME`], chunked at record boundaries. Ship
+    /// every frame to every standby; feed their ACKs back through
+    /// [`handle_repl_ack`](Self::handle_repl_ack).
+    pub fn take_repl_frames(&self) -> Vec<Vec<u8>> {
+        let epoch = self.ctl_epoch();
+        let now = self.now_tick();
+        // index_snapshot takes shard locks while `repl` is held; the
+        // standby apply path orders the same way (repl, then shards).
+        let mut repl = lock(&self.repl);
+        let Some(rs) = repl.as_mut() else {
+            return Vec::new();
+        };
+        if rs.send_snapshot {
+            rs.send_snapshot = false;
+            rs.outbox.clear();
+            rs.outbox
+                .push(encode_record(&Record::Checkpoint(self.index_snapshot(now))));
+        }
+        if rs.outbox.is_empty() {
+            return Vec::new();
+        }
+        let records = std::mem::take(&mut rs.outbox);
+        self.metrics
+            .repl_records_streamed
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        let budget = (MAX_FLEET_FRAME as usize).saturating_sub(64);
+        let mut frames = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        for rec in records {
+            if !cur.is_empty() && cur.len() + rec.len() > budget {
+                frames.push(encode_repl(&Repl {
+                    ctl_epoch: epoch,
+                    repl_seq: rs.next_seq,
+                    records: std::mem::take(&mut cur),
+                }));
+                rs.next_seq += 1;
+            }
+            cur.extend_from_slice(&rec);
+        }
+        if !cur.is_empty() {
+            frames.push(encode_repl(&Repl {
+                ctl_epoch: epoch,
+                repl_seq: rs.next_seq,
+                records: cur,
+            }));
+            rs.next_seq += 1;
+        }
+        frames
+    }
+
+    /// Primary side of the replication handshake: fold one standby ACK
+    /// back in. A higher epoch in the ACK means a standby was promoted
+    /// over us — stand down immediately. A resync flag means the
+    /// standby lost sequence — queue a full checkpoint.
+    pub fn handle_repl_ack(&self, ack: &Ack) {
+        if ack.host != REPL_PEER {
+            return;
+        }
+        if ack.ctl_epoch > self.ctl_epoch() && self.is_leader() && lock(&self.lease).is_some() {
+            // Keep our own (stale) epoch: it correctly marks everything
+            // we still serve as fenceable.
+            self.leader.store(false, Ordering::Release);
+            self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+        }
+        if ack.resync {
+            let mut repl = lock(&self.repl);
+            if let Some(rs) = repl.as_mut() {
+                if !rs.send_snapshot {
+                    rs.send_snapshot = true;
+                    self.metrics
+                        .repl_gap_snapshots
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                rs.next_seq = rs.next_seq.max(ack.expected_seq);
+            }
+        }
+    }
+
+    /// Standby side: apply one REPL frame into the live shadow index
+    /// and answer with a replication ACK ([`REPL_PEER`] host).
+    ///
+    /// Stale epochs are fenced — counted, never applied — and the ACK
+    /// carries our higher epoch so the deposed sender stands down. A
+    /// sequence gap or a torn record stream switches the standby to
+    /// demanding a checkpoint; only a checkpoint-led frame realigns it.
+    fn handle_repl(&self, r: &Repl) -> Vec<u8> {
+        let own = self.ctl_epoch();
+        let repl_ack = |expected_seq: u64, epoch: u64, resync: bool| {
+            encode_ack(&Ack {
+                host: REPL_PEER,
+                expected_seq,
+                ctl_epoch: epoch,
+                resync,
+                not_leader: false,
+                policy: None,
+            })
+        };
+        if r.ctl_epoch < own {
+            self.metrics.repl_fenced.fetch_add(1, Ordering::Relaxed);
+            self.tracer
+                .emit_pipeline(self.now_tick(), None, PipelineEvent::FleetFenced);
+            let expected = lock(&self.repl).as_ref().map_or(0, |rs| rs.expected_seq);
+            return repl_ack(expected, own, false);
+        }
+        if r.ctl_epoch > own {
+            if self.is_leader() && lock(&self.lease).is_some() {
+                self.leader.store(false, Ordering::Release);
+                self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Our shadow index now mirrors the higher-epoch primary.
+            self.ctl_epoch.store(r.ctl_epoch, Ordering::Release);
+        }
+        let epoch = self.ctl_epoch();
+        let now = self.now_tick();
+
+        let scan = decode_records(&r.records);
+        let starts_with_checkpoint = matches!(scan.records.first(), Some(Record::Checkpoint(_)));
+
+        let mut repl = lock(&self.repl);
+        let rs = repl.get_or_insert_with(ReplState::default);
+        let in_order = r.repl_seq == rs.expected_seq && !rs.need_snapshot;
+        if !in_order && !starts_with_checkpoint {
+            rs.need_snapshot = true;
+            let expected = rs.expected_seq;
+            drop(repl);
+            return repl_ack(expected, epoch, true);
+        }
+        rs.expected_seq = r.repl_seq + 1;
+        rs.need_snapshot = false;
+        for record in &scan.records {
+            self.apply_record(record, now);
+        }
+        self.metrics
+            .repl_records_applied
+            .fetch_add(scan.records.len() as u64, Ordering::Relaxed);
+        if scan.truncated > 0 {
+            // The valid prefix is applied (prefix-consistent, like the
+            // journal); the lost tail forces a checkpoint realign.
+            self.metrics.repl_truncated.fetch_add(1, Ordering::Relaxed);
+            rs.need_snapshot = true;
+            let expected = rs.expected_seq;
+            drop(repl);
+            return repl_ack(expected, epoch, true);
+        }
+        let expected = rs.expected_seq;
+        drop(repl);
+        repl_ack(expected, epoch, false)
+    }
+
+    /// Fold one replicated journal record into the live index.
+    fn apply_record(&self, record: &Record, now: u64) {
+        match record {
+            Record::Checkpoint(snap) => {
+                for shard in self.shards.iter() {
+                    let mut s = lock(shard);
+                    s.hosts.clear();
+                    s.totals = Totals::default();
+                    s.tenants.clear();
+                }
+                for e in &snap.entries {
+                    self.apply_packed_state(e, now);
+                }
+            }
+            Record::Delta { state, .. } => self.apply_packed_state(state, now),
+            Record::Remove(packed) => {
+                let host_id = *packed >> 16;
+                let container = *packed & 0xFFFF;
+                let mut s = lock(self.shard_for(host_id));
+                let shard = &mut *s;
+                if let Some(mut host) = shard.hosts.remove(&host_id) {
+                    shard.remove(&mut host, container);
+                    shard.hosts.insert(host_id, host);
+                }
+            }
+        }
+    }
+
+    /// Upsert one packed (`host << 16 | container`) state into the
+    /// shadow index, refreshing the host's staleness clock.
+    fn apply_packed_state(&self, e: &ViewState, now: u64) {
+        let host_id = e.id >> 16;
+        let container = e.id & 0xFFFF;
+        let tenant = (e.last_tick >> 48) as u32;
+        let mut s = lock(self.shard_for(host_id));
+        let shard = &mut *s;
+        let mut host = shard.hosts.remove(&host_id).unwrap_or_default();
+        host.last_delta_tick = now;
+        host.partitioned = false;
+        shard.upsert(
+            &mut host,
+            DeltaEntry {
+                id: container,
+                tenant,
+                e_cpu: e.e_cpu,
+                e_mem: e.e_mem,
+                e_avail: e.e_avail,
+                last_tick: e.last_tick & TICK_MASK,
+            },
+        );
+        shard.hosts.insert(host_id, host);
     }
 
     /// Build a persistable snapshot of the whole index: ids packed
@@ -721,6 +1220,84 @@ impl FleetController {
             "counter",
         );
         out.sample("arv_fleet_policy_pushes_total", m.policy_pushes as f64);
+        out.header(
+            "arv_fleet_failover_promotions",
+            "Standby-to-primary promotions (lease takeovers)",
+            "counter",
+        );
+        out.sample("arv_fleet_failover_promotions_total", m.promotions as f64);
+        out.header(
+            "arv_fleet_failover_demotions",
+            "Primary-to-standby demotions",
+            "counter",
+        );
+        out.sample("arv_fleet_failover_demotions_total", m.demotions as f64);
+        out.header(
+            "arv_fleet_failover_repl_records_streamed",
+            "Journal records streamed to standbys",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_failover_repl_records_streamed_total",
+            m.repl_records_streamed as f64,
+        );
+        out.header(
+            "arv_fleet_failover_repl_records_applied",
+            "Replicated records applied into the shadow index",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_failover_repl_records_applied_total",
+            m.repl_records_applied as f64,
+        );
+        out.header(
+            "arv_fleet_failover_fenced",
+            "REPL frames fenced for carrying a stale epoch",
+            "counter",
+        );
+        out.sample("arv_fleet_failover_fenced_total", m.repl_fenced as f64);
+        out.header(
+            "arv_fleet_failover_gap_snapshots",
+            "Full checkpoints queued after a standby REPL gap",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_failover_gap_snapshots_total",
+            m.repl_gap_snapshots as f64,
+        );
+        out.header(
+            "arv_fleet_failover_repl_truncated",
+            "REPL frames with a torn or corrupt record stream",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_failover_repl_truncated_total",
+            m.repl_truncated as f64,
+        );
+        out.header(
+            "arv_fleet_failover_not_leader_rejects",
+            "HELLO/DELTA frames rejected for lack of the lease",
+            "counter",
+        );
+        out.sample(
+            "arv_fleet_failover_not_leader_rejects_total",
+            m.not_leader_rejects as f64,
+        );
+        out.header(
+            "arv_fleet_ctl_epoch",
+            "Controller epoch stamped on ACKs and ROLLUPs",
+            "gauge",
+        );
+        out.sample("arv_fleet_ctl_epoch", self.ctl_epoch() as f64);
+        out.header(
+            "arv_fleet_is_leader",
+            "Whether this controller holds the lease (1) or stands by (0)",
+            "gauge",
+        );
+        out.sample(
+            "arv_fleet_is_leader",
+            if self.is_leader() { 1.0 } else { 0.0 },
+        );
         out.header("arv_fleet_hosts", "Hosts tracked", "gauge");
         out.sample("arv_fleet_hosts", f64::from(r.hosts));
         out.header(
@@ -956,10 +1533,184 @@ mod tests {
         let ack = encode_ack(&Ack {
             host: 1,
             expected_seq: 0,
+            ctl_epoch: 0,
             resync: false,
+            not_leader: false,
             policy: None,
         });
         assert!(ctl.handle_frame(&ack).is_none(), "ACK is not a request");
         assert_eq!(ctl.metrics().snapshot().malformed_frames, 3);
+    }
+
+    /// Ship every queued REPL frame from `primary` into `standby`,
+    /// feeding replication ACKs back.
+    fn pump_repl(primary: &FleetController, standby: &FleetController) {
+        for frame in primary.take_repl_frames() {
+            if let Some(resp) = standby.handle_frame(&frame) {
+                if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                    primary.handle_repl_ack(&ack);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standby_mirrors_primary_through_repl() {
+        let primary = FleetController::new(2, FleetPolicy::default());
+        primary.enable_replication();
+        let standby = FleetController::new(4, FleetPolicy::default());
+
+        let mut p = Periphery::new(1);
+        p.set_tenant(1, 9);
+        p.observe(&snap(1, &[(1, 4, 400, 200), (2, 2, 100, 50)]), false, 0);
+        pump(&mut p, &primary);
+        pump_repl(&primary, &standby);
+        assert_eq!(
+            standby.cluster_capacity(),
+            primary.cluster_capacity(),
+            "shadow index matches after initial checkpoint + deltas"
+        );
+
+        // Incremental update and a removal (container 2 vanishes).
+        p.observe(&snap(2, &[(1, 6, 400, 200)]), false, 0);
+        pump(&mut p, &primary);
+        pump_repl(&primary, &standby);
+        assert_eq!(standby.cluster_capacity(), primary.cluster_capacity());
+        let (t, _) = standby.tenant_rollup(9);
+        assert_eq!(t.cpu, 6, "tenant totals replicate too");
+        assert!(standby.metrics().snapshot().repl_records_applied > 0);
+    }
+
+    #[test]
+    fn repl_gap_heals_with_checkpoint() {
+        let primary = FleetController::new(2, FleetPolicy::default());
+        primary.enable_replication();
+        let standby = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &primary);
+        pump_repl(&primary, &standby);
+
+        // Lose a whole replication batch on the floor.
+        p.observe(&snap(2, &[(1, 5, 100, 50)]), false, 0);
+        pump(&mut p, &primary);
+        let lost = primary.take_repl_frames();
+        assert!(!lost.is_empty(), "the drop must lose real frames");
+
+        // The next batch arrives gapped: rejected, checkpoint demanded,
+        // and the following pump realigns the mirror exactly.
+        p.observe(&snap(3, &[(1, 7, 100, 50)]), false, 0);
+        pump(&mut p, &primary);
+        pump_repl(&primary, &standby);
+        assert_eq!(standby.metrics().snapshot().repl_gap_snapshots, 0);
+        assert_eq!(primary.metrics().snapshot().repl_gap_snapshots, 1);
+        pump_repl(&primary, &standby);
+        assert_eq!(standby.cluster_capacity(), primary.cluster_capacity());
+    }
+
+    #[test]
+    fn lease_failover_promotes_standby_and_fences_stale_primary() {
+        let lease = SharedLease::new();
+        let primary = FleetController::new(2, FleetPolicy::default());
+        primary.enable_replication();
+        primary.attach_lease(lease.clone(), 1, 2);
+        assert!(primary.is_leader());
+        assert_eq!(primary.ctl_epoch(), 1);
+
+        let standby = FleetController::new(2, FleetPolicy::default());
+        standby.attach_lease(lease.clone(), 2, 2);
+        assert!(!standby.is_leader(), "unexpired lease is not reassigned");
+
+        let mut p = Periphery::new(3);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &primary);
+        pump_repl(&primary, &standby);
+
+        // A standby refuses periphery traffic.
+        p.observe(&snap(2, &[(1, 3, 100, 50)]), false, 0);
+        for frame in p.take_frames() {
+            let resp = standby.handle_frame(&frame).expect("standby answers");
+            let Some(Frame::Ack(ack)) = decode_frame(&resp) else {
+                panic!("expected ACK");
+            };
+            assert!(ack.not_leader);
+        }
+        assert!(standby.metrics().snapshot().not_leader_rejects >= 1);
+
+        // The primary stalls (cannot renew); the standby's clock runs
+        // past the lease and it takes over at a bumped epoch.
+        primary.set_lease_stalled(true);
+        for _ in 0..5 {
+            standby.advance_tick();
+        }
+        assert!(standby.is_leader(), "standby promotes after expiry");
+        assert_eq!(standby.ctl_epoch(), 2, "takeover bumps the epoch");
+        assert_eq!(standby.metrics().snapshot().promotions, 1);
+        let r = standby.cluster_capacity();
+        assert_eq!(r.partitioned, r.hosts, "promoted hosts start last-good");
+        assert_eq!(r.cpu, 2, "last-good contribution still served");
+
+        // The deposed primary's replication stream is fenced, and the
+        // fencing ACK demotes it.
+        let mut stale = Periphery::new(4);
+        stale.observe(&snap(3, &[(9, 1, 10, 5)]), false, 0);
+        pump(&mut stale, &primary);
+        assert!(primary.is_leader(), "stale primary still thinks it leads");
+        pump_repl(&primary, &standby);
+        assert!(standby.metrics().snapshot().repl_fenced >= 1);
+        assert_eq!(
+            standby.cluster_capacity().containers,
+            1,
+            "fenced records were never applied"
+        );
+        assert!(!primary.is_leader(), "fencing ACK demotes the old primary");
+        assert_eq!(primary.metrics().snapshot().demotions, 1);
+
+        // A FULL resync converges the promoted controller to Fresh.
+        p.on_reconnect();
+        p.observe(&snap(4, &[(1, 3, 100, 50)]), false, 0);
+        pump(&mut p, &standby);
+        let r = standby.cluster_capacity();
+        assert_eq!(r.partitioned, 0, "resync heals the promoted index");
+        assert_eq!(r.cpu, 3);
+    }
+
+    #[test]
+    fn torn_repl_frames_apply_prefix_and_demand_checkpoint() {
+        let primary = FleetController::new(2, FleetPolicy::default());
+        primary.enable_replication();
+        let standby = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50), (2, 4, 200, 100)]), false, 0);
+        pump(&mut p, &primary);
+
+        for frame in primary.take_repl_frames() {
+            // Tear the tail off every REPL frame.
+            let torn = &frame[..frame.len().saturating_sub(3)];
+            if let Some(resp) = standby.handle_frame(torn) {
+                if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                    assert!(ack.resync, "torn stream demands a checkpoint");
+                    primary.handle_repl_ack(&ack);
+                }
+            }
+        }
+        assert!(standby.metrics().snapshot().repl_truncated >= 1);
+        // The demanded checkpoint realigns the mirror exactly.
+        pump_repl(&primary, &standby);
+        assert_eq!(standby.cluster_capacity(), primary.cluster_capacity());
+    }
+
+    #[test]
+    fn repl_garbage_never_panics_standby() {
+        let standby = FleetController::new(2, FleetPolicy::default());
+        use crate::protocol::{encode_repl, Repl};
+        for len in [0usize, 1, 7, 64, 300] {
+            let frame = encode_repl(&Repl {
+                ctl_epoch: 0,
+                repl_seq: 0,
+                records: vec![0xA5; len],
+            });
+            let _ = standby.handle_frame(&frame);
+        }
     }
 }

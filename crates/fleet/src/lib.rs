@@ -28,6 +28,16 @@
 //! demand FULL resyncs; silent hosts are flagged partitioned and served
 //! last-good (rollups carry a degraded flag); a controller failover
 //! restores the journal and is healed host-by-host as resyncs land.
+//!
+//! The controller itself is replicated: a primary streams every
+//! accepted journal record to hot standbys over REPL frames, a
+//! file-backed lease ([`arv_persist::lease`]) with monotone controller
+//! epochs governs leadership, and every ACK/ROLLUP carries the issuing
+//! controller's epoch so peripheries and readers fence frames from a
+//! deposed primary. Peripheries ride [`wire::FleetFailoverClient`] to
+//! walk a configured controller list on send/ACK failure and enforce
+//! pushed `rate_burst` as a local token bucket, coalescing (never
+//! dropping) diffs while the bucket is dry.
 
 // Production code must not panic on a recoverable fault: unwraps are
 // confined to tests.
@@ -39,12 +49,15 @@ pub mod periphery;
 pub mod protocol;
 pub mod wire;
 
-pub use controller::{FleetController, FleetMetrics, FleetMetricsSnapshot};
-pub use periphery::{Periphery, PeripheryStats};
+pub use controller::{FleetController, FleetMetrics, FleetMetricsSnapshot, SharedLease};
+pub use periphery::{AckDisposition, Periphery, PeripheryStats};
 pub use protocol::{
-    decode_frame, encode_ack, encode_delta, encode_hello, encode_policy, encode_query,
+    decode_frame, encode_ack, encode_delta, encode_hello, encode_policy, encode_query, encode_repl,
     encode_rollup, Ack, ClusterRollup, Delta, DeltaEntry, FleetPolicy, Frame, Hello, PressurePoint,
-    Query, Rollup, TenantRollup, MAX_FLEET_FRAME, OP_ACK, OP_DELTA, OP_HELLO, OP_POLICY, OP_QUERY,
-    OP_ROLLUP, QUERY_CLUSTER, QUERY_STATS, QUERY_TENANT, QUERY_TOPK,
+    Query, Repl, Rollup, RollupFrame, TenantRollup, MAX_FLEET_FRAME, OP_ACK, OP_DELTA, OP_HELLO,
+    OP_POLICY, OP_QUERY, OP_REPL, OP_ROLLUP, QUERY_CLUSTER, QUERY_STATS, QUERY_TENANT, QUERY_TOPK,
+    REPL_PEER,
 };
-pub use wire::{FleetClient, FleetWireServer};
+pub use wire::{
+    FailoverClientStats, FailoverPolicy, FleetClient, FleetFailoverClient, FleetWireServer,
+};

@@ -12,9 +12,24 @@
 //! back. That keeps it deterministic under simulation and reusable over
 //! either the real wire ([`crate::wire::FleetClient`]) or an in-process
 //! link (the `--fig fleet` campaign).
+//!
+//! # Backpressure and fencing
+//!
+//! The pushed policy's `rate_burst` is **enforced** here as a token
+//! bucket: each observation refills a quarter-burst of tokens and every
+//! queued entry or removal costs one. When the bucket runs dry the diff
+//! is *coalesced* — held in a pending map where newer observations of
+//! the same container overwrite older unsent ones — and flushes as one
+//! batch when tokens return. Nothing is ever dropped; a FULL resync
+//! bypasses the bucket (the controller demanded it).
+//!
+//! Every ACK carries the sender's controller epoch. The periphery
+//! tracks the highest epoch it has ever seen and **fences** ACKs
+//! stamped lower — a deposed primary's ACK cannot mutate policy or
+//! sequence state, no matter when it arrives.
 
 use arv_persist::Snapshot;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::protocol::{
     encode_delta, encode_hello, Ack, Delta, DeltaEntry, FleetPolicy, Hello, HEALTH_DEGRADED,
@@ -34,6 +49,27 @@ pub struct PeripheryStats {
     pub resyncs: u64,
     /// Policy updates adopted from ACKs.
     pub policy_updates: u64,
+    /// Observations whose diff was held back (coalesced) because the
+    /// token bucket ran dry.
+    pub deltas_coalesced: u64,
+    /// ACKs rejected for carrying a stale controller epoch.
+    pub acks_fenced: u64,
+    /// Reconnects to a (possibly different) controller.
+    pub failovers: u64,
+}
+
+/// What [`Periphery::handle_ack`] did with an ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDisposition {
+    /// The ACK was applied (policy / resync honoured).
+    Applied,
+    /// The ACK carried a stale controller epoch: nothing was applied.
+    Fenced,
+    /// The sender does not hold the lease: nothing was applied; the
+    /// transport should walk the controller list.
+    NotLeader,
+    /// The ACK addressed a different host: ignored.
+    Ignored,
 }
 
 /// Per-host agent streaming view deltas to the [`crate::FleetController`].
@@ -47,6 +83,16 @@ pub struct Periphery {
     last_health: u8,
     last_sent: HashMap<u32, DeltaEntry>,
     tenants: HashMap<u32, u32>,
+    /// Diffed-but-unsent entries (token bucket dry): newer observations
+    /// of the same container overwrite older unsent ones.
+    pending: HashMap<u32, DeltaEntry>,
+    /// Diffed-but-unsent removals.
+    pending_removed: BTreeSet<u32>,
+    /// Send tokens remaining; refilled each observation, capped at
+    /// `policy.rate_burst`.
+    tokens: u64,
+    /// Highest controller epoch seen in any ACK (fencing floor).
+    ctl_epoch_seen: u64,
     outbox: Vec<Vec<u8>>,
     stats: PeripheryStats,
 }
@@ -55,15 +101,20 @@ impl Periphery {
     /// A fresh agent for `host`. Its first observation ships a HELLO
     /// followed by a FULL snapshot.
     pub fn new(host: u32) -> Periphery {
+        let policy = FleetPolicy::default();
         Periphery {
             host,
             seq: 0,
-            policy: FleetPolicy::default(),
             said_hello: false,
             pending_full: true,
             last_health: HEALTH_FRESH,
             last_sent: HashMap::new(),
             tenants: HashMap::new(),
+            pending: HashMap::new(),
+            pending_removed: BTreeSet::new(),
+            tokens: u64::from(policy.rate_burst.max(1)),
+            ctl_epoch_seen: 0,
+            policy,
             outbox: Vec::new(),
             stats: PeripheryStats::default(),
         }
@@ -90,9 +141,10 @@ impl Periphery {
         self.tenants.insert(container, tenant);
     }
 
-    /// Diff `snap` against the last shipped state and queue the
-    /// resulting DELTA frames. `stalled` marks the host's monitor as
-    /// behind; `staleness_age` is how many ticks behind.
+    /// Diff `snap` against the last shipped state, coalesce it into the
+    /// pending layer, and flush DELTA frames if the token bucket
+    /// allows. `stalled` marks the host's monitor as behind;
+    /// `staleness_age` is how many ticks behind.
     pub fn observe(&mut self, snap: &Snapshot, stalled: bool, staleness_age: u64) {
         if !self.said_hello {
             self.outbox.push(encode_hello(&Hello {
@@ -113,7 +165,16 @@ impl Periphery {
         };
 
         let full = self.pending_full;
-        let mut entries = Vec::new();
+        if full {
+            // Everything ships fresh: earlier unsent diffs are subsumed.
+            self.pending.clear();
+            self.pending_removed.clear();
+            self.last_sent.clear();
+        }
+
+        // Diff into the pending (coalescing) layer and refresh the
+        // shipped-state mirror. The mirror tracks what has been *queued*,
+        // so repeated observations don't re-diff already-pending state.
         for s in &snap.entries {
             let entry = DeltaEntry {
                 id: s.id,
@@ -124,41 +185,63 @@ impl Periphery {
                 last_tick: s.last_tick,
             };
             if full || self.last_sent.get(&s.id) != Some(&entry) {
-                entries.push(entry);
+                self.pending.insert(entry.id, entry);
+                self.pending_removed.remove(&entry.id);
+                self.last_sent.insert(entry.id, entry);
             }
         }
-        let mut removed: Vec<u32> = if full {
-            Vec::new()
-        } else {
-            let mut gone: Vec<u32> = self
+        if !full {
+            let gone: Vec<u32> = self
                 .last_sent
                 .keys()
                 .filter(|id| snap.get(**id).is_none())
                 .copied()
                 .collect();
-            gone.sort_unstable();
-            gone
-        };
+            for id in gone {
+                self.last_sent.remove(&id);
+                self.tenants.remove(&id);
+                self.pending.remove(&id);
+                self.pending_removed.insert(id);
+            }
+        }
 
         // A health transition with no view changes still ships one
         // (empty) delta, so the controller sees Fresh↔Stale↔Degraded
         // flips as they happen.
-        if !full && entries.is_empty() && removed.is_empty() && health == self.last_health {
+        if !full
+            && self.pending.is_empty()
+            && self.pending_removed.is_empty()
+            && health == self.last_health
+        {
             return;
         }
+
+        // Enforce the pushed `rate_burst` as a token bucket: a
+        // quarter-burst refills per observation, every pending entry or
+        // removal costs one token. A dry bucket *coalesces* — the diff
+        // stays pending (newer states overwrite older unsent ones) and
+        // flushes as one batch when tokens return. A FULL resync
+        // bypasses the bucket: the controller demanded it.
+        let capacity = u64::from(self.policy.rate_burst.max(1));
+        let refill = (capacity / 4).max(1);
+        self.tokens = self.tokens.saturating_add(refill).min(capacity);
+        let cost = (self.pending.len() + self.pending_removed.len()) as u64;
+        // A full bucket always buys one flush, even when the coalesced
+        // diff outgrew the whole burst — coalescing delays, it can
+        // never starve.
+        if !full && cost > self.tokens && self.tokens < capacity {
+            self.stats.deltas_coalesced += 1;
+            return;
+        }
+        self.tokens = self.tokens.saturating_sub(cost);
         self.last_health = health;
 
-        // Rebuild the shipped-state mirror.
-        if full {
-            self.last_sent.clear();
-        }
-        for id in &removed {
-            self.last_sent.remove(id);
-            self.tenants.remove(id);
-        }
-        for e in &entries {
-            self.last_sent.insert(e.id, *e);
-        }
+        let mut entries: Vec<DeltaEntry> =
+            std::mem::take(&mut self.pending).into_values().collect();
+        entries.sort_unstable_by_key(|e| e.id);
+        let mut removed: Vec<u32> = std::mem::take(&mut self.pending_removed)
+            .into_iter()
+            .collect();
 
         // Chunk into frames of at most `max_batch` entries. The FULL
         // flag rides only the first frame of a resync; followers are
@@ -215,9 +298,23 @@ impl Periphery {
     /// `expected_seq` is informational — with several frames in flight
     /// it naturally trails the local counter, so only the controller's
     /// explicit resync flag marks real loss.)
-    pub fn handle_ack(&mut self, ack: &Ack) {
+    ///
+    /// ACKs stamped with a controller epoch **below the highest seen**
+    /// are fenced: counted, and no state — policy, sequence, resync —
+    /// is mutated. A `not_leader` ACK is likewise never applied; the
+    /// returned disposition tells the transport to walk its controller
+    /// list.
+    pub fn handle_ack(&mut self, ack: &Ack) -> AckDisposition {
         if ack.host != self.host {
-            return;
+            return AckDisposition::Ignored;
+        }
+        if ack.ctl_epoch < self.ctl_epoch_seen {
+            self.stats.acks_fenced += 1;
+            return AckDisposition::Fenced;
+        }
+        self.ctl_epoch_seen = ack.ctl_epoch;
+        if ack.not_leader {
+            return AckDisposition::NotLeader;
         }
         if let Some(p) = &ack.policy {
             if p.epoch > self.policy.epoch {
@@ -229,6 +326,24 @@ impl Periphery {
             self.pending_full = true;
             self.stats.resyncs += 1;
         }
+        AckDisposition::Applied
+    }
+
+    /// The highest controller epoch observed in any ACK (fencing floor).
+    pub fn ctl_epoch_seen(&self) -> u64 {
+        self.ctl_epoch_seen
+    }
+
+    /// The transport reconnected (same or different controller): say
+    /// HELLO again and answer the new primary's world-view with a FULL
+    /// snapshot. Pending coalesced diffs are kept — the FULL subsumes
+    /// them at the next observation.
+    pub fn on_reconnect(&mut self) {
+        self.said_hello = false;
+        if !self.pending_full {
+            self.pending_full = true;
+        }
+        self.stats.failovers += 1;
     }
 }
 
@@ -310,7 +425,9 @@ mod tests {
         p.handle_ack(&Ack {
             host: 1,
             expected_seq: 0,
+            ctl_epoch: 0,
             resync: true,
+            not_leader: false,
             policy: None,
         });
         p.observe(&snap(2, &[(1, 2, 100)]), false, 0);
@@ -326,7 +443,9 @@ mod tests {
         p.handle_ack(&Ack {
             host: 1,
             expected_seq: 0,
+            ctl_epoch: 0,
             resync: false,
+            not_leader: false,
             policy: Some(FleetPolicy {
                 epoch: 1,
                 max_batch: 3,
@@ -352,5 +471,170 @@ mod tests {
         let ds = deltas(p.take_frames());
         let tenants: Vec<u32> = ds[0].entries.iter().map(|e| e.tenant).collect();
         assert_eq!(tenants, vec![77, 0]);
+    }
+
+    fn plain_ack(host: u32, ctl_epoch: u64) -> Ack {
+        Ack {
+            host,
+            expected_seq: 0,
+            ctl_epoch,
+            resync: false,
+            not_leader: false,
+            policy: None,
+        }
+    }
+
+    #[test]
+    fn token_bucket_coalesces_and_flushes_once() {
+        let mut p = Periphery::new(1);
+        p.handle_ack(&Ack {
+            policy: Some(FleetPolicy {
+                epoch: 1,
+                rate_burst: 4,
+                ..FleetPolicy::default()
+            }),
+            ..plain_ack(1, 0)
+        });
+        let states: Vec<(u32, u32, u64)> = (0..8).map(|i| (i, 1, 100)).collect();
+        p.observe(&snap(1, &states), false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1, "FULL bypasses the bucket");
+        assert!(ds[0].full);
+
+        // Every container changes but the bucket is dry: the diff is
+        // coalesced, not sent and not dropped.
+        let changed: Vec<(u32, u32, u64)> = (0..8).map(|i| (i, 2, 100)).collect();
+        p.observe(&snap(2, &changed), false, 0);
+        assert!(!p.has_frames(), "dry bucket defers the flush");
+        assert_eq!(p.stats().deltas_coalesced, 1);
+
+        // A newer value for container 0 overwrites its unsent diff.
+        let newer: Vec<(u32, u32, u64)> = (0..8)
+            .map(|i| (i, if i == 0 { 9 } else { 2 }, 100))
+            .collect();
+        let mut flush_tick = None;
+        for t in 3..64 {
+            p.observe(&snap(t, &newer), false, 0);
+            if p.has_frames() {
+                flush_tick = Some(t);
+                break;
+            }
+        }
+        assert!(flush_tick.is_some(), "tokens must eventually return");
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1, "accumulated diff flushes as one batch");
+        assert_eq!(ds[0].entries.len(), 8, "nothing was dropped");
+        assert!(
+            ds[0].entries.iter().any(|e| e.id == 0 && e.e_cpu == 9),
+            "coalesced entry carries the newest value"
+        );
+        assert!(p.stats().deltas_coalesced > 1);
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_fenced() {
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100)]), false, 0);
+        p.take_frames();
+        assert_eq!(p.handle_ack(&plain_ack(1, 2)), AckDisposition::Applied);
+        assert_eq!(p.ctl_epoch_seen(), 2);
+
+        // A deposed primary (epoch 1) pushes a tempting policy and a
+        // resync demand: both must be ignored wholesale.
+        let stale = Ack {
+            resync: true,
+            policy: Some(FleetPolicy {
+                epoch: 99,
+                staleness_budget: 1,
+                max_batch: 1,
+                rate_burst: 1,
+            }),
+            ..plain_ack(1, 1)
+        };
+        assert_eq!(p.handle_ack(&stale), AckDisposition::Fenced);
+        assert_eq!(p.stats().acks_fenced, 1);
+        assert_eq!(p.policy(), FleetPolicy::default(), "policy not adopted");
+        assert_eq!(p.stats().resyncs, 0, "resync not honoured");
+        p.observe(&snap(2, &[(1, 3, 100)]), false, 0);
+        let ds = deltas(p.take_frames());
+        assert!(!ds[0].full, "no FULL was scheduled by the fenced ACK");
+
+        // not_leader from a current-epoch controller: nothing applied
+        // either, but the disposition says to walk the list.
+        let nl = Ack {
+            not_leader: true,
+            ..plain_ack(1, 2)
+        };
+        assert_eq!(p.handle_ack(&nl), AckDisposition::NotLeader);
+    }
+
+    #[test]
+    fn reconnect_rehellos_and_resyncs() {
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100)]), false, 0);
+        p.take_frames();
+        p.on_reconnect();
+        assert_eq!(p.stats().failovers, 1);
+        p.observe(&snap(2, &[(1, 2, 100)]), false, 0);
+        let frames = p.take_frames();
+        assert!(matches!(decode_frame(&frames[0]), Some(Frame::Hello(_))));
+        let ds = deltas(frames);
+        assert!(ds[0].full, "reconnect answers with a FULL snapshot");
+    }
+
+    mod fencing_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary interleavings of stale-primary and
+            /// promoted-standby ACKs: an ACK whose epoch is below the
+            /// highest seen NEVER mutates periphery state.
+            #[test]
+            fn lower_epoch_acks_never_mutate(
+                ops in prop::collection::vec(
+                    (0u64..4, prop::bool::ANY, prop::bool::ANY, 1u64..8), 0..32),
+            ) {
+                let mut p = Periphery::new(1);
+                p.observe(&snap(1, &[(1, 2, 100)]), false, 0);
+                p.take_frames();
+                let mut max_seen = 0u64;
+                for (ctl_epoch, not_leader, resync, pepoch) in ops {
+                    let before = (
+                        p.policy(),
+                        p.stats().resyncs,
+                        p.stats().policy_updates,
+                        p.ctl_epoch_seen(),
+                    );
+                    let d = p.handle_ack(&Ack {
+                        host: 1,
+                        expected_seq: 0,
+                        ctl_epoch,
+                        resync,
+                        not_leader,
+                        policy: Some(FleetPolicy {
+                            epoch: pepoch,
+                            ..FleetPolicy::default()
+                        }),
+                    });
+                    if ctl_epoch < max_seen {
+                        prop_assert_eq!(d, AckDisposition::Fenced);
+                        let after = (
+                            p.policy(),
+                            p.stats().resyncs,
+                            p.stats().policy_updates,
+                            p.ctl_epoch_seen(),
+                        );
+                        prop_assert_eq!(before, after, "fenced ACK mutated state");
+                    } else {
+                        max_seen = ctl_epoch;
+                        prop_assert!(d != AckDisposition::Fenced);
+                    }
+                    prop_assert_eq!(p.ctl_epoch_seen(), max_seen);
+                }
+            }
+        }
     }
 }

@@ -18,13 +18,21 @@
 //!   kind 0 = cluster capacity, 1 = tenant rollup (arg = tenant),
 //!   kind 2 = top-k pressured containers (arg = k),
 //!   kind 3 = Prometheus stats exposition (arg ignored)
-//! ACK    := 0x20 | host u32 | expected_seq u64 | flags u8
-//!           [| POLICY body when bit1 set]
+//! REPL   := 0x14 | ctl_epoch u64 | repl_seq u64 | records
+//!   records = zero or more CRC-framed `arv_persist` journal records
+//!   (checkpoint / delta / remove), exactly the bytes the primary's
+//!   journal appended; the standby validates each record's CRC on apply
+//! ACK    := 0x20 | host u32 | expected_seq u64 | ctl_epoch u64
+//!           | flags u8 [| POLICY body when bit1 set]
 //!   flags bit0 = resync required (next DELTA must be FULL),
-//!   flags bit1 = policy block attached
-//! ROLLUP := 0x21 | kind u8 | status u8 | body
+//!   flags bit1 = policy block attached,
+//!   flags bit2 = sender is not the lease holder (try another
+//!   controller); peripheries fence ACKs whose ctl_epoch is below the
+//!   highest they have seen
+//! ROLLUP := 0x21 | ctl_epoch u64 | kind u8 | status u8 | body
 //!   status reuses the viewd wire codes: 0 = fresh, 2 = degraded
-//!   (at least one host is partitioned and served last-good)
+//!   (at least one host is partitioned and served last-good); readers
+//!   fence rollups from epochs below the highest observed
 //! ```
 //!
 //! Every decode path is bounds-checked and returns `Option` — arbitrary
@@ -41,6 +49,8 @@ pub const OP_DELTA: u8 = 0x11;
 pub const OP_POLICY: u8 = 0x12;
 /// Opcode: a cross-host rollup query.
 pub const OP_QUERY: u8 = 0x13;
+/// Opcode: primary→standby replication of accepted journal records.
+pub const OP_REPL: u8 = 0x14;
 /// Opcode: controller's answer to HELLO/DELTA.
 pub const OP_ACK: u8 = 0x20;
 /// Opcode: controller's answer to QUERY.
@@ -61,11 +71,20 @@ pub const DELTA_FULL: u8 = 1;
 pub const ACK_RESYNC: u8 = 1;
 /// ACK flag: a policy block follows the header.
 pub const ACK_POLICY: u8 = 2;
+/// ACK flag: the sender is not the current lease holder — the
+/// periphery should walk its controller list.
+pub const ACK_NOT_LEADER: u8 = 4;
+
+/// Sentinel `Ack.host` used when a standby acknowledges a REPL frame:
+/// `expected_seq` is then the next replication sequence, not a delta
+/// sequence. Real hosts never use this id.
+pub const REPL_PEER: u32 = u32::MAX;
 
 /// Largest accepted fleet frame. A full batch at the default
-/// [`FleetPolicy::max_batch`] is ~9 KiB; the cap bounds what a corrupt
-/// length prefix can allocate.
-pub const MAX_FLEET_FRAME: u32 = 64 * 1024;
+/// [`FleetPolicy::max_batch`] is ~9 KiB; REPL frames carrying a
+/// compacted checkpoint of a large index need far more headroom. The
+/// cap still bounds what a corrupt length prefix can allocate.
+pub const MAX_FLEET_FRAME: u32 = 1024 * 1024;
 
 /// Host-level health byte carried in DELTA: monitor healthy.
 pub const HEALTH_FRESH: u8 = 0;
@@ -161,14 +180,31 @@ pub struct Delta {
 /// A decoded ACK.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ack {
-    /// Host the ACK addresses.
+    /// Host the ACK addresses ([`REPL_PEER`] for replication ACKs).
     pub host: u32,
-    /// Next DELTA sequence the controller will accept in order.
+    /// Next DELTA sequence the controller will accept in order (next
+    /// REPL sequence for replication ACKs).
     pub expected_seq: u64,
+    /// Controller epoch the sender holds; lower-than-seen is fenced.
+    pub ctl_epoch: u64,
     /// Controller lost sequence: the next DELTA must be FULL.
     pub resync: bool,
+    /// The sender does not hold the lease; walk the controller list.
+    pub not_leader: bool,
     /// Policy push-down, attached when the periphery's epoch is stale.
     pub policy: Option<FleetPolicy>,
+}
+
+/// A decoded REPL batch: raw journal records streamed primary→standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repl {
+    /// Controller epoch of the sending primary.
+    pub ctl_epoch: u64,
+    /// Sequence of this replication frame (gap ⇒ standby demands a
+    /// fresh checkpoint).
+    pub repl_seq: u64,
+    /// CRC-framed `arv_persist` record bytes, zero or more records.
+    pub records: Vec<u8>,
 }
 
 /// A decoded QUERY.
@@ -251,6 +287,16 @@ pub enum Rollup {
     Stats(String),
 }
 
+/// A ROLLUP answer stamped with the answering controller's epoch, so
+/// readers can fence answers from deposed primaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupFrame {
+    /// Controller epoch of the answering controller.
+    pub ctl_epoch: u64,
+    /// The rollup body.
+    pub body: Rollup,
+}
+
 /// Any decoded fleet frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -262,10 +308,12 @@ pub enum Frame {
     Policy(FleetPolicy),
     /// A rollup query.
     Query(Query),
+    /// A replication batch.
+    Repl(Repl),
     /// A controller ACK.
     Ack(Ack),
     /// A controller rollup answer.
-    Rollup(Rollup),
+    Rollup(RollupFrame),
 }
 
 // ---------------------------------------------------------------------
@@ -342,18 +390,32 @@ pub fn encode_query(q: &Query) -> Vec<u8> {
     out
 }
 
+/// Encode a REPL payload.
+pub fn encode_repl(r: &Repl) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + r.records.len());
+    out.push(OP_REPL);
+    put_u64(&mut out, r.ctl_epoch);
+    put_u64(&mut out, r.repl_seq);
+    out.extend_from_slice(&r.records);
+    out
+}
+
 /// Encode an ACK payload.
 pub fn encode_ack(a: &Ack) -> Vec<u8> {
-    let mut out = Vec::with_capacity(14 + 24);
+    let mut out = Vec::with_capacity(22 + 24);
     out.push(OP_ACK);
     put_u32(&mut out, a.host);
     put_u64(&mut out, a.expected_seq);
+    put_u64(&mut out, a.ctl_epoch);
     let mut flags = 0u8;
     if a.resync {
         flags |= ACK_RESYNC;
     }
     if a.policy.is_some() {
         flags |= ACK_POLICY;
+    }
+    if a.not_leader {
+        flags |= ACK_NOT_LEADER;
     }
     out.push(flags);
     if let Some(p) = &a.policy {
@@ -363,10 +425,11 @@ pub fn encode_ack(a: &Ack) -> Vec<u8> {
 }
 
 /// Encode a ROLLUP payload.
-pub fn encode_rollup(r: &Rollup) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+pub fn encode_rollup(r: &RollupFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(72);
     out.push(OP_ROLLUP);
-    match r {
+    put_u64(&mut out, r.ctl_epoch);
+    match &r.body {
         Rollup::Cluster { rollup, degraded } => {
             out.push(QUERY_CLUSTER);
             out.push(if *degraded {
@@ -523,7 +586,7 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
     })
 }
 
-fn decode_rollup(c: &mut Cur) -> Option<Rollup> {
+fn decode_rollup(c: &mut Cur<'_>) -> Option<Rollup> {
     let kind = c.u8()?;
     let status = c.u8()?;
     if status != STATUS_OK && status != STATUS_OK_DEGRADED {
@@ -598,11 +661,17 @@ pub fn decode_frame(payload: &[u8]) -> Option<Frame> {
                 arg: c.u32()?,
             })
         }
+        OP_REPL => Frame::Repl(Repl {
+            ctl_epoch: c.u64()?,
+            repl_seq: c.u64()?,
+            records: c.rest().to_vec(),
+        }),
         OP_ACK => {
             let host = c.u32()?;
             let expected_seq = c.u64()?;
+            let ctl_epoch = c.u64()?;
             let flags = c.u8()?;
-            if flags & !(ACK_RESYNC | ACK_POLICY) != 0 {
+            if flags & !(ACK_RESYNC | ACK_POLICY | ACK_NOT_LEADER) != 0 {
                 return None;
             }
             let policy = if flags & ACK_POLICY != 0 {
@@ -613,11 +682,19 @@ pub fn decode_frame(payload: &[u8]) -> Option<Frame> {
             Frame::Ack(Ack {
                 host,
                 expected_seq,
+                ctl_epoch,
                 resync: flags & ACK_RESYNC != 0,
+                not_leader: flags & ACK_NOT_LEADER != 0,
                 policy,
             })
         }
-        OP_ROLLUP => Frame::Rollup(decode_rollup(&mut c)?),
+        OP_ROLLUP => {
+            let ctl_epoch = c.u64()?;
+            Frame::Rollup(RollupFrame {
+                ctl_epoch,
+                body: decode_rollup(&mut c)?,
+            })
+        }
         _ => return None,
     };
     if c.done() {
@@ -695,10 +772,32 @@ mod tests {
         let ack = Ack {
             host: 3,
             expected_seq: 43,
+            ctl_epoch: 7,
             resync: true,
+            not_leader: false,
             policy: Some(policy),
         };
         assert_eq!(decode_frame(&encode_ack(&ack)), Some(Frame::Ack(ack)));
+
+        let fenced_ack = Ack {
+            host: REPL_PEER,
+            expected_seq: 9,
+            ctl_epoch: 2,
+            resync: false,
+            not_leader: true,
+            policy: None,
+        };
+        assert_eq!(
+            decode_frame(&encode_ack(&fenced_ack)),
+            Some(Frame::Ack(fenced_ack))
+        );
+
+        let repl = Repl {
+            ctl_epoch: 4,
+            repl_seq: 11,
+            records: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(decode_frame(&encode_repl(&repl)), Some(Frame::Repl(repl)));
 
         let query = Query {
             kind: QUERY_TENANT,
@@ -709,7 +808,7 @@ mod tests {
             Some(Frame::Query(query))
         );
 
-        for rollup in [
+        for body in [
             Rollup::Cluster {
                 rollup: ClusterRollup {
                     cpu: 100,
@@ -737,6 +836,7 @@ mod tests {
             }]),
             Rollup::Stats("arv_fleet_deltas_ingested 3\n".to_string()),
         ] {
+            let rollup = RollupFrame { ctl_epoch: 5, body };
             assert_eq!(
                 decode_frame(&encode_rollup(&rollup)),
                 Some(Frame::Rollup(rollup))
@@ -757,14 +857,24 @@ mod tests {
             encode_ack(&Ack {
                 host: 1,
                 expected_seq: 2,
+                ctl_epoch: 3,
                 resync: false,
+                not_leader: false,
                 policy: Some(FleetPolicy::default()),
             }),
-            encode_rollup(&Rollup::TopK(vec![PressurePoint {
-                host: 1,
-                id: 2,
-                pressure_milli: 500,
-            }])),
+            encode_rollup(&RollupFrame {
+                ctl_epoch: 1,
+                body: Rollup::TopK(vec![PressurePoint {
+                    host: 1,
+                    id: 2,
+                    pressure_milli: 500,
+                }]),
+            }),
+            encode_repl(&Repl {
+                ctl_epoch: 2,
+                repl_seq: 3,
+                records: vec![9; 24],
+            }),
         ];
         for frame in &frames {
             for cut in 0..frame.len() {
@@ -882,6 +992,49 @@ mod tests {
                     decode_frame(&encode_delta(&delta)),
                     Some(Frame::Delta(delta))
                 );
+            }
+
+            /// Arbitrary record bytes shipped through a REPL frame never
+            /// panic a standby — torn, corrupt, or adversarial streams
+            /// degrade to a resync demand, not a crash.
+            #[test]
+            fn repl_garbage_never_panics_standby(
+                ctl_epoch in 0u64..8,
+                repl_seq in 0u64..8,
+                records in prop::collection::vec(0u8..255, 0..256)
+            ) {
+                let frame = encode_repl(&Repl { ctl_epoch, repl_seq, records });
+                let standby = FleetController::new(2, FleetPolicy::default());
+                let _ = standby.handle_frame(&frame);
+            }
+
+            /// Truncating a valid REPL stream at any byte never panics a
+            /// standby: the CRC framing drops the torn tail and the
+            /// standby asks for a checkpoint.
+            #[test]
+            fn truncated_repl_never_panics_standby(
+                n in 0usize..6,
+                cut in 0usize..512
+            ) {
+                use arv_persist::{encode_record, Record, ViewState};
+                let mut records = Vec::new();
+                for i in 0..n {
+                    records.extend_from_slice(&encode_record(&Record::Delta {
+                        state: ViewState {
+                            id: (1u32 << 16) | i as u32,
+                            e_cpu: i as u32,
+                            e_mem: 1,
+                            e_avail: 1,
+                            last_tick: i as u64,
+                        },
+                        tick: i as u64,
+                    }));
+                }
+                let keep = cut.min(records.len());
+                records.truncate(keep);
+                let frame = encode_repl(&Repl { ctl_epoch: 1, repl_seq: 0, records });
+                let standby = FleetController::new(2, FleetPolicy::default());
+                let _ = standby.handle_frame(&frame);
             }
         }
     }

@@ -9,7 +9,16 @@
 //! A frame the controller cannot decode is connection-fatal: the server
 //! drops the conversation (the peer sees EOF), exactly like the viewd
 //! wire's response to untrustable framing.
+//!
+//! [`FleetFailoverClient`] is the periphery-side failover transport: it
+//! holds an ordered list of controller sockets (primary first, then
+//! standbys) and walks it on any send/ACK failure with bounded
+//! exponential backoff under deterministic seeded jitter — the same
+//! discipline as viewd's `RobustWireClient`. The caller learns via
+//! [`FleetFailoverClient::take_reconnected`] that the conversation
+//! moved, so it can re-HELLO and answer the new leader's FULL-resync.
 
+use arv_sim_core::SimRng;
 use arv_viewd::codec::{read_frame, server_read_frame, write_frame, ServerRead};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -113,15 +122,16 @@ fn serve_connection(
     stop: &AtomicBool,
 ) -> io::Result<()> {
     loop {
+        // Checked every iteration, not only on idle: a connection with
+        // steady request traffic never idles, and shutdown must not
+        // wait for a busy peer to pause.
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let request = match server_read_frame(&mut stream, MAX_FLEET_FRAME) {
             Ok(ServerRead::Frame(req)) => req,
             Ok(ServerRead::Eof) => return Ok(()),
-            Ok(ServerRead::Idle) => {
-                if stop.load(Ordering::Acquire) {
-                    return Ok(());
-                }
-                continue;
-            }
+            Ok(ServerRead::Idle) => continue,
             Err(e) => return Err(e),
         };
         match controller.handle_frame(&request) {
@@ -152,6 +162,202 @@ impl FleetClient {
     pub fn request(&mut self, frame: &[u8]) -> io::Result<Option<Vec<u8>>> {
         write_frame(&mut self.stream, frame)?;
         read_frame(&mut self.stream, MAX_FLEET_FRAME)
+    }
+}
+
+/// Retry and backoff policy for [`FleetFailoverClient`].
+#[derive(Debug, Clone)]
+pub struct FailoverPolicy {
+    /// Total tries per request across the controller list. At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Read/write deadline applied to the socket for each attempt.
+    pub request_timeout: Duration,
+    /// Seed for the jitter applied to backoff pauses; same seed, same
+    /// pause sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> FailoverPolicy {
+        FailoverPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl FailoverPolicy {
+    /// A policy with microsecond-scale backoffs for tests, so failover
+    /// paths run in milliseconds instead of seconds.
+    pub fn fast_test() -> FailoverPolicy {
+        FailoverPolicy {
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            request_timeout: Duration::from_millis(200),
+            ..FailoverPolicy::default()
+        }
+    }
+
+    /// Pause before retry number `retry` (0-based), with ±30% seeded
+    /// jitter to decorrelate peripheries converging on a standby.
+    fn backoff(&self, retry: u32, rng: &mut SimRng) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(1u32 << retry.min(10));
+        doubled.min(self.max_backoff).mul_f64(rng.jitter(0.3))
+    }
+}
+
+/// Counters describing one [`FleetFailoverClient`]'s life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverClientStats {
+    /// Requests answered successfully.
+    pub successes: u64,
+    /// Attempts beyond the first within a request.
+    pub retries: u64,
+    /// Times the client moved to the next controller in the list
+    /// (after an I/O failure, EOF, or an explicit not-leader signal).
+    pub controller_switches: u64,
+    /// Fresh connections established (first connect included).
+    pub reconnects: u64,
+    /// Requests that exhausted every attempt.
+    pub failures: u64,
+}
+
+/// A periphery's failover transport: one live connection at a time,
+/// walking an ordered controller list on failure with seeded-jitter
+/// exponential backoff.
+///
+/// Connection is lazy — constructing the client never touches a socket,
+/// so a periphery can start before any controller does. After a request
+/// that moved the conversation (new connection, possibly a different
+/// controller), [`FleetFailoverClient::take_reconnected`] returns true
+/// once: the caller must re-HELLO (`Periphery::on_reconnect`) so the
+/// new leader can demand the FULL resync that re-seeds its index.
+#[derive(Debug)]
+pub struct FleetFailoverClient {
+    paths: Vec<PathBuf>,
+    policy: FailoverPolicy,
+    active: usize,
+    stream: Option<UnixStream>,
+    rng: SimRng,
+    stats: FailoverClientStats,
+    reconnected: bool,
+}
+
+impl FleetFailoverClient {
+    /// A client walking `controllers` (primary first) under `policy`.
+    /// Does not connect yet.
+    pub fn new(
+        controllers: impl IntoIterator<Item = impl AsRef<Path>>,
+        policy: FailoverPolicy,
+    ) -> FleetFailoverClient {
+        FleetFailoverClient {
+            paths: controllers
+                .into_iter()
+                .map(|p| p.as_ref().to_path_buf())
+                .collect(),
+            rng: SimRng::seed_from_u64(policy.jitter_seed),
+            policy,
+            active: 0,
+            stream: None,
+            stats: FailoverClientStats::default(),
+            reconnected: false,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FailoverClientStats {
+        self.stats
+    }
+
+    /// The controller currently targeted (index into the configured
+    /// list).
+    pub fn active_controller(&self) -> usize {
+        self.active
+    }
+
+    /// True exactly once after the conversation moved to a fresh
+    /// connection; the caller must re-HELLO before its next delta.
+    pub fn take_reconnected(&mut self) -> bool {
+        std::mem::take(&mut self.reconnected)
+    }
+
+    /// Drop the current connection and aim at the next controller in
+    /// the list. Called internally on I/O failure; callers invoke it on
+    /// protocol-level rejections (a fenced or not-leader ACK) where the
+    /// bytes flowed fine but the peer is not the leader.
+    pub fn advance_controller(&mut self) {
+        self.stream = None;
+        if !self.paths.is_empty() {
+            self.active = (self.active + 1) % self.paths.len();
+        }
+        self.stats.controller_switches += 1;
+    }
+
+    fn connect_active(&mut self) -> io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let path = self
+            .paths
+            .get(self.active)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "empty controller list"))?;
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(self.policy.request_timeout))?;
+        stream.set_write_timeout(Some(self.policy.request_timeout))?;
+        self.stream = Some(stream);
+        self.stats.reconnects += 1;
+        self.reconnected = true;
+        Ok(())
+    }
+
+    fn try_once(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+        self.connect_active()?;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "no stream"));
+        };
+        write_frame(stream, frame)?;
+        match read_frame(stream, MAX_FLEET_FRAME)? {
+            Some(resp) => Ok(resp),
+            // EOF mid-conversation: the controller died or dropped us —
+            // indistinguishable from a crash, so treated like one.
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "controller closed the conversation",
+            )),
+        }
+    }
+
+    /// Send one frame, walking the controller list until a response
+    /// arrives or attempts are exhausted. Returns the response bytes.
+    pub fn request(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let pause = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(pause);
+            }
+            match self.try_once(frame) {
+                Ok(resp) => {
+                    self.stats.successes += 1;
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.advance_controller();
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.stats.failures += 1;
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "attempts exhausted")))
     }
 }
 
@@ -215,14 +421,56 @@ mod tests {
             arg: 0,
         });
         let resp = client.request(&query).unwrap().unwrap();
-        let Some(Frame::Rollup(Rollup::Cluster { rollup, degraded })) = decode_frame(&resp) else {
+        let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
             panic!("expected cluster rollup");
+        };
+        let Rollup::Cluster { rollup, degraded } = frame.body else {
+            panic!("expected cluster rollup body");
         };
         assert_eq!(rollup.cpu, 4);
         assert_eq!(rollup.hosts, 1);
         assert!(!degraded);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn failover_client_walks_to_the_standby() {
+        let controller = Arc::new(FleetController::new(4, FleetPolicy::default()));
+        let dead = sock_path("failover-dead");
+        let live = sock_path("failover-live");
+        let _ = std::fs::remove_file(&dead);
+        let mut server = FleetWireServer::spawn(Arc::clone(&controller), &live).unwrap();
+
+        let mut client = FleetFailoverClient::new(
+            [dead.as_path(), live.as_path()],
+            FailoverPolicy::fast_test(),
+        );
+        assert_eq!(client.active_controller(), 0);
+        let hello = encode_hello(&Hello {
+            host: 1,
+            tick: 0,
+            containers: 0,
+            epoch: 0,
+        });
+        let resp = client.request(&hello).unwrap();
+        assert!(matches!(decode_frame(&resp), Some(Frame::Ack(_))));
+        assert_eq!(
+            client.active_controller(),
+            1,
+            "walked past the dead primary"
+        );
+        assert!(client.take_reconnected(), "fresh connection reported once");
+        assert!(!client.take_reconnected());
+        let s = client.stats();
+        assert_eq!(s.successes, 1);
+        assert!(s.controller_switches >= 1);
+        assert!(s.retries >= 1);
+
+        // Kill the live controller too: attempts exhaust cleanly.
+        server.shutdown();
+        assert!(client.request(&hello).is_err());
+        assert_eq!(client.stats().failures, 1);
     }
 
     #[test]

@@ -46,6 +46,121 @@ const KIND_CHECKPOINT: u8 = 1;
 const KIND_DELTA: u8 = 2;
 const KIND_REMOVE: u8 = 3;
 
+/// One decoded journal record. The journal's own [`restore`] folds
+/// records into a snapshot; replication streams ship them raw so a
+/// standby can fold them into a *live* index instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A full compacted snapshot (replaces all prior state).
+    Checkpoint(Snapshot),
+    /// One container's refreshed view at `tick`.
+    Delta {
+        /// The refreshed state.
+        state: ViewState,
+        /// Journal-clock tick of the refresh.
+        tick: u64,
+    },
+    /// A container removal.
+    Remove(u32),
+}
+
+/// Encode one record in the journal's CRC-framed record format
+/// (`len | body | crc32`, no file header). The bytes are exactly what
+/// [`Journal`] appends, so a replication stream and the journal cannot
+/// drift in format.
+pub fn encode_record(r: &Record) -> Vec<u8> {
+    let body = match r {
+        Record::Checkpoint(snap) => checkpoint_body(snap),
+        Record::Delta { state, tick } => delta_body(state, *tick),
+        Record::Remove(id) => remove_body(*id),
+    };
+    let mut out = Vec::with_capacity(body.len() + 8);
+    frame_record_into(&mut out, &body);
+    out
+}
+
+/// What a [`decode_records`] scan recovered from a bare record stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordScan {
+    /// Records decoded in order, up to the first bad frame.
+    pub records: Vec<Record>,
+    /// 1 if the stream ended in a torn or corrupt frame (everything
+    /// from that frame on is dropped), else 0.
+    pub truncated: u64,
+}
+
+/// Decode a bare stream of CRC-framed records (no file header), as
+/// carried by a replication frame. Stops at the first torn or corrupt
+/// frame and reports it; never panics, never allocates past
+/// [`MAX_RECORD`] per frame, for any input bytes.
+pub fn decode_records(bytes: &[u8]) -> RecordScan {
+    let mut scan = RecordScan::default();
+    let mut c = Cursor { bytes, pos: 0 };
+    while c.pos < bytes.len() {
+        let Some(record) = read_record(&mut c) else {
+            scan.truncated = 1;
+            break;
+        };
+        let mut rc = Cursor {
+            bytes: record,
+            pos: 0,
+        };
+        let decoded = match rc.u8() {
+            Some(KIND_CHECKPOINT) => decode_checkpoint(&mut rc).map(Record::Checkpoint),
+            Some(KIND_DELTA) => rc
+                .u64()
+                .and_then(|tick| decode_state(&mut rc).map(|state| Record::Delta { state, tick })),
+            Some(KIND_REMOVE) => rc.u32().map(Record::Remove),
+            _ => None,
+        };
+        match decoded {
+            Some(r) => scan.records.push(r),
+            None => {
+                scan.truncated = 1;
+                break;
+            }
+        }
+    }
+    scan
+}
+
+fn checkpoint_body(snap: &Snapshot) -> Vec<u8> {
+    let mut body = Vec::with_capacity(13 + snap.entries.len() * 28);
+    body.push(KIND_CHECKPOINT);
+    body.extend_from_slice(&snap.tick.to_le_bytes());
+    body.extend_from_slice(&(snap.entries.len() as u32).to_le_bytes());
+    for e in &snap.entries {
+        encode_state(&mut body, e);
+    }
+    body
+}
+
+fn delta_body(state: &ViewState, tick: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(37);
+    body.push(KIND_DELTA);
+    body.extend_from_slice(&tick.to_le_bytes());
+    encode_state(&mut body, state);
+    body
+}
+
+fn remove_body(id: u32) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5);
+    body.push(KIND_REMOVE);
+    body.extend_from_slice(&id.to_le_bytes());
+    body
+}
+
+fn frame_record_into(buf: &mut Vec<u8>, body: &[u8]) {
+    let len = (body.len() as u32).to_le_bytes();
+    let mut crc_input = Vec::with_capacity(4 + body.len());
+    crc_input.extend_from_slice(&len);
+    crc_input.extend_from_slice(body);
+    let crc = crc32::checksum(&crc_input);
+    buf.extend_from_slice(&len);
+    buf.extend_from_slice(body);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
 pub mod crc32 {
     //! Table-driven IEEE CRC32 (the zlib/ethernet polynomial),
     //! hand-rolled because the CI containers build fully offline.
@@ -228,42 +343,20 @@ impl Journal {
     /// plus this single snapshot record, discarding older history.
     pub fn checkpoint(&mut self, snap: &Snapshot) {
         self.buf.truncate(8);
-        let mut body = Vec::with_capacity(13 + snap.entries.len() * 28);
-        body.push(KIND_CHECKPOINT);
-        body.extend_from_slice(&snap.tick.to_le_bytes());
-        body.extend_from_slice(&(snap.entries.len() as u32).to_le_bytes());
-        for e in &snap.entries {
-            encode_state(&mut body, e);
-        }
-        self.push_record(&body);
+        let body = checkpoint_body(snap);
+        frame_record_into(&mut self.buf, &body);
     }
 
     /// Append one container's refreshed view.
     pub fn append_delta(&mut self, state: &ViewState, tick: u64) {
-        let mut body = Vec::with_capacity(37);
-        body.push(KIND_DELTA);
-        body.extend_from_slice(&tick.to_le_bytes());
-        encode_state(&mut body, state);
-        self.push_record(&body);
+        let body = delta_body(state, tick);
+        frame_record_into(&mut self.buf, &body);
     }
 
     /// Append a container removal.
     pub fn append_remove(&mut self, id: u32) {
-        let mut body = Vec::with_capacity(5);
-        body.push(KIND_REMOVE);
-        body.extend_from_slice(&id.to_le_bytes());
-        self.push_record(&body);
-    }
-
-    fn push_record(&mut self, body: &[u8]) {
-        let len = (body.len() as u32).to_le_bytes();
-        let mut crc_input = Vec::with_capacity(4 + body.len());
-        crc_input.extend_from_slice(&len);
-        crc_input.extend_from_slice(body);
-        let crc = crc32::checksum(&crc_input);
-        self.buf.extend_from_slice(&len);
-        self.buf.extend_from_slice(body);
-        self.buf.extend_from_slice(&crc.to_le_bytes());
+        let body = remove_body(id);
+        frame_record_into(&mut self.buf, &body);
     }
 }
 
@@ -431,6 +524,147 @@ fn decode_checkpoint(rc: &mut Cursor<'_>) -> Option<Snapshot> {
     }
     entries.sort_by_key(|e: &ViewState| e.id);
     Some(Snapshot { tick, entries })
+}
+
+pub mod lease {
+    //! A file-backed controller lease with monotone epochs.
+    //!
+    //! Fleet controllers elect a leader through a single small state
+    //! file (here: an owned byte buffer, same as [`Journal`](super::Journal)'s
+    //! store — the simulation's stand-in for a shared disk or config
+    //! volume). The rules are deliberately minimal:
+    //!
+    //! - **Grant.** An empty or unreadable lease is granted to the first
+    //!   caller at **epoch 1**.
+    //! - **Renew.** The current holder may renew before expiry; the
+    //!   epoch does **not** change.
+    //! - **Takeover.** Any caller may acquire after expiry; the epoch is
+    //!   **bumped by one**. A bumped epoch is the promotion signal — the
+    //!   cluster fences everything stamped with a lower epoch.
+    //! - **Refuse.** An unexpired lease held by someone else is never
+    //!   reassigned.
+    //!
+    //! Time is the caller's deterministic tick clock, not wall time, so
+    //! seeded campaigns replay bit-identically.
+    //!
+    //! ```text
+    //! lease := magic:u32le ("AVRL") | epoch:u64le | holder:u32le
+    //!          | expires:u64le | crc32:u32le
+    //! ```
+    //!
+    //! The CRC covers everything before it; a torn or corrupt lease
+    //! reads as *absent* (first caller re-grants at `epoch + 1` is not
+    //! possible from garbage, so a corrupt file restarts at epoch 1 —
+    //! acceptable because fencing only requires epochs be monotone
+    //! *while the file is intact*, and peripheries additionally track
+    //! the highest epoch they have ever seen).
+
+    use super::crc32;
+
+    /// File magic: `b"AVRL"` as a little-endian `u32`.
+    pub const LEASE_MAGIC: u32 = u32::from_le_bytes(*b"AVRL");
+    /// Encoded lease size in bytes.
+    pub const LEASE_BYTES: usize = 28;
+
+    /// One decoded lease: who leads, at what epoch, until when.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Lease {
+        /// Monotone controller epoch; bumped on every takeover.
+        pub epoch: u64,
+        /// Holder id (a controller's stable identity).
+        pub holder: u32,
+        /// Tick after which the lease may be taken over.
+        pub expires: u64,
+    }
+
+    impl Lease {
+        /// Encode to the CRC-protected on-disk form.
+        pub fn encode(&self) -> Vec<u8> {
+            let mut out = Vec::with_capacity(LEASE_BYTES);
+            out.extend_from_slice(&LEASE_MAGIC.to_le_bytes());
+            out.extend_from_slice(&self.epoch.to_le_bytes());
+            out.extend_from_slice(&self.holder.to_le_bytes());
+            out.extend_from_slice(&self.expires.to_le_bytes());
+            let crc = crc32::checksum(&out);
+            out.extend_from_slice(&crc.to_le_bytes());
+            out
+        }
+
+        /// Decode; `None` for anything torn, corrupt, or foreign.
+        pub fn decode(bytes: &[u8]) -> Option<Lease> {
+            if bytes.len() != LEASE_BYTES {
+                return None;
+            }
+            let body = &bytes[..LEASE_BYTES - 4];
+            let crc = u32::from_le_bytes(bytes[LEASE_BYTES - 4..].try_into().ok()?);
+            if crc32::checksum(body) != crc {
+                return None;
+            }
+            if u32::from_le_bytes(body[0..4].try_into().ok()?) != LEASE_MAGIC {
+                return None;
+            }
+            Some(Lease {
+                epoch: u64::from_le_bytes(body[4..12].try_into().ok()?),
+                holder: u32::from_le_bytes(body[12..16].try_into().ok()?),
+                expires: u64::from_le_bytes(body[16..24].try_into().ok()?),
+            })
+        }
+    }
+
+    /// The byte-backed lease store controllers contend on.
+    #[derive(Debug, Clone, Default)]
+    pub struct LeaseFile {
+        buf: Vec<u8>,
+    }
+
+    impl LeaseFile {
+        /// An empty (never-granted) lease store.
+        pub fn new() -> LeaseFile {
+            LeaseFile::default()
+        }
+
+        /// Rehydrate from bytes (e.g. after a warm restart).
+        pub fn from_bytes(buf: Vec<u8>) -> LeaseFile {
+            LeaseFile { buf }
+        }
+
+        /// The raw store bytes, exactly as "on disk".
+        pub fn as_bytes(&self) -> &[u8] {
+            &self.buf
+        }
+
+        /// The current lease, if the store holds an intact one.
+        pub fn current(&self) -> Option<Lease> {
+            Lease::decode(&self.buf)
+        }
+
+        /// Try to acquire or renew the lease for `holder` at tick `now`,
+        /// extending it to `now + ttl`. Returns the held lease on
+        /// success (grant, renew, or takeover per the module rules), or
+        /// `None` if another holder's unexpired lease blocks us.
+        pub fn try_acquire(&mut self, holder: u32, now: u64, ttl: u64) -> Option<Lease> {
+            let next = match self.current() {
+                None => Lease {
+                    epoch: 1,
+                    holder,
+                    expires: now.saturating_add(ttl),
+                },
+                Some(cur) if cur.holder == holder && now <= cur.expires => Lease {
+                    epoch: cur.epoch,
+                    holder,
+                    expires: now.saturating_add(ttl),
+                },
+                Some(cur) if now > cur.expires => Lease {
+                    epoch: cur.epoch.saturating_add(1),
+                    holder,
+                    expires: now.saturating_add(ttl),
+                },
+                Some(_) => return None,
+            };
+            self.buf = next.encode();
+            Some(next)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -665,6 +899,130 @@ mod tests {
                 let (b, _) = build(&ops);
                 prop_assert_eq!(a.as_bytes(), b.as_bytes());
             }
+        }
+    }
+
+    mod records {
+        use super::*;
+
+        #[test]
+        fn record_stream_roundtrips() {
+            let mut snap = Snapshot::at(9);
+            snap.entries.push(state(1, 4, 9));
+            let records = vec![
+                Record::Checkpoint(snap),
+                Record::Delta {
+                    state: state(2, 8, 10),
+                    tick: 10,
+                },
+                Record::Remove(1),
+            ];
+            let mut stream = Vec::new();
+            for r in &records {
+                stream.extend_from_slice(&encode_record(r));
+            }
+            let scan = decode_records(&stream);
+            assert_eq!(scan.records, records);
+            assert_eq!(scan.truncated, 0);
+        }
+
+        #[test]
+        fn record_bytes_match_journal_bytes() {
+            // The replication stream must be byte-identical to what the
+            // journal would append for the same operations.
+            let mut j = Journal::new();
+            j.append_delta(&state(3, 2, 7), 7);
+            j.append_remove(3);
+            let mut stream = Vec::new();
+            stream.extend_from_slice(&encode_record(&Record::Delta {
+                state: state(3, 2, 7),
+                tick: 7,
+            }));
+            stream.extend_from_slice(&encode_record(&Record::Remove(3)));
+            assert_eq!(&j.as_bytes()[8..], &stream[..]);
+        }
+
+        #[test]
+        fn truncated_stream_keeps_prefix() {
+            let mut stream = Vec::new();
+            stream.extend_from_slice(&encode_record(&Record::Remove(1)));
+            stream.extend_from_slice(&encode_record(&Record::Remove(2)));
+            let cut = stream.len() - 3;
+            let scan = decode_records(&stream[..cut]);
+            assert_eq!(scan.records, vec![Record::Remove(1)]);
+            assert_eq!(scan.truncated, 1);
+        }
+
+        #[test]
+        fn corrupt_stream_never_panics() {
+            let mut stream = Vec::new();
+            stream.extend_from_slice(&encode_record(&Record::Remove(7)));
+            for i in 0..stream.len() {
+                let mut bad = stream.clone();
+                bad[i] ^= 0xFF;
+                let _ = decode_records(&bad); // must not panic
+            }
+            // Absurd length word: bounded allocation, no panic.
+            let huge = [0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3];
+            assert_eq!(decode_records(&huge).truncated, 1);
+        }
+    }
+
+    mod lease_rules {
+        use super::super::lease::{Lease, LeaseFile, LEASE_BYTES};
+
+        #[test]
+        fn grant_renew_takeover() {
+            let mut f = LeaseFile::new();
+            // Grant: first caller gets epoch 1.
+            let l1 = f.try_acquire(10, 0, 5).expect("grant");
+            assert_eq!((l1.epoch, l1.holder, l1.expires), (1, 10, 5));
+            // Refuse: someone else while unexpired.
+            assert_eq!(f.try_acquire(20, 3, 5), None);
+            // Renew: same holder keeps the epoch, extends expiry.
+            let l2 = f.try_acquire(10, 4, 5).expect("renew");
+            assert_eq!((l2.epoch, l2.expires), (1, 9));
+            // Takeover: after expiry anyone acquires at epoch + 1.
+            let l3 = f.try_acquire(20, 10, 5).expect("takeover");
+            assert_eq!((l3.epoch, l3.holder, l3.expires), (2, 20, 15));
+        }
+
+        #[test]
+        fn expired_holder_retake_bumps_epoch() {
+            let mut f = LeaseFile::new();
+            f.try_acquire(10, 0, 5).expect("grant");
+            // The old holder coming back after expiry is a takeover
+            // too: it must not resume its old epoch silently.
+            let l = f.try_acquire(10, 6, 5).expect("retake");
+            assert_eq!(l.epoch, 2);
+        }
+
+        #[test]
+        fn corrupt_lease_reads_absent() {
+            let mut f = LeaseFile::new();
+            f.try_acquire(10, 0, 5).expect("grant");
+            let good = f.as_bytes().to_vec();
+            assert_eq!(good.len(), LEASE_BYTES);
+            assert!(Lease::decode(&good).is_some());
+            for i in 0..good.len() {
+                let mut bad = good.clone();
+                bad[i] ^= 0x10;
+                assert_eq!(Lease::decode(&bad), None, "flip at {i} must fail CRC");
+            }
+            assert_eq!(Lease::decode(&good[..LEASE_BYTES - 1]), None);
+            // A corrupt store behaves as never-granted.
+            let mut torn = LeaseFile::from_bytes(vec![0xAB; 11]);
+            assert_eq!(torn.current(), None);
+            let l = torn.try_acquire(30, 0, 5).expect("regrant");
+            assert_eq!(l.epoch, 1);
+        }
+
+        #[test]
+        fn roundtrip_survives_rehydrate() {
+            let mut f = LeaseFile::new();
+            f.try_acquire(10, 0, 5).expect("grant");
+            let f2 = LeaseFile::from_bytes(f.as_bytes().to_vec());
+            assert_eq!(f2.current(), f.current());
         }
     }
 }

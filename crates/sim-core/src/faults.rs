@@ -51,6 +51,20 @@ pub struct FaultConfig {
     /// The controller is down for the window and a replacement
     /// warm-restarts from the journal at the first tick past it.
     pub controller_crash_at: Option<(u64, u64)>,
+    /// Replicated-fleet primary kill: `(kill_tick, downtime_ticks)`.
+    /// Unlike [`FaultConfig::controller_crash_at`] there is no
+    /// journal warm-restart — peripheries walk to a hot standby, which
+    /// promotes itself once the primary's lease expires.
+    pub primary_crash_at: Option<(u64, u64)>,
+    /// Lease-stall window: `(first_tick, duration_ticks)` during which
+    /// the primary cannot renew its lease (a GC pause / disk hiccup)
+    /// while still serving traffic — the split-brain scenario epoch
+    /// fencing must win.
+    pub lease_stall_at: Option<(u64, u64)>,
+    /// Replication-lag window: `(first_tick, duration_ticks)` during
+    /// which REPL frames queue at the primary instead of reaching the
+    /// standby (they drain, in order, after the window).
+    pub repl_lag_at: Option<(u64, u64)>,
 }
 
 impl FaultConfig {
@@ -165,6 +179,27 @@ impl FaultPlan {
         self.cfg
             .controller_crash_at
             .map(|(start, dur)| start.saturating_add(dur))
+    }
+
+    /// Whether the replicated-fleet primary is dead at `tick`.
+    pub fn primary_crashed(&self, tick: u64) -> bool {
+        in_window(self.cfg.primary_crash_at, tick)
+    }
+
+    /// The tick the primary is killed at, if a kill is scheduled.
+    pub fn primary_kill_tick(&self) -> Option<u64> {
+        self.cfg.primary_crash_at.map(|(start, _)| start)
+    }
+
+    /// Whether the primary's lease renewals are stalled at `tick`.
+    pub fn lease_stalled(&self, tick: u64) -> bool {
+        in_window(self.cfg.lease_stall_at, tick)
+    }
+
+    /// Whether REPL frames queue at the primary (replication lag) at
+    /// `tick`.
+    pub fn repl_lagged(&self, tick: u64) -> bool {
+        in_window(self.cfg.repl_lag_at, tick)
     }
 
     /// Apply drop / duplicate / reorder faults to a queue of events.
@@ -350,6 +385,35 @@ mod tests {
         assert!(!quiet.partitioned(0));
         assert_eq!(quiet.frame_lag(), 0);
         assert_eq!(quiet.controller_restart_tick(), None);
+    }
+
+    #[test]
+    fn replication_windows_are_half_open() {
+        let cfg = FaultConfig {
+            primary_crash_at: Some((40, 1000)),
+            lease_stall_at: Some((10, 6)),
+            repl_lag_at: Some((30, 5)),
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(0, cfg);
+        assert!(!p.primary_crashed(39));
+        assert!(p.primary_crashed(40));
+        assert!(p.primary_crashed(1039));
+        assert!(!p.primary_crashed(1040));
+        assert_eq!(p.primary_kill_tick(), Some(40));
+        assert!(!p.lease_stalled(9));
+        assert!(p.lease_stalled(10));
+        assert!(p.lease_stalled(15));
+        assert!(!p.lease_stalled(16));
+        assert!(!p.repl_lagged(29));
+        assert!(p.repl_lagged(30));
+        assert!(p.repl_lagged(34));
+        assert!(!p.repl_lagged(35));
+        let quiet = FaultPlan::new(0, FaultConfig::quiet());
+        assert!(!quiet.primary_crashed(0));
+        assert!(!quiet.lease_stalled(0));
+        assert!(!quiet.repl_lagged(0));
+        assert_eq!(quiet.primary_kill_tick(), None);
     }
 
     #[test]

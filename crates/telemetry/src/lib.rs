@@ -190,6 +190,15 @@ pub enum PipelineEvent {
     /// A replacement fleet controller warm-restarted from the journal
     /// (failover); every restored host starts last-good until resync.
     FleetFailover,
+    /// A standby fleet controller took over the lease and promoted
+    /// itself to primary at a bumped epoch.
+    FleetPromoted,
+    /// A frame stamped with a stale controller epoch was rejected
+    /// (fenced) instead of applied.
+    FleetFenced,
+    /// A periphery's token bucket ran dry and its pending diffs were
+    /// coalesced for a later batch instead of being sent.
+    FleetCoalesced,
 }
 
 impl PipelineEvent {
@@ -204,6 +213,9 @@ impl PipelineEvent {
             PipelineEvent::FleetGapResync => 7,
             PipelineEvent::FleetPartitioned => 8,
             PipelineEvent::FleetFailover => 9,
+            PipelineEvent::FleetPromoted => 10,
+            PipelineEvent::FleetFenced => 11,
+            PipelineEvent::FleetCoalesced => 12,
         }
     }
 
@@ -218,6 +230,9 @@ impl PipelineEvent {
             7 => Some(PipelineEvent::FleetGapResync),
             8 => Some(PipelineEvent::FleetPartitioned),
             9 => Some(PipelineEvent::FleetFailover),
+            10 => Some(PipelineEvent::FleetPromoted),
+            11 => Some(PipelineEvent::FleetFenced),
+            12 => Some(PipelineEvent::FleetCoalesced),
             _ => None,
         }
     }
@@ -234,6 +249,9 @@ impl PipelineEvent {
             PipelineEvent::FleetGapResync => "fleet-gap-resync",
             PipelineEvent::FleetPartitioned => "fleet-partitioned",
             PipelineEvent::FleetFailover => "fleet-failover",
+            PipelineEvent::FleetPromoted => "fleet-promoted",
+            PipelineEvent::FleetFenced => "fleet-fenced",
+            PipelineEvent::FleetCoalesced => "fleet-coalesced",
         }
     }
 }

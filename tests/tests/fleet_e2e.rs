@@ -34,7 +34,7 @@ fn query(client: &mut FleetClient, kind: u8, arg: u32) -> Option<Rollup> {
         .request(&encode_query(&Query { kind, arg }))
         .expect("wire up")?;
     match decode_frame(&resp) {
-        Some(Frame::Rollup(r)) => Some(r),
+        Some(Frame::Rollup(r)) => Some(r.body),
         _ => None,
     }
 }
