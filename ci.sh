@@ -48,7 +48,13 @@ cargo run -q --release -p arv-experiments --bin experiments -- --fig fleet --sca
 echo "==> fleet experiment, rotated seeds (failover/split-brain must hold beyond the canonical seeds)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig fleet --scale 0.5 --seed-offset 1 > /dev/null
 
-echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks, failover convergence)"
+echo "==> fleet observability experiment (waterfalls vs ground truth, bit-identical flight dumps, overhead budget)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig fleetobs --scale 0.5 > /dev/null
+
+echo "==> fleet observability experiment, rotated seeds"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig fleetobs --scale 0.5 --seed-offset 1 > /dev/null
+
+echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks, failover convergence, obs overhead)"
 cargo bench -q -p arv-bench --bench fleet > /dev/null
 test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
 

@@ -16,6 +16,7 @@
 
 use arv_fleet::{decode_frame, FleetController, FleetPolicy, Frame, Periphery, SharedLease};
 use arv_persist::{Snapshot, ViewState};
+use arv_telemetry::{FlightRecorder, Tracer};
 use std::time::Instant;
 
 /// Hosts × containers in the ingest fleet.
@@ -34,6 +35,14 @@ const MAX_ROLLUP_QUERY_NS: f64 = 250_000.0;
 /// A gap must heal in at most this many periphery observations (the
 /// rejected delta that surfaces the gap, then the FULL snapshot).
 const MAX_RESYNC_TICKS: u64 = 2;
+
+/// Ceiling on the observability tax: a full ingest run with causal
+/// tracing and the flight recorder armed, relative to the same run
+/// with both disabled. Span folding and the waterfall observe are O(1)
+/// per frame, so anything past this ratio means observability leaked
+/// onto the hot path (per-entry tracing, dump freezes on clean
+/// ingest). Both sides are min-of-3, which rejects scheduler noise.
+const MAX_OBS_OVERHEAD_RATIO: f64 = 1.75;
 
 /// Hosts in the replicated failover fleet (smaller than the ingest
 /// fleet: the metric is convergence shape, not raw volume).
@@ -86,6 +95,31 @@ fn bench_ingest(ctl: &FleetController) -> f64 {
     }
     let entries = ctl.metrics().snapshot().delta_entries;
     entries as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Wall-clock seconds for one full ingest run (every host, every
+/// round), min over 3 trials with a fresh controller each, with the
+/// observability plane armed or disabled.
+fn ingest_elapsed_secs(traced: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut ctl = FleetController::new(64, FleetPolicy::default());
+        if traced {
+            ctl.set_tracer(Tracer::bounded(16_384));
+            ctl.set_flight_recorder(FlightRecorder::bounded(8));
+        }
+        let mut peripheries: Vec<Periphery> = (0..HOSTS).map(Periphery::new).collect();
+        let start = Instant::now();
+        for round in 0..=ROUNDS {
+            for (h, p) in peripheries.iter_mut().enumerate() {
+                p.observe(&snapshot(h as u32, u64::from(round) + 1, round), false, 0);
+                pump(p, &ctl);
+            }
+            ctl.advance_tick();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 /// Mean cost of one cluster-capacity rollup over the loaded index.
@@ -215,6 +249,9 @@ fn main() {
     let rollup_query_ns = bench_rollup(&ctl);
     let resync_ticks = bench_resync_ticks();
     let (failover_ticks_to_fresh, repl_lag_records) = bench_failover();
+    let traced_secs = ingest_elapsed_secs(true);
+    let untraced_secs = ingest_elapsed_secs(false);
+    let obs_overhead_ratio = traced_secs / untraced_secs.max(f64::EPSILON);
 
     let json = format!(
         "{{\n  \"bench\": \"fleet\",\n  \"hosts\": {HOSTS},\n  \"containers\": {},\n  \
@@ -222,12 +259,14 @@ fn main() {
          \"rollup_query_ns\": {rollup_query_ns:.0},\n  \
          \"periphery_resync_ticks\": {resync_ticks},\n  \
          \"failover_ticks_to_fresh\": {failover_ticks_to_fresh},\n  \
-         \"repl_lag_records\": {repl_lag_records},\n  \"thresholds\": {{\n    \
+         \"repl_lag_records\": {repl_lag_records},\n  \
+         \"obs_overhead_ratio\": {obs_overhead_ratio:.3},\n  \"thresholds\": {{\n    \
          \"min_ingest_entries_per_sec\": {MIN_INGEST_ENTRIES_PER_SEC:.0},\n    \
          \"max_rollup_query_ns\": {MAX_ROLLUP_QUERY_NS:.0},\n    \
          \"max_resync_ticks\": {MAX_RESYNC_TICKS},\n    \
          \"max_failover_ticks_to_fresh\": {MAX_FAILOVER_TICKS_TO_FRESH},\n    \
-         \"max_repl_lag_records\": {MAX_REPL_LAG_RECORDS}\n  }}\n}}\n",
+         \"max_repl_lag_records\": {MAX_REPL_LAG_RECORDS},\n    \
+         \"max_obs_overhead_ratio\": {MAX_OBS_OVERHEAD_RATIO}\n  }}\n}}\n",
         u64::from(HOSTS) * u64::from(CONTAINERS),
     );
     // Cargo runs bench binaries with the package as cwd; anchor the
@@ -260,6 +299,13 @@ fn main() {
     }
     if repl_lag_records > MAX_REPL_LAG_RECORDS {
         eprintln!("FAIL: replication lag {repl_lag_records} records > {MAX_REPL_LAG_RECORDS}");
+        failed = true;
+    }
+    if obs_overhead_ratio > MAX_OBS_OVERHEAD_RATIO {
+        eprintln!(
+            "FAIL: observability overhead {obs_overhead_ratio:.3}x > {MAX_OBS_OVERHEAD_RATIO}x \
+             (traced {traced_secs:.4}s vs untraced {untraced_secs:.4}s)"
+        );
         failed = true;
     }
     if failed {

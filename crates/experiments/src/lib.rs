@@ -26,6 +26,7 @@ pub mod fig10_openmp;
 pub mod fig11_elastic_dacapo;
 pub mod fig12_heap_traces;
 pub mod fleet;
+pub mod fleetobs;
 pub mod json;
 pub mod obs;
 pub mod overhead;
@@ -67,13 +68,14 @@ pub fn run_figure_seeded(id: &str, scale: f64, seed_offset: u64) -> Option<FigRe
         "obs" => obs::run(scale),
         "recovery" => recovery::run(scale),
         "fleet" => fleet::run_seeded(scale, seed_offset),
+        "fleetobs" => fleetobs::run_seeded(scale, seed_offset),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 18] = [
+pub const ALL_FIGURES: [&str; 19] = [
     "1",
     "2a",
     "2b",
@@ -92,6 +94,7 @@ pub const ALL_FIGURES: [&str; 18] = [
     "obs",
     "recovery",
     "fleet",
+    "fleetobs",
 ];
 
 #[cfg(test)]
@@ -113,6 +116,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 18);
+        assert_eq!(ALL_FIGURES.len(), 19);
     }
 }

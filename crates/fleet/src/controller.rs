@@ -39,15 +39,17 @@
 
 use arv_persist::lease::{Lease, LeaseFile};
 use arv_persist::{decode_records, encode_record, restore, Journal, Record, Snapshot, ViewState};
-use arv_telemetry::{PipelineEvent, PromText, Tracer};
-use std::collections::HashMap;
+use arv_telemetry::{FlightRecorder, FlightTrigger, LagHistogram, PipelineEvent, PromText, Tracer};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::protocol::{
     decode_frame, encode_ack, encode_policy, encode_repl, encode_rollup, Ack, ClusterRollup, Delta,
-    DeltaEntry, FleetPolicy, Frame, PressurePoint, Query, Repl, Rollup, RollupFrame, TenantRollup,
-    MAX_FLEET_FRAME, QUERY_CLUSTER, QUERY_STATS, QUERY_TENANT, QUERY_TOPK, REPL_PEER,
+    DeltaEntry, FleetPolicy, Frame, HostSummary, PressurePoint, Query, Repl, Rollup, RollupFrame,
+    SpanStamp, TenantRollup, MAX_FLEET_FRAME, QUERY_CLUSTER, QUERY_FLIGHT, QUERY_STATS,
+    QUERY_TENANT, QUERY_TOPK, REPL_PEER,
 };
 
 /// A lease store shared between contending controllers — the
@@ -204,6 +206,126 @@ impl FleetMetrics {
     }
 }
 
+/// Causal events retained per host for [`FleetController::explain_host`].
+pub const EXPLAIN_EVENTS: usize = 16;
+
+/// What happened to a host, as recorded in its causal event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEventKind {
+    /// The host introduced itself (attach or reconnect).
+    Hello,
+    /// An in-order incremental delta was applied.
+    DeltaApplied,
+    /// A FULL snapshot replaced the host's state.
+    FullApplied,
+    /// A sequence gap flipped the host into resync.
+    GapResync,
+    /// The host fell silent past the staleness budget.
+    Partitioned,
+    /// A promoted standby marked the host last-good pending resync.
+    Promoted,
+}
+
+impl HostEventKind {
+    /// Short label used in rendered explanations.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostEventKind::Hello => "hello",
+            HostEventKind::DeltaApplied => "delta-applied",
+            HostEventKind::FullApplied => "full-applied",
+            HostEventKind::GapResync => "gap-resync",
+            HostEventKind::Partitioned => "partitioned",
+            HostEventKind::Promoted => "promoted",
+        }
+    }
+}
+
+/// One entry of a host's causal event ring: what happened, when (in
+/// controller ticks), and the span coordinates it happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCausalEvent {
+    /// Controller tick the event was recorded at.
+    pub tick: u64,
+    /// What happened.
+    pub kind: HostEventKind,
+    /// The delta sequence involved (the frame's for applies/gaps, the
+    /// expected one for hello/partition/promotion events).
+    pub seq: u64,
+    /// The host origin tick in force when the event was recorded.
+    pub origin_tick: u64,
+}
+
+/// The answer to "why is host H stale/partitioned/fenced": the host's
+/// current span state plus its last [`EXPLAIN_EVENTS`] causal events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetExplain {
+    /// The host being explained.
+    pub host: u32,
+    /// Host-reported health byte of the last accepted delta.
+    pub health: u8,
+    /// Whether the host is currently flagged partitioned.
+    pub partitioned: bool,
+    /// Whether ACKs are demanding a FULL snapshot.
+    pub needs_resync: bool,
+    /// Next DELTA sequence accepted in order.
+    pub expected_seq: u64,
+    /// Origin tick of the newest accepted delta (span start).
+    pub origin_tick: u64,
+    /// Host flush tick of the newest accepted delta.
+    pub flush_tick: u64,
+    /// Controller tick the newest delta was ingested at.
+    pub ingest_tick: u64,
+    /// Newest periphery trace sequence ingested.
+    pub trace_seq: u64,
+    /// End-to-end freshness lag right now, in controller ticks
+    /// (`now − origin_tick`).
+    pub freshness_lag: u64,
+    /// Containers currently tracked for the host.
+    pub containers: u64,
+    /// The periphery's piggybacked counter summary.
+    pub summary: HostSummary,
+    /// End-to-end lag distribution across every accepted delta.
+    pub waterfall: LagHistogram,
+    /// The last causal events, oldest first.
+    pub events: Vec<HostCausalEvent>,
+}
+
+impl FleetExplain {
+    /// Render the explanation as human-readable lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "host {}: health={} partitioned={} needs_resync={} lag={} ticks",
+            self.host, self.health, self.partitioned, self.needs_resync, self.freshness_lag
+        );
+        let _ = writeln!(
+            out,
+            "  span: origin_tick={} flush_tick={} ingest_tick={} trace_seq={} expected_seq={}",
+            self.origin_tick, self.flush_tick, self.ingest_tick, self.trace_seq, self.expected_seq
+        );
+        let _ = writeln!(
+            out,
+            "  waterfall: n={} sum={} max={} containers={}",
+            self.waterfall.total(),
+            self.waterfall.sum(),
+            self.waterfall.max_lag(),
+            self.containers
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "  [tick {:>4}] {} seq={} origin={}",
+                e.tick,
+                e.kind.label(),
+                e.seq,
+                e.origin_tick
+            );
+        }
+        out
+    }
+}
+
 /// One tracked host.
 #[derive(Debug, Default)]
 struct HostEntry {
@@ -219,8 +341,32 @@ struct HostEntry {
     partitioned: bool,
     /// A gap was detected; ACKs demand a FULL snapshot until one lands.
     needs_resync: bool,
+    /// Origin tick of the newest accepted delta (causal span start).
+    origin_tick: u64,
+    /// Newest periphery trace sequence ingested.
+    trace_seq: u64,
+    /// The periphery's piggybacked counter summary, as last seen.
+    summary: HostSummary,
+    /// End-to-end (origin tick → ingest) lag histogram.
+    waterfall: LagHistogram,
+    /// Recent causal events, oldest first, capped at [`EXPLAIN_EVENTS`].
+    events: VecDeque<HostCausalEvent>,
     /// Live container states.
     containers: HashMap<u32, DeltaEntry>,
+}
+
+impl HostEntry {
+    fn push_event(&mut self, tick: u64, kind: HostEventKind, seq: u64) {
+        self.events.push_back(HostCausalEvent {
+            tick,
+            kind,
+            seq,
+            origin_tick: self.origin_tick,
+        });
+        while self.events.len() > EXPLAIN_EVENTS {
+            self.events.pop_front();
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -314,6 +460,9 @@ struct ReplState {
     need_snapshot: bool,
     /// Primary: a standby demanded a full checkpoint.
     send_snapshot: bool,
+    /// Standby: the primary's tick stamped on the last applied REPL
+    /// frame — how fresh the shadow index is.
+    last_as_of: u64,
 }
 
 /// The central aggregator of the fleet control plane.
@@ -335,6 +484,7 @@ pub struct FleetController {
     lease: Mutex<Option<LeaseState>>,
     repl: Mutex<Option<ReplState>>,
     tracer: Tracer,
+    flight: FlightRecorder,
 }
 
 impl FleetController {
@@ -354,6 +504,7 @@ impl FleetController {
             lease: Mutex::new(None),
             repl: Mutex::new(None),
             tracer: Tracer::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -361,6 +512,44 @@ impl FleetController {
     /// failover) into a trace ring. Call before sharing the controller.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach a flight recorder: anomaly triggers (gap resync, fence,
+    /// promotion, demotion, partition) freeze the tracer's recent
+    /// events plus a counter snapshot into retrievable dumps. Call
+    /// before sharing the controller.
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`set_flight_recorder`](Self::set_flight_recorder) was called).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Freeze a flight dump around an anomaly: the trace ring as it
+    /// stands plus the headline counters. No-op when disabled.
+    fn record_flight(&self, now: u64, trigger: FlightTrigger) {
+        if !self.flight.is_enabled() {
+            return;
+        }
+        let m = self.metrics.snapshot();
+        self.flight.record(
+            now,
+            trigger,
+            &self.tracer,
+            &[
+                ("deltas_ingested", m.deltas_ingested),
+                ("deltas_gap_resyncs", m.deltas_gap_resyncs),
+                ("hosts_partitioned", m.hosts_partitioned),
+                ("full_syncs", m.full_syncs),
+                ("promotions", m.promotions),
+                ("demotions", m.demotions),
+                ("repl_fenced", m.repl_fenced),
+                ("ctl_epoch", self.ctl_epoch()),
+            ],
+        );
     }
 
     /// The controller's staleness clock (advanced by the driver once per
@@ -424,11 +613,15 @@ impl FleetController {
         let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
         self.maintain_lease(now);
         let budget = lock(&self.policy).staleness_budget;
+        let mut newly_partitioned = false;
         for shard in self.shards.iter() {
             let mut s = lock(shard);
             for host in s.hosts.values_mut() {
                 if !host.partitioned && now.saturating_sub(host.last_delta_tick) > budget {
                     host.partitioned = true;
+                    let seq = host.expected_seq;
+                    host.push_event(now, HostEventKind::Partitioned, seq);
+                    newly_partitioned = true;
                     self.metrics
                         .hosts_partitioned
                         .fetch_add(1, Ordering::Relaxed);
@@ -436,6 +629,11 @@ impl FleetController {
                         .emit_pipeline(now, None, PipelineEvent::FleetPartitioned);
                 }
             }
+        }
+        if newly_partitioned {
+            // One dump per tick no matter how many hosts flipped: the
+            // dump's counters already say how many went silent.
+            self.record_flight(now, FlightTrigger::Partition);
         }
         let mut journal = lock(&self.journal);
         if let Some(js) = journal.as_mut() {
@@ -508,6 +706,7 @@ impl FleetController {
                 drop(lease);
                 if was_leader {
                     self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+                    self.record_flight(now, FlightTrigger::Demotion);
                 }
             }
         }
@@ -529,6 +728,8 @@ impl FleetController {
                     flagged += 1;
                 }
                 host.last_delta_tick = now;
+                let seq = host.expected_seq;
+                host.push_event(now, HostEventKind::Promoted, seq);
             }
         }
         self.metrics
@@ -537,6 +738,7 @@ impl FleetController {
         self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
         self.tracer
             .emit_pipeline(now, None, PipelineEvent::FleetPromoted);
+        self.record_flight(now, FlightTrigger::Promotion);
     }
 
     /// Handle one decoded-or-not request frame; `None` means the frame
@@ -544,7 +746,7 @@ impl FleetController {
     /// Never panics, for any input bytes.
     pub fn handle_frame(&self, payload: &[u8]) -> Option<Vec<u8>> {
         match decode_frame(payload) {
-            Some(Frame::Hello(h)) => Some(self.handle_hello(h.host, h.epoch)),
+            Some(Frame::Hello(h)) => Some(self.handle_hello(h.host, h.epoch, h.tick)),
             Some(Frame::Delta(d)) => Some(self.handle_delta(d)),
             Some(Frame::Query(q)) => Some(self.handle_query(q)),
             Some(Frame::Policy(p)) => self.handle_policy_push(p),
@@ -590,7 +792,7 @@ impl FleetController {
         })
     }
 
-    fn handle_hello(&self, host: u32, epoch: u64) -> Vec<u8> {
+    fn handle_hello(&self, host: u32, epoch: u64, host_tick: u64) -> Vec<u8> {
         self.metrics.hellos.fetch_add(1, Ordering::Relaxed);
         if !self.is_leader() {
             return self.not_leader_ack(host, 0);
@@ -599,6 +801,11 @@ impl FleetController {
         let mut s = lock(self.shard_for(host));
         let entry = s.hosts.entry(host).or_default();
         entry.last_delta_tick = now;
+        // Seed the span origin so a hello-only host doesn't report a
+        // freshness lag measured from tick zero.
+        entry.origin_tick = entry.origin_tick.max(host_tick);
+        let seq = entry.expected_seq;
+        entry.push_event(now, HostEventKind::Hello, seq);
         let (expected, resync) = (entry.expected_seq, entry.needs_resync);
         drop(s);
         self.ack_for(host, expected, resync, epoch)
@@ -634,8 +841,10 @@ impl FleetController {
             // A gap (or an unknown mid-stream host): drop the frame's
             // contents — applying out-of-order deltas could double-count
             // — and demand a FULL snapshot, mirroring the watchdog.
-            if !host.needs_resync {
+            let gap_detected = !host.needs_resync;
+            if gap_detected {
                 host.needs_resync = true;
+                host.push_event(now, HostEventKind::GapResync, d.seq);
                 self.metrics
                     .deltas_gap_resyncs
                     .fetch_add(1, Ordering::Relaxed);
@@ -645,6 +854,9 @@ impl FleetController {
             let expected = host.expected_seq;
             shard.hosts.insert(host_id, host);
             drop(s);
+            if gap_detected {
+                self.record_flight(now, FlightTrigger::GapResync);
+            }
             return self.ack_for(host_id, expected, true, epoch);
         }
 
@@ -680,6 +892,22 @@ impl FleetController {
         host.host_tick = d.tick;
         host.health = d.health;
         host.partitioned = false;
+        // Fold the causal span in: where this data originated, how far
+        // the periphery's trace has advanced, and the end-to-end lag
+        // (origin tick → ingest) for the waterfall.
+        host.origin_tick = host.origin_tick.max(d.origin_tick);
+        host.trace_seq = host.trace_seq.max(d.trace_seq);
+        host.summary = d.summary;
+        host.waterfall.observe(now.saturating_sub(d.origin_tick));
+        host.push_event(
+            now,
+            if d.full {
+                HostEventKind::FullApplied
+            } else {
+                HostEventKind::DeltaApplied
+            },
+            d.seq,
+        );
         let expected = host.expected_seq;
         shard.hosts.insert(host_id, host);
         drop(s);
@@ -746,12 +974,85 @@ impl FleetController {
             }
             QUERY_TOPK => Rollup::TopK(self.top_pressured(q.arg as usize)),
             QUERY_STATS => Rollup::Stats(self.prometheus_exposition()),
+            QUERY_FLIGHT => Rollup::Flight(
+                self.flight
+                    .get(q.arg as usize)
+                    .map(|d| d.encode())
+                    .unwrap_or_default(),
+            ),
             // decode_frame bounds the kind; unreachable defensively.
             _ => Rollup::TopK(Vec::new()),
         };
         encode_rollup(&RollupFrame {
             ctl_epoch: self.ctl_epoch(),
+            span: self.span_stamp(),
             body: rollup,
+        })
+    }
+
+    /// The causal span stamp for an answer computed right now: the
+    /// controller tick, the oldest origin tick still contributing to
+    /// the index, and the newest periphery trace sequence ingested.
+    pub fn span_stamp(&self) -> SpanStamp {
+        let now = self.now_tick();
+        let mut origin_min = u64::MAX;
+        let mut trace_max = 0u64;
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for host in s.hosts.values() {
+                origin_min = origin_min.min(host.origin_tick);
+                trace_max = trace_max.max(host.trace_seq);
+            }
+        }
+        SpanStamp {
+            as_of_tick: now,
+            // No hosts: nothing is stale, the span collapses to now.
+            origin_min: if origin_min == u64::MAX {
+                now
+            } else {
+                origin_min
+            },
+            trace_max,
+        }
+    }
+
+    /// Per-host freshness lag right now (`now − origin_tick` per host),
+    /// sorted by host id — the gauge family the exposition serves and
+    /// the ground-truth hook experiments assert against.
+    pub fn host_freshness_lags(&self) -> Vec<(u32, u64)> {
+        let now = self.now_tick();
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for (hid, host) in &s.hosts {
+                out.push((*hid, now.saturating_sub(host.origin_tick)));
+            }
+        }
+        out.sort_unstable_by_key(|r| r.0);
+        out
+    }
+
+    /// Why is host `host` stale/partitioned/fenced: its span state,
+    /// lag waterfall, and last [`EXPLAIN_EVENTS`] causal events.
+    pub fn explain_host(&self, host: u32) -> Option<FleetExplain> {
+        let now = self.now_tick();
+        let s = lock(self.shard_for(host));
+        let h = s.hosts.get(&host)?;
+        Some(FleetExplain {
+            host,
+            health: h.health,
+            partitioned: h.partitioned,
+            needs_resync: h.needs_resync,
+            expected_seq: h.expected_seq,
+            origin_tick: h.origin_tick,
+            flush_tick: h.host_tick,
+            ingest_tick: h.last_delta_tick,
+            trace_seq: h.trace_seq,
+            freshness_lag: now.saturating_sub(h.origin_tick),
+            containers: h.containers.len() as u64,
+            summary: h.summary,
+            waterfall: h.waterfall,
+            events: h.events.iter().copied().collect(),
         })
     }
 
@@ -879,6 +1180,12 @@ impl FleetController {
             .map_or(0, |rs| rs.outbox.len() as u64)
     }
 
+    /// Standby: the primary's tick stamped on the last applied REPL
+    /// frame (0 before any) — how fresh the shadow index is.
+    pub fn repl_last_as_of(&self) -> u64 {
+        lock(&self.repl).as_ref().map_or(0, |rs| rs.last_as_of)
+    }
+
     /// Drain the replication outbox into encoded REPL frames, each
     /// under [`MAX_FLEET_FRAME`], chunked at record boundaries. Ship
     /// every frame to every standby; feed their ACKs back through
@@ -913,6 +1220,7 @@ impl FleetController {
                 frames.push(encode_repl(&Repl {
                     ctl_epoch: epoch,
                     repl_seq: rs.next_seq,
+                    as_of_tick: now,
                     records: std::mem::take(&mut cur),
                 }));
                 rs.next_seq += 1;
@@ -923,6 +1231,7 @@ impl FleetController {
             frames.push(encode_repl(&Repl {
                 ctl_epoch: epoch,
                 repl_seq: rs.next_seq,
+                as_of_tick: now,
                 records: cur,
             }));
             rs.next_seq += 1;
@@ -979,8 +1288,10 @@ impl FleetController {
         };
         if r.ctl_epoch < own {
             self.metrics.repl_fenced.fetch_add(1, Ordering::Relaxed);
+            let now = self.now_tick();
             self.tracer
-                .emit_pipeline(self.now_tick(), None, PipelineEvent::FleetFenced);
+                .emit_pipeline(now, None, PipelineEvent::FleetFenced);
+            self.record_flight(now, FlightTrigger::Fence);
             let expected = lock(&self.repl).as_ref().map_or(0, |rs| rs.expected_seq);
             return repl_ack(expected, own, false);
         }
@@ -988,6 +1299,7 @@ impl FleetController {
             if self.is_leader() && lock(&self.lease).is_some() {
                 self.leader.store(false, Ordering::Release);
                 self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
+                self.record_flight(self.now_tick(), FlightTrigger::Demotion);
             }
             // Our shadow index now mirrors the higher-epoch primary.
             self.ctl_epoch.store(r.ctl_epoch, Ordering::Release);
@@ -1009,6 +1321,7 @@ impl FleetController {
         }
         rs.expected_seq = r.repl_seq + 1;
         rs.need_snapshot = false;
+        rs.last_as_of = rs.last_as_of.max(r.as_of_tick);
         for record in &scan.records {
             self.apply_record(record, now);
         }
@@ -1162,152 +1475,223 @@ impl FleetController {
     // -----------------------------------------------------------------
 
     /// Prometheus text exposition of the fleet counters, in the same
-    /// format (and servable alongside) the viewd metrics.
+    /// format (and servable alongside) the viewd metrics. One scrape
+    /// exposes the whole fleet: the controller's own counters, per-host
+    /// freshness-lag gauges and end-to-end lag waterfalls, and the
+    /// periphery counter summaries piggybacked on DELTA frames.
     pub fn prometheus_exposition(&self) -> String {
         let m = self.metrics.snapshot();
         let r = self.cluster_capacity();
+        let now = self.now_tick();
         let mut out = PromText::new();
-        out.header(
+        out.counter(
             "arv_fleet_deltas_ingested",
             "DELTA frames accepted and applied",
-            "counter",
+            m.deltas_ingested as f64,
         );
-        out.sample("arv_fleet_deltas_ingested_total", m.deltas_ingested as f64);
-        out.header(
+        out.counter(
             "arv_fleet_delta_entries",
             "Delta entries applied across all frames",
-            "counter",
+            m.delta_entries as f64,
         );
-        out.sample("arv_fleet_delta_entries_total", m.delta_entries as f64);
-        out.header(
+        out.counter(
             "arv_fleet_deltas_gap_resyncs",
             "Sequence gaps detected (host flipped into resync)",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_deltas_gap_resyncs_total",
             m.deltas_gap_resyncs as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_hosts_partitioned",
             "Transitions of a host into the partitioned state",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_hosts_partitioned_total",
             m.hosts_partitioned as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_rollup_queries",
             "Rollup queries answered",
-            "counter",
+            m.rollup_queries as f64,
         );
-        out.sample("arv_fleet_rollup_queries_total", m.rollup_queries as f64);
-        out.header("arv_fleet_full_syncs", "FULL snapshots accepted", "counter");
-        out.sample("arv_fleet_full_syncs_total", m.full_syncs as f64);
-        out.header(
+        out.counter(
+            "arv_fleet_full_syncs",
+            "FULL snapshots accepted",
+            m.full_syncs as f64,
+        );
+        out.counter(
             "arv_fleet_malformed_frames",
             "Frames that failed to decode",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_malformed_frames_total",
             m.malformed_frames as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_policy_pushes",
             "Policy blocks pushed down in ACKs",
-            "counter",
+            m.policy_pushes as f64,
         );
-        out.sample("arv_fleet_policy_pushes_total", m.policy_pushes as f64);
-        out.header(
+        out.counter(
             "arv_fleet_failover_promotions",
             "Standby-to-primary promotions (lease takeovers)",
-            "counter",
+            m.promotions as f64,
         );
-        out.sample("arv_fleet_failover_promotions_total", m.promotions as f64);
-        out.header(
+        out.counter(
             "arv_fleet_failover_demotions",
             "Primary-to-standby demotions",
-            "counter",
+            m.demotions as f64,
         );
-        out.sample("arv_fleet_failover_demotions_total", m.demotions as f64);
-        out.header(
+        out.counter(
             "arv_fleet_failover_repl_records_streamed",
             "Journal records streamed to standbys",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_failover_repl_records_streamed_total",
             m.repl_records_streamed as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_failover_repl_records_applied",
             "Replicated records applied into the shadow index",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_failover_repl_records_applied_total",
             m.repl_records_applied as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_failover_fenced",
             "REPL frames fenced for carrying a stale epoch",
-            "counter",
+            m.repl_fenced as f64,
         );
-        out.sample("arv_fleet_failover_fenced_total", m.repl_fenced as f64);
-        out.header(
+        out.counter(
             "arv_fleet_failover_gap_snapshots",
             "Full checkpoints queued after a standby REPL gap",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_failover_gap_snapshots_total",
             m.repl_gap_snapshots as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_failover_repl_truncated",
             "REPL frames with a torn or corrupt record stream",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_failover_repl_truncated_total",
             m.repl_truncated as f64,
         );
-        out.header(
+        out.counter(
             "arv_fleet_failover_not_leader_rejects",
             "HELLO/DELTA frames rejected for lack of the lease",
-            "counter",
-        );
-        out.sample(
-            "arv_fleet_failover_not_leader_rejects_total",
             m.not_leader_rejects as f64,
         );
-        out.header(
+        out.gauge(
             "arv_fleet_ctl_epoch",
             "Controller epoch stamped on ACKs and ROLLUPs",
-            "gauge",
+            self.ctl_epoch() as f64,
         );
-        out.sample("arv_fleet_ctl_epoch", self.ctl_epoch() as f64);
-        out.header(
+        out.gauge(
             "arv_fleet_is_leader",
             "Whether this controller holds the lease (1) or stands by (0)",
-            "gauge",
-        );
-        out.sample(
-            "arv_fleet_is_leader",
             if self.is_leader() { 1.0 } else { 0.0 },
         );
-        out.header("arv_fleet_hosts", "Hosts tracked", "gauge");
-        out.sample("arv_fleet_hosts", f64::from(r.hosts));
-        out.header(
+        out.gauge("arv_fleet_hosts", "Hosts tracked", f64::from(r.hosts));
+        out.gauge(
             "arv_fleet_hosts_partitioned_now",
             "Hosts currently partitioned",
+            f64::from(r.partitioned),
+        );
+        out.gauge(
+            "arv_fleet_containers",
+            "Containers tracked",
+            r.containers as f64,
+        );
+        out.gauge(
+            "arv_fleet_flight_dumps",
+            "Flight-recorder dumps frozen so far",
+            self.flight.dumps_frozen() as f64,
+        );
+
+        // Per-host observability: freshness lags, span coordinates,
+        // piggybacked periphery summaries, and the lag waterfalls. Host
+        // order is sorted so scrapes are deterministic.
+        let mut hosts: Vec<(u32, u64, u64, u64, bool, HostSummary, LagHistogram)> = Vec::new();
+        for shard in self.shards.iter() {
+            let s = lock(shard);
+            for (hid, host) in &s.hosts {
+                hosts.push((
+                    *hid,
+                    now.saturating_sub(host.origin_tick),
+                    host.origin_tick,
+                    host.trace_seq,
+                    host.partitioned,
+                    host.summary,
+                    host.waterfall,
+                ));
+            }
+        }
+        hosts.sort_unstable_by_key(|h| h.0);
+        out.header(
+            "arv_fleet_host_freshness_lag_ticks",
+            "Per-host end-to-end freshness lag (controller tick minus origin tick)",
             "gauge",
         );
-        out.sample("arv_fleet_hosts_partitioned_now", f64::from(r.partitioned));
-        out.header("arv_fleet_containers", "Containers tracked", "gauge");
-        out.sample("arv_fleet_containers", r.containers as f64);
+        for (hid, lag, ..) in &hosts {
+            out.labeled(
+                "arv_fleet_host_freshness_lag_ticks",
+                &[("host", hid.to_string())],
+                *lag as f64,
+            );
+        }
+        out.header(
+            "arv_fleet_host_origin_tick",
+            "Per-host origin tick of the newest accepted delta",
+            "gauge",
+        );
+        for (hid, _, origin, ..) in &hosts {
+            out.labeled(
+                "arv_fleet_host_origin_tick",
+                &[("host", hid.to_string())],
+                *origin as f64,
+            );
+        }
+        out.header(
+            "arv_fleet_host_trace_seq",
+            "Per-host newest periphery trace sequence ingested",
+            "gauge",
+        );
+        for (hid, _, _, trace, ..) in &hosts {
+            out.labeled(
+                "arv_fleet_host_trace_seq",
+                &[("host", hid.to_string())],
+                *trace as f64,
+            );
+        }
+        out.header(
+            "arv_fleet_host_partitioned",
+            "Whether the host is currently partitioned (1) or live (0)",
+            "gauge",
+        );
+        for (hid, _, _, _, part, ..) in &hosts {
+            out.labeled(
+                "arv_fleet_host_partitioned",
+                &[("host", hid.to_string())],
+                if *part { 1.0 } else { 0.0 },
+            );
+        }
+        out.header(
+            "arv_fleet_host_agent",
+            "Periphery agent counters piggybacked on DELTA frames",
+            "gauge",
+        );
+        for (hid, _, _, _, _, sum, _) in &hosts {
+            let host = hid.to_string();
+            for (stat, v) in [
+                ("frames", sum.frames),
+                ("entries", sum.entries),
+                ("full_syncs", sum.full_syncs),
+                ("resyncs", sum.resyncs),
+                ("coalesced", sum.deltas_coalesced),
+                ("acks_fenced", sum.acks_fenced),
+            ] {
+                out.labeled(
+                    "arv_fleet_host_agent",
+                    &[("host", host.clone()), ("stat", stat.to_string())],
+                    v as f64,
+                );
+            }
+        }
+        out.header(
+            "arv_fleet_host_e2e_lag_ticks",
+            "Per-host end-to-end lag histogram (origin tick to ingest)",
+            "histogram",
+        );
+        for (hid, _, _, _, _, _, wf) in &hosts {
+            wf.expose(
+                &mut out,
+                "arv_fleet_host_e2e_lag_ticks",
+                &[("host", hid.to_string())],
+            );
+        }
         out.finish()
     }
 }
@@ -1708,9 +2092,138 @@ mod tests {
             let frame = encode_repl(&Repl {
                 ctl_epoch: 0,
                 repl_seq: 0,
+                as_of_tick: 0,
                 records: vec![0xA5; len],
             });
             let _ = standby.handle_frame(&frame);
         }
+    }
+
+    #[test]
+    fn explain_host_traces_span_and_events() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        ctl.advance_tick();
+        p.observe(&snap(2, &[(1, 3, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+
+        let ex = ctl.explain_host(1).expect("host tracked");
+        assert_eq!(ex.host, 1);
+        assert!(!ex.partitioned);
+        assert_eq!(ex.origin_tick, 2, "origin follows the newest delta");
+        assert_eq!(ex.flush_tick, 2);
+        assert_eq!(ex.trace_seq, 2);
+        assert_eq!(ex.containers, 1);
+        assert_eq!(ex.summary.frames, 2, "piggybacked summary is live");
+        assert_eq!(ex.waterfall.total(), 2, "both ingests observed");
+        let kinds: Vec<HostEventKind> = ex.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                HostEventKind::Hello,
+                HostEventKind::FullApplied,
+                HostEventKind::DeltaApplied
+            ]
+        );
+        assert!(ex.render().contains("delta-applied"));
+        assert_eq!(ctl.explain_host(99), None);
+
+        // Freshness lags: controller tick 1, origin tick 2 → saturates
+        // to 0; advance the clock and the lag grows by exactly one per
+        // tick (ground-truth arithmetic).
+        for _ in 0..3 {
+            ctl.advance_tick();
+        }
+        let lags = ctl.host_freshness_lags();
+        assert_eq!(lags, vec![(1, ctl.now_tick() - 2)]);
+
+        // Silent long enough to partition: the causal ring says why.
+        for _ in 0..3 {
+            ctl.advance_tick();
+        }
+        let ex = ctl.explain_host(1).expect("host tracked");
+        assert!(ex.partitioned);
+        assert_eq!(
+            ex.events.last().map(|e| e.kind),
+            Some(HostEventKind::Partitioned)
+        );
+    }
+
+    #[test]
+    fn rollups_carry_span_stamps() {
+        let ctl = FleetController::new(2, FleetPolicy::default());
+        let mut p = Periphery::new(1);
+        p.observe(&snap(3, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        for _ in 0..5 {
+            ctl.advance_tick();
+        }
+        let resp = ctl
+            .handle_frame(&crate::protocol::encode_query(&Query {
+                kind: QUERY_CLUSTER,
+                arg: 0,
+            }))
+            .expect("rollup");
+        let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
+            panic!("expected ROLLUP");
+        };
+        assert_eq!(frame.span.as_of_tick, 5);
+        assert_eq!(frame.span.origin_min, 3, "traces back to the host tick");
+        assert_eq!(frame.span.trace_max, 1);
+        assert_eq!(frame.span.max_lag(), 2);
+    }
+
+    #[test]
+    fn anomalies_freeze_retrievable_flight_dumps() {
+        let mut ctl = FleetController::new(2, FleetPolicy::default());
+        ctl.set_tracer(Tracer::bounded(64));
+        ctl.set_flight_recorder(FlightRecorder::bounded(4));
+        let mut p = Periphery::new(1);
+        p.observe(&snap(1, &[(1, 2, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+
+        // Lose a frame, then deliver the next: a gap-resync dump.
+        p.observe(&snap(2, &[(1, 3, 100, 50)]), false, 0);
+        p.take_frames();
+        p.observe(&snap(3, &[(1, 4, 100, 50)]), false, 0);
+        pump(&mut p, &ctl);
+        assert_eq!(ctl.flight_recorder().dumps_frozen(), 1);
+        let dump = ctl.flight_recorder().latest().expect("dump frozen");
+        assert_eq!(dump.trigger, FlightTrigger::GapResync);
+        assert!(dump
+            .counters
+            .iter()
+            .any(|(n, v)| n == "deltas_gap_resyncs" && *v == 1));
+
+        // Retrieve it over the query path and check it decodes to the
+        // exact same dump.
+        let resp = ctl
+            .handle_frame(&crate::protocol::encode_query(&Query {
+                kind: QUERY_FLIGHT,
+                arg: 0,
+            }))
+            .expect("answered");
+        let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
+            panic!("expected ROLLUP");
+        };
+        let Rollup::Flight(bytes) = frame.body else {
+            panic!("expected Flight body");
+        };
+        let wire_dump = arv_telemetry::FlightDump::decode(&bytes).expect("dump decodes");
+        assert_eq!(wire_dump, dump);
+
+        // Asking past the end answers with empty bytes, not an error.
+        let resp = ctl
+            .handle_frame(&crate::protocol::encode_query(&Query {
+                kind: QUERY_FLIGHT,
+                arg: 9,
+            }))
+            .expect("answered");
+        let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
+            panic!("expected ROLLUP");
+        };
+        assert_eq!(frame.body, Rollup::Flight(Vec::new()));
     }
 }

@@ -49,14 +49,17 @@ pub mod periphery;
 pub mod protocol;
 pub mod wire;
 
-pub use controller::{FleetController, FleetMetrics, FleetMetricsSnapshot, SharedLease};
+pub use controller::{
+    FleetController, FleetExplain, FleetMetrics, FleetMetricsSnapshot, HostCausalEvent,
+    HostEventKind, SharedLease,
+};
 pub use periphery::{AckDisposition, Periphery, PeripheryStats};
 pub use protocol::{
     decode_frame, encode_ack, encode_delta, encode_hello, encode_policy, encode_query, encode_repl,
-    encode_rollup, Ack, ClusterRollup, Delta, DeltaEntry, FleetPolicy, Frame, Hello, PressurePoint,
-    Query, Repl, Rollup, RollupFrame, TenantRollup, MAX_FLEET_FRAME, OP_ACK, OP_DELTA, OP_HELLO,
-    OP_POLICY, OP_QUERY, OP_REPL, OP_ROLLUP, QUERY_CLUSTER, QUERY_STATS, QUERY_TENANT, QUERY_TOPK,
-    REPL_PEER,
+    encode_rollup, Ack, ClusterRollup, Delta, DeltaEntry, FleetPolicy, Frame, Hello, HostSummary,
+    PressurePoint, Query, Repl, Rollup, RollupFrame, SpanStamp, TenantRollup, MAX_FLEET_FRAME,
+    OP_ACK, OP_DELTA, OP_HELLO, OP_POLICY, OP_QUERY, OP_REPL, OP_ROLLUP, QUERY_CLUSTER,
+    QUERY_FLIGHT, QUERY_STATS, QUERY_TENANT, QUERY_TOPK, REPL_PEER,
 };
 pub use wire::{
     FailoverClientStats, FailoverPolicy, FleetClient, FleetFailoverClient, FleetWireServer,

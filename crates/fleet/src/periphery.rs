@@ -32,8 +32,8 @@ use arv_persist::Snapshot;
 use std::collections::{BTreeSet, HashMap};
 
 use crate::protocol::{
-    encode_delta, encode_hello, Ack, Delta, DeltaEntry, FleetPolicy, Hello, HEALTH_DEGRADED,
-    HEALTH_FRESH, HEALTH_STALE,
+    encode_delta, encode_hello, Ack, Delta, DeltaEntry, FleetPolicy, Hello, HostSummary,
+    HEALTH_DEGRADED, HEALTH_FRESH, HEALTH_STALE,
 };
 
 /// What the periphery has done so far.
@@ -93,6 +93,13 @@ pub struct Periphery {
     tokens: u64,
     /// Highest controller epoch seen in any ACK (fencing floor).
     ctl_epoch_seen: u64,
+    /// Monotone causal trace sequence: +1 per encoded DELTA frame,
+    /// never reset by resync or reconnect.
+    trace_seq: u64,
+    /// The host tick at which the oldest diff now in the pending layer
+    /// was observed — the origin of the causal span. Survives
+    /// coalescing so `flush tick − origin` exposes the bucket's delay.
+    pending_origin: Option<u64>,
     outbox: Vec<Vec<u8>>,
     stats: PeripheryStats,
 }
@@ -114,6 +121,8 @@ impl Periphery {
             pending_removed: BTreeSet::new(),
             tokens: u64::from(policy.rate_burst.max(1)),
             ctl_epoch_seen: 0,
+            trace_seq: 0,
+            pending_origin: None,
             policy,
             outbox: Vec::new(),
             stats: PeripheryStats::default(),
@@ -166,10 +175,12 @@ impl Periphery {
 
         let full = self.pending_full;
         if full {
-            // Everything ships fresh: earlier unsent diffs are subsumed.
+            // Everything ships fresh: earlier unsent diffs are subsumed,
+            // so the causal origin resets to this very tick.
             self.pending.clear();
             self.pending_removed.clear();
             self.last_sent.clear();
+            self.pending_origin = None;
         }
 
         // Diff into the pending (coalescing) layer and refresh the
@@ -205,6 +216,15 @@ impl Periphery {
             }
         }
 
+        // Stamp the span origin: the tick at which the oldest unsent
+        // diff entered the pending layer. Coalescing keeps it, so the
+        // eventual flush carries how long the bucket held the data.
+        if self.pending_origin.is_none()
+            && (!self.pending.is_empty() || !self.pending_removed.is_empty())
+        {
+            self.pending_origin = Some(snap.tick);
+        }
+
         // A health transition with no view changes still ships one
         // (empty) delta, so the controller sees Fresh↔Stale↔Degraded
         // flips as they happen.
@@ -235,6 +255,10 @@ impl Periphery {
         }
         self.tokens = self.tokens.saturating_sub(cost);
         self.last_health = health;
+        // FULL data is re-read fresh at this tick; otherwise the span
+        // starts where the oldest pending diff was observed. An empty
+        // (health-flip) delta originates here too.
+        let origin_tick = self.pending_origin.take().unwrap_or(snap.tick);
 
         let mut entries: Vec<DeltaEntry> =
             std::mem::take(&mut self.pending).into_values().collect();
@@ -259,6 +283,7 @@ impl Periphery {
             };
             self.stats.frames += 1;
             self.stats.entries += chunk.len() as u64;
+            self.trace_seq += 1;
             self.outbox.push(encode_delta(&Delta {
                 host: self.host,
                 seq: self.seq,
@@ -267,6 +292,16 @@ impl Periphery {
                 health,
                 staleness_age,
                 epoch: self.policy.epoch,
+                origin_tick,
+                trace_seq: self.trace_seq,
+                summary: HostSummary {
+                    frames: self.stats.frames,
+                    entries: self.stats.entries,
+                    full_syncs: self.stats.full_syncs,
+                    resyncs: self.stats.resyncs,
+                    deltas_coalesced: self.stats.deltas_coalesced,
+                    acks_fenced: self.stats.acks_fenced,
+                },
                 entries: chunk.to_vec(),
                 removed: frame_removed,
             }));
@@ -529,6 +564,48 @@ mod tests {
             "coalesced entry carries the newest value"
         );
         assert!(p.stats().deltas_coalesced > 1);
+    }
+
+    #[test]
+    fn span_stamps_trace_coalescing_delay() {
+        let mut p = Periphery::new(1);
+        p.handle_ack(&Ack {
+            policy: Some(FleetPolicy {
+                epoch: 1,
+                rate_burst: 4,
+                ..FleetPolicy::default()
+            }),
+            ..plain_ack(1, 0)
+        });
+        let states: Vec<(u32, u32, u64)> = (0..8).map(|i| (i, 1, 100)).collect();
+        p.observe(&snap(1, &states), false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds[0].origin_tick, 1, "FULL data is fresh at the flush tick");
+        assert_eq!(ds[0].trace_seq, 1);
+        assert_eq!(ds[0].summary.frames, 1);
+        assert_eq!(ds[0].summary.entries, 8);
+
+        // A dry bucket coalesces at tick 2; when the flush finally
+        // lands, origin_tick must still say 2 — the span measures the
+        // whole coalescing delay, not just the last observation.
+        let changed: Vec<(u32, u32, u64)> = (0..8).map(|i| (i, 2, 100)).collect();
+        p.observe(&snap(2, &changed), false, 0);
+        assert!(!p.has_frames());
+        let mut flushed = None;
+        for t in 3..64 {
+            p.observe(&snap(t, &changed), false, 0);
+            if p.has_frames() {
+                flushed = Some(t);
+                break;
+            }
+        }
+        let flush_tick = flushed.expect("tokens must return");
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds[0].origin_tick, 2, "origin survives coalescing");
+        assert_eq!(ds[0].tick, flush_tick);
+        assert!(ds[0].tick - ds[0].origin_tick >= 1, "delay is visible");
+        assert_eq!(ds[0].trace_seq, 2, "trace seq is monotone per frame");
+        assert_eq!(ds[0].summary.deltas_coalesced, p.stats().deltas_coalesced);
     }
 
     #[test]

@@ -7,21 +7,31 @@
 //! ```text
 //! HELLO  := 0x10 | host u32 | tick u64 | containers u32 | epoch u64
 //! DELTA  := 0x11 | host u32 | seq u64 | tick u64 | flags u8 | health u8
-//!           | staleness_age u64 | epoch u64
+//!           | staleness_age u64 | epoch u64 | origin_tick u64
+//!           | trace_seq u64 | summary (6 × u64)
 //!           | n u32 | n × entry | m u32 | m × removed-id u32
 //!   entry := id u32 | tenant u32 | e_cpu u32 | e_mem u64 | e_avail u64
 //!           | last_tick u64
 //!   flags bit0 = FULL (snapshot replacing all host state)
+//!   origin_tick / trace_seq = the causal span stamp: the host tick at
+//!   which the oldest coalesced diff in this batch was observed, and a
+//!   monotone per-periphery trace sequence; summary = the periphery's
+//!   own counters piggybacked so one controller scrape exposes the
+//!   whole fleet (see `HostSummary`)
 //! POLICY := 0x12 | epoch u64 | staleness_budget u64 | max_batch u32
 //!           | rate_burst u32
 //! QUERY  := 0x13 | kind u8 | arg u32
 //!   kind 0 = cluster capacity, 1 = tenant rollup (arg = tenant),
 //!   kind 2 = top-k pressured containers (arg = k),
-//!   kind 3 = Prometheus stats exposition (arg ignored)
-//! REPL   := 0x14 | ctl_epoch u64 | repl_seq u64 | records
+//!   kind 3 = Prometheus stats exposition (arg ignored),
+//!   kind 4 = flight-recorder dump (arg = dumps back from newest)
+//! REPL   := 0x14 | ctl_epoch u64 | repl_seq u64 | as_of_tick u64
+//!           | records
 //!   records = zero or more CRC-framed `arv_persist` journal records
 //!   (checkpoint / delta / remove), exactly the bytes the primary's
-//!   journal appended; the standby validates each record's CRC on apply
+//!   journal appended; the standby validates each record's CRC on
+//!   apply; as_of_tick = the primary's controller tick at drain time,
+//!   so a standby can gauge how far its shadow index trails
 //! ACK    := 0x20 | host u32 | expected_seq u64 | ctl_epoch u64
 //!           | flags u8 [| POLICY body when bit1 set]
 //!   flags bit0 = resync required (next DELTA must be FULL),
@@ -29,10 +39,13 @@
 //!   flags bit2 = sender is not the lease holder (try another
 //!   controller); peripheries fence ACKs whose ctl_epoch is below the
 //!   highest they have seen
-//! ROLLUP := 0x21 | ctl_epoch u64 | kind u8 | status u8 | body
+//! ROLLUP := 0x21 | ctl_epoch u64 | as_of_tick u64 | origin_min u64
+//!           | trace_max u64 | kind u8 | status u8 | body
 //!   status reuses the viewd wire codes: 0 = fresh, 2 = degraded
 //!   (at least one host is partitioned and served last-good); readers
-//!   fence rollups from epochs below the highest observed
+//!   fence rollups from epochs below the highest observed; the span
+//!   stamp (as_of_tick, origin_min, trace_max) traces the answer back
+//!   to the oldest host tick contributing to it
 //! ```
 //!
 //! Every decode path is bounds-checked and returns `Option` — arbitrary
@@ -64,6 +77,9 @@ pub const QUERY_TENANT: u8 = 1;
 pub const QUERY_TOPK: u8 = 2;
 /// Query kind: Prometheus text exposition of the fleet counters.
 pub const QUERY_STATS: u8 = 3;
+/// Query kind: retrieve a frozen flight-recorder dump (`arg` = how
+/// many dumps back from the newest; 0 = newest).
+pub const QUERY_FLIGHT: u8 = 4;
 
 /// DELTA flag: the batch is a full snapshot replacing all host state.
 pub const DELTA_FULL: u8 = 1;
@@ -154,6 +170,25 @@ pub struct Hello {
     pub epoch: u64,
 }
 
+/// The periphery's own counters, piggybacked on every DELTA frame so a
+/// single controller scrape exposes per-host agent health for the
+/// whole fleet without touching any host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostSummary {
+    /// DELTA frames the periphery has queued so far.
+    pub frames: u64,
+    /// Delta entries shipped across all frames.
+    pub entries: u64,
+    /// FULL snapshots sent.
+    pub full_syncs: u64,
+    /// Controller-requested resyncs honoured.
+    pub resyncs: u64,
+    /// Observations coalesced because the token bucket ran dry.
+    pub deltas_coalesced: u64,
+    /// ACKs fenced for carrying a stale controller epoch.
+    pub acks_fenced: u64,
+}
+
 /// A decoded DELTA batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delta {
@@ -161,7 +196,7 @@ pub struct Delta {
     pub host: u32,
     /// Per-host frame sequence number (gap ⇒ resync).
     pub seq: u64,
-    /// Host update-timer tick the batch was taken at.
+    /// Host update-timer tick the batch was taken at (the flush tick).
     pub tick: u64,
     /// Whether this batch is a full snapshot (replaces all host state).
     pub full: bool,
@@ -171,6 +206,15 @@ pub struct Delta {
     pub staleness_age: u64,
     /// Newest policy epoch the periphery has adopted.
     pub epoch: u64,
+    /// Causal span stamp: the host tick at which the oldest diff in
+    /// this batch was observed. With coalescing, `tick − origin_tick`
+    /// is the flush delay the token bucket imposed.
+    pub origin_tick: u64,
+    /// Causal span stamp: monotone per-periphery trace sequence,
+    /// incremented on every frame and never reset by resync logic.
+    pub trace_seq: u64,
+    /// The periphery's piggybacked counter summary.
+    pub summary: HostSummary,
     /// Changed/new container states.
     pub entries: Vec<DeltaEntry>,
     /// Containers removed since the last batch.
@@ -203,6 +247,9 @@ pub struct Repl {
     /// Sequence of this replication frame (gap ⇒ standby demands a
     /// fresh checkpoint).
     pub repl_seq: u64,
+    /// The primary's controller tick when this frame was drained —
+    /// the span stamp that lets a standby gauge its shadow-index lag.
+    pub as_of_tick: u64,
     /// CRC-framed `arv_persist` record bytes, zero or more records.
     pub records: Vec<u8>,
 }
@@ -285,6 +332,32 @@ pub enum Rollup {
     TopK(Vec<PressurePoint>),
     /// Prometheus text exposition of the fleet counters.
     Stats(String),
+    /// A frozen flight-recorder dump, encoded with
+    /// [`arv_telemetry::FlightDump::encode`]. Empty bytes mean no dump
+    /// exists at the requested position.
+    Flight(Vec<u8>),
+}
+
+/// The causal span stamp a controller attaches to every ROLLUP answer:
+/// enough to trace the value back to the oldest host tick that fed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStamp {
+    /// Controller tick when the answer was computed.
+    pub as_of_tick: u64,
+    /// Minimum origin tick across all hosts contributing to the answer
+    /// — the oldest causally-linked host observation.
+    pub origin_min: u64,
+    /// Maximum periphery trace sequence ingested so far.
+    pub trace_max: u64,
+}
+
+impl SpanStamp {
+    /// Worst-case end-to-end lag this answer embodies: how many
+    /// controller ticks behind the freshest data its oldest
+    /// contribution is.
+    pub fn max_lag(&self) -> u64 {
+        self.as_of_tick.saturating_sub(self.origin_min)
+    }
 }
 
 /// A ROLLUP answer stamped with the answering controller's epoch, so
@@ -293,6 +366,8 @@ pub enum Rollup {
 pub struct RollupFrame {
     /// Controller epoch of the answering controller.
     pub ctl_epoch: u64,
+    /// Causal span stamp tracing the answer to its oldest host tick.
+    pub span: SpanStamp,
     /// The rollup body.
     pub body: Rollup,
 }
@@ -357,6 +432,14 @@ pub fn encode_delta(d: &Delta) -> Vec<u8> {
     out.push(d.health);
     put_u64(&mut out, d.staleness_age);
     put_u64(&mut out, d.epoch);
+    put_u64(&mut out, d.origin_tick);
+    put_u64(&mut out, d.trace_seq);
+    put_u64(&mut out, d.summary.frames);
+    put_u64(&mut out, d.summary.entries);
+    put_u64(&mut out, d.summary.full_syncs);
+    put_u64(&mut out, d.summary.resyncs);
+    put_u64(&mut out, d.summary.deltas_coalesced);
+    put_u64(&mut out, d.summary.acks_fenced);
     put_u32(&mut out, d.entries.len() as u32);
     for e in &d.entries {
         put_u32(&mut out, e.id);
@@ -392,10 +475,11 @@ pub fn encode_query(q: &Query) -> Vec<u8> {
 
 /// Encode a REPL payload.
 pub fn encode_repl(r: &Repl) -> Vec<u8> {
-    let mut out = Vec::with_capacity(17 + r.records.len());
+    let mut out = Vec::with_capacity(25 + r.records.len());
     out.push(OP_REPL);
     put_u64(&mut out, r.ctl_epoch);
     put_u64(&mut out, r.repl_seq);
+    put_u64(&mut out, r.as_of_tick);
     out.extend_from_slice(&r.records);
     out
 }
@@ -426,9 +510,12 @@ pub fn encode_ack(a: &Ack) -> Vec<u8> {
 
 /// Encode a ROLLUP payload.
 pub fn encode_rollup(r: &RollupFrame) -> Vec<u8> {
-    let mut out = Vec::with_capacity(72);
+    let mut out = Vec::with_capacity(96);
     out.push(OP_ROLLUP);
     put_u64(&mut out, r.ctl_epoch);
+    put_u64(&mut out, r.span.as_of_tick);
+    put_u64(&mut out, r.span.origin_min);
+    put_u64(&mut out, r.span.trace_max);
     match &r.body {
         Rollup::Cluster { rollup, degraded } => {
             out.push(QUERY_CLUSTER);
@@ -470,6 +557,11 @@ pub fn encode_rollup(r: &RollupFrame) -> Vec<u8> {
             out.push(QUERY_STATS);
             out.push(STATUS_OK);
             out.extend_from_slice(text.as_bytes());
+        }
+        Rollup::Flight(dump) => {
+            out.push(QUERY_FLIGHT);
+            out.push(STATUS_OK);
+            out.extend_from_slice(dump);
         }
     }
     out
@@ -548,6 +640,16 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
     }
     let staleness_age = c.u64()?;
     let epoch = c.u64()?;
+    let origin_tick = c.u64()?;
+    let trace_seq = c.u64()?;
+    let summary = HostSummary {
+        frames: c.u64()?,
+        entries: c.u64()?,
+        full_syncs: c.u64()?,
+        resyncs: c.u64()?,
+        deltas_coalesced: c.u64()?,
+        acks_fenced: c.u64()?,
+    };
     let n = c.u32()? as usize;
     // A claimed count larger than the bytes present is corruption; the
     // check also bounds the allocation below.
@@ -581,6 +683,9 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
         health,
         staleness_age,
         epoch,
+        origin_tick,
+        trace_seq,
+        summary,
         entries,
         removed,
     })
@@ -633,6 +738,7 @@ fn decode_rollup(c: &mut Cur<'_>) -> Option<Rollup> {
             let text = String::from_utf8(c.rest().to_vec()).ok()?;
             Some(Rollup::Stats(text))
         }
+        QUERY_FLIGHT => Some(Rollup::Flight(c.rest().to_vec())),
         _ => None,
     }
 }
@@ -653,7 +759,7 @@ pub fn decode_frame(payload: &[u8]) -> Option<Frame> {
         OP_POLICY => Frame::Policy(get_policy(&mut c)?),
         OP_QUERY => {
             let kind = c.u8()?;
-            if kind > QUERY_STATS {
+            if kind > QUERY_FLIGHT {
                 return None;
             }
             Frame::Query(Query {
@@ -664,6 +770,7 @@ pub fn decode_frame(payload: &[u8]) -> Option<Frame> {
         OP_REPL => Frame::Repl(Repl {
             ctl_epoch: c.u64()?,
             repl_seq: c.u64()?,
+            as_of_tick: c.u64()?,
             records: c.rest().to_vec(),
         }),
         OP_ACK => {
@@ -690,8 +797,14 @@ pub fn decode_frame(payload: &[u8]) -> Option<Frame> {
         }
         OP_ROLLUP => {
             let ctl_epoch = c.u64()?;
+            let span = SpanStamp {
+                as_of_tick: c.u64()?,
+                origin_min: c.u64()?,
+                trace_max: c.u64()?,
+            };
             Frame::Rollup(RollupFrame {
                 ctl_epoch,
+                span,
                 body: decode_rollup(&mut c)?,
             })
         }
@@ -717,6 +830,16 @@ mod tests {
             health: HEALTH_STALE,
             staleness_age: 2,
             epoch: 3,
+            origin_tick: 997,
+            trace_seq: 58,
+            summary: HostSummary {
+                frames: 58,
+                entries: 120,
+                full_syncs: 2,
+                resyncs: 1,
+                deltas_coalesced: 7,
+                acks_fenced: 0,
+            },
             entries: vec![
                 DeltaEntry {
                     id: 1,
@@ -795,6 +918,7 @@ mod tests {
         let repl = Repl {
             ctl_epoch: 4,
             repl_seq: 11,
+            as_of_tick: 99,
             records: vec![1, 2, 3, 4, 5],
         };
         assert_eq!(decode_frame(&encode_repl(&repl)), Some(Frame::Repl(repl)));
@@ -835,8 +959,17 @@ mod tests {
                 pressure_milli: 900,
             }]),
             Rollup::Stats("arv_fleet_deltas_ingested 3\n".to_string()),
+            Rollup::Flight(vec![7, 8, 9, 10]),
         ] {
-            let rollup = RollupFrame { ctl_epoch: 5, body };
+            let rollup = RollupFrame {
+                ctl_epoch: 5,
+                span: SpanStamp {
+                    as_of_tick: 40,
+                    origin_min: 33,
+                    trace_max: 17,
+                },
+                body,
+            };
             assert_eq!(
                 decode_frame(&encode_rollup(&rollup)),
                 Some(Frame::Rollup(rollup))
@@ -864,6 +997,11 @@ mod tests {
             }),
             encode_rollup(&RollupFrame {
                 ctl_epoch: 1,
+                span: SpanStamp {
+                    as_of_tick: 9,
+                    origin_min: 4,
+                    trace_max: 2,
+                },
                 body: Rollup::TopK(vec![PressurePoint {
                     host: 1,
                     id: 2,
@@ -873,6 +1011,7 @@ mod tests {
             encode_repl(&Repl {
                 ctl_epoch: 2,
                 repl_seq: 3,
+                as_of_tick: 5,
                 records: vec![9; 24],
             }),
         ];
@@ -907,6 +1046,16 @@ mod tests {
                 health: (seq % 3) as u8,
                 staleness_age: seq % 5,
                 epoch: 0,
+                origin_tick: seq.wrapping_mul(3).saturating_sub(seq % 4),
+                trace_seq: seq,
+                summary: HostSummary {
+                    frames: seq,
+                    entries: seq.wrapping_mul(n as u64),
+                    full_syncs: seq / 2,
+                    resyncs: seq % 2,
+                    deltas_coalesced: seq % 7,
+                    acks_fenced: 0,
+                },
                 entries: (0..n)
                     .map(|i| DeltaEntry {
                         id: i as u32,
@@ -994,6 +1143,83 @@ mod tests {
                 );
             }
 
+            /// Span stamps survive a DELTA round-trip exactly: the
+            /// origin tick, trace sequence, and piggybacked summary a
+            /// periphery stamps are what the controller decodes.
+            #[test]
+            fn stamped_delta_preserves_span(
+                host in 0u32..1000,
+                seq in 0u64..10_000,
+                n in 0usize..8
+            ) {
+                let delta = arb_delta(host, seq, n, 1);
+                let decoded = decode_frame(&encode_delta(&delta));
+                prop_assert!(matches!(decoded, Some(Frame::Delta(_))));
+                let Some(Frame::Delta(got)) = decoded else {
+                    unreachable!()
+                };
+                prop_assert_eq!(got.origin_tick, delta.origin_tick);
+                prop_assert_eq!(got.trace_seq, delta.trace_seq);
+                prop_assert_eq!(got.summary, delta.summary);
+            }
+
+            /// Span stamps survive a ROLLUP round-trip exactly, and the
+            /// derived max-lag matches tick arithmetic.
+            #[test]
+            fn stamped_rollup_round_trips(
+                ctl_epoch in 0u64..100,
+                as_of in 0u64..10_000,
+                lag in 0u64..64,
+                trace_max in 0u64..10_000,
+                cpu in 0u64..1_000_000
+            ) {
+                let frame = RollupFrame {
+                    ctl_epoch,
+                    span: SpanStamp {
+                        as_of_tick: as_of,
+                        origin_min: as_of.saturating_sub(lag),
+                        trace_max,
+                    },
+                    body: Rollup::Cluster {
+                        rollup: ClusterRollup { cpu, ..ClusterRollup::default() },
+                        degraded: false,
+                    },
+                };
+                let decoded = decode_frame(&encode_rollup(&frame));
+                prop_assert!(matches!(decoded, Some(Frame::Rollup(_))));
+                let Some(Frame::Rollup(got)) = decoded else {
+                    unreachable!()
+                };
+                prop_assert_eq!(got.span, frame.span);
+                prop_assert_eq!(got.span.max_lag(), lag.min(as_of));
+            }
+
+            /// Truncating or bit-flipping a stamped ROLLUP frame never
+            /// panics the decoder — it decodes to something or to None.
+            #[test]
+            fn corrupted_stamped_rollup_never_panics(
+                as_of in 0u64..10_000,
+                trace_max in 0u64..10_000,
+                cut in 0usize..128,
+                idx in 0usize..4096,
+                bit in 0u8..8
+            ) {
+                let mut frame = encode_rollup(&RollupFrame {
+                    ctl_epoch: 3,
+                    span: SpanStamp {
+                        as_of_tick: as_of,
+                        origin_min: as_of / 2,
+                        trace_max,
+                    },
+                    body: Rollup::Flight(vec![0xAB; 16]),
+                });
+                let keep = cut.min(frame.len());
+                let _ = decode_frame(&frame[..keep]);
+                let i = idx % frame.len();
+                frame[i] ^= 1 << bit;
+                let _ = decode_frame(&frame);
+            }
+
             /// Arbitrary record bytes shipped through a REPL frame never
             /// panic a standby — torn, corrupt, or adversarial streams
             /// degrade to a resync demand, not a crash.
@@ -1003,7 +1229,7 @@ mod tests {
                 repl_seq in 0u64..8,
                 records in prop::collection::vec(0u8..255, 0..256)
             ) {
-                let frame = encode_repl(&Repl { ctl_epoch, repl_seq, records });
+                let frame = encode_repl(&Repl { ctl_epoch, repl_seq, as_of_tick: 0, records });
                 let standby = FleetController::new(2, FleetPolicy::default());
                 let _ = standby.handle_frame(&frame);
             }
@@ -1032,7 +1258,7 @@ mod tests {
                 }
                 let keep = cut.min(records.len());
                 records.truncate(keep);
-                let frame = encode_repl(&Repl { ctl_epoch: 1, repl_seq: 0, records });
+                let frame = encode_repl(&Repl { ctl_epoch: 1, repl_seq: 0, as_of_tick: 0, records });
                 let standby = FleetController::new(2, FleetPolicy::default());
                 let _ = standby.handle_frame(&frame);
             }
@@ -1049,11 +1275,14 @@ mod tests {
             health: HEALTH_FRESH,
             staleness_age: 0,
             epoch: 0,
+            origin_tick: 0,
+            trace_seq: 0,
+            summary: HostSummary::default(),
             entries: Vec::new(),
             removed: Vec::new(),
         });
-        // Overwrite the entry count (offset 39) with a huge claim.
-        frame[39..43].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Overwrite the entry count (offset 103) with a huge claim.
+        frame[103..107].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_frame(&frame), None);
     }
 }

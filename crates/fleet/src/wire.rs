@@ -399,6 +399,9 @@ mod tests {
             health: HEALTH_FRESH,
             staleness_age: 0,
             epoch: 0,
+            origin_tick: 1,
+            trace_seq: 1,
+            summary: Default::default(),
             entries: vec![DeltaEntry {
                 id: 1,
                 tenant: 0,

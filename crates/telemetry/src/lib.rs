@@ -17,8 +17,15 @@
 //!   view evolution, [`Tracer::explain`] returns the last decision per
 //!   resource — plus text renderings for the wire `TRACE` opcode;
 //! * a tiny **Prometheus-style text exposition** builder ([`PromText`])
-//!   used by the view server to export its metrics and per-container
-//!   gauges.
+//!   used by the view server and the fleet controller to export their
+//!   metrics and per-container gauges;
+//! * a **staleness histogram** ([`LagHistogram`]) with fixed
+//!   power-of-two tick buckets, used by the fleet controller to build
+//!   per-host end-to-end lag waterfalls;
+//! * an **anomaly flight recorder** ([`FlightRecorder`]): a bounded
+//!   black-box that, on a trigger (gap resync, fence, promotion,
+//!   demotion, partition), freezes the trace ring and a counter
+//!   snapshot into a retrievable, CRC-framed [`FlightDump`].
 //!
 //! # Design
 //!
@@ -666,6 +673,406 @@ impl Tracer {
     }
 }
 
+/// Inverse of `decode`: pack a decoded event back into the ring's raw
+/// word layout, so flight dumps can carry events byte-identically.
+fn encode_words(ev: &TraceEvent) -> (u64, u64, u64, u64, u64) {
+    let container = ev.container.map_or(NO_CONTAINER, |c| c.0);
+    match ev.kind {
+        EventKind::Cpu(d) => (
+            pack_meta(
+                container,
+                KIND_CPU,
+                d.cause.code(),
+                if d.had_slack { FLAG_HAD_SLACK as u8 } else { 0 },
+            ),
+            u64::from(d.before),
+            u64::from(d.after),
+            d.utilization.to_bits(),
+            0,
+        ),
+        EventKind::Mem(d) => (
+            pack_meta(container, KIND_MEM, d.cause.code(), 0),
+            d.before.0,
+            d.after.0,
+            d.usage.0,
+            d.free.0,
+        ),
+        EventKind::Pipeline(p) => (pack_meta(container, KIND_PIPELINE, p.code(), 0), 0, 0, 0, 0),
+    }
+}
+
+/// Upper bounds (inclusive, in ticks) of the [`LagHistogram`] buckets;
+/// an implicit `+Inf` bucket follows the last bound.
+pub const LAG_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// A fixed-bucket histogram of staleness lags, in ticks.
+///
+/// The fleet controller keeps one per host to build end-to-end
+/// staleness waterfalls (origin tick → delta flush → ingest → rollup
+/// visibility); the buckets are powers of two so a lag regression is
+/// visible as mass shifting right.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LagHistogram {
+    counts: [u64; LAG_BOUNDS.len() + 1],
+    sum: u64,
+    max: u64,
+}
+
+impl LagHistogram {
+    /// Fold one observed lag in.
+    pub fn observe(&mut self, lag: u64) {
+        let i = LAG_BOUNDS
+            .iter()
+            .position(|&b| lag <= b)
+            .unwrap_or(LAG_BOUNDS.len());
+        self.counts[i] += 1;
+        self.sum = self.sum.saturating_add(lag);
+        self.max = self.max.max(lag);
+    }
+
+    /// Observations folded in so far.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of every observed lag (for mean computation).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The largest lag ever observed.
+    pub fn max_lag(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw per-bucket counts, one per bound plus the `+Inf` bucket.
+    pub fn buckets(&self) -> [u64; LAG_BOUNDS.len() + 1] {
+        self.counts
+    }
+
+    /// Emit this histogram as Prometheus `_bucket`/`_sum`/`_count`
+    /// samples (cumulative `le` buckets) under `name`, with `base`
+    /// labels prepended to every sample.
+    pub fn expose(&self, out: &mut PromText, name: &str, base: &[(&str, String)]) {
+        let bucket = format!("{name}_bucket");
+        let mut cum = 0u64;
+        let mut labels: Vec<(&str, String)> = base.to_vec();
+        labels.push(("le", String::new()));
+        for (i, bound) in LAG_BOUNDS.iter().enumerate() {
+            cum += self.counts[i];
+            if let Some(last) = labels.last_mut() {
+                last.1 = bound.to_string();
+            }
+            out.labeled(&bucket, &labels, cum as f64);
+        }
+        cum += self.counts[LAG_BOUNDS.len()];
+        if let Some(last) = labels.last_mut() {
+            last.1 = "+Inf".to_string();
+        }
+        out.labeled(&bucket, &labels, cum as f64);
+        out.labeled(&format!("{name}_sum"), base, self.sum as f64);
+        out.labeled(&format!("{name}_count"), base, cum as f64);
+    }
+}
+
+/// Why a flight dump was frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlightTrigger {
+    /// A periphery sequence gap forced a FULL resync.
+    GapResync,
+    /// A frame from a stale controller epoch was fenced.
+    Fence,
+    /// A standby took over the lease and promoted itself.
+    Promotion,
+    /// A primary stood down (lost lease or saw a higher epoch).
+    Demotion,
+    /// A silent host was flagged partitioned.
+    Partition,
+    /// A replacement controller warm-restarted from the journal.
+    Failover,
+}
+
+impl FlightTrigger {
+    fn code(self) -> u8 {
+        match self {
+            FlightTrigger::GapResync => 1,
+            FlightTrigger::Fence => 2,
+            FlightTrigger::Promotion => 3,
+            FlightTrigger::Demotion => 4,
+            FlightTrigger::Partition => 5,
+            FlightTrigger::Failover => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<FlightTrigger> {
+        match code {
+            1 => Some(FlightTrigger::GapResync),
+            2 => Some(FlightTrigger::Fence),
+            3 => Some(FlightTrigger::Promotion),
+            4 => Some(FlightTrigger::Demotion),
+            5 => Some(FlightTrigger::Partition),
+            6 => Some(FlightTrigger::Failover),
+            _ => None,
+        }
+    }
+
+    /// Short label used in rendered dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightTrigger::GapResync => "gap-resync",
+            FlightTrigger::Fence => "fence",
+            FlightTrigger::Promotion => "promotion",
+            FlightTrigger::Demotion => "demotion",
+            FlightTrigger::Partition => "partition",
+            FlightTrigger::Failover => "failover",
+        }
+    }
+}
+
+/// One frozen black-box dump: the trace ring and a counter snapshot as
+/// they stood the moment an anomaly trigger fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Dump ordinal within its recorder (monotone from 0).
+    pub seq: u64,
+    /// Tick the trigger fired at.
+    pub tick: u64,
+    /// What froze the dump.
+    pub trigger: FlightTrigger,
+    /// Every event resident in the trace ring at freeze time,
+    /// oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Named counter values at freeze time.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl FlightDump {
+    /// Serialize the dump: fixed-width little-endian fields with a
+    /// trailing CRC32 over everything before it — the same integrity
+    /// framing `arv_persist` journals use, so a torn or corrupt dump is
+    /// rejected instead of misread.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.events.len() * 56 + self.counters.len() * 24);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.push(self.trigger.code());
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for ev in &self.events {
+            let (meta, before, after, in_a, in_b) = encode_words(ev);
+            for w in [ev.seq, ev.tick, meta, before, after, in_a, in_b] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (name, value) in &self.counters {
+            let bytes = name.as_bytes();
+            out.push(bytes.len().min(255) as u8);
+            out.extend_from_slice(&bytes[..bytes.len().min(255)]);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        let crc = arv_persist::crc32::checksum(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode a serialized dump. `None` for anything torn, corrupt
+    /// (CRC mismatch), or malformed — never panics, for any input.
+    pub fn decode(bytes: &[u8]) -> Option<FlightDump> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let mut crc = [0u8; 4];
+        crc.copy_from_slice(tail);
+        if arv_persist::crc32::checksum(body) != u32::from_le_bytes(crc) {
+            return None;
+        }
+        let mut i = 0usize;
+        let u64_at = |b: &[u8], i: &mut usize| -> Option<u64> {
+            let s = b.get(*i..*i + 8)?;
+            *i += 8;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(s);
+            Some(u64::from_le_bytes(buf))
+        };
+        let u32_at = |b: &[u8], i: &mut usize| -> Option<u32> {
+            let s = b.get(*i..*i + 4)?;
+            *i += 4;
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(s);
+            Some(u32::from_le_bytes(buf))
+        };
+        let seq = u64_at(body, &mut i)?;
+        let tick = u64_at(body, &mut i)?;
+        let trigger = FlightTrigger::from_code(*body.get(i)?)?;
+        i += 1;
+        let n_events = u32_at(body, &mut i)? as usize;
+        if n_events > body.len().saturating_sub(i) / 56 {
+            return None;
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let eseq = u64_at(body, &mut i)?;
+            let etick = u64_at(body, &mut i)?;
+            let meta = u64_at(body, &mut i)?;
+            let before = u64_at(body, &mut i)?;
+            let after = u64_at(body, &mut i)?;
+            let in_a = u64_at(body, &mut i)?;
+            let in_b = u64_at(body, &mut i)?;
+            events.push(decode(eseq, etick, meta, before, after, in_a, in_b)?);
+        }
+        let n_counters = u32_at(body, &mut i)? as usize;
+        if n_counters > body.len().saturating_sub(i) / 9 {
+            return None;
+        }
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let len = *body.get(i)? as usize;
+            i += 1;
+            let name = String::from_utf8(body.get(i..i + len)?.to_vec()).ok()?;
+            i += len;
+            counters.push((name, u64_at(body, &mut i)?));
+        }
+        if i != body.len() {
+            return None;
+        }
+        Some(FlightDump {
+            seq,
+            tick,
+            trigger,
+            events,
+            counters,
+        })
+    }
+
+    /// Human-readable rendering: a header line, the counter snapshot,
+    /// then the frozen event timeline.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# flight dump {} at tick {} (trigger: {}, {} events)\n",
+            self.seq,
+            self.tick,
+            self.trigger.label(),
+            self.events.len()
+        );
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    next_seq: u64,
+    dumps: std::collections::VecDeque<FlightDump>,
+}
+
+/// A bounded anomaly black-box: each [`record`](FlightRecorder::record)
+/// freezes the tracer's resident events plus a counter snapshot into a
+/// [`FlightDump`], keeping only the most recent `max_dumps`.
+///
+/// Cloning is cheap (an `Arc` bump); all clones feed the same store.
+/// The `Default` recorder is disabled: records are single-branch
+/// no-ops and queries return nothing — the same contract as
+/// [`Tracer::disabled`].
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<std::sync::Mutex<FlightState>>>,
+    max_dumps: usize,
+}
+
+impl FlightRecorder {
+    /// A no-op recorder (the default).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// A recorder retaining the most recent `max_dumps` dumps
+    /// (minimum 1).
+    pub fn bounded(max_dumps: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Some(Arc::new(std::sync::Mutex::new(FlightState::default()))),
+            max_dumps: max_dumps.max(1),
+        }
+    }
+
+    /// Whether this recorder stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, FlightState>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Freeze a dump: the tracer's resident events and `counters` as
+    /// they stand right now, stamped with `tick` and `trigger`. The
+    /// oldest dump is evicted once `max_dumps` are held.
+    pub fn record(
+        &self,
+        tick: u64,
+        trigger: FlightTrigger,
+        tracer: &Tracer,
+        counters: &[(&str, u64)],
+    ) {
+        let Some(mut st) = self.lock() else {
+            return;
+        };
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.dumps.push_back(FlightDump {
+            seq,
+            tick,
+            trigger,
+            events: tracer.events(),
+            counters: counters
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), *v))
+                .collect(),
+        });
+        while st.dumps.len() > self.max_dumps {
+            st.dumps.pop_front();
+        }
+    }
+
+    /// Total dumps ever frozen (including evicted ones).
+    pub fn dumps_frozen(&self) -> u64 {
+        self.lock().map_or(0, |st| st.next_seq)
+    }
+
+    /// Dumps currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().map_or(0, |st| st.dumps.len())
+    }
+
+    /// Whether no dump is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dump `back` places before the newest (`0` = newest).
+    pub fn get(&self, back: usize) -> Option<FlightDump> {
+        let st = self.lock()?;
+        let n = st.dumps.len();
+        if back >= n {
+            return None;
+        }
+        st.dumps.get(n - 1 - back).cloned()
+    }
+
+    /// The most recently frozen dump.
+    pub fn latest(&self) -> Option<FlightDump> {
+        self.get(0)
+    }
+}
+
 /// Incremental builder for Prometheus text-format exposition.
 ///
 /// Kept deliberately minimal: `# HELP`/`# TYPE` headers plus samples
@@ -681,10 +1088,29 @@ impl PromText {
         PromText::default()
     }
 
-    /// Emit `# HELP`/`# TYPE` headers for a metric family.
+    /// Emit `# HELP`/`# TYPE` headers for a metric family. The HELP
+    /// text is escaped per the text-format spec: `\` becomes `\\` and
+    /// a newline becomes `\n`, so a multi-line help string cannot break
+    /// the line-oriented exposition.
     pub fn header(&mut self, name: &str, help: &str, kind: &str) {
-        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let escaped = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {escaped}");
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One whole-process counter family: `# HELP`/`# TYPE` headers plus
+    /// a single `{name}_total` sample — the shape every controller and
+    /// server counter shares.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}_total {}", fmt_value(value));
+    }
+
+    /// One unlabeled gauge family: headers plus a single sample under
+    /// the family name itself.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, value);
     }
 
     /// Emit one unlabeled sample.
@@ -917,6 +1343,148 @@ mod tests {
         assert!(ex.starts_with("cpu: "));
         assert!(ex.contains("mem: no decision traced"));
         assert!(t.render_timeline(CgroupId(4)).contains("no trace events"));
+    }
+
+    #[test]
+    fn prom_help_text_is_escaped() {
+        let mut p = PromText::new();
+        p.header("arv_x", "line one\nline two \\ backslash", "counter");
+        let body = p.finish();
+        assert!(body.contains("# HELP arv_x line one\\nline two \\\\ backslash\n"));
+        assert!(!body.contains("# HELP arv_x line one\nline"));
+    }
+
+    #[test]
+    fn counter_and_gauge_builders_emit_header_and_sample() {
+        let mut p = PromText::new();
+        p.counter("arv_things", "Things counted", 3.0);
+        p.gauge("arv_level", "Current level", 7.5);
+        let body = p.finish();
+        assert!(body.contains("# HELP arv_things Things counted\n"));
+        assert!(body.contains("# TYPE arv_things counter\n"));
+        assert!(body.contains("arv_things_total 3\n"));
+        assert!(body.contains("# TYPE arv_level gauge\n"));
+        assert!(body.contains("arv_level 7.5\n"));
+    }
+
+    #[test]
+    fn lag_histogram_buckets_sum_and_max() {
+        let mut h = LagHistogram::default();
+        for lag in [0, 1, 2, 3, 9, 100] {
+            h.observe(lag);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 115);
+        assert_eq!(h.max_lag(), 100);
+        // 0 and 1 land in le=1; 2 in le=2; 3 in le=4; 9 in le=16;
+        // 100 overflows to +Inf.
+        assert_eq!(h.buckets(), [2, 1, 1, 0, 1, 0, 1]);
+
+        let mut p = PromText::new();
+        h.expose(&mut p, "arv_lag", &[("host", "3".to_string())]);
+        let body = p.finish();
+        assert!(body.contains("arv_lag_bucket{host=\"3\",le=\"1\"} 2\n"));
+        assert!(body.contains("arv_lag_bucket{host=\"3\",le=\"+Inf\"} 6\n"));
+        assert!(body.contains("arv_lag_sum{host=\"3\"} 115\n"));
+        assert!(body.contains("arv_lag_count{host=\"3\"} 6\n"));
+    }
+
+    fn sample_dump() -> FlightDump {
+        let t = Tracer::bounded(16);
+        t.emit_cpu(7, CgroupId(3), cpu_step(2, 3));
+        t.emit_mem(
+            8,
+            CgroupId(3),
+            MemDecision {
+                cause: DecisionCause::MemReclaimReset,
+                before: Bytes(1000),
+                after: Bytes(600),
+                usage: Bytes(950),
+                free: Bytes(50),
+            },
+        );
+        t.emit_pipeline(9, None, PipelineEvent::FleetGapResync);
+        let rec = FlightRecorder::bounded(4);
+        rec.record(
+            9,
+            FlightTrigger::GapResync,
+            &t,
+            &[("deltas_ingested", 12), ("full_syncs", 2)],
+        );
+        rec.latest().expect("dump frozen")
+    }
+
+    #[test]
+    fn flight_dump_round_trips_and_renders() {
+        let dump = sample_dump();
+        assert_eq!(dump.seq, 0);
+        assert_eq!(dump.trigger, FlightTrigger::GapResync);
+        assert_eq!(dump.events.len(), 3);
+        let bytes = dump.encode();
+        let back = FlightDump::decode(&bytes).expect("decodes");
+        assert_eq!(back, dump);
+        let text = dump.render();
+        assert!(text.contains("trigger: gap-resync"));
+        assert!(text.contains("deltas_ingested 12"));
+        assert!(text.contains("fleet-gap-resync"));
+    }
+
+    #[test]
+    fn flight_dump_rejects_truncation_and_corruption() {
+        let bytes = sample_dump().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                FlightDump::decode(&bytes[..cut]),
+                None,
+                "torn dump at {cut} must not decode"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                FlightDump::decode(&bad),
+                None,
+                "bit flip at {i} must fail the CRC"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_recorder_bounds_and_orders_dumps() {
+        let t = Tracer::bounded(8);
+        let rec = FlightRecorder::bounded(2);
+        assert!(rec.is_empty());
+        for i in 0..5u64 {
+            rec.record(i, FlightTrigger::Partition, &t, &[]);
+        }
+        assert_eq!(rec.dumps_frozen(), 5);
+        assert_eq!(rec.len(), 2, "only the newest max_dumps retained");
+        assert_eq!(rec.latest().expect("latest").seq, 4);
+        assert_eq!(rec.get(1).expect("one back").seq, 3);
+        assert_eq!(rec.get(2), None);
+    }
+
+    #[test]
+    fn disabled_flight_recorder_is_inert() {
+        let rec = FlightRecorder::disabled();
+        rec.record(1, FlightTrigger::Fence, &Tracer::bounded(4), &[("x", 1)]);
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.dumps_frozen(), 0);
+        assert_eq!(rec.latest(), None);
+    }
+
+    #[test]
+    fn identical_rings_freeze_identical_dump_bytes() {
+        let make = || {
+            let t = Tracer::bounded(8);
+            t.emit_pipeline(3, None, PipelineEvent::FleetFenced);
+            t.emit_pipeline(5, None, PipelineEvent::FleetPromoted);
+            let rec = FlightRecorder::bounded(2);
+            rec.record(5, FlightTrigger::Promotion, &t, &[("promotions", 1)]);
+            rec.latest().expect("dump").encode()
+        };
+        assert_eq!(make(), make(), "replay must be bit-identical");
     }
 
     #[test]

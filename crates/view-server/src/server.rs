@@ -259,69 +259,56 @@ impl ViewServer {
     pub fn prometheus_exposition(&self) -> String {
         let m = self.metrics();
         let mut out = PromText::new();
-        out.header("arv_viewd_queries", "Queries answered", "counter");
-        out.sample("arv_viewd_queries_total", m.queries as f64);
-        out.header("arv_viewd_cache_hits", "Cached-render answers", "counter");
-        out.sample("arv_viewd_cache_hits_total", m.cache_hits as f64);
-        out.header("arv_viewd_cache_misses", "Fresh-render answers", "counter");
-        out.sample("arv_viewd_cache_misses_total", m.cache_misses as f64);
-        out.header("arv_viewd_failures", "Failed queries", "counter");
-        out.sample("arv_viewd_failures_total", m.failures as f64);
-        out.header(
+        out.counter("arv_viewd_queries", "Queries answered", m.queries as f64);
+        out.counter(
+            "arv_viewd_cache_hits",
+            "Cached-render answers",
+            m.cache_hits as f64,
+        );
+        out.counter(
+            "arv_viewd_cache_misses",
+            "Fresh-render answers",
+            m.cache_misses as f64,
+        );
+        out.counter("arv_viewd_failures", "Failed queries", m.failures as f64);
+        out.counter(
             "arv_viewd_wire_requests",
             "Wire requests decoded",
-            "counter",
+            m.wire_requests as f64,
         );
-        out.sample("arv_viewd_wire_requests_total", m.wire_requests as f64);
-        out.header(
+        out.counter(
             "arv_viewd_wire_errors",
             "Malformed wire requests",
-            "counter",
+            m.wire_errors as f64,
         );
-        out.sample("arv_viewd_wire_errors_total", m.wire_errors as f64);
-        out.header(
+        out.counter(
             "arv_viewd_stale_serves",
             "Queries served from a within-budget stale view",
-            "counter",
+            m.stale_serves as f64,
         );
-        out.sample("arv_viewd_stale_serves_total", m.stale_serves as f64);
-        out.header(
+        out.counter(
             "arv_viewd_degraded_serves",
             "Queries served from the conservative fallback view",
-            "counter",
+            m.degraded_serves as f64,
         );
-        out.sample("arv_viewd_degraded_serves_total", m.degraded_serves as f64);
-        out.header(
+        out.counter(
             "arv_viewd_requests_shed",
             "Requests refused with OK_SHED under overload",
-            "counter",
+            m.requests_shed as f64,
         );
-        out.sample("arv_viewd_requests_shed_total", m.requests_shed as f64);
-        out.header(
+        out.counter(
             "arv_viewd_conns_evicted_slow",
             "Connections evicted for stalling past the write deadline",
-            "counter",
-        );
-        out.sample(
-            "arv_viewd_conns_evicted_slow_total",
             m.conns_evicted_slow as f64,
         );
-        out.header(
+        out.counter(
             "arv_viewd_restore_reconciled_containers",
             "Containers reconciled during warm restarts",
-            "counter",
-        );
-        out.sample(
-            "arv_viewd_restore_reconciled_containers_total",
             m.restore_reconciled_containers as f64,
         );
-        out.header(
+        out.counter(
             "arv_viewd_journal_truncated_records",
             "Journal records discarded as torn or corrupt during restore",
-            "counter",
-        );
-        out.sample(
-            "arv_viewd_journal_truncated_records_total",
             m.journal_truncated_records as f64,
         );
         out.header(
@@ -370,18 +357,16 @@ impl ViewServer {
             m.wire_p99_ns as f64,
         );
         let tracer = self.tracer();
-        out.header(
+        out.counter(
             "arv_trace_events",
             "Decision-provenance events emitted",
-            "counter",
+            tracer.emitted() as f64,
         );
-        out.sample("arv_trace_events_total", tracer.emitted() as f64);
-        out.header(
+        out.counter(
             "arv_trace_dropped",
             "Trace events overwritten before being read",
-            "counter",
+            tracer.dropped_events() as f64,
         );
-        out.sample("arv_trace_dropped_total", tracer.dropped_events() as f64);
         out.header(
             "arv_container_effective_cpus",
             "Per-container effective CPU count",

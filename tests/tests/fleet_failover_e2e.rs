@@ -12,12 +12,20 @@
 //! both sockets throughout: every rollup they accept must carry a
 //! monotone non-decreasing controller epoch (stale-epoch rollups are
 //! fenced, exactly like periphery ACK fencing) and must never be torn.
+//!
+//! The standby's observability plane is armed throughout: after the
+//! failover the test scrapes the Prometheus exposition and retrieves
+//! the promotion's flight dump over the same wire (`QUERY_STATS` /
+//! `QUERY_FLIGHT`), proving the black box survives a real crash and is
+//! readable by a plain socket client.
 
 use arv_container::{ContainerSpec, SimHost};
 use arv_fleet::{
     decode_frame, encode_query, AckDisposition, FailoverPolicy, FleetClient, FleetController,
     FleetFailoverClient, FleetPolicy, Frame, Periphery, Query, Rollup, SharedLease, QUERY_CLUSTER,
+    QUERY_FLIGHT, QUERY_STATS,
 };
+use arv_telemetry::{FlightDump, FlightRecorder, FlightTrigger, Tracer};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -89,7 +97,12 @@ fn fleet_failover_over_the_wire() {
     let primary = Arc::new(FleetController::new(8, FleetPolicy::default()));
     primary.attach_lease(lease.clone(), 1, LEASE_TTL);
     primary.enable_replication();
-    let standby = Arc::new(FleetController::new(8, FleetPolicy::default()));
+    let mut standby = FleetController::new(8, FleetPolicy::default());
+    // Arm the black box on the survivor: the promotion mid-test must
+    // freeze a dump retrievable over the wire afterwards.
+    standby.set_tracer(Tracer::bounded(4096));
+    standby.set_flight_recorder(FlightRecorder::bounded(8));
+    let standby = Arc::new(standby);
     standby.attach_lease(lease, 2, LEASE_TTL);
     assert!(primary.is_leader() && !standby.is_leader());
 
@@ -257,6 +270,77 @@ fn fleet_failover_over_the_wire() {
     assert!(
         reader_results.iter().any(|(_, _, e)| *e == 2),
         "no reader ever reached the promoted leader"
+    );
+
+    // Scrape the exposition over the wire (the primary's socket is
+    // dead; the survivor's answers): every host's freshness lag and
+    // agent summary must be published as labelled gauges.
+    let mut scraper = FleetClient::connect(&path_b).expect("scrape connect");
+    let resp = scraper
+        .request(&encode_query(&Query {
+            kind: QUERY_STATS,
+            arg: 0,
+        }))
+        .expect("stats request")
+        .expect("stats answered");
+    let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
+        panic!("expected ROLLUP");
+    };
+    let Rollup::Stats(text) = frame.body else {
+        panic!("stats query answered with a non-stats rollup");
+    };
+    for h in 0..HOSTS {
+        assert!(
+            text.contains(&format!(
+                "arv_fleet_host_freshness_lag_ticks{{host=\"{h}\"}}"
+            )),
+            "exposition is missing host {h}'s freshness lag"
+        );
+        assert!(
+            text.contains(&format!(
+                "arv_fleet_host_e2e_lag_ticks_count{{host=\"{h}\"}}"
+            )),
+            "exposition is missing host {h}'s waterfall"
+        );
+    }
+    assert!(
+        text.contains("arv_fleet_flight_dumps"),
+        "exposition is missing the flight-dump gauge"
+    );
+
+    // Retrieve the black box over the same wire: among the frozen
+    // dumps there must be the promotion, with a non-empty causal
+    // event ring.
+    let mut saw_promotion = false;
+    for back in 0..16u32 {
+        let resp = scraper
+            .request(&encode_query(&Query {
+                kind: QUERY_FLIGHT,
+                arg: back,
+            }))
+            .expect("flight request")
+            .expect("flight answered");
+        let Some(Frame::Rollup(frame)) = decode_frame(&resp) else {
+            panic!("expected ROLLUP");
+        };
+        let Rollup::Flight(bytes) = frame.body else {
+            panic!("flight query answered with a non-flight rollup");
+        };
+        if bytes.is_empty() {
+            break;
+        }
+        let dump = FlightDump::decode(&bytes).expect("retrieved dump decodes");
+        if dump.trigger == FlightTrigger::Promotion {
+            assert!(
+                !dump.events.is_empty(),
+                "promotion dump froze an empty ring"
+            );
+            saw_promotion = true;
+        }
+    }
+    assert!(
+        saw_promotion,
+        "the mid-stream promotion never produced a retrievable flight dump"
     );
 
     standby_srv.shutdown();
