@@ -21,6 +21,9 @@ cargo clippy -p arv-fleet -- -D warnings -D clippy::unwrap_used
 echo "==> cargo clippy -p arv-persist (no unwraps under the journal/lease)"
 cargo clippy -p arv-persist -- -D warnings -D clippy::unwrap_used
 
+echo "==> cargo clippy -p arv-telemetry (no unwraps in the observability plane)"
+cargo clippy -p arv-telemetry -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -54,9 +57,19 @@ cargo run -q --release -p arv-experiments --bin experiments -- --fig fleetobs --
 echo "==> fleet observability experiment, rotated seeds"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig fleetobs --scale 0.5 --seed-offset 1 > /dev/null
 
+echo "==> storm campaign (storage faults composed with every fleet axis, durability ladder gated)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig storm --scale 0.5 > /dev/null
+
+echo "==> storm campaign, rotated seeds (the ladder must hold beyond the canonical seeds)"
+cargo run -q --release -p arv-experiments --bin experiments -- --fig storm --scale 0.5 --seed-offset 1 > /dev/null
+
 echo "==> fleet bench (ingest throughput, rollup query cost, resync ticks, failover convergence, obs overhead)"
 cargo bench -q -p arv-bench --bench fleet > /dev/null
 test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
+
+echo "==> persist bench (journal append cost, restore throughput, faulty-store overhead)"
+cargo bench -q -p arv-bench --bench persist > /dev/null
+test -s BENCH_persist.json || { echo "BENCH_persist.json missing"; exit 1; }
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

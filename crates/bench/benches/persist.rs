@@ -1,0 +1,176 @@
+//! Persistence benchmarks with a machine-checkable report.
+//!
+//! Plain-harness companion to `fleet.rs`: it measures the numbers the
+//! durability design budgets for — the cost of one journal delta
+//! append (encode + CRC + store write), replay throughput through
+//! `restore`, and the tax the fault-injecting store wrapper adds to a
+//! clean append path — writes them to `BENCH_persist.json`, and exits
+//! nonzero if any threshold is breached, so `ci.sh` can gate on it
+//! with a single run.
+//!
+//! Thresholds are deliberately loose (an order of magnitude under the
+//! release-mode numbers on a laptop): they catch algorithmic
+//! regressions — a re-encode of the whole journal per append, an
+//! O(journal) seek inside the store, per-byte RNG draws in the fault
+//! wrapper — not machine noise.
+
+use arv_persist::{restore, FaultyStore, Journal, Snapshot, StoreFaults, ViewState};
+use std::time::Instant;
+
+/// Delta records appended per trial.
+const RECORDS: u64 = 20_000;
+/// Records replayed by the restore trial.
+const RESTORE_RECORDS: u64 = 10_000;
+
+/// Ceiling for one delta append + group-commit share, nanoseconds.
+/// An append is a fixed-size encode, a CRC, and a memcpy into the
+/// store; debug builds land well under this, and a per-append
+/// re-encode of the journal blows straight through it.
+const MAX_APPEND_NS_PER_RECORD: f64 = 40_000.0;
+/// Floor for records replayed per second through `restore`.
+const MIN_RESTORE_RECORDS_PER_SEC: f64 = 50_000.0;
+/// Ceiling on the fault-wrapper tax: the same append workload over a
+/// `FaultyStore` (all probabilistic axes armed at low rates) relative
+/// to the plain in-memory store. The wrapper draws O(1) random bits
+/// per call, so anything past this ratio means fault injection leaked
+/// a per-byte cost onto the hot path. Both sides are min-of-3.
+const MAX_FAULTY_OVERHEAD_RATIO: f64 = 3.0;
+
+fn delta(i: u64) -> ViewState {
+    let mem = 256 + (i % 512);
+    ViewState {
+        id: (i % 64) as u32,
+        e_cpu: 1 + (i % 16) as u32,
+        e_mem: mem,
+        e_avail: mem / 2,
+        last_tick: i,
+    }
+}
+
+/// Seconds for `RECORDS` appends (group-commit sync every 16) on the
+/// given journal; errors from injected faults are counted, not fatal.
+fn append_workload(journal: &mut Journal) -> f64 {
+    let start = Instant::now();
+    for i in 0..RECORDS {
+        journal.set_tick(i);
+        let _ = journal.append_delta(&delta(i), i);
+        if i % 16 == 15 {
+            let _ = journal.sync();
+        }
+    }
+    let _ = journal.sync();
+    start.elapsed().as_secs_f64()
+}
+
+/// Min-of-3 append workload over a fresh clean journal.
+fn clean_append_secs() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut journal = Journal::new();
+        best = best.min(append_workload(&mut journal));
+    }
+    best
+}
+
+/// Min-of-3 append workload over a fresh fault-injecting journal.
+fn faulty_append_secs() -> f64 {
+    let faults = StoreFaults {
+        torn_prob: 0.01,
+        write_err_prob: 0.01,
+        bit_rot_prob: 0.01,
+        ..StoreFaults::default()
+    };
+    let mut best = f64::INFINITY;
+    for trial in 0..3u64 {
+        // A fault can land on the header write itself; walk seeds
+        // until the journal opens (deterministic per trial).
+        let mut seed = trial * 1_000 + 1;
+        let mut journal = loop {
+            match Journal::with_store(Box::new(FaultyStore::new(seed, faults))) {
+                Ok(j) => break j,
+                Err(_) => seed += 1,
+            }
+        };
+        best = best.min(append_workload(&mut journal));
+    }
+    best
+}
+
+/// Records replayed per second through `restore` over a journal of one
+/// checkpoint plus `RESTORE_RECORDS` deltas.
+fn restore_records_per_sec() -> f64 {
+    let mut journal = Journal::new();
+    let mut snap = Snapshot::at(0);
+    for c in 0..64u64 {
+        snap.entries.push(delta(c));
+    }
+    journal.checkpoint(&snap).expect("clean checkpoint");
+    for i in 0..RESTORE_RECORDS {
+        journal.append_delta(&delta(i), i).expect("clean append");
+    }
+    journal.sync().expect("clean sync");
+    let bytes = journal.as_bytes().to_vec();
+
+    let trials = 10u32;
+    let start = Instant::now();
+    let mut replayed = 0u64;
+    for _ in 0..trials {
+        let report = restore(&bytes);
+        assert_eq!(
+            report.truncated_records, 0,
+            "clean journal must replay fully"
+        );
+        replayed += report.applied_deltas;
+    }
+    assert_eq!(replayed, u64::from(trials) * RESTORE_RECORDS);
+    replayed as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let clean_secs = clean_append_secs();
+    let append_ns_per_record = clean_secs * 1e9 / RECORDS as f64;
+    let restore_per_sec = restore_records_per_sec();
+    let faulty_secs = faulty_append_secs();
+    let faulty_overhead_ratio = faulty_secs / clean_secs.max(f64::EPSILON);
+
+    let json = format!(
+        "{{\n  \"bench\": \"persist\",\n  \"records\": {RECORDS},\n  \
+         \"append_ns_per_record\": {append_ns_per_record:.0},\n  \
+         \"restore_records_per_sec\": {restore_per_sec:.0},\n  \
+         \"faulty_overhead_ratio\": {faulty_overhead_ratio:.3},\n  \"thresholds\": {{\n    \
+         \"max_append_ns_per_record\": {MAX_APPEND_NS_PER_RECORD:.0},\n    \
+         \"min_restore_records_per_sec\": {MIN_RESTORE_RECORDS_PER_SEC:.0},\n    \
+         \"max_faulty_overhead_ratio\": {MAX_FAULTY_OVERHEAD_RATIO}\n  }}\n}}\n",
+    );
+    // Cargo runs bench binaries with the package as cwd; anchor the
+    // report at the workspace root where ci.sh checks for it.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_persist.json");
+    std::fs::write(&out, &json).expect("write BENCH_persist.json");
+    print!("{json}");
+
+    let mut failed = false;
+    if append_ns_per_record > MAX_APPEND_NS_PER_RECORD {
+        eprintln!(
+            "FAIL: journal append {append_ns_per_record:.0} ns/record > \
+             {MAX_APPEND_NS_PER_RECORD:.0} ns"
+        );
+        failed = true;
+    }
+    if restore_per_sec < MIN_RESTORE_RECORDS_PER_SEC {
+        eprintln!(
+            "FAIL: restore {restore_per_sec:.0} records/s < {MIN_RESTORE_RECORDS_PER_SEC:.0}"
+        );
+        failed = true;
+    }
+    if faulty_overhead_ratio > MAX_FAULTY_OVERHEAD_RATIO {
+        eprintln!(
+            "FAIL: faulty-store overhead {faulty_overhead_ratio:.3}x > \
+             {MAX_FAULTY_OVERHEAD_RATIO}x (faulty {faulty_secs:.4}s vs clean {clean_secs:.4}s)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("persist bench: all thresholds met");
+}

@@ -4,7 +4,7 @@ use arv_cfs::{Allocation, CfsSim, GroupDemand, Loadavg, UsageLedger};
 use arv_cgroups::{Bytes, CgroupId, CgroupManager, CgroupSpec, EventPipe, DEFAULT_PIPE_CAPACITY};
 use arv_fleet::Periphery;
 use arv_mem::{ChargeOutcome, MemSim, MemSimConfig};
-use arv_persist::{Journal, RestoreReport};
+use arv_persist::{Journal, RestoreReport, Store};
 use arv_resview::effective_cpu::EffectiveCpuConfig;
 use arv_resview::effective_mem::EffectiveMemoryConfig;
 use arv_resview::namespace::Pid;
@@ -13,6 +13,7 @@ use arv_resview::{
     Verdict, VirtualSysfs, Watchdog, WatchdogConfig, WatchdogStats,
 };
 use arv_sim_core::{clock::sched_period, FaultPlan, FaultStats, SimClock, SimDuration, SimTime};
+use arv_telemetry::PipelineEvent;
 use arv_viewd::{HostSpec, ViewServer};
 use std::collections::BTreeMap;
 
@@ -36,11 +37,21 @@ struct ContainerMeta {
 }
 
 /// Journal state of the monitor daemon: the append-only on-disk log
-/// that survives a crash, plus the compaction cadence.
+/// that survives a crash, plus the compaction cadence and the
+/// durability degradation ladder. When the backing store errors, the
+/// host flips onto a flagged in-memory fallback journal (RAM dies
+/// with the process, so it is explicitly *not* durable) and retries a
+/// full checkpoint every tick until the store recovers.
 #[derive(Debug)]
 struct JournalState {
     journal: Journal,
     checkpoint_every: u64,
+    /// In-memory stand-in kept current while the store is erroring.
+    fallback: Option<Journal>,
+    /// Whether the host is on the degraded rung of the ladder.
+    durability_lost: bool,
+    /// Store errors absorbed since journaling was enabled.
+    io_errors: u64,
 }
 
 /// What a warm restart recovered (see [`SimHost::crash_restart`]).
@@ -200,10 +211,18 @@ impl SimHost {
             self.mem.unregister(id);
             self.ledger.forget(id);
             self.pump_events();
-            if !self.monitor_stalled() {
-                if let Some(js) = &mut self.journal {
-                    js.journal.append_remove(id.0);
+            if !self.monitor_stalled() && self.journal.is_some() {
+                let tick = self.monitor.now_tick();
+                let snap = self.monitor.snapshot();
+                let js = self.journal.as_mut().expect("presence checked above");
+                // Group-commit the removal immediately: a crash
+                // before the next timer firing must not resurrect
+                // the container.
+                let errored = js.journal.append_remove(id.0).is_err() || js.journal.sync().is_err();
+                if let Some(fb) = &mut js.fallback {
+                    let _ = fb.append_remove(id.0);
                 }
+                self.journal_ladder(errored, false, &snap, tick);
             }
             if let Some(server) = &self.viewd {
                 server.unregister(id);
@@ -316,12 +335,46 @@ impl SimHost {
     /// the daemon's on-disk state file — it survives a
     /// [`crash_restart`](SimHost::crash_restart).
     pub fn enable_journal(&mut self, checkpoint_every: u64) {
-        let mut journal = Journal::new();
-        journal.checkpoint(&self.monitor.snapshot());
-        self.journal = Some(JournalState {
+        self.enable_journal_with_store(Box::new(arv_persist::MemStore::new()), checkpoint_every);
+    }
+
+    /// Like [`enable_journal`](SimHost::enable_journal) but over a
+    /// caller-supplied [`Store`] — e.g. a seeded
+    /// [`FaultyStore`](arv_persist::FaultyStore) injecting torn
+    /// appends, write errors, disk-full windows, and sync stalls. A
+    /// store that refuses the setup writes starts the host already on
+    /// the degraded rung of the durability ladder.
+    pub fn enable_journal_with_store(&mut self, store: Box<dyn Store>, checkpoint_every: u64) {
+        let (mut journal, mut errored) = match Journal::with_store(store) {
+            Ok(j) => (j, false),
+            // The store is consumed on failure; journal on RAM until
+            // a checkpoint onto a healthy store replaces the state.
+            Err(_) => (Journal::new(), true),
+        };
+        let snap = self.monitor.snapshot();
+        if !errored {
+            errored = journal.checkpoint(&snap).is_err();
+        }
+        let mut js = JournalState {
             journal,
             checkpoint_every: checkpoint_every.max(1),
-        });
+            fallback: None,
+            durability_lost: errored,
+            io_errors: u64::from(errored),
+        };
+        if errored {
+            let fb = js.fallback.insert(Journal::new());
+            let _ = fb.checkpoint(&snap);
+        }
+        self.journal = Some(js);
+        if errored {
+            self.monitor.tracer().emit_pipeline(
+                self.monitor.now_tick(),
+                None,
+                PipelineEvent::DurabilityLost,
+            );
+        }
+        self.publish_durability();
     }
 
     /// The raw journal bytes, if journaling is enabled.
@@ -332,9 +385,11 @@ impl SimHost {
     /// Snapshot every namespace's dynamic view; when journaling is on,
     /// the journal is compacted to this checkpoint.
     pub fn checkpoint(&mut self) -> arv_persist::Snapshot {
+        let tick = self.monitor.now_tick();
         let snap = self.monitor.snapshot();
         if let Some(js) = &mut self.journal {
-            js.journal.checkpoint(&snap);
+            let errored = js.journal.checkpoint(&snap).is_err();
+            self.journal_ladder(errored, !errored, &snap, tick);
         }
         snap
     }
@@ -343,10 +398,17 @@ impl SimHost {
     /// journal (the intact on-disk bytes). See
     /// [`restore_from`](SimHost::restore_from).
     pub fn crash_restart(&mut self) -> RestoreEvent {
+        // The fsync model: only the synced prefix survives the crash;
+        // the unsynced tail — and the whole in-memory fallback — die
+        // with the process.
         let bytes: Vec<u8> = self
             .journal
-            .as_ref()
-            .map(|js| js.journal.as_bytes().to_vec())
+            .as_mut()
+            .map(|js| {
+                js.journal.crash();
+                js.fallback = None;
+                js.journal.durable_bytes().to_vec()
+            })
             .unwrap_or_default();
         self.restore_from(&bytes)
     }
@@ -408,9 +470,13 @@ impl SimHost {
             );
         }
         // Re-seed the journal with a compacted checkpoint of the
-        // reconciled state.
-        if let Some(js) = &mut self.journal {
-            js.journal.checkpoint(&self.monitor.snapshot());
+        // reconciled state; the ladder turns on the outcome (a clean
+        // checkpoint heals a degraded rung, an error flips it).
+        if self.journal.is_some() {
+            let snap = self.monitor.snapshot();
+            let js = self.journal.as_mut().expect("presence checked above");
+            let errored = js.journal.checkpoint(&snap).is_err();
+            self.journal_ladder(errored, !errored, &snap, tick);
         }
         let ev = RestoreEvent {
             tick,
@@ -426,19 +492,133 @@ impl SimHost {
         self.last_restore.as_ref()
     }
 
-    /// Append this firing's view state to the journal (deltas, or a
-    /// compacted checkpoint on the cadence).
+    /// Append this firing's view state to the journal (deltas plus a
+    /// group-commit sync, or a compacted checkpoint on the cadence).
+    ///
+    /// This is also where the durability ladder turns: while degraded
+    /// the host retries a full checkpoint *every* tick (a clean one
+    /// heals the rung), and any store error flips it onto the flagged
+    /// in-memory fallback.
     fn journal_tick(&mut self) {
         let tick = self.monitor.now_tick();
-        let Some(js) = &mut self.journal else { return };
+        if self.journal.is_none() {
+            return;
+        }
         let snap = self.monitor.snapshot();
-        if tick % js.checkpoint_every == 0 {
-            js.journal.checkpoint(&snap);
+        let js = self.journal.as_mut().expect("presence checked above");
+        js.journal.set_tick(tick);
+        let checkpointing = js.durability_lost || tick % js.checkpoint_every == 0;
+        let mut errored = false;
+        if checkpointing {
+            errored = js.journal.checkpoint(&snap).is_err();
         } else {
             for e in &snap.entries {
-                js.journal.append_delta(e, tick);
+                if js.journal.append_delta(e, tick).is_err() {
+                    errored = true;
+                    break;
+                }
+            }
+            if !errored {
+                errored = js.journal.sync().is_err();
             }
         }
+        self.journal_ladder(errored, checkpointing && !errored, &snap, tick);
+    }
+
+    /// Advance the durability degradation ladder after a store
+    /// interaction: an error flips the host onto the flagged
+    /// in-memory fallback journal (emitting
+    /// [`PipelineEvent::DurabilityLost`]); a clean synced checkpoint
+    /// heals it (emitting [`PipelineEvent::DurabilityRestored`] and
+    /// dropping the fallback).
+    fn journal_ladder(
+        &mut self,
+        errored: bool,
+        clean_checkpoint: bool,
+        snap: &arv_persist::Snapshot,
+        tick: u64,
+    ) {
+        let Some(js) = &mut self.journal else { return };
+        let mut flipped = false;
+        let mut healed = false;
+        if errored {
+            js.io_errors += 1;
+            flipped = !js.durability_lost;
+            js.durability_lost = true;
+            // Keep the fallback current: a takeover (not a crash —
+            // RAM dies with the process) can still read the latest
+            // views from it.
+            let fb = js.fallback.get_or_insert_with(Journal::new);
+            if flipped {
+                let _ = fb.checkpoint(snap);
+            } else {
+                for e in &snap.entries {
+                    let _ = fb.append_delta(e, tick);
+                }
+            }
+        } else if clean_checkpoint && js.durability_lost {
+            js.durability_lost = false;
+            js.fallback = None;
+            healed = true;
+        }
+        if flipped {
+            self.monitor
+                .tracer()
+                .emit_pipeline(tick, None, PipelineEvent::DurabilityLost);
+        }
+        if healed {
+            self.monitor
+                .tracer()
+                .emit_pipeline(tick, None, PipelineEvent::DurabilityRestored);
+        }
+        if flipped || healed {
+            self.publish_durability();
+        }
+    }
+
+    /// Mirror the ladder's current rung into the attached view daemon
+    /// (Prometheus) so operators see durability next to staleness.
+    fn publish_durability(&self) {
+        let Some(server) = &self.viewd else { return };
+        let (lost, io_errors, fallback_bytes) = self.durability_stats();
+        server.note_durability(lost, io_errors, fallback_bytes);
+    }
+
+    /// `(durability_lost, io_errors, fallback_bytes)` of the journal
+    /// ladder (all zero/false when journaling is off).
+    fn durability_stats(&self) -> (bool, u64, u64) {
+        self.journal.as_ref().map_or((false, 0, 0), |js| {
+            (
+                js.durability_lost,
+                js.io_errors,
+                js.fallback.as_ref().map_or(0, |f| f.len() as u64),
+            )
+        })
+    }
+
+    /// Whether the host's journal is currently on the degraded
+    /// (durability-lost) rung of the ladder.
+    pub fn durability_lost(&self) -> bool {
+        self.journal.as_ref().is_some_and(|js| js.durability_lost)
+    }
+
+    /// Store errors the journal has absorbed since it was enabled.
+    pub fn journal_io_errors(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |js| js.io_errors)
+    }
+
+    /// Size of the flagged in-memory fallback journal (zero while
+    /// durable).
+    pub fn journal_fallback_bytes(&self) -> u64 {
+        self.durability_stats().2
+    }
+
+    /// The bytes that would survive a crash: the synced prefix of the
+    /// on-disk journal (the in-memory fallback never counts).
+    pub fn journal_durable_bytes(&self) -> Option<Vec<u8>> {
+        self.journal
+            .as_ref()
+            .map(|js| js.journal.durable_bytes().to_vec())
     }
 
     /// Install a [`Tracer`](arv_telemetry::Tracer): both the
@@ -543,8 +723,12 @@ impl SimHost {
     }
 
     /// One periphery observation of the monitor's current snapshot.
+    /// The durability rung rides along so the controller's fleet view
+    /// carries it.
     fn periphery_observe(&mut self, stalled: bool) {
+        let (lost, io_errors, fallback_bytes) = self.durability_stats();
         if let Some(periphery) = self.periphery.as_mut() {
+            periphery.set_durability(lost, io_errors, fallback_bytes);
             periphery.observe(&self.monitor.snapshot(), stalled, 0);
         }
     }

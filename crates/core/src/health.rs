@@ -10,6 +10,12 @@
 //! effective memory reset to the soft limit. Both are values the
 //! container is entitled to under any interleaving, so a consumer sized
 //! against a degraded view can never over-provision.
+//!
+//! Orthogonal to staleness, a view carries a [`Durability`] dimension:
+//! whether the journal behind it is reaching stable storage. A view can
+//! be perfectly Fresh while its host journals into a flagged in-memory
+//! fallback — the values served are correct, but a crash right now
+//! would lose the unsynced window, and fleet operators must see that.
 
 /// Health of a served view, judged by its age in update-timer ticks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +53,38 @@ impl ViewHealth {
     /// Whether the view is current.
     pub fn is_fresh(&self) -> bool {
         matches!(self, ViewHealth::Fresh)
+    }
+}
+
+/// The durability dimension of a served view: whether the state behind
+/// it is reaching stable storage. Orthogonal to [`ViewHealth`] — a
+/// Fresh view with [`Durability::Lost`] serves correct values that a
+/// crash would forget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Journal appends are reaching stable storage.
+    #[default]
+    Durable,
+    /// A storage fault flipped the journal to a flagged in-memory
+    /// fallback; state survives process restarts only once a
+    /// re-checkpoint to the primary store heals the flag.
+    Lost,
+}
+
+impl Durability {
+    /// Whether journal durability is currently lost.
+    pub fn is_lost(self) -> bool {
+        matches!(self, Durability::Lost)
+    }
+
+    /// Fold a second opinion in: durability across a set of journals
+    /// (host + shadow, or a whole fleet) is lost if any member's is.
+    pub fn merge(self, other: Durability) -> Durability {
+        if self.is_lost() || other.is_lost() {
+            Durability::Lost
+        } else {
+            Durability::Durable
+        }
     }
 }
 
@@ -112,6 +150,25 @@ mod tests {
         assert!(p.classify(3).is_degraded());
         assert_eq!(p.classify(3).age(), 3);
         assert_eq!(p.classify(0).age(), 0);
+    }
+
+    #[test]
+    fn durability_merges_pessimistically() {
+        assert_eq!(Durability::default(), Durability::Durable);
+        assert!(!Durability::Durable.is_lost());
+        assert!(Durability::Lost.is_lost());
+        assert_eq!(
+            Durability::Durable.merge(Durability::Durable),
+            Durability::Durable
+        );
+        assert_eq!(
+            Durability::Durable.merge(Durability::Lost),
+            Durability::Lost
+        );
+        assert_eq!(
+            Durability::Lost.merge(Durability::Durable),
+            Durability::Lost
+        );
     }
 
     #[test]

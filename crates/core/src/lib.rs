@@ -61,7 +61,7 @@ pub use effective_cpu::{
     CpuBounds, CpuSample, EffectiveCpu, EffectiveCpuConfig, FractionalEffectiveCpu,
 };
 pub use effective_mem::{EffectiveMemory, EffectiveMemoryConfig, MemSample};
-pub use health::{StalenessPolicy, ViewHealth};
+pub use health::{Durability, StalenessPolicy, ViewHealth};
 pub use live::{
     CgroupChange, HostSampler, LiveMonitor, LiveRegistry, LiveSample, NsCell, ViewSnapshot,
 };

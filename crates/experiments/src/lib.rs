@@ -33,6 +33,7 @@ pub mod overhead;
 pub mod recovery;
 pub mod report;
 pub mod scenarios;
+pub mod storm;
 pub mod view_accuracy;
 pub mod viewd;
 
@@ -69,13 +70,14 @@ pub fn run_figure_seeded(id: &str, scale: f64, seed_offset: u64) -> Option<FigRe
         "recovery" => recovery::run(scale),
         "fleet" => fleet::run_seeded(scale, seed_offset),
         "fleetobs" => fleetobs::run_seeded(scale, seed_offset),
+        "storm" => storm::run_seeded(scale, seed_offset),
         _ => return None,
     };
     Some(report)
 }
 
 /// Every figure id, in paper order.
-pub const ALL_FIGURES: [&str; 19] = [
+pub const ALL_FIGURES: [&str; 20] = [
     "1",
     "2a",
     "2b",
@@ -95,6 +97,7 @@ pub const ALL_FIGURES: [&str; 19] = [
     "recovery",
     "fleet",
     "fleetobs",
+    "storm",
 ];
 
 #[cfg(test)]
@@ -116,6 +119,6 @@ mod tests {
             assert_eq!(rep.id, id);
             assert!(!rep.tables.is_empty(), "{id} produced no tables");
         }
-        assert_eq!(ALL_FIGURES.len(), 19);
+        assert_eq!(ALL_FIGURES.len(), 20);
     }
 }

@@ -37,8 +37,10 @@
 //! but the rollup is flagged degraded — the cluster-level analogue of
 //! the staleness fallback.
 
-use arv_persist::lease::{Lease, LeaseFile};
-use arv_persist::{decode_records, encode_record, restore, Journal, Record, Snapshot, ViewState};
+use arv_persist::lease::{Lease, LeaseError, LeaseFile};
+use arv_persist::{
+    decode_records, encode_record, restore, Journal, Record, Snapshot, Store, ViewState,
+};
 use arv_telemetry::{FlightRecorder, FlightTrigger, LagHistogram, PipelineEvent, PromText, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -68,9 +70,27 @@ impl SharedLease {
         SharedLease(Arc::new(Mutex::new(LeaseFile::from_bytes(bytes))))
     }
 
-    /// Try to acquire or renew for `holder` (see [`LeaseFile::try_acquire`]).
-    pub fn try_acquire(&self, holder: u32, now: u64, ttl: u64) -> Option<Lease> {
+    /// A shared lease over a caller-supplied storage backend (e.g. a
+    /// seeded `FaultyStore` in chaos campaigns).
+    pub fn with_store(store: Box<dyn Store>) -> SharedLease {
+        SharedLease(Arc::new(Mutex::new(LeaseFile::with_store(store))))
+    }
+
+    /// Try to acquire for `holder` (see [`LeaseFile::try_acquire`]).
+    pub fn try_acquire(&self, holder: u32, now: u64, ttl: u64) -> Result<Lease, LeaseError> {
         lock(&self.0).try_acquire(holder, now, ttl)
+    }
+
+    /// Strictly renew an already-held lease (see [`LeaseFile::renew`]):
+    /// never takes over, so a holder that cannot persist the renewal
+    /// learns it must step down.
+    pub fn renew(&self, holder: u32, now: u64, ttl: u64) -> Result<Lease, LeaseError> {
+        lock(&self.0).renew(holder, now, ttl)
+    }
+
+    /// Advance the store's fault clock (drives `FaultyStore` windows).
+    pub fn set_tick(&self, tick: u64) {
+        lock(&self.0).set_tick(tick);
     }
 
     /// The current lease, if intact.
@@ -140,6 +160,9 @@ pub struct FleetMetrics {
     /// HELLO/DELTA frames rejected because this controller does not
     /// hold the lease.
     pub not_leader_rejects: AtomicU64,
+    /// Journal/lease store errors absorbed by this controller (its own
+    /// durability ladder, not the per-host summaries).
+    pub journal_io_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`FleetMetrics`].
@@ -179,6 +202,8 @@ pub struct FleetMetricsSnapshot {
     pub repl_truncated: u64,
     /// Frames rejected for lack of the lease.
     pub not_leader_rejects: u64,
+    /// Journal/lease store errors absorbed by this controller.
+    pub journal_io_errors: u64,
 }
 
 impl FleetMetrics {
@@ -202,6 +227,7 @@ impl FleetMetrics {
             repl_gap_snapshots: self.repl_gap_snapshots.load(Ordering::Relaxed),
             repl_truncated: self.repl_truncated.load(Ordering::Relaxed),
             not_leader_rejects: self.not_leader_rejects.load(Ordering::Relaxed),
+            journal_io_errors: self.journal_io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -224,6 +250,10 @@ pub enum HostEventKind {
     Partitioned,
     /// A promoted standby marked the host last-good pending resync.
     Promoted,
+    /// The host reported its journal lost durability.
+    DurabilityLost,
+    /// The host reported its journal healed back to durable.
+    DurabilityRestored,
 }
 
 impl HostEventKind {
@@ -236,6 +266,8 @@ impl HostEventKind {
             HostEventKind::GapResync => "gap-resync",
             HostEventKind::Partitioned => "partitioned",
             HostEventKind::Promoted => "promoted",
+            HostEventKind::DurabilityLost => "durability-lost",
+            HostEventKind::DurabilityRestored => "durability-restored",
         }
     }
 }
@@ -263,6 +295,8 @@ pub struct FleetExplain {
     pub host: u32,
     /// Host-reported health byte of the last accepted delta.
     pub health: u8,
+    /// Whether the host last reported its journal durability lost.
+    pub durability_lost: bool,
     /// Whether the host is currently flagged partitioned.
     pub partitioned: bool,
     /// Whether ACKs are demanding a FULL snapshot.
@@ -296,8 +330,13 @@ impl FleetExplain {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "host {}: health={} partitioned={} needs_resync={} lag={} ticks",
-            self.host, self.health, self.partitioned, self.needs_resync, self.freshness_lag
+            "host {}: health={} durability_lost={} partitioned={} needs_resync={} lag={} ticks",
+            self.host,
+            self.health,
+            self.durability_lost,
+            self.partitioned,
+            self.needs_resync,
+            self.freshness_lag
         );
         let _ = writeln!(
             out,
@@ -337,6 +376,8 @@ struct HostEntry {
     host_tick: u64,
     /// Host-reported health byte of the last accepted delta.
     health: u8,
+    /// Host-reported durability flag of the last accepted delta.
+    durability_lost: bool,
     /// Currently flagged partitioned (contribution served last-good).
     partitioned: bool,
     /// A gap was detected; ACKs demand a FULL snapshot until one lands.
@@ -427,12 +468,16 @@ impl Shard {
     }
 }
 
-/// Journal plumbing: the append-only log plus its checkpoint cadence.
+/// Journal plumbing: the append-only log plus its checkpoint cadence
+/// and the controller's own durability-ladder flag.
 #[derive(Debug)]
 struct JournalState {
     journal: Journal,
     every: u64,
     last_checkpoint: u64,
+    /// A store error was absorbed; the flag heals on the next
+    /// checkpoint that fully reaches the store.
+    degraded: bool,
 }
 
 /// Lease plumbing: the shared store this controller contends on.
@@ -635,12 +680,51 @@ impl FleetController {
             // dump's counters already say how many went silent.
             self.record_flight(now, FlightTrigger::Partition);
         }
+        self.journal_tick(now);
+    }
+
+    /// The controller's own durability ladder, run once per tick:
+    /// group-commit the journal (sync), take the cadence checkpoint,
+    /// and while degraded re-checkpoint every tick so the flag heals
+    /// the moment the store recovers.
+    fn journal_tick(&self, now: u64) {
         let mut journal = lock(&self.journal);
-        if let Some(js) = journal.as_mut() {
-            if now.saturating_sub(js.last_checkpoint) >= js.every {
-                let snap = self.index_snapshot(now);
-                js.journal.checkpoint(&snap);
-                js.last_checkpoint = now;
+        let Some(js) = journal.as_mut() else {
+            return;
+        };
+        js.journal.set_tick(now);
+        let mut errored = false;
+        if js.journal.sync().is_err() {
+            errored = true;
+        }
+        if now.saturating_sub(js.last_checkpoint) >= js.every || js.degraded {
+            let snap = self.index_snapshot(now);
+            match js.journal.checkpoint(&snap) {
+                Ok(()) => {
+                    js.last_checkpoint = now;
+                    if js.degraded && !errored {
+                        js.degraded = false;
+                        drop(journal);
+                        self.tracer
+                            .emit_pipeline(now, None, PipelineEvent::DurabilityRestored);
+                        self.record_flight(now, FlightTrigger::DurabilityRestored);
+                        return;
+                    }
+                }
+                Err(_) => errored = true,
+            }
+        }
+        if errored {
+            self.metrics
+                .journal_io_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let flip = !js.degraded;
+            js.degraded = true;
+            drop(journal);
+            if flip {
+                self.tracer
+                    .emit_pipeline(now, None, PipelineEvent::DurabilityLost);
+                self.record_flight(now, FlightTrigger::DurabilityLost);
             }
         }
     }
@@ -666,11 +750,18 @@ impl FleetController {
             stalled: false,
         });
         match won {
-            Some(l) => {
+            Ok(l) => {
                 self.ctl_epoch.store(l.epoch, Ordering::Release);
                 self.leader.store(true, Ordering::Release);
             }
-            None => self.leader.store(false, Ordering::Release),
+            Err(e) => {
+                if matches!(e, LeaseError::Store(_)) {
+                    self.metrics
+                        .journal_io_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                self.leader.store(false, Ordering::Release);
+            }
         }
     }
 
@@ -688,12 +779,22 @@ impl FleetController {
         let Some(ls) = lease.as_mut() else {
             return;
         };
+        ls.store.set_tick(now);
         if ls.stalled {
             return;
         }
         let was_leader = self.is_leader();
-        match ls.store.try_acquire(ls.holder, now, ls.ttl) {
-            Some(l) => {
+        // A holder strictly *renews* — a renewal that cannot be
+        // persisted (or a lease that lapsed under us) means step down
+        // before the TTL rather than risk split-brain on a lease nobody
+        // else can read. Only a standby contends via try_acquire.
+        let attempt = if was_leader {
+            ls.store.renew(ls.holder, now, ls.ttl)
+        } else {
+            ls.store.try_acquire(ls.holder, now, ls.ttl)
+        };
+        match attempt {
+            Ok(l) => {
                 self.ctl_epoch.store(l.epoch, Ordering::Release);
                 self.leader.store(true, Ordering::Release);
                 drop(lease);
@@ -701,9 +802,22 @@ impl FleetController {
                     self.promote(now);
                 }
             }
-            None => {
+            Err(e) => {
                 self.leader.store(false, Ordering::Release);
                 drop(lease);
+                if let LeaseError::Store(_) = e {
+                    // The lease store itself refused the write: surface
+                    // the why on the trace ring and the flight recorder
+                    // — this is a durability event, not a lost race.
+                    self.metrics
+                        .journal_io_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.tracer
+                        .emit_pipeline(now, None, PipelineEvent::DurabilityLost);
+                    if was_leader {
+                        self.record_flight(now, FlightTrigger::DurabilityLost);
+                    }
+                }
                 if was_leader {
                     self.metrics.demotions.fetch_add(1, Ordering::Relaxed);
                     self.record_flight(now, FlightTrigger::Demotion);
@@ -891,6 +1005,21 @@ impl FleetController {
         host.last_delta_tick = now;
         host.host_tick = d.tick;
         host.health = d.health;
+        // Track the host's durability ladder: each edge is a causal
+        // event, a trace-ring entry, and (for losses) a flight dump.
+        let durability_flip = d.durability_lost != host.durability_lost;
+        if durability_flip {
+            host.durability_lost = d.durability_lost;
+            host.push_event(
+                now,
+                if d.durability_lost {
+                    HostEventKind::DurabilityLost
+                } else {
+                    HostEventKind::DurabilityRestored
+                },
+                d.seq,
+            );
+        }
         host.partitioned = false;
         // Fold the causal span in: where this data originated, how far
         // the periphery's trace has advanced, and the end-to-end lag
@@ -912,6 +1041,26 @@ impl FleetController {
         shard.hosts.insert(host_id, host);
         drop(s);
 
+        if durability_flip {
+            self.tracer.emit_pipeline(
+                now,
+                None,
+                if d.durability_lost {
+                    PipelineEvent::DurabilityLost
+                } else {
+                    PipelineEvent::DurabilityRestored
+                },
+            );
+            self.record_flight(
+                now,
+                if d.durability_lost {
+                    FlightTrigger::DurabilityLost
+                } else {
+                    FlightTrigger::DurabilityRestored
+                },
+            );
+        }
+
         self.metrics.deltas_ingested.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .delta_entries
@@ -919,11 +1068,14 @@ impl FleetController {
 
         let mut journal = lock(&self.journal);
         let mut repl = lock(&self.repl);
+        let mut journal_errs = 0u64;
         if journal.is_some() || repl.is_some() {
             for id in &journaled_removals {
                 if let Some(packed) = pack_id(host_id, *id) {
                     if let Some(js) = journal.as_mut() {
-                        js.journal.append_remove(packed);
+                        if js.journal.append_remove(packed).is_err() {
+                            journal_errs += 1;
+                        }
                     }
                     if let Some(rs) = repl.as_mut() {
                         rs.outbox.push(encode_record(&Record::Remove(packed)));
@@ -940,7 +1092,9 @@ impl FleetController {
                         last_tick: (u64::from(e.tenant) << 48) | (e.last_tick & TICK_MASK),
                     };
                     if let Some(js) = journal.as_mut() {
-                        js.journal.append_delta(&state, now);
+                        if js.journal.append_delta(&state, now).is_err() {
+                            journal_errs += 1;
+                        }
                     }
                     if let Some(rs) = repl.as_mut() {
                         rs.outbox
@@ -949,8 +1103,28 @@ impl FleetController {
                 }
             }
         }
+        // An append the store refused means the journal no longer holds
+        // everything the live index does: flip the controller's own
+        // ladder; the next successful checkpoint heals it (and rebuilds
+        // the missing records from the index itself).
+        let flip = journal_errs > 0
+            && journal.as_mut().is_some_and(|js| {
+                let first = !js.degraded;
+                js.degraded = true;
+                first
+            });
         drop(repl);
         drop(journal);
+        if journal_errs > 0 {
+            self.metrics
+                .journal_io_errors
+                .fetch_add(journal_errs, Ordering::Relaxed);
+            if flip {
+                self.tracer
+                    .emit_pipeline(now, None, PipelineEvent::DurabilityLost);
+                self.record_flight(now, FlightTrigger::DurabilityLost);
+            }
+        }
 
         self.ack_for(host_id, expected, false, epoch)
     }
@@ -1041,6 +1215,7 @@ impl FleetController {
         Some(FleetExplain {
             host,
             health: h.health,
+            durability_lost: h.durability_lost,
             partitioned: h.partitioned,
             needs_resync: h.needs_resync,
             expected_seq: h.expected_seq,
@@ -1144,11 +1319,40 @@ impl FleetController {
     pub fn enable_journal(&mut self, every: u64) {
         let snap = self.index_snapshot(self.now_tick());
         let mut journal = Journal::new();
-        journal.checkpoint(&snap);
+        journal
+            .checkpoint(&snap)
+            .expect("MemStore checkpoint never fails");
         *lock(&self.journal) = Some(JournalState {
             journal,
             every: every.max(1),
             last_checkpoint: self.now_tick(),
+            degraded: false,
+        });
+    }
+
+    /// Journal over a caller-supplied storage backend (e.g. a seeded
+    /// `FaultyStore`). The initial checkpoint may itself fail — the
+    /// journal then starts on the degraded rung of the ladder and heals
+    /// at the first checkpoint the store accepts.
+    pub fn enable_journal_with_store(&mut self, store: Box<dyn Store>, every: u64) {
+        let snap = self.index_snapshot(self.now_tick());
+        let (journal, degraded) = match Journal::with_store(store) {
+            Ok(mut journal) => {
+                let degraded = journal.checkpoint(&snap).is_err();
+                (journal, degraded)
+            }
+            Err(_) => (Journal::new(), true),
+        };
+        if degraded {
+            self.metrics
+                .journal_io_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        *lock(&self.journal) = Some(JournalState {
+            journal,
+            every: every.max(1),
+            last_checkpoint: self.now_tick(),
+            degraded,
         });
     }
 
@@ -1157,6 +1361,44 @@ impl FleetController {
         lock(&self.journal)
             .as_ref()
             .map(|js| js.journal.as_bytes().to_vec())
+    }
+
+    /// The journal's *durable* bytes — the synced prefix that survives
+    /// a crash under the fsync model.
+    pub fn journal_durable_bytes(&self) -> Option<Vec<u8>> {
+        lock(&self.journal)
+            .as_ref()
+            .map(|js| js.journal.durable_bytes().to_vec())
+    }
+
+    /// Whether the controller's own journal sits on the degraded rung
+    /// of the durability ladder.
+    pub fn journal_degraded(&self) -> bool {
+        lock(&self.journal).as_ref().is_some_and(|js| js.degraded)
+    }
+
+    /// Hosts currently reporting `DurabilityLost` (the Prometheus
+    /// `arv_fleet_durability_degraded_hosts` gauge).
+    pub fn durability_degraded_hosts(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock(s).hosts.values().filter(|h| h.durability_lost).count() as u64)
+            .sum()
+    }
+
+    /// Total bytes sitting in hosts' in-memory fallback journals, per
+    /// the piggybacked summaries (`arv_fleet_journal_fallback_bytes`).
+    pub fn journal_fallback_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(s)
+                    .hosts
+                    .values()
+                    .map(|h| h.summary.journal_fallback_bytes)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     // -----------------------------------------------------------------
@@ -1310,6 +1552,9 @@ impl FleetController {
         let scan = decode_records(&r.records);
         let starts_with_checkpoint = matches!(scan.records.first(), Some(Record::Checkpoint(_)));
 
+        // Lock order matches handle_delta: journal, then repl, then
+        // shards (inside apply_record).
+        let mut journal = lock(&self.journal);
         let mut repl = lock(&self.repl);
         let rs = repl.get_or_insert_with(ReplState::default);
         let in_order = r.repl_seq == rs.expected_seq && !rs.need_snapshot;
@@ -1328,6 +1573,65 @@ impl FleetController {
         self.metrics
             .repl_records_applied
             .fetch_add(scan.records.len() as u64, Ordering::Relaxed);
+
+        // Shadow-journal what was applied, so a promoted standby's
+        // journal already holds its index. A store error here means the
+        // shadow would silently diverge from the live mirror — instead
+        // the standby flags its ladder and demands a fresh checkpoint;
+        // a checkpoint-led frame that lands cleanly heals the flag.
+        let mut shadow_err = false;
+        let mut flip = false;
+        let mut healed = false;
+        if let Some(js) = journal.as_mut() {
+            js.journal.set_tick(now);
+            for record in &scan.records {
+                let res = match record {
+                    Record::Checkpoint(s) => {
+                        let res = js.journal.checkpoint(s);
+                        if res.is_ok() {
+                            js.last_checkpoint = now;
+                        }
+                        res
+                    }
+                    Record::Delta { state, tick } => js.journal.append_delta(state, *tick),
+                    Record::Remove(id) => js.journal.append_remove(*id),
+                };
+                if res.is_err() {
+                    shadow_err = true;
+                    break;
+                }
+            }
+            if !shadow_err && js.journal.sync().is_err() {
+                shadow_err = true;
+            }
+            if shadow_err {
+                flip = !js.degraded;
+                js.degraded = true;
+            } else if js.degraded && starts_with_checkpoint {
+                js.degraded = false;
+                healed = true;
+            }
+        }
+        drop(journal);
+        if shadow_err {
+            self.metrics
+                .journal_io_errors
+                .fetch_add(1, Ordering::Relaxed);
+            rs.need_snapshot = true;
+            let expected = rs.expected_seq;
+            drop(repl);
+            if flip {
+                self.tracer
+                    .emit_pipeline(now, None, PipelineEvent::DurabilityLost);
+                self.record_flight(now, FlightTrigger::DurabilityLost);
+            }
+            return repl_ack(expected, epoch, true);
+        }
+        if healed {
+            self.tracer
+                .emit_pipeline(now, None, PipelineEvent::DurabilityRestored);
+            self.record_flight(now, FlightTrigger::DurabilityRestored);
+        }
         if scan.truncated > 0 {
             // The valid prefix is applied (prefix-consistent, like the
             // journal); the lost tail forces a checkpoint realign.
@@ -1564,6 +1868,26 @@ impl FleetController {
             "HELLO/DELTA frames rejected for lack of the lease",
             m.not_leader_rejects as f64,
         );
+        out.counter(
+            "arv_fleet_journal_io_errors",
+            "Journal/lease store errors absorbed by this controller",
+            m.journal_io_errors as f64,
+        );
+        out.gauge(
+            "arv_fleet_durability_degraded_hosts",
+            "Hosts currently reporting journal durability lost",
+            self.durability_degraded_hosts() as f64,
+        );
+        out.gauge(
+            "arv_fleet_journal_fallback_bytes",
+            "Bytes held in hosts' in-memory fallback journals",
+            self.journal_fallback_bytes() as f64,
+        );
+        out.gauge(
+            "arv_fleet_journal_degraded",
+            "Whether this controller's own journal is on the degraded rung (1) or durable (0)",
+            if self.journal_degraded() { 1.0 } else { 0.0 },
+        );
         out.gauge(
             "arv_fleet_ctl_epoch",
             "Controller epoch stamped on ACKs and ROLLUPs",
@@ -1594,7 +1918,8 @@ impl FleetController {
         // Per-host observability: freshness lags, span coordinates,
         // piggybacked periphery summaries, and the lag waterfalls. Host
         // order is sorted so scrapes are deterministic.
-        let mut hosts: Vec<(u32, u64, u64, u64, bool, HostSummary, LagHistogram)> = Vec::new();
+        type HostRow = (u32, u64, u64, u64, bool, bool, HostSummary, LagHistogram);
+        let mut hosts: Vec<HostRow> = Vec::new();
         for shard in self.shards.iter() {
             let s = lock(shard);
             for (hid, host) in &s.hosts {
@@ -1604,6 +1929,7 @@ impl FleetController {
                     host.origin_tick,
                     host.trace_seq,
                     host.partitioned,
+                    host.durability_lost,
                     host.summary,
                     host.waterfall,
                 ));
@@ -1659,11 +1985,23 @@ impl FleetController {
             );
         }
         out.header(
+            "arv_fleet_host_durability_lost",
+            "Whether the host's journal has lost durability (1) or is durable (0)",
+            "gauge",
+        );
+        for (hid, _, _, _, _, lost, ..) in &hosts {
+            out.labeled(
+                "arv_fleet_host_durability_lost",
+                &[("host", hid.to_string())],
+                if *lost { 1.0 } else { 0.0 },
+            );
+        }
+        out.header(
             "arv_fleet_host_agent",
             "Periphery agent counters piggybacked on DELTA frames",
             "gauge",
         );
-        for (hid, _, _, _, _, sum, _) in &hosts {
+        for (hid, _, _, _, _, _, sum, _) in &hosts {
             let host = hid.to_string();
             for (stat, v) in [
                 ("frames", sum.frames),
@@ -1672,6 +2010,8 @@ impl FleetController {
                 ("resyncs", sum.resyncs),
                 ("coalesced", sum.deltas_coalesced),
                 ("acks_fenced", sum.acks_fenced),
+                ("journal_io_errors", sum.journal_io_errors),
+                ("journal_fallback_bytes", sum.journal_fallback_bytes),
             ] {
                 out.labeled(
                     "arv_fleet_host_agent",
@@ -1685,7 +2025,7 @@ impl FleetController {
             "Per-host end-to-end lag histogram (origin tick to ingest)",
             "histogram",
         );
-        for (hid, _, _, _, _, _, wf) in &hosts {
+        for (hid, _, _, _, _, _, _, wf) in &hosts {
             wf.expose(
                 &mut out,
                 "arv_fleet_host_e2e_lag_ticks",

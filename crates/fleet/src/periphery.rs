@@ -33,7 +33,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::protocol::{
     encode_delta, encode_hello, Ack, Delta, DeltaEntry, FleetPolicy, Hello, HostSummary,
-    HEALTH_DEGRADED, HEALTH_FRESH, HEALTH_STALE,
+    HEALTH_DEGRADED, HEALTH_DURABILITY_LOST, HEALTH_FRESH, HEALTH_STALE,
 };
 
 /// What the periphery has done so far.
@@ -80,7 +80,15 @@ pub struct Periphery {
     policy: FleetPolicy,
     said_hello: bool,
     pending_full: bool,
+    /// Last health byte shipped, durability flag included — a
+    /// durability flip with no view changes still ships one (empty)
+    /// delta, exactly like a staleness flip.
     last_health: u8,
+    /// Durability ladder state mirrored from the host before each
+    /// observation (see [`Periphery::set_durability`]).
+    durability_lost: bool,
+    journal_io_errors: u64,
+    journal_fallback_bytes: u64,
     last_sent: HashMap<u32, DeltaEntry>,
     tenants: HashMap<u32, u32>,
     /// Diffed-but-unsent entries (token bucket dry): newer observations
@@ -115,6 +123,9 @@ impl Periphery {
             said_hello: false,
             pending_full: true,
             last_health: HEALTH_FRESH,
+            durability_lost: false,
+            journal_io_errors: 0,
+            journal_fallback_bytes: 0,
             last_sent: HashMap::new(),
             tenants: HashMap::new(),
             pending: HashMap::new(),
@@ -150,6 +161,19 @@ impl Periphery {
         self.tenants.insert(container, tenant);
     }
 
+    /// Mirror the host's durability-ladder state before an observation:
+    /// whether the journal has lost durability, how many store errors
+    /// it has absorbed, and how many bytes sit in the in-memory
+    /// fallback. A flip in `lost` ships an (empty) delta on the next
+    /// [`Periphery::observe`] even when no view changed, so the
+    /// controller sees `DurabilityLost`/`DurabilityRestored` edges as
+    /// they happen.
+    pub fn set_durability(&mut self, lost: bool, io_errors: u64, fallback_bytes: u64) {
+        self.durability_lost = lost;
+        self.journal_io_errors = io_errors;
+        self.journal_fallback_bytes = fallback_bytes;
+    }
+
     /// Diff `snap` against the last shipped state, coalesce it into the
     /// pending layer, and flush DELTA frames if the token bucket
     /// allows. `stalled` marks the host's monitor as behind;
@@ -172,6 +196,15 @@ impl Periphery {
         } else {
             HEALTH_FRESH
         };
+        // The byte actually compared for flip detection folds the
+        // durability flag in: losing or regaining durability is a
+        // health transition the controller must see.
+        let shipped_health = health
+            | if self.durability_lost {
+                HEALTH_DURABILITY_LOST
+            } else {
+                0
+            };
 
         let full = self.pending_full;
         if full {
@@ -231,7 +264,7 @@ impl Periphery {
         if !full
             && self.pending.is_empty()
             && self.pending_removed.is_empty()
-            && health == self.last_health
+            && shipped_health == self.last_health
         {
             return;
         }
@@ -254,7 +287,7 @@ impl Periphery {
             return;
         }
         self.tokens = self.tokens.saturating_sub(cost);
-        self.last_health = health;
+        self.last_health = shipped_health;
         // FULL data is re-read fresh at this tick; otherwise the span
         // starts where the oldest pending diff was observed. An empty
         // (health-flip) delta originates here too.
@@ -290,6 +323,7 @@ impl Periphery {
                 tick: snap.tick,
                 full: full && first,
                 health,
+                durability_lost: self.durability_lost,
                 staleness_age,
                 epoch: self.policy.epoch,
                 origin_tick,
@@ -301,6 +335,8 @@ impl Periphery {
                     resyncs: self.stats.resyncs,
                     deltas_coalesced: self.stats.deltas_coalesced,
                     acks_fenced: self.stats.acks_fenced,
+                    journal_io_errors: self.journal_io_errors,
+                    journal_fallback_bytes: self.journal_fallback_bytes,
                 },
                 entries: chunk.to_vec(),
                 removed: frame_removed,
@@ -436,6 +472,36 @@ mod tests {
         p.take_frames();
         p.observe(&s, false, 0);
         assert!(!p.has_frames());
+    }
+
+    #[test]
+    fn durability_flip_ships_empty_delta() {
+        let mut p = Periphery::new(1);
+        let s = snap(1, &[(1, 2, 100)]);
+        p.observe(&s, false, 0);
+        p.take_frames();
+
+        // Losing durability with zero view changes still ships a frame.
+        p.set_durability(true, 3, 512);
+        p.observe(&s, false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].durability_lost);
+        assert!(ds[0].entries.is_empty());
+        assert_eq!(ds[0].summary.journal_io_errors, 3);
+        assert_eq!(ds[0].summary.journal_fallback_bytes, 512);
+
+        // Steady degraded state is quiet again...
+        p.observe(&s, false, 0);
+        assert!(!p.has_frames());
+
+        // ...and healing flips once more.
+        p.set_durability(false, 3, 0);
+        p.observe(&s, false, 0);
+        let ds = deltas(p.take_frames());
+        assert_eq!(ds.len(), 1);
+        assert!(!ds[0].durability_lost);
+        assert_eq!(ds[0].summary.journal_fallback_bytes, 0);
     }
 
     #[test]

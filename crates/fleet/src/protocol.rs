@@ -8,11 +8,13 @@
 //! HELLO  := 0x10 | host u32 | tick u64 | containers u32 | epoch u64
 //! DELTA  := 0x11 | host u32 | seq u64 | tick u64 | flags u8 | health u8
 //!           | staleness_age u64 | epoch u64 | origin_tick u64
-//!           | trace_seq u64 | summary (6 × u64)
+//!           | trace_seq u64 | summary (8 × u64)
 //!           | n u32 | n × entry | m u32 | m × removed-id u32
 //!   entry := id u32 | tenant u32 | e_cpu u32 | e_mem u64 | e_avail u64
 //!           | last_tick u64
 //!   flags bit0 = FULL (snapshot replacing all host state)
+//!   health bit7 = DURABILITY_LOST (the host journals into a flagged
+//!   in-memory fallback; orthogonal to the staleness code in bits 0–6)
 //!   origin_tick / trace_seq = the causal span stamp: the host tick at
 //!   which the oldest coalesced diff in this batch was observed, and a
 //!   monotone per-periphery trace sequence; summary = the periphery's
@@ -108,6 +110,10 @@ pub const HEALTH_FRESH: u8 = 0;
 pub const HEALTH_STALE: u8 = 1;
 /// Host-level health byte: host serving conservative fallbacks.
 pub const HEALTH_DEGRADED: u8 = 2;
+/// Health-byte flag (bit 7): the host's journal lost durability and is
+/// writing to a flagged in-memory fallback. Orthogonal to the staleness
+/// code carried in the low bits — a host can be Fresh yet non-durable.
+pub const HEALTH_DURABILITY_LOST: u8 = 0x80;
 
 /// Bytes of one encoded delta entry.
 const ENTRY_BYTES: usize = 4 + 4 + 4 + 8 + 8 + 8;
@@ -187,6 +193,11 @@ pub struct HostSummary {
     pub deltas_coalesced: u64,
     /// ACKs fenced for carrying a stale controller epoch.
     pub acks_fenced: u64,
+    /// Journal store errors the host has absorbed (durability ladder).
+    pub journal_io_errors: u64,
+    /// Bytes currently held in the host's in-memory fallback journal
+    /// (0 while durable).
+    pub journal_fallback_bytes: u64,
 }
 
 /// A decoded DELTA batch.
@@ -200,8 +211,12 @@ pub struct Delta {
     pub tick: u64,
     /// Whether this batch is a full snapshot (replaces all host state).
     pub full: bool,
-    /// Host-level health (`HEALTH_*`).
+    /// Host-level health (`HEALTH_*`, low bits only — the durability
+    /// flag is split out into [`Delta::durability_lost`]).
     pub health: u8,
+    /// Whether the host's journal has lost durability (health byte bit
+    /// 7 on the wire).
+    pub durability_lost: bool,
     /// Host view age in ticks behind its update timer.
     pub staleness_age: u64,
     /// Newest policy epoch the periphery has adopted.
@@ -429,7 +444,14 @@ pub fn encode_delta(d: &Delta) -> Vec<u8> {
     put_u64(&mut out, d.seq);
     put_u64(&mut out, d.tick);
     out.push(if d.full { DELTA_FULL } else { 0 });
-    out.push(d.health);
+    out.push(
+        d.health
+            | if d.durability_lost {
+                HEALTH_DURABILITY_LOST
+            } else {
+                0
+            },
+    );
     put_u64(&mut out, d.staleness_age);
     put_u64(&mut out, d.epoch);
     put_u64(&mut out, d.origin_tick);
@@ -440,6 +462,8 @@ pub fn encode_delta(d: &Delta) -> Vec<u8> {
     put_u64(&mut out, d.summary.resyncs);
     put_u64(&mut out, d.summary.deltas_coalesced);
     put_u64(&mut out, d.summary.acks_fenced);
+    put_u64(&mut out, d.summary.journal_io_errors);
+    put_u64(&mut out, d.summary.journal_fallback_bytes);
     put_u32(&mut out, d.entries.len() as u32);
     for e in &d.entries {
         put_u32(&mut out, e.id);
@@ -634,7 +658,9 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
     let seq = c.u64()?;
     let tick = c.u64()?;
     let flags = c.u8()?;
-    let health = c.u8()?;
+    let raw_health = c.u8()?;
+    let durability_lost = raw_health & HEALTH_DURABILITY_LOST != 0;
+    let health = raw_health & !HEALTH_DURABILITY_LOST;
     if health > HEALTH_DEGRADED {
         return None;
     }
@@ -649,6 +675,8 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
         resyncs: c.u64()?,
         deltas_coalesced: c.u64()?,
         acks_fenced: c.u64()?,
+        journal_io_errors: c.u64()?,
+        journal_fallback_bytes: c.u64()?,
     };
     let n = c.u32()? as usize;
     // A claimed count larger than the bytes present is corruption; the
@@ -681,6 +709,7 @@ fn decode_delta(c: &mut Cur) -> Option<Delta> {
         tick,
         full: flags & DELTA_FULL != 0,
         health,
+        durability_lost,
         staleness_age,
         epoch,
         origin_tick,
@@ -828,6 +857,7 @@ mod tests {
             tick: 1000,
             full: false,
             health: HEALTH_STALE,
+            durability_lost: true,
             staleness_age: 2,
             epoch: 3,
             origin_tick: 997,
@@ -839,6 +869,8 @@ mod tests {
                 resyncs: 1,
                 deltas_coalesced: 7,
                 acks_fenced: 0,
+                journal_io_errors: 3,
+                journal_fallback_bytes: 4096,
             },
             entries: vec![
                 DeltaEntry {
@@ -1044,6 +1076,7 @@ mod tests {
                 tick: seq.wrapping_mul(3),
                 full: seq % 2 == 0,
                 health: (seq % 3) as u8,
+                durability_lost: seq % 4 == 1,
                 staleness_age: seq % 5,
                 epoch: 0,
                 origin_tick: seq.wrapping_mul(3).saturating_sub(seq % 4),
@@ -1055,6 +1088,8 @@ mod tests {
                     resyncs: seq % 2,
                     deltas_coalesced: seq % 7,
                     acks_fenced: 0,
+                    journal_io_errors: seq % 3,
+                    journal_fallback_bytes: (seq % 2) * 512,
                 },
                 entries: (0..n)
                     .map(|i| DeltaEntry {
@@ -1273,6 +1308,7 @@ mod tests {
             tick: 0,
             full: true,
             health: HEALTH_FRESH,
+            durability_lost: false,
             staleness_age: 0,
             epoch: 0,
             origin_tick: 0,
@@ -1281,8 +1317,8 @@ mod tests {
             entries: Vec::new(),
             removed: Vec::new(),
         });
-        // Overwrite the entry count (offset 103) with a huge claim.
-        frame[103..107].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Overwrite the entry count (offset 119) with a huge claim.
+        frame[119..123].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_frame(&frame), None);
     }
 }

@@ -397,6 +397,7 @@ mod tests {
             tick: 1,
             full: true,
             health: HEALTH_FRESH,
+            durability_lost: false,
             staleness_age: 0,
             epoch: 0,
             origin_tick: 1,

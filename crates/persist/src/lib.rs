@@ -30,9 +30,22 @@
 //! trailing records were discarded. The result is always
 //! *prefix-consistent* — the state after applying some prefix of the
 //! records that were written.
+//!
+//! # Storage faults and the fsync model
+//!
+//! The byte file underneath a [`Journal`] or [`lease::LeaseFile`] is a
+//! pluggable [`store::Store`]: appends, syncs, and truncations return
+//! `io::Result`-shaped errors, and only bytes covered by a successful
+//! `sync` survive a crash (the unsynced tail is lost, exactly like an
+//! un-fsynced file). [`store::MemStore`] keeps the historical
+//! infallible behaviour; [`store::FaultyStore`] injects seeded torn
+//! appends, write errors, disk-full windows, bit rot, and sync stalls
+//! so every consumer's durability degradation path is testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use store::{FaultyStore, MemStore, Store, StoreError, StoreFaultStats, StoreFaults};
 
 /// File magic: `b"AVRJ"` as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"AVRJ");
@@ -221,6 +234,474 @@ pub mod crc32 {
     }
 }
 
+pub mod store {
+    //! Pluggable storage backends for journals and lease files.
+    //!
+    //! [`Store`] models one append-only byte file with an explicit
+    //! **fsync watermark**: [`Store::append`] extends the live file,
+    //! but only bytes covered by a successful [`Store::sync`] survive
+    //! [`Store::crash`]. Two implementations ship:
+    //!
+    //! - [`MemStore`] — the infallible owned buffer the simulation
+    //!   always used; callers group-commit with one `sync` per tick.
+    //! - [`FaultyStore`] — a seeded wrapper driven by [`StoreFaults`]:
+    //!   torn (short) appends, outright write errors, disk-full
+    //!   windows, bit rot on already-written bytes, and sync stalls
+    //!   that freeze the durable watermark. Deterministic per seed, so
+    //!   chaos campaigns replay bit-identically.
+
+    use std::fmt;
+
+    /// Why a store operation failed. `Copy + Eq` (unlike
+    /// `std::io::Error`) so campaign outcomes stay comparable in
+    /// replay-determinism asserts; [`StoreError::io_kind`] maps each
+    /// variant onto the matching `std::io::ErrorKind`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum StoreError {
+        /// The write failed outright; the file is unchanged.
+        WriteFailed,
+        /// The device is out of space; the file is unchanged.
+        NoSpace,
+        /// The append was torn: a strict prefix of the new bytes
+        /// reached the file before the error.
+        TornWrite,
+        /// `sync` could not flush; the durable watermark did not move.
+        SyncStalled,
+    }
+
+    impl StoreError {
+        /// The `std::io::ErrorKind` this failure would surface as.
+        pub fn io_kind(self) -> std::io::ErrorKind {
+            match self {
+                // `ErrorKind::StorageFull` would be the natural match
+                // for `NoSpace` but is newer than our MSRV.
+                StoreError::WriteFailed | StoreError::NoSpace => std::io::ErrorKind::Other,
+                StoreError::TornWrite => std::io::ErrorKind::WriteZero,
+                StoreError::SyncStalled => std::io::ErrorKind::TimedOut,
+            }
+        }
+    }
+
+    impl fmt::Display for StoreError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                StoreError::WriteFailed => write!(f, "store write failed"),
+                StoreError::NoSpace => write!(f, "store device full"),
+                StoreError::TornWrite => write!(f, "store append torn short"),
+                StoreError::SyncStalled => write!(f, "store sync stalled"),
+            }
+        }
+    }
+
+    impl std::error::Error for StoreError {}
+
+    impl From<StoreError> for std::io::Error {
+        fn from(e: StoreError) -> std::io::Error {
+            std::io::Error::new(e.io_kind(), e)
+        }
+    }
+
+    /// One append-only byte file with an fsync watermark.
+    pub trait Store: fmt::Debug + Send {
+        /// Append bytes to the end of the file. On
+        /// [`StoreError::TornWrite`] a strict prefix of `bytes` has
+        /// reached the file; on any other error the file is unchanged.
+        fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+
+        /// The live file contents — what a reader of the open file
+        /// sees, synced or not.
+        fn read(&self) -> &[u8];
+
+        /// Flush: advance the durable watermark to the current length.
+        fn sync(&mut self) -> Result<(), StoreError>;
+
+        /// Shrink the file to `len` bytes (no-op past the end); the
+        /// watermark is clamped down with it.
+        fn truncate(&mut self, len: usize) -> Result<(), StoreError>;
+
+        /// Bytes guaranteed to survive a crash (the synced prefix).
+        fn synced_len(&self) -> usize;
+
+        /// The synced prefix itself — what [`Store::crash`] would keep.
+        fn durable(&self) -> &[u8] {
+            let end = self.synced_len().min(self.read().len());
+            &self.read()[..end]
+        }
+
+        /// Atomically replace the whole file (write-temp-then-rename):
+        /// either every byte lands synced or the old contents survive
+        /// untouched. Lease files use this so a failed renewal cannot
+        /// half-destroy the lease everyone else must still read.
+        fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+            self.truncate(0)?;
+            self.append(bytes)?;
+            self.sync()
+        }
+
+        /// Crash the process: the unsynced tail is lost and the file
+        /// is reopened at the durable watermark.
+        fn crash(&mut self);
+
+        /// Advance the fault clock (no-op for real stores); window
+        /// axes like disk-full are expressed in these ticks.
+        fn set_tick(&mut self, _tick: u64) {}
+
+        /// Injected-fault counters (all zero for non-faulty stores).
+        fn fault_stats(&self) -> StoreFaultStats {
+            StoreFaultStats::default()
+        }
+    }
+
+    /// The infallible in-memory store.
+    #[derive(Debug, Clone, Default)]
+    pub struct MemStore {
+        buf: Vec<u8>,
+        synced: usize,
+    }
+
+    impl MemStore {
+        /// An empty store.
+        pub fn new() -> MemStore {
+            MemStore::default()
+        }
+
+        /// A store rehydrated from bytes (all of them durable, as a
+        /// reopened file's contents would be).
+        pub fn from_bytes(buf: Vec<u8>) -> MemStore {
+            let synced = buf.len();
+            MemStore { buf, synced }
+        }
+    }
+
+    impl Store for MemStore {
+        fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+            self.buf.extend_from_slice(bytes);
+            Ok(())
+        }
+
+        fn read(&self) -> &[u8] {
+            &self.buf
+        }
+
+        fn sync(&mut self) -> Result<(), StoreError> {
+            self.synced = self.buf.len();
+            Ok(())
+        }
+
+        fn truncate(&mut self, len: usize) -> Result<(), StoreError> {
+            self.buf.truncate(len);
+            self.synced = self.synced.min(self.buf.len());
+            Ok(())
+        }
+
+        fn synced_len(&self) -> usize {
+            self.synced
+        }
+
+        fn crash(&mut self) {
+            self.buf.truncate(self.synced);
+        }
+    }
+
+    /// Fault axes for a [`FaultyStore`]. Probabilities fire per
+    /// operation from the store's seeded RNG; windows are half-open
+    /// `[at, at + len)` ranges of the tick clock fed through
+    /// [`Store::set_tick`]. Mirrors the `store_*` axes of
+    /// `arv_sim_core::FaultConfig` so campaign plans translate 1:1.
+    #[derive(Debug, Clone, Copy, Default, PartialEq)]
+    pub struct StoreFaults {
+        /// Probability an append is torn short (a strict prefix lands).
+        pub torn_prob: f64,
+        /// Probability an append fails outright, writing nothing.
+        pub write_err_prob: f64,
+        /// Window during which the device is out of space.
+        pub full_at: Option<(u64, u64)>,
+        /// Probability an append flips one bit somewhere in the
+        /// already-written file (latent media decay surfacing).
+        pub bit_rot_prob: f64,
+        /// Window during which `sync` stalls (watermark frozen).
+        pub sync_stall_at: Option<(u64, u64)>,
+    }
+
+    /// Counters of faults a [`FaultyStore`] actually injected.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct StoreFaultStats {
+        /// Appends torn short.
+        pub torn_appends: u64,
+        /// Appends refused with a write error.
+        pub write_errors: u64,
+        /// Appends refused inside a disk-full window.
+        pub no_space_errors: u64,
+        /// Bits flipped in already-written bytes.
+        pub rotted_bits: u64,
+        /// Syncs refused inside a stall window.
+        pub sync_stalls: u64,
+    }
+
+    impl StoreFaultStats {
+        /// Total injected faults across all axes.
+        pub fn total(&self) -> u64 {
+            self.torn_appends
+                + self.write_errors
+                + self.no_space_errors
+                + self.rotted_bits
+                + self.sync_stalls
+        }
+    }
+
+    fn in_window(w: Option<(u64, u64)>, tick: u64) -> bool {
+        w.is_some_and(|(at, len)| tick >= at && tick < at.saturating_add(len))
+    }
+
+    /// A seeded fault-injection store: [`MemStore`] semantics plus the
+    /// [`StoreFaults`] axes. Its RNG is self-contained (splitmix64) so
+    /// this crate stays dependency-free and a given seed replays the
+    /// exact same fault sequence.
+    #[derive(Debug, Clone)]
+    pub struct FaultyStore {
+        inner: MemStore,
+        rng: u64,
+        faults: StoreFaults,
+        tick: u64,
+        stats: StoreFaultStats,
+    }
+
+    impl FaultyStore {
+        /// A faulty store over an empty file.
+        pub fn new(seed: u64, faults: StoreFaults) -> FaultyStore {
+            FaultyStore {
+                inner: MemStore::new(),
+                rng: seed,
+                faults,
+                tick: 0,
+                stats: StoreFaultStats::default(),
+            }
+        }
+
+        /// The faults injected so far.
+        pub fn stats(&self) -> StoreFaultStats {
+            self.stats
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        fn hit(&mut self, prob: f64) -> bool {
+            prob > 0.0 && self.unit() < prob
+        }
+
+        /// The append-failure gate shared by `append` and `replace`:
+        /// which error (if any) this operation draws, before any bytes
+        /// move. Torn length is drawn by the caller because only plain
+        /// appends leave a prefix behind.
+        fn append_gate(&mut self) -> Result<(), StoreError> {
+            if in_window(self.faults.full_at, self.tick) {
+                self.stats.no_space_errors += 1;
+                return Err(StoreError::NoSpace);
+            }
+            if self.hit(self.faults.write_err_prob) {
+                self.stats.write_errors += 1;
+                return Err(StoreError::WriteFailed);
+            }
+            Ok(())
+        }
+
+        fn maybe_rot(&mut self) {
+            if self.hit(self.faults.bit_rot_prob) && !self.inner.buf.is_empty() {
+                let idx = (self.next_u64() % self.inner.buf.len() as u64) as usize;
+                let bit = (self.next_u64() % 8) as u8;
+                self.inner.buf[idx] ^= 1 << bit;
+                self.stats.rotted_bits += 1;
+            }
+        }
+    }
+
+    impl Store for FaultyStore {
+        fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+            self.append_gate()?;
+            if self.hit(self.faults.torn_prob) && bytes.len() > 1 {
+                let keep = 1 + (self.next_u64() % (bytes.len() as u64 - 1)) as usize;
+                self.inner.buf.extend_from_slice(&bytes[..keep]);
+                self.stats.torn_appends += 1;
+                return Err(StoreError::TornWrite);
+            }
+            self.maybe_rot();
+            self.inner.buf.extend_from_slice(bytes);
+            Ok(())
+        }
+
+        fn read(&self) -> &[u8] {
+            self.inner.read()
+        }
+
+        fn sync(&mut self) -> Result<(), StoreError> {
+            if in_window(self.faults.sync_stall_at, self.tick) {
+                self.stats.sync_stalls += 1;
+                return Err(StoreError::SyncStalled);
+            }
+            self.inner.sync()
+        }
+
+        fn truncate(&mut self, len: usize) -> Result<(), StoreError> {
+            // Shrinking a file needs no new blocks: never fails here.
+            self.inner.truncate(len)
+        }
+
+        fn synced_len(&self) -> usize {
+            self.inner.synced_len()
+        }
+
+        fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+            // Write-temp-then-rename: the fault axes hit the temp-file
+            // write, so any failure (even a torn one) leaves the old
+            // contents untouched; success lands fully synced.
+            self.append_gate()?;
+            if self.hit(self.faults.torn_prob) {
+                self.stats.torn_appends += 1;
+                return Err(StoreError::TornWrite);
+            }
+            if in_window(self.faults.sync_stall_at, self.tick) {
+                self.stats.sync_stalls += 1;
+                return Err(StoreError::SyncStalled);
+            }
+            self.inner.buf.clear();
+            self.inner.buf.extend_from_slice(bytes);
+            self.inner.synced = self.inner.buf.len();
+            self.maybe_rot();
+            Ok(())
+        }
+
+        fn crash(&mut self) {
+            self.inner.crash();
+        }
+
+        fn set_tick(&mut self, tick: u64) {
+            self.tick = tick;
+        }
+
+        fn fault_stats(&self) -> StoreFaultStats {
+            self.stats
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mem_store_sync_watermark() {
+            let mut s = MemStore::new();
+            s.append(b"abcd").expect("mem append");
+            assert_eq!(s.synced_len(), 0);
+            s.sync().expect("mem sync");
+            s.append(b"efgh").expect("mem append");
+            assert_eq!(s.read(), b"abcdefgh");
+            assert_eq!(s.durable(), b"abcd");
+            s.crash();
+            assert_eq!(s.read(), b"abcd", "unsynced tail lost");
+        }
+
+        #[test]
+        fn truncate_clamps_watermark() {
+            let mut s = MemStore::new();
+            s.append(b"abcdef").expect("append");
+            s.sync().expect("sync");
+            s.truncate(2).expect("truncate");
+            assert_eq!(s.synced_len(), 2);
+            s.truncate(100).expect("truncate past end is a no-op");
+            assert_eq!(s.read(), b"ab");
+        }
+
+        #[test]
+        fn faulty_store_is_deterministic_per_seed() {
+            let run = |seed: u64| {
+                let mut s = FaultyStore::new(
+                    seed,
+                    StoreFaults {
+                        torn_prob: 0.3,
+                        write_err_prob: 0.2,
+                        bit_rot_prob: 0.1,
+                        ..StoreFaults::default()
+                    },
+                );
+                let mut outcomes = Vec::new();
+                for i in 0..64u8 {
+                    outcomes.push(s.append(&[i; 16]).err());
+                }
+                let _ = s.sync();
+                (outcomes, s.read().to_vec(), s.stats())
+            };
+            assert_eq!(run(7), run(7));
+            assert_ne!(run(7).0, run(8).0, "different seeds draw differently");
+        }
+
+        #[test]
+        fn torn_append_leaves_strict_prefix() {
+            let mut s = FaultyStore::new(
+                3,
+                StoreFaults {
+                    torn_prob: 1.0,
+                    ..StoreFaults::default()
+                },
+            );
+            let err = s.append(&[9u8; 32]).expect_err("always torn");
+            assert_eq!(err, StoreError::TornWrite);
+            assert!(!s.read().is_empty() && s.read().len() < 32);
+            assert_eq!(s.stats().torn_appends, 1);
+        }
+
+        #[test]
+        fn windows_are_half_open() {
+            let faults = StoreFaults {
+                full_at: Some((4, 2)),
+                sync_stall_at: Some((4, 2)),
+                ..StoreFaults::default()
+            };
+            let mut s = FaultyStore::new(1, faults);
+            for tick in 0..8u64 {
+                s.set_tick(tick);
+                let want_fault = (4..6).contains(&tick);
+                assert_eq!(s.append(b"x").is_err(), want_fault, "append at {tick}");
+                assert_eq!(s.sync().is_err(), want_fault, "sync at {tick}");
+            }
+            assert_eq!(s.stats().no_space_errors, 2);
+            assert_eq!(s.stats().sync_stalls, 2);
+        }
+
+        #[test]
+        fn replace_is_atomic_under_faults() {
+            let mut s = FaultyStore::new(
+                11,
+                StoreFaults {
+                    torn_prob: 0.5,
+                    write_err_prob: 0.2,
+                    ..StoreFaults::default()
+                },
+            );
+            let mut current: Vec<u8> = Vec::new();
+            for i in 0..64u8 {
+                let next = vec![i; 24];
+                match s.replace(&next) {
+                    Ok(()) => current = next,
+                    Err(_) => {} // old contents must survive untouched
+                }
+                assert_eq!(s.read(), &current[..], "replace half-applied at {i}");
+                assert_eq!(s.durable(), &current[..], "replace left unsynced bytes");
+            }
+            assert!(s.stats().total() >= 1, "faults must actually fire");
+        }
+    }
+}
+
 /// The persisted view state of one container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ViewState {
@@ -294,14 +775,20 @@ pub struct RestoreReport {
 
 /// An append-only, checksummed journal of view-state changes.
 ///
-/// The backing store is an owned byte buffer: the simulation treats it
-/// as the daemon's on-disk state file, and crash injection simply
-/// truncates or corrupts the bytes. [`Journal::checkpoint`] *compacts*:
-/// it rewrites the buffer as `header + one checkpoint record`, so the
-/// journal's size is bounded by checkpoint cadence rather than uptime.
-#[derive(Debug, Clone)]
+/// The backing file is a pluggable [`Store`]: the default
+/// [`Journal::new`] sits on an infallible [`MemStore`] (the
+/// simulation's stand-in for the daemon's state file), while
+/// [`Journal::with_store`] accepts any store — including a seeded
+/// [`FaultyStore`] — so every append or checkpoint can fail with an
+/// `io::Result`-shaped [`StoreError`]. [`Journal::checkpoint`]
+/// *compacts*: it rewrites the file as `header + one checkpoint
+/// record`, so the journal's size is bounded by checkpoint cadence
+/// rather than uptime. Appends are group-committed: callers
+/// [`sync`](Journal::sync) once per tick, and only synced bytes
+/// ([`durable_bytes`](Journal::durable_bytes)) survive a crash.
+#[derive(Debug)]
 pub struct Journal {
-    buf: Vec<u8>,
+    store: Box<dyn Store>,
 }
 
 impl Default for Journal {
@@ -311,52 +798,97 @@ impl Default for Journal {
 }
 
 impl Journal {
-    /// An empty journal holding only the format header.
+    /// An empty journal on an infallible in-memory store.
     pub fn new() -> Journal {
-        let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.extend_from_slice(&VERSION.to_le_bytes());
-        Journal { buf }
+        Journal::with_store(Box::new(MemStore::new())).expect("MemStore never fails")
     }
 
-    /// The raw journal bytes (header + records).
+    /// An empty journal on `store`: the file is reset to the format
+    /// header. Fails if the store refuses the header write — the
+    /// journal is unusable until the caller retries on a healthy
+    /// store.
+    pub fn with_store(mut store: Box<dyn Store>) -> Result<Journal, StoreError> {
+        store.truncate(0)?;
+        let mut hdr = Vec::with_capacity(8);
+        hdr.extend_from_slice(&MAGIC.to_le_bytes());
+        hdr.extend_from_slice(&VERSION.to_le_bytes());
+        store.append(&hdr)?;
+        store.sync()?;
+        Ok(Journal { store })
+    }
+
+    /// The live journal bytes (header + records), synced or not.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.store.read()
     }
 
-    /// Consume the journal, returning its bytes.
+    /// The bytes that would survive a crash: the synced prefix.
+    pub fn durable_bytes(&self) -> &[u8] {
+        self.store.durable()
+    }
+
+    /// Consume the journal, returning its live bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        self.store.read().to_vec()
     }
 
-    /// Size of the journal in bytes.
+    /// Size of the live journal in bytes.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.store.read().len()
     }
 
-    /// Whether the journal holds only the header.
+    /// Whether the journal holds only the header (or less).
     pub fn is_empty(&self) -> bool {
-        self.buf.len() <= 8
+        self.store.read().len() <= 8
     }
 
-    /// Write a compacted checkpoint: the buffer is reset to the header
-    /// plus this single snapshot record, discarding older history.
-    pub fn checkpoint(&mut self, snap: &Snapshot) {
-        self.buf.truncate(8);
-        let body = checkpoint_body(snap);
-        frame_record_into(&mut self.buf, &body);
+    /// Write a compacted checkpoint: the file is reset to the header
+    /// plus this single snapshot record, discarding older history, and
+    /// synced through to the medium.
+    pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<(), StoreError> {
+        self.store.truncate(8)?;
+        let mut buf = Vec::new();
+        frame_record_into(&mut buf, &checkpoint_body(snap));
+        self.store.append(&buf)?;
+        self.store.sync()
     }
 
-    /// Append one container's refreshed view.
-    pub fn append_delta(&mut self, state: &ViewState, tick: u64) {
-        let body = delta_body(state, tick);
-        frame_record_into(&mut self.buf, &body);
+    /// Append one container's refreshed view (unsynced until the next
+    /// [`sync`](Journal::sync) or checkpoint).
+    pub fn append_delta(&mut self, state: &ViewState, tick: u64) -> Result<(), StoreError> {
+        let mut buf = Vec::new();
+        frame_record_into(&mut buf, &delta_body(state, tick));
+        self.store.append(&buf)
     }
 
-    /// Append a container removal.
-    pub fn append_remove(&mut self, id: u32) {
-        let body = remove_body(id);
-        frame_record_into(&mut self.buf, &body);
+    /// Append a container removal (unsynced until the next
+    /// [`sync`](Journal::sync) or checkpoint).
+    pub fn append_remove(&mut self, id: u32) -> Result<(), StoreError> {
+        let mut buf = Vec::new();
+        frame_record_into(&mut buf, &remove_body(id));
+        self.store.append(&buf)
+    }
+
+    /// Group-commit: advance the durable watermark over every append
+    /// so far.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.store.sync()
+    }
+
+    /// Crash the owning process: the unsynced tail is lost, exactly as
+    /// an un-fsynced file would lose it.
+    pub fn crash(&mut self) {
+        self.store.crash();
+    }
+
+    /// Advance the store's fault clock (no-op for plain stores).
+    pub fn set_tick(&mut self, tick: u64) {
+        self.store.set_tick(tick);
+    }
+
+    /// Fault counters of the backing store (zero for plain stores).
+    pub fn store_fault_stats(&self) -> StoreFaultStats {
+        self.store.fault_stats()
     }
 }
 
@@ -547,6 +1079,12 @@ pub mod lease {
     //! Time is the caller's deterministic tick clock, not wall time, so
     //! seeded campaigns replay bit-identically.
     //!
+    //! A lease write is **atomic-or-nothing** ([`Store::replace`]): a
+    //! renewal the store refuses leaves the old lease intact for every
+    //! other contender to read, and the refused holder must treat the
+    //! lease as *not held* — stepping down before its TTL rather than
+    //! serving on a renewal nobody else can observe.
+    //!
     //! ```text
     //! lease := magic:u32le ("AVRL") | epoch:u64le | holder:u32le
     //!          | expires:u64le | crc32:u32le
@@ -560,6 +1098,8 @@ pub mod lease {
     //! the highest epoch they have ever seen).
 
     use super::crc32;
+    use super::store::{MemStore, Store, StoreError, StoreFaultStats};
+    use std::fmt;
 
     /// File magic: `b"AVRL"` as a little-endian `u32`.
     pub const LEASE_MAGIC: u32 = u32::from_le_bytes(*b"AVRL");
@@ -611,38 +1151,115 @@ pub mod lease {
         }
     }
 
-    /// The byte-backed lease store controllers contend on.
-    #[derive(Debug, Clone, Default)]
+    /// Why a lease could not be acquired, renewed, or kept.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum LeaseError {
+        /// Another holder's unexpired lease blocks us; the blocking
+        /// lease rides along so the caller can log who and until when.
+        Held(Lease),
+        /// Strict renewal found no unexpired lease of ours — it lapsed
+        /// (the last intact lease, if any, rides along). Continuity is
+        /// broken: the caller must step down and re-contend through
+        /// [`LeaseFile::try_acquire`]'s takeover path.
+        Expired(Option<Lease>),
+        /// The store refused to persist the new lease. The old lease
+        /// (if any) is still on disk, so the caller must treat the
+        /// lease as *not held*: nobody else can read the renewal that
+        /// failed.
+        Store(StoreError),
+    }
+
+    impl fmt::Display for LeaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                LeaseError::Held(l) => write!(
+                    f,
+                    "lease held by {} at epoch {} until tick {}",
+                    l.holder, l.epoch, l.expires
+                ),
+                LeaseError::Expired(Some(l)) => {
+                    write!(
+                        f,
+                        "our lease at epoch {} expired at tick {}",
+                        l.epoch, l.expires
+                    )
+                }
+                LeaseError::Expired(None) => write!(f, "no intact lease to renew"),
+                LeaseError::Store(e) => write!(f, "lease store: {e}"),
+            }
+        }
+    }
+
+    impl std::error::Error for LeaseError {}
+
+    /// The store-backed lease file controllers contend on.
+    #[derive(Debug)]
     pub struct LeaseFile {
-        buf: Vec<u8>,
+        store: Box<dyn Store>,
+    }
+
+    impl Default for LeaseFile {
+        fn default() -> Self {
+            LeaseFile::new()
+        }
     }
 
     impl LeaseFile {
-        /// An empty (never-granted) lease store.
+        /// An empty (never-granted) lease file on an infallible
+        /// in-memory store.
         pub fn new() -> LeaseFile {
-            LeaseFile::default()
+            LeaseFile {
+                store: Box::new(MemStore::new()),
+            }
         }
 
         /// Rehydrate from bytes (e.g. after a warm restart).
         pub fn from_bytes(buf: Vec<u8>) -> LeaseFile {
-            LeaseFile { buf }
+            LeaseFile {
+                store: Box::new(MemStore::from_bytes(buf)),
+            }
+        }
+
+        /// A lease file on `store` — e.g. a seeded
+        /// [`FaultyStore`](super::store::FaultyStore) whose refusals
+        /// must step a primary down.
+        pub fn with_store(store: Box<dyn Store>) -> LeaseFile {
+            LeaseFile { store }
         }
 
         /// The raw store bytes, exactly as "on disk".
         pub fn as_bytes(&self) -> &[u8] {
-            &self.buf
+            self.store.read()
+        }
+
+        /// Advance the store's fault clock (no-op for plain stores).
+        pub fn set_tick(&mut self, tick: u64) {
+            self.store.set_tick(tick);
+        }
+
+        /// Fault counters of the backing store (zero for plain stores).
+        pub fn store_fault_stats(&self) -> StoreFaultStats {
+            self.store.fault_stats()
         }
 
         /// The current lease, if the store holds an intact one.
         pub fn current(&self) -> Option<Lease> {
-            Lease::decode(&self.buf)
+            Lease::decode(self.store.read())
         }
 
-        /// Try to acquire or renew the lease for `holder` at tick `now`,
-        /// extending it to `now + ttl`. Returns the held lease on
-        /// success (grant, renew, or takeover per the module rules), or
-        /// `None` if another holder's unexpired lease blocks us.
-        pub fn try_acquire(&mut self, holder: u32, now: u64, ttl: u64) -> Option<Lease> {
+        /// Try to acquire or renew the lease for `holder` at tick
+        /// `now`, extending it to `now + ttl`. Returns the held lease
+        /// on success (grant, renew, or takeover per the module
+        /// rules); errs with [`LeaseError::Held`] if another holder's
+        /// unexpired lease blocks us, or [`LeaseError::Store`] if the
+        /// new lease could not be persisted (the old lease survives on
+        /// disk and the caller holds nothing).
+        pub fn try_acquire(
+            &mut self,
+            holder: u32,
+            now: u64,
+            ttl: u64,
+        ) -> Result<Lease, LeaseError> {
             let next = match self.current() {
                 None => Lease {
                     epoch: 1,
@@ -659,10 +1276,38 @@ pub mod lease {
                     holder,
                     expires: now.saturating_add(ttl),
                 },
-                Some(_) => return None,
+                Some(cur) => return Err(LeaseError::Held(cur)),
             };
-            self.buf = next.encode();
-            Some(next)
+            self.store
+                .replace(&next.encode())
+                .map_err(LeaseError::Store)?;
+            Ok(next)
+        }
+
+        /// Strict renewal for a holder that believes it leads: extends
+        /// our own unexpired lease without ever taking over. A lapsed
+        /// or foreign lease is an error — a primary that slept through
+        /// its TTL must step down and re-contend via
+        /// [`try_acquire`](LeaseFile::try_acquire) instead of silently
+        /// re-granting itself a bumped epoch.
+        pub fn renew(&mut self, holder: u32, now: u64, ttl: u64) -> Result<Lease, LeaseError> {
+            match self.current() {
+                Some(cur) if cur.holder == holder && now <= cur.expires => {
+                    let next = Lease {
+                        epoch: cur.epoch,
+                        holder,
+                        expires: now.saturating_add(ttl),
+                    };
+                    self.store
+                        .replace(&next.encode())
+                        .map_err(LeaseError::Store)?;
+                    Ok(next)
+                }
+                Some(cur) if cur.holder != holder && now <= cur.expires => {
+                    Err(LeaseError::Held(cur))
+                }
+                cur => Err(LeaseError::Expired(cur)),
+            }
         }
     }
 }
@@ -687,10 +1332,10 @@ mod tests {
             tick: 10,
             entries: vec![state(1, 4, 10), state(2, 8, 10)],
         };
-        j.checkpoint(&snap);
-        j.append_delta(&state(1, 6, 12), 12);
-        j.append_delta(&state(3, 2, 13), 13);
-        j.append_remove(2);
+        j.checkpoint(&snap).expect("mem store");
+        j.append_delta(&state(1, 6, 12), 12).expect("mem store");
+        j.append_delta(&state(3, 2, 13), 13).expect("mem store");
+        j.append_remove(2).expect("mem store");
         j
     }
 
@@ -714,7 +1359,8 @@ mod tests {
         let mut j = sample_journal();
         let grown = j.len();
         let r = restore(j.as_bytes());
-        j.checkpoint(r.snapshot.as_ref().unwrap());
+        j.checkpoint(r.snapshot.as_ref().unwrap())
+            .expect("mem store");
         assert!(j.len() < grown, "compaction shrank the journal");
         let r2 = restore(j.as_bytes());
         assert_eq!(r2.snapshot, r.snapshot);
@@ -790,8 +1436,8 @@ mod tests {
     #[test]
     fn deltas_without_checkpoint_are_ignored() {
         let mut j = Journal::new();
-        j.append_delta(&state(9, 3, 1), 1);
-        j.append_remove(9);
+        j.append_delta(&state(9, 3, 1), 1).expect("mem store");
+        j.append_remove(9).expect("mem store");
         let r = restore(j.as_bytes());
         assert_eq!(r.snapshot, None);
         assert_eq!(r.truncated_records, 0);
@@ -807,7 +1453,7 @@ mod tests {
         fn build(ops: &[(u8, u32, u32, u64)]) -> (Journal, Vec<Snapshot>) {
             let mut j = Journal::new();
             let mut s = Snapshot::at(0);
-            j.checkpoint(&s);
+            j.checkpoint(&s).expect("mem store");
             let mut states = vec![s.clone()];
             for (i, &(kind, id, cpu, mem)) in ops.iter().enumerate() {
                 let tick = i as u64 + 1;
@@ -820,16 +1466,16 @@ mod tests {
                             e_avail: mem / 2,
                             last_tick: tick,
                         };
-                        j.append_delta(&st, tick);
+                        j.append_delta(&st, tick).expect("mem store");
                         s.upsert(st);
                         s.tick = s.tick.max(tick);
                     }
                     1 => {
-                        j.append_remove(id);
+                        j.append_remove(id).expect("mem store");
                         s.remove(id);
                     }
                     _ => {
-                        j.checkpoint(&s);
+                        j.checkpoint(&s).expect("mem store");
                         // Compaction discards history: earlier prefixes
                         // are no longer representable, reset the script.
                         states.clear();
@@ -931,8 +1577,8 @@ mod tests {
             // The replication stream must be byte-identical to what the
             // journal would append for the same operations.
             let mut j = Journal::new();
-            j.append_delta(&state(3, 2, 7), 7);
-            j.append_remove(3);
+            j.append_delta(&state(3, 2, 7), 7).expect("mem store");
+            j.append_remove(3).expect("mem store");
             let mut stream = Vec::new();
             stream.extend_from_slice(&encode_record(&Record::Delta {
                 state: state(3, 2, 7),
@@ -969,7 +1615,8 @@ mod tests {
     }
 
     mod lease_rules {
-        use super::super::lease::{Lease, LeaseFile, LEASE_BYTES};
+        use super::super::lease::{Lease, LeaseError, LeaseFile, LEASE_BYTES};
+        use super::super::store::{FaultyStore, StoreFaults};
 
         #[test]
         fn grant_renew_takeover() {
@@ -977,14 +1624,35 @@ mod tests {
             // Grant: first caller gets epoch 1.
             let l1 = f.try_acquire(10, 0, 5).expect("grant");
             assert_eq!((l1.epoch, l1.holder, l1.expires), (1, 10, 5));
-            // Refuse: someone else while unexpired.
-            assert_eq!(f.try_acquire(20, 3, 5), None);
+            // Refuse: someone else while unexpired, naming the blocker.
+            assert_eq!(f.try_acquire(20, 3, 5), Err(LeaseError::Held(l1)));
             // Renew: same holder keeps the epoch, extends expiry.
             let l2 = f.try_acquire(10, 4, 5).expect("renew");
             assert_eq!((l2.epoch, l2.expires), (1, 9));
             // Takeover: after expiry anyone acquires at epoch + 1.
             let l3 = f.try_acquire(20, 10, 5).expect("takeover");
             assert_eq!((l3.epoch, l3.holder, l3.expires), (2, 20, 15));
+        }
+
+        #[test]
+        fn strict_renew_never_takes_over() {
+            let mut f = LeaseFile::new();
+            let l1 = f.try_acquire(10, 0, 5).expect("grant");
+            // In-TTL renewal extends without an epoch bump.
+            let l2 = f.renew(10, 4, 5).expect("renew");
+            assert_eq!((l2.epoch, l2.expires), (1, 9));
+            // A foreign unexpired lease is Held…
+            assert_eq!(f.renew(20, 5, 5), Err(LeaseError::Held(l2)));
+            // …and a lapsed one is Expired, never a takeover: the
+            // sleeping primary steps down instead of re-granting
+            // itself.
+            assert_eq!(f.renew(10, 20, 5), Err(LeaseError::Expired(Some(l2))));
+            assert_eq!(f.current(), Some(l2), "failed renew mutates nothing");
+            assert_eq!(
+                LeaseFile::new().renew(1, 0, 5),
+                Err(LeaseError::Expired(None))
+            );
+            let _ = l1;
         }
 
         #[test]
@@ -995,6 +1663,37 @@ mod tests {
             // too: it must not resume its old epoch silently.
             let l = f.try_acquire(10, 6, 5).expect("retake");
             assert_eq!(l.epoch, 2);
+        }
+
+        #[test]
+        fn store_refusal_keeps_old_lease_readable() {
+            // A lease on a device that goes full mid-campaign: the
+            // renewal errs, but the *old* lease survives intact so
+            // other contenders still read a consistent file and the
+            // refused holder's step-down cannot split the brain.
+            let store = FaultyStore::new(
+                5,
+                StoreFaults {
+                    full_at: Some((10, 100)),
+                    ..StoreFaults::default()
+                },
+            );
+            let mut f = LeaseFile::with_store(Box::new(store));
+            f.set_tick(0);
+            let granted = f.try_acquire(10, 0, 5).expect("grant before window");
+            f.set_tick(10);
+            match f.renew(10, 3, 5) {
+                Err(LeaseError::Store(_)) => {}
+                other => panic!("expected store error, got {other:?}"),
+            }
+            assert_eq!(f.current(), Some(granted), "old lease still on disk");
+            assert!(f.store_fault_stats().no_space_errors >= 1);
+            // Takeover by another holder is equally refused while the
+            // device is full — nobody holds a lease they can't persist.
+            match f.try_acquire(20, 9, 5) {
+                Err(LeaseError::Store(_)) => {}
+                other => panic!("expected store error, got {other:?}"),
+            }
         }
 
         #[test]
@@ -1023,6 +1722,204 @@ mod tests {
             f.try_acquire(10, 0, 5).expect("grant");
             let f2 = LeaseFile::from_bytes(f.as_bytes().to_vec());
             assert_eq!(f2.current(), f.current());
+        }
+    }
+
+    mod checkpoint_fault_props {
+        use super::*;
+        use crate::store::{FaultyStore, StoreFaults};
+        use proptest::prelude::*;
+
+        proptest! {
+            // Satellite invariant: arbitrary interleavings of store
+            // faults during checkpoints and appends never break
+            // prefix-consistency, and a restore of the *durable* bytes
+            // never reports more records than were synced.
+            #[test]
+            fn faulty_checkpoints_restore_prefix_consistent(
+                seed in 0u64..1024,
+                ops in prop::collection::vec(
+                    (0u8..3, 1u32..6, 1u32..32), 1..24),
+                torn in 0.0f64..0.4,
+                werr in 0.0f64..0.3,
+                full_at in prop::option::of((0u64..16, 1u64..8)),
+                stall_at in prop::option::of((0u64..16, 1u64..8)),
+            ) {
+                let faults = StoreFaults {
+                    torn_prob: torn,
+                    write_err_prob: werr,
+                    full_at,
+                    sync_stall_at: stall_at,
+                    // No bit rot here: it can strike *synced* bytes,
+                    // which is a detection property (CRC) rather than
+                    // the synced-prefix property under test.
+                    ..StoreFaults::default()
+                };
+                let journal = Journal::with_store(
+                    Box::new(FaultyStore::new(seed, faults)));
+                let Ok(mut j) = journal else {
+                    return; // header refused: no journal, nothing to check
+                };
+                // Reachable states: the snapshot after every prefix of
+                // *successfully written* records — restore must land on
+                // one of these. `written_ok` counts full records in the
+                // live file since the last compaction; `synced_upper`
+                // is the watermarked bound a restore may never exceed.
+                let mut s = Snapshot::at(0);
+                let mut reachable: Vec<Snapshot> = Vec::new();
+                let mut written_ok = 0u64;
+                let mut synced_upper = 0u64;
+                for (i, &(kind, id, cpu)) in ops.iter().enumerate() {
+                    let tick = i as u64 + 1;
+                    j.set_tick(tick);
+                    match kind % 3 {
+                        0 => {
+                            let st = ViewState {
+                                id,
+                                e_cpu: cpu,
+                                e_mem: 1 << 20,
+                                e_avail: 1 << 19,
+                                last_tick: tick,
+                            };
+                            if j.append_delta(&st, tick).is_ok() {
+                                s.upsert(st);
+                                s.tick = s.tick.max(tick);
+                                written_ok += 1;
+                                reachable.push(s.clone());
+                            }
+                        }
+                        1 => {
+                            if j.append_remove(id).is_ok() {
+                                s.remove(id);
+                                written_ok += 1;
+                                reachable.push(s.clone());
+                            }
+                        }
+                        _ => match j.checkpoint(&s) {
+                            Ok(()) => {
+                                // Compaction synced: one durable record.
+                                written_ok = 1;
+                                synced_upper = 1;
+                                reachable.push(s.clone());
+                            }
+                            Err(StoreError::SyncStalled) => {
+                                // Record written, not yet watermarked;
+                                // compaction clamped the mark to the
+                                // header, so nothing is durable until a
+                                // later sync lands.
+                                written_ok = 1;
+                                synced_upper = 0;
+                                reachable.push(s.clone());
+                            }
+                            Err(_) => {
+                                // Compaction destroyed the old file and
+                                // the new record never fully landed.
+                                written_ok = 0;
+                                synced_upper = 0;
+                            }
+                        },
+                    }
+                    if j.sync().is_ok() {
+                        synced_upper = written_ok;
+                    }
+                }
+
+                j.crash();
+                let r = restore(j.durable_bytes());
+                let restored_records = if r.snapshot.is_some() {
+                    1 + r.applied_deltas + r.applied_removes
+                } else {
+                    0
+                };
+                // Never more durable records than the watermark covers.
+                prop_assert!(
+                    restored_records <= synced_upper,
+                    "restore reports {restored_records} records, only \
+                     {synced_upper} were synced"
+                );
+                if let Some(got) = &r.snapshot {
+                    prop_assert!(
+                        reachable.iter().any(|want| {
+                            want.entries == got.entries
+                        }),
+                        "restored state matches no reachable prefix: {got:?}"
+                    );
+                }
+            }
+
+            // Same storm, restoring the *live* bytes (no crash): still
+            // prefix-consistent, still panic-free — torn appends leave
+            // partial frames that restore must absorb as truncation.
+            #[test]
+            fn faulty_live_bytes_never_panic_restore(
+                seed in 0u64..512,
+                ops in prop::collection::vec((0u8..3, 1u32..6, 1u32..32), 1..16),
+            ) {
+                let faults = StoreFaults {
+                    torn_prob: 0.35,
+                    write_err_prob: 0.15,
+                    bit_rot_prob: 0.1,
+                    ..StoreFaults::default()
+                };
+                let journal = Journal::with_store(
+                    Box::new(FaultyStore::new(seed, faults)));
+                let Ok(mut j) = journal else { return };
+                for (i, &(kind, id, cpu)) in ops.iter().enumerate() {
+                    let tick = i as u64 + 1;
+                    let st = ViewState {
+                        id,
+                        e_cpu: cpu,
+                        e_mem: 4096,
+                        e_avail: 1024,
+                        last_tick: tick,
+                    };
+                    let _ = match kind % 3 {
+                        0 => j.append_delta(&st, tick),
+                        1 => j.append_remove(id),
+                        _ => j.checkpoint(&Snapshot::at(tick)),
+                    };
+                }
+                let _ = restore(j.as_bytes()); // must not panic
+                let _ = restore(j.durable_bytes()); // must not panic
+            }
+
+            // A journal on a faulty store with the same seed is
+            // bit-identical across runs: fault injection replays.
+            #[test]
+            fn faulty_journal_is_deterministic(
+                seed in 0u64..512,
+                ops in prop::collection::vec((0u8..3, 1u32..6, 1u32..32), 0..12),
+            ) {
+                let build = || {
+                    let faults = StoreFaults {
+                        torn_prob: 0.3,
+                        write_err_prob: 0.2,
+                        bit_rot_prob: 0.1,
+                        ..StoreFaults::default()
+                    };
+                    let j = Journal::with_store(
+                        Box::new(FaultyStore::new(seed, faults)));
+                    let Ok(mut j) = j else { return Vec::new() };
+                    for (i, &(kind, id, cpu)) in ops.iter().enumerate() {
+                        let tick = i as u64 + 1;
+                        let st = ViewState {
+                            id,
+                            e_cpu: cpu,
+                            e_mem: 4096,
+                            e_avail: 1024,
+                            last_tick: tick,
+                        };
+                        let _ = match kind % 3 {
+                            0 => j.append_delta(&st, tick),
+                            1 => j.append_remove(id),
+                            _ => j.checkpoint(&Snapshot::at(tick)),
+                        };
+                        let _ = j.sync();
+                    }
+                    j.as_bytes().to_vec()
+                };
+                prop_assert_eq!(build(), build());
+            }
         }
     }
 }

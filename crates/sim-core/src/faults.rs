@@ -2,8 +2,10 @@
 //!
 //! A [`FaultPlan`] is a seeded source of faults covering every stage of
 //! the pipeline — event delivery (drop / duplicate / reorder), the
-//! monitor itself (stall windows), publication (delay windows), and the
-//! wire protocol (corrupt / truncate / reset frames). Because every
+//! monitor itself (stall windows), publication (delay windows), the
+//! wire protocol (corrupt / truncate / reset frames), and the storage
+//! layer (torn / failed / refused appends, bit rot, sync stalls —
+//! mirrored 1:1 into an `arv_persist` `FaultyStore`). Because every
 //! decision flows through a [`SimRng`] forked from the
 //! experiment seed, a chaos run is bit-for-bit reproducible: the same
 //! seed injects the same faults at the same ticks, so recovery
@@ -65,6 +67,22 @@ pub struct FaultConfig {
     /// which REPL frames queue at the primary instead of reaching the
     /// standby (they drain, in order, after the window).
     pub repl_lag_at: Option<(u64, u64)>,
+    /// Probability a journal/lease store append is torn short (a strict
+    /// prefix reaches the medium before the error). Consumers feed the
+    /// `store_*` axes into an `arv_persist` `FaultyStore` 1:1.
+    pub store_torn_prob: f64,
+    /// Probability a store append fails outright, writing nothing.
+    pub store_write_err_prob: f64,
+    /// Disk-full window: `(first_tick, duration_ticks)` during which
+    /// every store append is refused with a no-space error.
+    pub store_full_at: Option<(u64, u64)>,
+    /// Probability a store append flips one bit somewhere in the
+    /// already-written file (latent media decay surfacing under load).
+    pub store_bit_rot_prob: f64,
+    /// Sync-stall window: `(first_tick, duration_ticks)` during which
+    /// `sync` fails — the durable watermark freezes, so a crash inside
+    /// the window loses everything appended since it opened.
+    pub store_sync_stall_at: Option<(u64, u64)>,
 }
 
 impl FaultConfig {
@@ -200,6 +218,28 @@ impl FaultPlan {
     /// `tick`.
     pub fn repl_lagged(&self, tick: u64) -> bool {
         in_window(self.cfg.repl_lag_at, tick)
+    }
+
+    /// Whether the storage device is out of space at `tick`.
+    pub fn store_full(&self, tick: u64) -> bool {
+        in_window(self.cfg.store_full_at, tick)
+    }
+
+    /// Whether store syncs stall (the durable watermark freezes) at
+    /// `tick`.
+    pub fn store_sync_stalled(&self, tick: u64) -> bool {
+        in_window(self.cfg.store_sync_stall_at, tick)
+    }
+
+    /// Whether any storage-fault axis is configured at all (probability
+    /// nonzero or a window scheduled) — campaigns use this to decide
+    /// whether hosts need fault-injecting stores.
+    pub fn has_store_faults(&self) -> bool {
+        self.cfg.store_torn_prob > 0.0
+            || self.cfg.store_write_err_prob > 0.0
+            || self.cfg.store_bit_rot_prob > 0.0
+            || self.cfg.store_full_at.is_some()
+            || self.cfg.store_sync_stall_at.is_some()
     }
 
     /// Apply drop / duplicate / reorder faults to a queue of events.
@@ -414,6 +454,29 @@ mod tests {
         assert!(!quiet.lease_stalled(0));
         assert!(!quiet.repl_lagged(0));
         assert_eq!(quiet.primary_kill_tick(), None);
+    }
+
+    #[test]
+    fn store_windows_are_half_open() {
+        let cfg = FaultConfig {
+            store_full_at: Some((12, 3)),
+            store_sync_stall_at: Some((20, 2)),
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(0, cfg);
+        assert!(!p.store_full(11));
+        assert!(p.store_full(12));
+        assert!(p.store_full(14));
+        assert!(!p.store_full(15));
+        assert!(!p.store_sync_stalled(19));
+        assert!(p.store_sync_stalled(20));
+        assert!(p.store_sync_stalled(21));
+        assert!(!p.store_sync_stalled(22));
+        assert!(p.has_store_faults());
+        let quiet = FaultPlan::new(0, FaultConfig::quiet());
+        assert!(!quiet.store_full(0));
+        assert!(!quiet.store_sync_stalled(0));
+        assert!(!quiet.has_store_faults());
     }
 
     #[test]

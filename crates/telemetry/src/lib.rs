@@ -206,6 +206,12 @@ pub enum PipelineEvent {
     /// A periphery's token bucket ran dry and its pending diffs were
     /// coalesced for a later batch instead of being sent.
     FleetCoalesced,
+    /// A journal or lease store error flipped a component onto the
+    /// durability degradation ladder (in-memory fallback / step-down).
+    DurabilityLost,
+    /// A successful re-checkpoint against the recovered store healed
+    /// the durability flag.
+    DurabilityRestored,
 }
 
 impl PipelineEvent {
@@ -223,6 +229,8 @@ impl PipelineEvent {
             PipelineEvent::FleetPromoted => 10,
             PipelineEvent::FleetFenced => 11,
             PipelineEvent::FleetCoalesced => 12,
+            PipelineEvent::DurabilityLost => 13,
+            PipelineEvent::DurabilityRestored => 14,
         }
     }
 
@@ -240,6 +248,8 @@ impl PipelineEvent {
             10 => Some(PipelineEvent::FleetPromoted),
             11 => Some(PipelineEvent::FleetFenced),
             12 => Some(PipelineEvent::FleetCoalesced),
+            13 => Some(PipelineEvent::DurabilityLost),
+            14 => Some(PipelineEvent::DurabilityRestored),
             _ => None,
         }
     }
@@ -259,6 +269,8 @@ impl PipelineEvent {
             PipelineEvent::FleetPromoted => "fleet-promoted",
             PipelineEvent::FleetFenced => "fleet-fenced",
             PipelineEvent::FleetCoalesced => "fleet-coalesced",
+            PipelineEvent::DurabilityLost => "durability-lost",
+            PipelineEvent::DurabilityRestored => "durability-restored",
         }
     }
 }
@@ -790,6 +802,11 @@ pub enum FlightTrigger {
     Partition,
     /// A replacement controller warm-restarted from the journal.
     Failover,
+    /// A storage fault flipped a journal or lease onto the durability
+    /// degradation ladder.
+    DurabilityLost,
+    /// A re-checkpoint against the recovered store healed durability.
+    DurabilityRestored,
 }
 
 impl FlightTrigger {
@@ -801,6 +818,8 @@ impl FlightTrigger {
             FlightTrigger::Demotion => 4,
             FlightTrigger::Partition => 5,
             FlightTrigger::Failover => 6,
+            FlightTrigger::DurabilityLost => 7,
+            FlightTrigger::DurabilityRestored => 8,
         }
     }
 
@@ -812,6 +831,8 @@ impl FlightTrigger {
             4 => Some(FlightTrigger::Demotion),
             5 => Some(FlightTrigger::Partition),
             6 => Some(FlightTrigger::Failover),
+            7 => Some(FlightTrigger::DurabilityLost),
+            8 => Some(FlightTrigger::DurabilityRestored),
             _ => None,
         }
     }
@@ -825,6 +846,8 @@ impl FlightTrigger {
             FlightTrigger::Demotion => "demotion",
             FlightTrigger::Partition => "partition",
             FlightTrigger::Failover => "failover",
+            FlightTrigger::DurabilityLost => "durability-lost",
+            FlightTrigger::DurabilityRestored => "durability-restored",
         }
     }
 }

@@ -47,6 +47,15 @@ pub struct Metrics {
     pub restore_reconciled_containers: AtomicU64,
     /// Journal records discarded as torn or corrupt during restore.
     pub journal_truncated_records: AtomicU64,
+    /// Store errors the host's journal has absorbed (absolute value,
+    /// mirrored from the monitor daemon's durability ladder).
+    pub journal_io_errors: AtomicU64,
+    /// Bytes held in the flagged in-memory fallback journal (gauge;
+    /// zero while the on-disk journal is durable).
+    pub journal_fallback_bytes: AtomicU64,
+    /// Whether the host's journal durability is currently lost (0/1
+    /// gauge).
+    pub durability_lost: AtomicU64,
     /// Age (in update-timer ticks) of every served container view.
     pub staleness_age: Histogram,
     /// Ticks from warm restart until the first Fresh-health serve.
@@ -90,6 +99,9 @@ impl Metrics {
                 .restore_reconciled_containers
                 .load(Ordering::Relaxed),
             journal_truncated_records: self.journal_truncated_records.load(Ordering::Relaxed),
+            journal_io_errors: self.journal_io_errors.load(Ordering::Relaxed),
+            journal_fallback_bytes: self.journal_fallback_bytes.load(Ordering::Relaxed),
+            durability_lost: self.durability_lost.load(Ordering::Relaxed) != 0,
             staleness_age_mean: self.staleness_age.mean(),
             staleness_age_p99: self.staleness_age.quantile(0.99),
             recovery_latency_mean: self.recovery_latency.mean(),
@@ -145,6 +157,12 @@ pub struct MetricsSnapshot {
     pub restore_reconciled_containers: u64,
     /// Journal records discarded as torn or corrupt during restore.
     pub journal_truncated_records: u64,
+    /// Store errors the host's journal has absorbed.
+    pub journal_io_errors: u64,
+    /// Bytes in the flagged in-memory fallback journal.
+    pub journal_fallback_bytes: u64,
+    /// Whether the host's journal durability is currently lost.
+    pub durability_lost: bool,
     /// Mean age, in ticks, of served container views.
     pub staleness_age_mean: f64,
     /// 99th-percentile bucket edge of served view age.
@@ -186,6 +204,9 @@ impl MetricsSnapshot {
             && self.requests_shed == other.requests_shed
             && self.restore_reconciled_containers == other.restore_reconciled_containers
             && self.journal_truncated_records == other.journal_truncated_records
+            && self.journal_io_errors == other.journal_io_errors
+            && self.journal_fallback_bytes == other.journal_fallback_bytes
+            && self.durability_lost == other.durability_lost
             && self.recovery_latency_p99 == other.recovery_latency_p99
             && self.staleness_age_p99 == other.staleness_age_p99
             && self.hit_p99_ns == other.hit_p99_ns
@@ -257,6 +278,29 @@ mod tests {
         assert!(s.recovery_latency_p99 >= 2);
         let fresh = Metrics::new().snapshot();
         assert!(!s.counters_eq(&fresh), "shed counters must affect equality");
+    }
+
+    #[test]
+    fn durability_counters_round_trip() {
+        let m = Metrics::new();
+        m.journal_io_errors.fetch_add(4, Ordering::Relaxed);
+        m.journal_fallback_bytes.store(2_048, Ordering::Relaxed);
+        m.durability_lost.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.journal_io_errors, 4);
+        assert_eq!(s.journal_fallback_bytes, 2_048);
+        assert!(s.durability_lost);
+        let fresh = Metrics::new().snapshot();
+        assert!(
+            !s.counters_eq(&fresh),
+            "durability counters must affect equality"
+        );
+        // Healing clears the gauges but keeps the error count.
+        m.journal_fallback_bytes.store(0, Ordering::Relaxed);
+        m.durability_lost.store(0, Ordering::Relaxed);
+        let healed = m.snapshot();
+        assert!(!healed.durability_lost);
+        assert_eq!(healed.journal_io_errors, 4);
     }
 
     #[test]

@@ -311,6 +311,21 @@ impl ViewServer {
             "Journal records discarded as torn or corrupt during restore",
             m.journal_truncated_records as f64,
         );
+        out.counter(
+            "arv_viewd_journal_io_errors",
+            "Store errors the host's journal has absorbed",
+            m.journal_io_errors as f64,
+        );
+        out.gauge(
+            "arv_viewd_journal_fallback_bytes",
+            "Bytes held in the flagged in-memory fallback journal",
+            m.journal_fallback_bytes as f64,
+        );
+        out.gauge(
+            "arv_viewd_durability_lost",
+            "Whether the host's journal durability is lost (1) or intact (0)",
+            if m.durability_lost { 1.0 } else { 0.0 },
+        );
         out.header(
             "arv_viewd_recovery_latency_ticks",
             "Ticks from warm restart to the first Fresh serve",
@@ -429,6 +444,19 @@ impl ViewServer {
         self.inner
             .restore_tick
             .store(self.now_tick(), Ordering::Release);
+    }
+
+    /// Mirror the host's durability ladder into the daemon's metrics:
+    /// whether journal durability is currently `lost`, the absolute
+    /// store-error count, and the size of the flagged in-memory
+    /// fallback journal. Called by the monitor daemon on every rung
+    /// transition.
+    pub fn note_durability(&self, lost: bool, io_errors: u64, fallback_bytes: u64) {
+        let m = &self.inner.metrics;
+        m.durability_lost.store(u64::from(lost), Ordering::Relaxed);
+        m.journal_io_errors.store(io_errors, Ordering::Relaxed);
+        m.journal_fallback_bytes
+            .store(fallback_bytes, Ordering::Relaxed);
     }
 
     /// Mirror externally computed views into a container's cell (the
@@ -1038,6 +1066,14 @@ mod tests {
         assert!(text.contains("arv_viewd_conns_evicted_slow_total"));
         assert!(text.contains("arv_viewd_restore_reconciled_containers_total"));
         assert!(text.contains("arv_viewd_journal_truncated_records_total"));
+        assert!(text.contains("arv_viewd_journal_io_errors_total"));
+        assert!(text.contains("arv_viewd_journal_fallback_bytes"));
+        assert!(text.contains("arv_viewd_durability_lost 0"));
+        server.note_durability(true, 2, 512);
+        let text = server.prometheus_exposition();
+        assert!(text.contains("arv_viewd_durability_lost 1"));
+        assert!(text.contains("arv_viewd_journal_io_errors_total 2"));
+        assert!(text.contains("arv_viewd_journal_fallback_bytes 512"));
         assert!(text.contains("arv_viewd_recovery_latency_ticks{stat=\"p99\"}"));
         assert!(text.contains(&format!(
             "arv_container_effective_bytes{{container=\"1\"}} {}",

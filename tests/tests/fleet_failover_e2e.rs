@@ -25,6 +25,7 @@ use arv_fleet::{
     FleetFailoverClient, FleetPolicy, Frame, Periphery, Query, Rollup, SharedLease, QUERY_CLUSTER,
     QUERY_FLIGHT, QUERY_STATS,
 };
+use arv_persist::{FaultyStore, StoreFaults};
 use arv_telemetry::{FlightDump, FlightRecorder, FlightTrigger, Tracer};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -343,5 +344,222 @@ fn fleet_failover_over_the_wire() {
         "the mid-stream promotion never produced a retrievable flight dump"
     );
 
+    standby_srv.shutdown();
+}
+
+/// The primary's lease store runs out of space mid-stream: the tick
+/// the first renewal fails to persist, the primary steps down —
+/// strictly before the TTL of its last durable renewal — and keeps
+/// serving only `not_leader` refusals at its fenced epoch. The standby
+/// takes the lease the moment the store recovers, every periphery
+/// walks over the real wire, and the deposed primary — whose own
+/// journal store hit a disk-full window of its own — ends the test
+/// healed: `DurabilityLost` cleared, fleet totals mirroring ground
+/// truth on the new leader.
+#[test]
+fn lease_store_outage_steps_primary_down_before_ttl() {
+    const ROUNDS: u32 = 24;
+    /// The lease store's disk-full window `[at, at+len)` in ticks.
+    const FULL_AT: u64 = 10;
+    const FULL_LEN: u64 = 4;
+
+    let lease = SharedLease::with_store(Box::new(FaultyStore::new(
+        0x1EA5E,
+        StoreFaults {
+            full_at: Some((FULL_AT, FULL_LEN)),
+            ..StoreFaults::default()
+        },
+    )));
+    let mut primary = FleetController::new(8, FleetPolicy::default());
+    primary.enable_journal_with_store(
+        Box::new(FaultyStore::new(
+            0xD15C,
+            StoreFaults {
+                full_at: Some((FULL_AT, 3)),
+                ..StoreFaults::default()
+            },
+        )),
+        2,
+    );
+    let primary = Arc::new(primary);
+    primary.attach_lease(lease.clone(), 1, LEASE_TTL);
+    primary.enable_replication();
+    let standby = Arc::new(FleetController::new(8, FleetPolicy::default()));
+    standby.attach_lease(lease, 2, LEASE_TTL);
+    assert!(primary.is_leader() && !standby.is_leader());
+
+    let path_a = sock_path("lease-primary");
+    let path_b = sock_path("lease-standby");
+    let mut primary_srv =
+        arv_fleet::FleetWireServer::spawn(Arc::clone(&primary), &path_a).expect("spawn primary");
+    let mut standby_srv =
+        arv_fleet::FleetWireServer::spawn(Arc::clone(&standby), &path_b).expect("spawn standby");
+
+    let mut hosts: Vec<SimHost> = Vec::new();
+    let mut ids = Vec::new();
+    for h in 0..HOSTS {
+        let mut host = SimHost::paper_testbed();
+        let launched: Vec<_> = (0..CONTAINERS_PER_HOST)
+            .map(|i| {
+                host.launch(
+                    &ContainerSpec::new(format!("lf-{h}-{i}"), 20)
+                        .cpus(10.0)
+                        .cpu_shares(1024),
+                )
+            })
+            .collect();
+        let mut p = Periphery::new(h);
+        for (i, _) in launched.iter().enumerate() {
+            p.set_tenant(i as u32 + 1, h % 2);
+        }
+        host.attach_periphery(p);
+        ids.push(launched);
+        hosts.push(host);
+    }
+
+    let mut conns: Vec<FleetFailoverClient> = (0..HOSTS)
+        .map(|h| {
+            FleetFailoverClient::new(
+                [path_a.clone(), path_b.clone()],
+                FailoverPolicy {
+                    jitter_seed: 0x1EA5 + u64::from(h),
+                    ..FailoverPolicy::fast_test()
+                },
+            )
+        })
+        .collect();
+    let mut repl_conn = FleetClient::connect(&path_b).expect("repl connect");
+
+    let mut last_ok_renew_tick = 0u64;
+    let mut step_down_tick = u64::MAX;
+    let mut promote_tick = u64::MAX;
+    let mut primary_degraded_seen = false;
+    for round in 0..ROUNDS {
+        for (h, host) in hosts.iter_mut().enumerate() {
+            let busy = usize::try_from(round % CONTAINERS_PER_HOST).unwrap();
+            let demands = vec![host.demand(ids[h][busy], 20)];
+            host.step(&demands);
+            for frame in host.take_fleet_frames() {
+                let Ok(resp) = conns[h].request(&frame) else {
+                    continue;
+                };
+                if conns[h].take_reconnected() {
+                    if let Some(p) = host.periphery_mut() {
+                        p.on_reconnect();
+                    }
+                }
+                let Some(Frame::Ack(ack)) = decode_frame(&resp) else {
+                    continue;
+                };
+                if step_down_tick != u64::MAX && !ack.not_leader {
+                    // Anything the deposed primary still acks
+                    // positively would be un-fenceable.
+                    assert!(
+                        ack.ctl_epoch >= 2,
+                        "a stepped-down primary acked a frame at its old epoch"
+                    );
+                }
+                let disp = host
+                    .periphery_mut()
+                    .map(|p| p.handle_ack(&ack))
+                    .unwrap_or(AckDisposition::Ignored);
+                if disp == AckDisposition::NotLeader {
+                    conns[h].advance_controller();
+                    if let Some(p) = host.periphery_mut() {
+                        p.on_reconnect();
+                    }
+                }
+            }
+        }
+        if primary.is_leader() {
+            for frame in primary.take_repl_frames() {
+                if let Ok(Some(resp)) = repl_conn.request(&frame) {
+                    if let Some(Frame::Ack(ack)) = decode_frame(&resp) {
+                        primary.handle_repl_ack(&ack);
+                    }
+                }
+            }
+        }
+        // The standby contends first each tick: once the deposed
+        // primary's lease expires it must not win the re-acquire race
+        // against the standby that is taking over.
+        standby.advance_tick();
+        let was_leader = primary.is_leader();
+        primary.advance_tick();
+        let tick = u64::from(round) + 1;
+        if was_leader && primary.is_leader() {
+            last_ok_renew_tick = tick;
+        }
+        if was_leader && !primary.is_leader() && step_down_tick == u64::MAX {
+            step_down_tick = tick;
+        }
+        if promote_tick == u64::MAX && standby.is_leader() {
+            promote_tick = tick;
+        }
+        primary_degraded_seen |= primary.journal_degraded();
+    }
+
+    // Ground-truth lease arithmetic: the last renewal that actually
+    // persisted (tick FULL_AT - 1) keeps the lease alive through
+    // FULL_AT - 1 + TTL. The primary must step down strictly before
+    // that expiry — at its first unpersistable renewal, not its last
+    // legal tick.
+    assert_eq!(
+        step_down_tick, FULL_AT,
+        "the primary must step down the tick the store refuses a renewal"
+    );
+    assert_eq!(last_ok_renew_tick, FULL_AT - 1);
+    assert!(
+        step_down_tick < last_ok_renew_tick + LEASE_TTL,
+        "step-down at {step_down_tick} is not before the TTL expiry {}",
+        last_ok_renew_tick + LEASE_TTL
+    );
+    // The standby takes over the moment the store recovers — within
+    // the lease budget, not after it.
+    assert_eq!(
+        promote_tick,
+        FULL_AT + FULL_LEN,
+        "the standby must take the lease the first tick the store recovers"
+    );
+    assert!(standby.is_leader() && !primary.is_leader());
+    assert_eq!(standby.ctl_epoch(), 2);
+    assert_eq!(standby.metrics().snapshot().promotions, 1);
+    assert!(
+        primary.metrics().snapshot().demotions >= 1,
+        "the step-down must register as a demotion"
+    );
+    assert!(
+        primary.metrics().snapshot().journal_io_errors >= 1,
+        "the refused renewals and journal writes must surface in metrics"
+    );
+
+    // The deposed primary's own journal store hit a disk-full window:
+    // it must have walked the durability ladder down and back up.
+    assert!(
+        primary_degraded_seen,
+        "the primary's journal never degraded through its disk-full window"
+    );
+    assert!(
+        !primary.journal_degraded(),
+        "the primary must heal once its journal store recovers"
+    );
+
+    // Every periphery walked to the standby and the promoted leader's
+    // totals equal per-host ground truth exactly.
+    let r = standby.cluster_capacity();
+    let (mut cpu, mut containers) = (0u64, 0u64);
+    for host in &hosts {
+        let snap = host.monitor().snapshot();
+        cpu += snap.entries.iter().map(|e| u64::from(e.e_cpu)).sum::<u64>();
+        containers += snap.entries.len() as u64;
+        let p = host.periphery().expect("periphery attached");
+        assert!(p.stats().failovers >= 1, "periphery never failed over");
+        assert_eq!(p.ctl_epoch_seen(), 2, "periphery missed the new epoch");
+    }
+    assert_eq!(r.cpu, cpu, "promoted rollup equals ground truth");
+    assert_eq!(r.containers, containers);
+    assert_eq!(r.partitioned, 0, "a host never healed after promotion");
+
+    primary_srv.shutdown();
     standby_srv.shutdown();
 }
