@@ -36,6 +36,9 @@ cargo test -q -p arv-integration-tests --test fleet_e2e
 echo "==> fleet failover e2e (replicated pair, primary killed mid-stream)"
 cargo test -q -p arv-integration-tests --test fleet_failover_e2e
 
+echo "==> wire reactor e2e (hundreds of racing/slow/hostile clients on one daemon)"
+cargo test -q -p arv-integration-tests --test wire_reactor_e2e
+
 echo "==> chaos experiment (seeded fault injection, replay-checked)"
 cargo run -q --release -p arv-experiments --bin experiments -- --fig chaos --scale 0.5 > /dev/null
 
@@ -70,6 +73,10 @@ test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
 echo "==> persist bench (journal append cost, restore throughput, faulty-store overhead)"
 cargo bench -q -p arv-bench --bench persist > /dev/null
 test -s BENCH_persist.json || { echo "BENCH_persist.json missing"; exit 1; }
+
+echo "==> wire bench (5k-connection fanout, cached-read p99, reactor vs threaded engine)"
+cargo bench -q -p arv-bench --bench wire > /dev/null
+test -s BENCH_wire.json || { echo "BENCH_wire.json missing"; exit 1; }
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

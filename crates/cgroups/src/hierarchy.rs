@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn tree_structure() {
-        let (t, [kubepods, system, pod_a, c1, c2, c3]) = kube_tree();
+        let (t, [kubepods, system, pod_a, c1, _c2, c3]) = kube_tree();
         assert_eq!(t.len(), 7);
         assert_eq!(t.children(ROOT), &[kubepods, system]);
         assert_eq!(t.parent(c1), Some(pod_a));

@@ -6,140 +6,130 @@
 //! the shared length-prefixed codec ([`arv_viewd::codec`]) — the same
 //! implementation viewd's wire uses, per the one-codec rule.
 //!
-//! A frame the controller cannot decode is connection-fatal: the server
-//! drops the conversation (the peer sees EOF), exactly like the viewd
-//! wire's response to untrustable framing.
+//! Serving rides the same readiness-driven engine as viewd's wire tier:
+//! [`FleetWireServer`] is a thin protocol adapter over
+//! [`arv_viewd::Reactor`] — sharded epoll event loops, nonblocking
+//! connection slabs, incremental frame reassembly and vectored batched
+//! writes — configured through the validated
+//! [`arv_viewd::ServerConfig`] builder. A frame the controller cannot
+//! decode is connection-fatal: the service closes the conversation (the
+//! peer sees EOF), exactly like the viewd wire's response to
+//! untrustable framing.
 //!
-//! [`FleetFailoverClient`] is the periphery-side failover transport: it
-//! holds an ordered list of controller sockets (primary first, then
-//! standbys) and walks it on any send/ACK failure with bounded
-//! exponential backoff under deterministic seeded jitter — the same
-//! discipline as viewd's `RobustWireClient`. The caller learns via
+//! The client side is the same story in reverse: retry, backoff,
+//! reconnect, target failover and epoch fencing live once in
+//! [`arv_viewd::Transport`], and [`FleetFailoverClient`] wraps it with
+//! the fleet protocol's types. [`FailoverPolicy`] *is*
+//! [`arv_viewd::RetryPolicy`] — one policy shape for every client in
+//! the system. The caller learns via
 //! [`FleetFailoverClient::take_reconnected`] that the conversation
 //! moved, so it can re-HELLO and answer the new leader's FULL-resync.
 
-use arv_sim_core::SimRng;
-use arv_viewd::codec::{read_frame, server_read_frame, write_frame, ServerRead};
+use arv_viewd::codec::{read_frame, write_frame};
+use arv_viewd::{
+    FrameService, Reactor, Response, RetryPolicy, ServerConfig, ServiceAction, Transport, Verdict,
+    WireError,
+};
 use std::io;
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::controller::FleetController;
-use crate::protocol::MAX_FLEET_FRAME;
+use crate::protocol::{decode_frame, Frame, MAX_FLEET_FRAME};
+
+/// Retry, backoff and failover policy for [`FleetFailoverClient`] — the
+/// shared [`arv_viewd::RetryPolicy`], aliased so fleet callers keep
+/// their vocabulary. The breaker fields are ignored here: a failover
+/// client always walks its controller list instead of failing fast
+/// ([`FleetFailoverClient::new`] disables the breaker regardless of
+/// what the policy carries).
+pub type FailoverPolicy = RetryPolicy;
+
+/// The fleet protocol plugged into the shared reactor: one
+/// [`FleetController::handle_frame`] call per complete request frame.
+/// Admission pressure is ignored — the fleet tier has no shed ladder;
+/// the controller's own backpressure (NACK/resync) is the flow control.
+struct FleetService {
+    controller: Arc<FleetController>,
+}
+
+impl FrameService for FleetService {
+    fn max_request(&self) -> u32 {
+        MAX_FLEET_FRAME
+    }
+
+    fn handle(&self, request: &[u8], _pressured: bool) -> ServiceAction {
+        match self.controller.handle_frame(request) {
+            Some(response) => ServiceAction::Reply(Response::from_payload(response)),
+            // Malformed (or non-request) frame: framing can no longer
+            // be trusted — drop the conversation.
+            None => ServiceAction::Close,
+        }
+    }
+}
+
+/// Reactor sizing for a fleet core: generous admission (the controller
+/// gates load at the protocol level, not per-connection), a queue cap
+/// that holds several full-size rollups, and the write-stall clock as
+/// the only eviction reason a healthy periphery can plausibly hit.
+fn fleet_server_config() -> io::Result<ServerConfig> {
+    ServerConfig::builder()
+        .max_connections(1024)
+        .rate_burst(1_000_000)
+        .rate_refill_per_sec(1_000_000.0)
+        .write_deadline(Duration::from_secs(5))
+        .outbound_queue_cap(4 * MAX_FLEET_FRAME as usize)
+        .build()
+}
 
 /// The listening fleet core: accepts connections on a Unix socket and
-/// serves each on its own thread until shut down.
+/// serves them on the shared readiness reactor until shut down.
 #[derive(Debug)]
 pub struct FleetWireServer {
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    socket_path: PathBuf,
+    reactor: Reactor,
 }
 
 impl FleetWireServer {
     /// Bind `socket_path` (removing any stale socket file first) and
-    /// start serving `controller`.
+    /// start serving `controller` with the default fleet sizing.
     pub fn spawn(
         controller: Arc<FleetController>,
         socket_path: impl AsRef<Path>,
     ) -> io::Result<FleetWireServer> {
-        let socket_path = socket_path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&socket_path);
-        let listener = UnixListener::bind(&socket_path)?;
-        // Nonblocking accept so the loop can observe the stop flag.
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let accept_handle = std::thread::Builder::new()
-            .name("arv-fleet-accept".into())
-            .spawn(move || {
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                while !stop2.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _addr)) => {
-                            let _ = stream.set_nonblocking(false);
-                            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-                            let conn_ctl = Arc::clone(&controller);
-                            let stop3 = Arc::clone(&stop2);
-                            let spawned = std::thread::Builder::new()
-                                .name("arv-fleet-conn".into())
-                                .spawn(move || {
-                                    let _ = serve_connection(&conn_ctl, stream, &stop3);
-                                });
-                            // On spawn failure (out of threads) the
-                            // connection is shed: dropping the stream
-                            // tells the peer, and the core stays alive.
-                            if let Ok(handle) = spawned {
-                                workers.push(handle);
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                    workers.retain(|w| !w.is_finished());
-                }
-                for w in workers {
-                    let _ = w.join();
-                }
-            })?;
-        Ok(FleetWireServer {
-            stop,
-            accept_handle: Some(accept_handle),
-            socket_path,
-        })
+        FleetWireServer::spawn_with_config(controller, socket_path, fleet_server_config()?)
+    }
+
+    /// Bind and serve under an explicit reactor configuration. The
+    /// fleet core has no legacy threaded engine, so a config asking for
+    /// one is refused up front.
+    pub fn spawn_with_config(
+        controller: Arc<FleetController>,
+        socket_path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> io::Result<FleetWireServer> {
+        if config.threaded {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the fleet core serves on the reactor only; \
+                 the threaded engine exists for viewd benchmarking",
+            ));
+        }
+        let service = Arc::new(FleetService { controller });
+        let reactor = Reactor::spawn(service, socket_path, config)?;
+        Ok(FleetWireServer { reactor })
     }
 
     /// The socket path clients connect to.
     pub fn socket_path(&self) -> &Path {
-        &self.socket_path
+        self.reactor.socket_path()
     }
 
-    /// Stop accepting, join every connection thread, remove the socket.
+    /// Stop accepting, join every reactor thread, remove the socket.
+    /// Idempotent; prompt even under busy traffic.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        let _ = std::fs::remove_file(&self.socket_path);
-    }
-}
-
-impl Drop for FleetWireServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve_connection(
-    controller: &FleetController,
-    mut stream: UnixStream,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    loop {
-        // Checked every iteration, not only on idle: a connection with
-        // steady request traffic never idles, and shutdown must not
-        // wait for a busy peer to pause.
-        if stop.load(Ordering::Acquire) {
-            return Ok(());
-        }
-        let request = match server_read_frame(&mut stream, MAX_FLEET_FRAME) {
-            Ok(ServerRead::Frame(req)) => req,
-            Ok(ServerRead::Eof) => return Ok(()),
-            Ok(ServerRead::Idle) => continue,
-            Err(e) => return Err(e),
-        };
-        match controller.handle_frame(&request) {
-            Some(response) => write_frame(&mut stream, &response)?,
-            // Malformed (or non-request) frame: framing can no longer
-            // be trusted — drop the conversation.
-            None => return Ok(()),
-        }
+        self.reactor.shutdown();
     }
 }
 
@@ -165,55 +155,8 @@ impl FleetClient {
     }
 }
 
-/// Retry and backoff policy for [`FleetFailoverClient`].
-#[derive(Debug, Clone)]
-pub struct FailoverPolicy {
-    /// Total tries per request across the controller list. At least 1.
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles per further retry.
-    pub base_backoff: Duration,
-    /// Upper bound on any single backoff pause.
-    pub max_backoff: Duration,
-    /// Read/write deadline applied to the socket for each attempt.
-    pub request_timeout: Duration,
-    /// Seed for the jitter applied to backoff pauses; same seed, same
-    /// pause sequence.
-    pub jitter_seed: u64,
-}
-
-impl Default for FailoverPolicy {
-    fn default() -> FailoverPolicy {
-        FailoverPolicy {
-            max_attempts: 6,
-            base_backoff: Duration::from_millis(5),
-            max_backoff: Duration::from_millis(200),
-            request_timeout: Duration::from_millis(500),
-            jitter_seed: 0x5EED,
-        }
-    }
-}
-
-impl FailoverPolicy {
-    /// A policy with microsecond-scale backoffs for tests, so failover
-    /// paths run in milliseconds instead of seconds.
-    pub fn fast_test() -> FailoverPolicy {
-        FailoverPolicy {
-            base_backoff: Duration::from_micros(200),
-            max_backoff: Duration::from_millis(5),
-            request_timeout: Duration::from_millis(200),
-            ..FailoverPolicy::default()
-        }
-    }
-
-    /// Pause before retry number `retry` (0-based), with ±30% seeded
-    /// jitter to decorrelate peripheries converging on a standby.
-    fn backoff(&self, retry: u32, rng: &mut SimRng) -> Duration {
-        let doubled = self.base_backoff.saturating_mul(1u32 << retry.min(10));
-        doubled.min(self.max_backoff).mul_f64(rng.jitter(0.3))
-    }
-}
-
-/// Counters describing one [`FleetFailoverClient`]'s life so far.
+/// Counters describing one [`FleetFailoverClient`]'s life so far — a
+/// projection of the underlying [`arv_viewd::TransportStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FailoverClientStats {
     /// Requests answered successfully.
@@ -231,7 +174,8 @@ pub struct FailoverClientStats {
 
 /// A periphery's failover transport: one live connection at a time,
 /// walking an ordered controller list on failure with seeded-jitter
-/// exponential backoff.
+/// exponential backoff — a thin fleet-typed wrapper over the shared
+/// [`arv_viewd::Transport`].
 ///
 /// Connection is lazy — constructing the client never touches a socket,
 /// so a periphery can start before any controller does. After a request
@@ -241,123 +185,82 @@ pub struct FailoverClientStats {
 /// new leader can demand the FULL resync that re-seeds its index.
 #[derive(Debug)]
 pub struct FleetFailoverClient {
-    paths: Vec<PathBuf>,
-    policy: FailoverPolicy,
-    active: usize,
-    stream: Option<UnixStream>,
-    rng: SimRng,
-    stats: FailoverClientStats,
-    reconnected: bool,
+    transport: Transport,
 }
 
 impl FleetFailoverClient {
     /// A client walking `controllers` (primary first) under `policy`.
-    /// Does not connect yet.
+    /// Does not connect yet. The circuit breaker is force-disabled: a
+    /// failover client's answer to repeated failure is walking the
+    /// list, never failing fast.
     pub fn new(
         controllers: impl IntoIterator<Item = impl AsRef<Path>>,
         policy: FailoverPolicy,
     ) -> FleetFailoverClient {
+        let mut policy = policy;
+        policy.breaker_threshold = 0;
         FleetFailoverClient {
-            paths: controllers
-                .into_iter()
-                .map(|p| p.as_ref().to_path_buf())
-                .collect(),
-            rng: SimRng::seed_from_u64(policy.jitter_seed),
-            policy,
-            active: 0,
-            stream: None,
-            stats: FailoverClientStats::default(),
-            reconnected: false,
+            transport: Transport::new(controllers, policy, MAX_FLEET_FRAME),
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> FailoverClientStats {
-        self.stats
+        let t = self.transport.stats();
+        FailoverClientStats {
+            successes: t.successes,
+            retries: t.retries,
+            controller_switches: t.target_switches,
+            reconnects: t.connects,
+            failures: t.failures,
+        }
     }
 
     /// The controller currently targeted (index into the configured
     /// list).
     pub fn active_controller(&self) -> usize {
-        self.active
+        self.transport.active_target()
     }
 
     /// True exactly once after the conversation moved to a fresh
     /// connection; the caller must re-HELLO before its next delta.
     pub fn take_reconnected(&mut self) -> bool {
-        std::mem::take(&mut self.reconnected)
+        self.transport.take_reconnected()
     }
 
     /// Drop the current connection and aim at the next controller in
-    /// the list. Called internally on I/O failure; callers invoke it on
-    /// protocol-level rejections (a fenced or not-leader ACK) where the
-    /// bytes flowed fine but the peer is not the leader.
+    /// the list. The transport calls this internally on I/O failure;
+    /// callers invoke it on protocol-level rejections (a fenced or
+    /// not-leader ACK) where the bytes flowed fine but the peer is not
+    /// the leader.
     pub fn advance_controller(&mut self) {
-        self.stream = None;
-        if !self.paths.is_empty() {
-            self.active = (self.active + 1) % self.paths.len();
-        }
-        self.stats.controller_switches += 1;
-    }
-
-    fn connect_active(&mut self) -> io::Result<()> {
-        if self.stream.is_some() {
-            return Ok(());
-        }
-        let path = self
-            .paths
-            .get(self.active)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "empty controller list"))?;
-        let stream = UnixStream::connect(path)?;
-        stream.set_read_timeout(Some(self.policy.request_timeout))?;
-        stream.set_write_timeout(Some(self.policy.request_timeout))?;
-        self.stream = Some(stream);
-        self.stats.reconnects += 1;
-        self.reconnected = true;
-        Ok(())
-    }
-
-    fn try_once(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
-        self.connect_active()?;
-        let Some(stream) = self.stream.as_mut() else {
-            return Err(io::Error::new(io::ErrorKind::NotConnected, "no stream"));
-        };
-        write_frame(stream, frame)?;
-        match read_frame(stream, MAX_FLEET_FRAME)? {
-            Some(resp) => Ok(resp),
-            // EOF mid-conversation: the controller died or dropped us —
-            // indistinguishable from a crash, so treated like one.
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "controller closed the conversation",
-            )),
-        }
+        self.transport.advance_target();
     }
 
     /// Send one frame, walking the controller list until a response
     /// arrives or attempts are exhausted. Returns the response bytes.
     pub fn request(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
-        let mut last_err: Option<io::Error> = None;
-        for attempt in 0..self.policy.max_attempts.max(1) {
-            if attempt > 0 {
-                self.stats.retries += 1;
-                let pause = self.policy.backoff(attempt - 1, &mut self.rng);
-                std::thread::sleep(pause);
+        self.transport.request(frame).map_err(io::Error::from)
+    }
+
+    /// Send one frame and fence the answer: an ACK carrying a
+    /// controller epoch below `min_epoch` came from a deposed peer, so
+    /// the transport advances to the next controller and the request
+    /// fails with [`WireError::Fenced`] — the caller re-HELLOs before
+    /// anything else makes sense. Non-ACK answers pass through
+    /// unjudged.
+    pub fn request_fenced(&mut self, frame: &[u8], min_epoch: u64) -> Result<Vec<u8>, WireError> {
+        self.transport.request_classified(frame, |bytes| {
+            match decode_frame(bytes) {
+                Some(Frame::Ack(ack)) if ack.ctl_epoch < min_epoch => Verdict::Fenced {
+                    epoch: ack.ctl_epoch,
+                },
+                // Undecodable frames are left to the caller: the fleet
+                // treats them as protocol errors above this layer, and
+                // judging them here would double-count reconnects.
+                _ => Verdict::Accept,
             }
-            match self.try_once(frame) {
-                Ok(resp) => {
-                    self.stats.successes += 1;
-                    return Ok(resp);
-                }
-                Err(e) => {
-                    self.advance_controller();
-                    last_err = Some(e);
-                }
-            }
-        }
-        self.stats.failures += 1;
-        Err(last_err
-            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "attempts exhausted")))
+        })
     }
 }
 
@@ -368,6 +271,7 @@ mod tests {
         decode_frame, encode_delta, encode_hello, encode_query, Delta, DeltaEntry, FleetPolicy,
         Frame, Hello, Query, Rollup, HEALTH_FRESH, QUERY_CLUSTER,
     };
+    use std::path::PathBuf;
 
     fn sock_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -470,6 +374,7 @@ mod tests {
         assert_eq!(s.successes, 1);
         assert!(s.controller_switches >= 1);
         assert!(s.retries >= 1);
+        assert_eq!(s.reconnects, 1, "only the live controller connected");
 
         // Kill the live controller too: attempts exhaust cleanly.
         server.shutdown();
@@ -489,5 +394,46 @@ mod tests {
         assert!(controller.metrics().snapshot().malformed_frames >= 1);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn fenced_ack_fails_fast_and_advances() {
+        let controller = Arc::new(FleetController::new(2, FleetPolicy::default()));
+        let path = sock_path("fenced");
+        let mut server = FleetWireServer::spawn(Arc::clone(&controller), &path).unwrap();
+
+        // Two entries, both aimed at the same live controller, so the
+        // fence-driven advance lands on a working peer.
+        let mut client = FleetFailoverClient::new(
+            [path.as_path(), path.as_path()],
+            FailoverPolicy::fast_test(),
+        );
+        let hello = encode_hello(&Hello {
+            host: 1,
+            tick: 0,
+            containers: 0,
+            epoch: 0,
+        });
+        // The controller's epoch starts at 0, so any positive fence
+        // refuses its ACKs.
+        let err = client.request_fenced(&hello, 1_000_000).unwrap_err();
+        assert!(matches!(err, WireError::Fenced { .. }));
+        assert_eq!(client.active_controller(), 1, "fence advances the target");
+        assert_eq!(client.stats().failures, 1);
+
+        // With the fence satisfied the same exchange goes through.
+        let resp = client.request_fenced(&hello, 0).unwrap();
+        assert!(matches!(decode_frame(&resp), Some(Frame::Ack(_))));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_config_is_refused() {
+        let controller = Arc::new(FleetController::new(2, FleetPolicy::default()));
+        let cfg = ServerConfig::builder().threaded(true).build().unwrap();
+        let err =
+            FleetWireServer::spawn_with_config(controller, sock_path("threaded"), cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

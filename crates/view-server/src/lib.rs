@@ -21,6 +21,12 @@
 //!   [`wire::WireServer`], the thin [`wire::WireClient`] and the
 //!   fault-tolerant [`wire::RobustWireClient`] (deadlines, seeded
 //!   backoff, reconnect, circuit breaker, last-good fallback);
+//! * [`reactor`] — the readiness-driven serving engine under the wire
+//!   tier (and the fleet controller's): N sharded epoll event loops
+//!   over the direct-FFI [`sys`] module, nonblocking connection slabs,
+//!   incremental frame reassembly, vectored batched writes, and
+//!   queue-depth + write-stall slow-client eviction, configured by the
+//!   validated [`config::ServerConfig`] builder;
 //! * [`metrics`] — lock-free counters (queries, cache hits/misses, wire
 //!   traffic, stale/degraded serves) and latency/staleness histograms
 //!   built on [`arv_sim_core::stats::Histogram`].
@@ -41,19 +47,27 @@
 
 pub mod cache;
 pub mod codec;
+pub mod config;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod shard;
+pub mod sys;
 pub mod wire;
 
 pub use cache::{CachedImage, PathId, RenderCache};
-pub use codec::{read_frame, server_read_frame, write_frame, ServerRead};
+pub use codec::{
+    read_frame, server_read_frame, write_frame, FrameDecoder, RetryPolicy, ServerRead, Transport,
+    TransportStats, Verdict, WireError,
+};
+pub use config::{ServerConfig, ServerConfigBuilder};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use reactor::{EvictReason, FrameService, Reactor, Response, ResponseBody, ServiceAction};
 pub use server::{HostSpec, ViewClient, ViewImage, ViewServer, CONTAINER_PATHS};
 pub use shard::{ContainerEntry, ShardedRegistry};
 pub use wire::{
-    parse_response, RetryPolicy, RobustWireClient, WireClient, WireClientStats, WireLimits,
-    WireResponse, WireServer, DEFAULT_RETRY_AFTER_MS, HOST_CALLER, KIND_READ, KIND_STATS,
-    KIND_SYSCONF, KIND_TRACE, MAX_REQUEST, MAX_RESPONSE, STATUS_NOT_FOUND, STATUS_OK,
-    STATUS_OK_DEGRADED, STATUS_OK_SHED,
+    parse_response, RobustWireClient, WireClient, WireClientStats, WireLimits, WireResponse,
+    WireServer, DEFAULT_RETRY_AFTER_MS, HOST_CALLER, KIND_READ, KIND_STATS, KIND_SYSCONF,
+    KIND_TRACE, MAX_REQUEST, MAX_RESPONSE, STATUS_NOT_FOUND, STATUS_OK, STATUS_OK_DEGRADED,
+    STATUS_OK_SHED,
 };

@@ -38,7 +38,13 @@ pub struct Metrics {
     /// because the live view aged past the staleness budget.
     pub degraded_serves: AtomicU64,
     /// Connections evicted because they stalled past the write deadline.
+    /// Under the reactor engine this also counts queue-depth evictions
+    /// (see `conns_evicted_backlog`) — both are "client too slow".
     pub conns_evicted_slow: AtomicU64,
+    /// Connections evicted specifically because their outbound response
+    /// queue exceeded the configured byte cap (reactor engine only; a
+    /// subset of `conns_evicted_slow`).
+    pub conns_evicted_backlog: AtomicU64,
     /// Requests refused with `OK_SHED` under overload (render-miss /
     /// STATS / TRACE work deferred to protect cached reads).
     pub requests_shed: AtomicU64,
@@ -94,6 +100,7 @@ impl Metrics {
             stale_serves: self.stale_serves.load(Ordering::Relaxed),
             degraded_serves: self.degraded_serves.load(Ordering::Relaxed),
             conns_evicted_slow: self.conns_evicted_slow.load(Ordering::Relaxed),
+            conns_evicted_backlog: self.conns_evicted_backlog.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
             restore_reconciled_containers: self
                 .restore_reconciled_containers
@@ -149,8 +156,12 @@ pub struct MetricsSnapshot {
     pub stale_serves: u64,
     /// Queries served with the conservative fallback view.
     pub degraded_serves: u64,
-    /// Connections evicted for stalling past the write deadline.
+    /// Connections evicted for stalling past the write deadline (the
+    /// reactor folds queue-depth evictions in here too).
     pub conns_evicted_slow: u64,
+    /// Connections evicted for exceeding the outbound-queue byte cap
+    /// (subset of `conns_evicted_slow`; reactor engine only).
+    pub conns_evicted_backlog: u64,
     /// Requests refused with `OK_SHED` under overload.
     pub requests_shed: u64,
     /// Containers reconciled (clamped) during the last warm restart.
@@ -201,6 +212,7 @@ impl MetricsSnapshot {
             && self.stale_serves == other.stale_serves
             && self.degraded_serves == other.degraded_serves
             && self.conns_evicted_slow == other.conns_evicted_slow
+            && self.conns_evicted_backlog == other.conns_evicted_backlog
             && self.requests_shed == other.requests_shed
             && self.restore_reconciled_containers == other.restore_reconciled_containers
             && self.journal_truncated_records == other.journal_truncated_records

@@ -302,6 +302,11 @@ impl ViewServer {
             m.conns_evicted_slow as f64,
         );
         out.counter(
+            "arv_viewd_conns_evicted_backlog",
+            "Connections evicted for exceeding the outbound-queue byte cap",
+            m.conns_evicted_backlog as f64,
+        );
+        out.counter(
             "arv_viewd_restore_reconciled_containers",
             "Containers reconciled during warm restarts",
             m.restore_reconciled_containers as f64,

@@ -22,8 +22,14 @@
 //! ```
 //!
 //! One connection carries any number of request/response pairs in order;
-//! concurrent clients each get their own connection (the listener spawns
-//! a thread per accept).
+//! concurrent clients each get their own connection. Two serving
+//! engines exist behind the one [`WireServer`] API: the default
+//! readiness-driven [`crate::reactor`] (sharded epoll event loops,
+//! nonblocking connection slabs, cached images written as shared `Arc`
+//! slices with zero per-request copies) and the legacy
+//! thread-per-connection engine, kept behind
+//! [`crate::config::ServerConfig::threaded`] for apples-to-apples
+//! benchmarking.
 //!
 //! # Overload protection
 //!
@@ -44,11 +50,12 @@
 //! deterministic seeded jitter, automatic reconnect, and a circuit
 //! breaker that fails fast after repeated failures while serving the
 //! last known-good response, flagged degraded — the wire-level analogue
-//! of the serving layer's staleness fallback.
+//! of the serving layer's staleness fallback. All of that machinery
+//! lives in the shared [`crate::codec::Transport`]; this module only
+//! adds viewd's frame encoding and the last-good cache on top.
 
 use arv_cgroups::CgroupId;
 use arv_resview::Sysconf;
-use arv_sim_core::SimRng;
 use std::collections::HashMap;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -58,8 +65,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::codec::{read_frame, server_read_frame, write_frame, ServerRead};
-use crate::server::ViewServer;
+use crate::codec::{read_frame, server_read_frame, write_frame, ServerRead, Transport, Verdict};
+use crate::config::{ServerConfig, TokenBucket};
+use crate::reactor::{EvictReason, FrameService, Reactor, Response, ResponseBody, ServiceAction};
+use crate::server::{ViewClient, ViewImage, ViewServer};
+
+pub use crate::codec::{RetryPolicy, WireError};
 
 /// Request kind: read a virtual file.
 pub const KIND_READ: u8 = 0;
@@ -202,39 +213,6 @@ impl Default for WireLimits {
             rate_refill_per_sec: 1_000_000.0,
             write_deadline: Duration::from_secs(2),
             retry_after_ms: DEFAULT_RETRY_AFTER_MS,
-        }
-    }
-}
-
-/// Classic token bucket; `refill_per_sec == 0` never refills, which
-/// makes shed behaviour deterministic under test.
-struct TokenBucket {
-    tokens: f64,
-    capacity: f64,
-    refill_per_sec: f64,
-    last: std::time::Instant,
-}
-
-impl TokenBucket {
-    fn new(capacity: u32, refill_per_sec: f64) -> TokenBucket {
-        TokenBucket {
-            tokens: f64::from(capacity),
-            capacity: f64::from(capacity),
-            refill_per_sec,
-            last: std::time::Instant::now(),
-        }
-    }
-
-    fn take(&mut self) -> bool {
-        let now = std::time::Instant::now();
-        let dt = now.duration_since(self.last).as_secs_f64();
-        self.last = now;
-        self.tokens = (self.tokens + dt * self.refill_per_sec).min(self.capacity);
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
-            true
-        } else {
-            false
         }
     }
 }
@@ -414,27 +392,230 @@ fn decode_request(payload: &[u8]) -> Option<(u8, Option<CgroupId>, &str)> {
     Some((kind, caller, key))
 }
 
+/// Protocol head bytes (status + generation) for a reactor response;
+/// the reactor's framing adds the length prefix.
+fn response_head(status: u8, generation: u64) -> [u8; 9] {
+    let mut head = [0u8; 9];
+    head[0] = status;
+    head[1..9].copy_from_slice(&generation.to_le_bytes());
+    head
+}
+
+/// viewd's protocol plugged into the [`Reactor`]: the exact two-tier
+/// shed semantics of the threaded path, with cached file images queued
+/// as shared `Arc` slices — no per-request body copies.
+struct ViewdService {
+    server: ViewServer,
+    client: ViewClient,
+    retry_after_ms: u64,
+}
+
+impl ViewdService {
+    fn new(server: ViewServer, retry_after_ms: u64) -> ViewdService {
+        let client = server.client();
+        ViewdService {
+            server,
+            client,
+            retry_after_ms,
+        }
+    }
+
+    fn shed(&self) -> Response {
+        self.server
+            .metrics_ref()
+            .requests_shed
+            .fetch_add(1, Ordering::Relaxed);
+        Response::new(
+            &response_head(STATUS_OK_SHED, 0),
+            ResponseBody::Owned(self.retry_after_ms.to_string().into_bytes()),
+        )
+    }
+
+    fn view_reply(view: ViewImage) -> Response {
+        let status = if view.health.is_degraded() {
+            STATUS_OK_DEGRADED
+        } else {
+            STATUS_OK
+        };
+        Response::new(
+            &response_head(status, view.generation),
+            ResponseBody::Shared(Arc::clone(&view.image)),
+        )
+    }
+
+    fn not_found(&self) -> Response {
+        Response::new(&response_head(STATUS_NOT_FOUND, 0), ResponseBody::Empty)
+    }
+}
+
+impl FrameService for ViewdService {
+    fn max_request(&self) -> u32 {
+        MAX_REQUEST
+    }
+
+    fn handle(&self, request: &[u8], pressured: bool) -> ServiceAction {
+        let metrics = self.server.metrics_ref();
+        metrics.wire_requests.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
+        // Out of tokens: two-tier shedding, same as the threaded path.
+        // Tier 1 (cached-generation reads, sysconf scalars) is still
+        // served; tier 2 (render misses, stats expositions, trace
+        // walks) is refused with a retry-after hint.
+        let response = match decode_request(request) {
+            Some((KIND_READ, caller, key)) if pressured => {
+                match self.client.read_cached(caller, key) {
+                    Some(view) => Self::view_reply(view),
+                    None => self.shed(),
+                }
+            }
+            Some((KIND_STATS | KIND_TRACE, _, _)) if pressured => self.shed(),
+            Some((KIND_READ, caller, key)) => match self.client.read(caller, key) {
+                Some(view) => Self::view_reply(view),
+                None => self.not_found(),
+            },
+            Some((KIND_SYSCONF, caller, key)) => match sysconf_key(key) {
+                Some(q) => {
+                    let value = self.client.sysconf(caller, q);
+                    let generation = caller
+                        .and_then(|id| self.client.generation(id))
+                        .unwrap_or(0);
+                    let status = if self.client.health(caller).is_degraded() {
+                        STATUS_OK_DEGRADED
+                    } else {
+                        STATUS_OK
+                    };
+                    Response::new(
+                        &response_head(status, generation),
+                        ResponseBody::Owned(value.to_string().into_bytes()),
+                    )
+                }
+                None => self.not_found(),
+            },
+            Some((KIND_STATS, _, _)) => {
+                let body = clamp_text_body(self.server.prometheus_exposition());
+                Response::new(
+                    &response_head(STATUS_OK, 0),
+                    ResponseBody::Owned(body.into_bytes()),
+                )
+            }
+            Some((KIND_TRACE, caller, _)) => {
+                let rendered = match caller {
+                    Some(id) => self.server.tracer().render_timeline(id),
+                    None => self.server.tracer().render_full(),
+                };
+                let body = clamp_text_body(rendered);
+                Response::new(
+                    &response_head(STATUS_OK, 0),
+                    ResponseBody::Owned(body.into_bytes()),
+                )
+            }
+            _ => {
+                metrics.wire_errors.fetch_add(1, Ordering::Relaxed);
+                self.not_found()
+            }
+        };
+        metrics
+            .wire_latency
+            .record(started.elapsed().as_nanos() as u64);
+        ServiceAction::Reply(response)
+    }
+
+    fn on_accepted(&self) {
+        self.server
+            .metrics_ref()
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_conn_rejected(&self) {
+        self.server
+            .metrics_ref()
+            .connections_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_frame_rejected(&self) {
+        self.server
+            .metrics_ref()
+            .wire_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_evicted(&self, reason: EvictReason) {
+        let metrics = self.server.metrics_ref();
+        // Both flavours are "client too slow to drain its responses";
+        // the legacy counter keeps covering the union so dashboards and
+        // existing assertions survive the engine swap.
+        metrics.conns_evicted_slow.fetch_add(1, Ordering::Relaxed);
+        if reason == EvictReason::QueueDepth {
+            metrics
+                .conns_evicted_backlog
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The listening daemon front-end: accepts connections on a Unix socket
-/// and serves them, each on its own thread, until shut down.
+/// and serves them until shut down. Two engines exist behind this one
+/// API — the default readiness-driven [`Reactor`] and the legacy
+/// thread-per-connection engine ([`ServerConfig::threaded`]), kept for
+/// apples-to-apples benchmarking.
 #[derive(Debug)]
 pub struct WireServer {
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    socket_path: PathBuf,
+    engine: Engine,
+}
+
+#[derive(Debug)]
+enum Engine {
+    Reactor(Reactor),
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_handle: Option<JoinHandle<()>>,
+        socket_path: PathBuf,
+    },
 }
 
 impl WireServer {
-    /// Bind `socket_path` with the default (generous) [`WireLimits`].
+    /// Bind `socket_path` with the default [`ServerConfig`] (generous
+    /// limits, reactor engine).
     pub fn spawn(server: ViewServer, socket_path: impl AsRef<Path>) -> io::Result<WireServer> {
-        WireServer::spawn_with_limits(server, socket_path, WireLimits::default())
+        WireServer::spawn_with_config(server, socket_path, ServerConfig::default())
+    }
+
+    /// Bind `socket_path` under `limits`, with every reactor knob
+    /// defaulted ([`ServerConfig::from`]).
+    pub fn spawn_with_limits(
+        server: ViewServer,
+        socket_path: impl AsRef<Path>,
+        limits: WireLimits,
+    ) -> io::Result<WireServer> {
+        WireServer::spawn_with_config(server, socket_path, ServerConfig::from(limits))
     }
 
     /// Bind `socket_path` (removing any stale socket file first) and
-    /// start accepting under `limits`. Fails if the socket can't be
-    /// bound or the accept thread can't be spawned; per-connection
-    /// thread-spawn failures after that are absorbed (the connection is
-    /// dropped and counted in `connections_dropped`), never panicked on.
-    pub fn spawn_with_limits(
+    /// start serving under `config`, validated first. The engine is the
+    /// readiness reactor unless [`ServerConfig::threaded`] asks for the
+    /// legacy thread-per-connection path. Fails if the configuration is
+    /// invalid, the socket can't be bound, or the serving threads can't
+    /// be spawned; per-connection failures after that are absorbed and
+    /// counted, never panicked on.
+    pub fn spawn_with_config(
+        server: ViewServer,
+        socket_path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> io::Result<WireServer> {
+        config.validate()?;
+        if config.threaded {
+            return WireServer::spawn_threaded(server, socket_path, config.limits());
+        }
+        let service = Arc::new(ViewdService::new(server, config.retry_after_ms));
+        let reactor = Reactor::spawn(service, socket_path, config)?;
+        Ok(WireServer {
+            engine: Engine::Reactor(reactor),
+        })
+    }
+
+    fn spawn_threaded(
         server: ViewServer,
         socket_path: impl AsRef<Path>,
         limits: WireLimits,
@@ -514,15 +695,20 @@ impl WireServer {
                 }
             })?;
         Ok(WireServer {
-            stop,
-            accept_handle: Some(accept_handle),
-            socket_path,
+            engine: Engine::Threaded {
+                stop,
+                accept_handle: Some(accept_handle),
+                socket_path,
+            },
         })
     }
 
     /// The socket path clients connect to.
     pub fn socket_path(&self) -> &Path {
-        &self.socket_path
+        match &self.engine {
+            Engine::Reactor(r) => r.socket_path(),
+            Engine::Threaded { socket_path, .. } => socket_path,
+        }
     }
 
     /// Stop accepting, wait for in-flight connections, unlink the socket.
@@ -531,11 +717,20 @@ impl WireServer {
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        match &mut self.engine {
+            Engine::Reactor(r) => r.shutdown(),
+            Engine::Threaded {
+                stop,
+                accept_handle,
+                socket_path,
+            } => {
+                stop.store(true, Ordering::Release);
+                if let Some(h) = accept_handle.take() {
+                    let _ = h.join();
+                }
+                let _ = std::fs::remove_file(socket_path);
+            }
         }
-        let _ = std::fs::remove_file(&self.socket_path);
     }
 }
 
@@ -643,65 +838,9 @@ impl WireClient {
     }
 }
 
-/// Retry, backoff, deadline and circuit-breaker policy for
-/// [`RobustWireClient`].
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total tries per request (first attempt + retries). At least 1.
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles per further retry.
-    pub base_backoff: Duration,
-    /// Upper bound on any single backoff pause.
-    pub max_backoff: Duration,
-    /// Read/write deadline applied to the socket for each attempt.
-    pub request_timeout: Duration,
-    /// Consecutive failed *requests* (attempts exhausted) that open the
-    /// circuit breaker.
-    pub breaker_threshold: u32,
-    /// Number of subsequent requests that fail fast (serving the cached
-    /// fallback) while the breaker is open. Counted in requests, not
-    /// wall-clock, so behaviour is deterministic under test.
-    pub breaker_cooldown: u32,
-    /// Seed for the jitter applied to backoff pauses; same seed, same
-    /// pause sequence.
-    pub jitter_seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 4,
-            base_backoff: Duration::from_millis(5),
-            max_backoff: Duration::from_millis(200),
-            request_timeout: Duration::from_millis(500),
-            breaker_threshold: 3,
-            breaker_cooldown: 8,
-            jitter_seed: 0x5EED,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy with microsecond-scale backoffs for tests, so failure
-    /// paths run in milliseconds instead of seconds.
-    pub fn fast_test() -> RetryPolicy {
-        RetryPolicy {
-            base_backoff: Duration::from_micros(200),
-            max_backoff: Duration::from_millis(5),
-            request_timeout: Duration::from_millis(200),
-            ..RetryPolicy::default()
-        }
-    }
-
-    /// Pause before retry number `retry` (0-based), with ±30% seeded
-    /// jitter to decorrelate clients hammering a recovering server.
-    fn backoff(&self, retry: u32, rng: &mut SimRng) -> Duration {
-        let doubled = self.base_backoff.saturating_mul(1u32 << retry.min(10));
-        doubled.min(self.max_backoff).mul_f64(rng.jitter(0.3))
-    }
-}
-
-/// Counters describing one [`RobustWireClient`]'s life so far.
+/// Counters describing one [`RobustWireClient`]'s life so far,
+/// projected from the shared transport's
+/// [`crate::codec::TransportStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireClientStats {
     /// Requests that got a response (including degraded ones).
@@ -726,34 +865,26 @@ pub struct WireClientStats {
 /// Fault-tolerant wire client: deadlines, retry with seeded backoff,
 /// automatic reconnect, circuit breaker, last-good fallback.
 ///
+/// A thin typed wrapper over the shared [`Transport`] engine — this
+/// struct only owns viewd's frame encoding and the last-good response
+/// cache; every retry/backoff/breaker decision is the transport's.
+///
 /// Connection is lazy — constructing the client never touches the
 /// socket, so a consumer can start before the daemon does.
 #[derive(Debug)]
 pub struct RobustWireClient {
-    socket_path: PathBuf,
-    policy: RetryPolicy,
-    stream: Option<UnixStream>,
-    rng: SimRng,
-    ever_connected: bool,
-    consecutive_failures: u32,
-    breaker_remaining: u32,
+    transport: Transport,
     last_good: HashMap<(u8, u32, String), WireResponse>,
-    stats: WireClientStats,
+    fallback_serves: u64,
 }
 
 impl RobustWireClient {
     /// A client for `socket_path` under `policy`. Does not connect yet.
     pub fn new(socket_path: impl AsRef<Path>, policy: RetryPolicy) -> RobustWireClient {
         RobustWireClient {
-            socket_path: socket_path.as_ref().to_path_buf(),
-            rng: SimRng::seed_from_u64(policy.jitter_seed),
-            policy,
-            stream: None,
-            ever_connected: false,
-            consecutive_failures: 0,
-            breaker_remaining: 0,
+            transport: Transport::single(socket_path, policy, MAX_RESPONSE),
             last_good: HashMap::new(),
-            stats: WireClientStats::default(),
+            fallback_serves: 0,
         }
     }
 
@@ -764,48 +895,29 @@ impl RobustWireClient {
 
     /// Counters so far.
     pub fn stats(&self) -> WireClientStats {
-        self.stats
+        let t = self.transport.stats();
+        WireClientStats {
+            successes: t.successes,
+            failures: t.failures,
+            retries: t.retries,
+            // The transport counts every connect; this client's legacy
+            // stat counted only re-establishments after the first.
+            reconnects: t.connects.saturating_sub(1),
+            breaker_opens: t.breaker_opens,
+            fast_fails: t.fast_fails,
+            fallback_serves: self.fallback_serves,
+            shed_backoffs: t.shed_backoffs,
+        }
     }
 
     /// Whether a connection is currently established.
     pub fn is_connected(&self) -> bool {
-        self.stream.is_some()
+        self.transport.is_connected()
     }
 
     /// Whether the circuit breaker is currently failing requests fast.
     pub fn breaker_open(&self) -> bool {
-        self.breaker_remaining > 0
-    }
-
-    fn ensure_connected(&mut self) -> io::Result<()> {
-        if self.stream.is_some() {
-            return Ok(());
-        }
-        let stream = UnixStream::connect(&self.socket_path)?;
-        stream.set_read_timeout(Some(self.policy.request_timeout))?;
-        stream.set_write_timeout(Some(self.policy.request_timeout))?;
-        if self.ever_connected {
-            self.stats.reconnects += 1;
-        }
-        self.ever_connected = true;
-        self.stream = Some(stream);
-        Ok(())
-    }
-
-    fn try_once(&mut self, payload: &[u8]) -> io::Result<Option<WireResponse>> {
-        self.ensure_connected()?;
-        let stream = match self.stream.as_mut() {
-            Some(s) => s,
-            None => return Err(io::Error::new(io::ErrorKind::NotConnected, "no stream")),
-        };
-        write_frame(stream, payload)?;
-        match read_frame(stream, MAX_RESPONSE)? {
-            Some(resp) => parse_response(&resp),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed mid-request",
-            )),
-        }
+        self.transport.breaker_open()
     }
 
     /// Serve a request from the last-good cache (flagged degraded), or
@@ -816,15 +928,17 @@ impl RobustWireClient {
         raw_caller: u32,
         key: &str,
         why: &str,
-    ) -> io::Result<Option<WireResponse>> {
+    ) -> Result<Option<WireResponse>, WireError> {
         match self.last_good.get(&(kind, raw_caller, key.to_string())) {
             Some(cached) => {
-                self.stats.fallback_serves += 1;
+                self.fallback_serves += 1;
                 let mut resp = cached.clone();
                 resp.degraded = true;
                 Ok(Some(resp))
             }
-            None => Err(io::Error::other(format!("{why}; no cached response"))),
+            None => Err(WireError::Io(io::Error::other(format!(
+                "{why}; no cached response"
+            )))),
         }
     }
 
@@ -833,87 +947,57 @@ impl RobustWireClient {
     /// `Ok(None)` is a definitive NOT_FOUND from the server. `Err` means
     /// every attempt failed *and* no cached response exists to degrade
     /// to; any successful or fallback answer is `Ok(Some(_))` with its
-    /// `degraded` flag telling the caller which it was.
+    /// `degraded` flag telling the caller which it was. When every
+    /// attempt was shed and nothing is cached, the shed response itself
+    /// is surfaced (`shed: true`) so the caller sees the hint.
     pub fn request(
         &mut self,
         kind: u8,
         caller: Option<CgroupId>,
         key: &str,
-    ) -> io::Result<Option<WireResponse>> {
+    ) -> Result<Option<WireResponse>, WireError> {
         let raw_caller = caller.map_or(HOST_CALLER, |c| c.0);
-        if self.breaker_remaining > 0 {
-            self.breaker_remaining -= 1;
-            self.stats.fast_fails += 1;
-            return self.fallback(kind, raw_caller, key, "circuit breaker open");
-        }
         let payload = encode_request(kind, raw_caller, key);
-        let mut last_err: Option<io::Error> = None;
-        let mut last_shed: Option<WireResponse> = None;
-        let mut skip_backoff = false;
-        for attempt in 0..self.policy.max_attempts.max(1) {
-            if attempt > 0 {
-                self.stats.retries += 1;
-                if !skip_backoff {
-                    let pause = self.policy.backoff(attempt - 1, &mut self.rng);
-                    std::thread::sleep(pause);
-                }
-            }
-            skip_backoff = false;
-            match self.try_once(&payload) {
-                Ok(Some(r)) if r.shed => {
-                    // Overload, not failure: the server is alive and
-                    // saying when to come back. Back off per its hint
-                    // (instead of the exponential schedule) and never
-                    // count it toward the circuit breaker.
-                    self.stats.shed_backoffs += 1;
-                    self.consecutive_failures = 0;
-                    let hint = Duration::from_millis(r.retry_after_ms.max(1));
-                    std::thread::sleep(hint.min(self.policy.max_backoff));
-                    last_shed = Some(r);
-                    skip_backoff = true;
-                }
-                Ok(resp) => {
-                    self.consecutive_failures = 0;
-                    self.stats.successes += 1;
-                    if let Some(r) = &resp {
-                        if !r.degraded {
-                            self.last_good
-                                .insert((kind, raw_caller, key.to_string()), r.clone());
-                        }
+        let outcome =
+            self.transport
+                .request_classified(&payload, |bytes| match parse_response(bytes) {
+                    Ok(Some(r)) if r.shed => Verdict::ShedBackoff {
+                        retry_after_ms: r.retry_after_ms,
+                    },
+                    Ok(_) => Verdict::Accept,
+                    Err(e) => Verdict::Malformed(e.to_string()),
+                });
+        match outcome {
+            Ok(bytes) => {
+                let resp = parse_response(&bytes)?;
+                if let Some(r) = &resp {
+                    if !r.degraded {
+                        self.last_good
+                            .insert((kind, raw_caller, key.to_string()), r.clone());
                     }
-                    return Ok(resp);
                 }
-                Err(e) => {
-                    // The stream can't be trusted any more (torn frame,
-                    // timeout mid-read, peer gone): drop it so the next
-                    // attempt reconnects from scratch.
-                    self.stream = None;
-                    last_err = Some(e);
-                }
+                Ok(resp)
             }
-        }
-        if last_err.is_none() {
-            if let Some(shed) = last_shed {
+            Err(WireError::Shed { retry_after_ms }) => {
                 // Every attempt was shed: still not a failure. Prefer
                 // the last-good cache (flagged degraded); otherwise
-                // surface the shed response so the caller sees the
+                // synthesize the shed response so the caller sees the
                 // retry-after hint.
-                return match self.fallback(kind, raw_caller, key, "server shedding") {
+                match self.fallback(kind, raw_caller, key, "server shedding") {
                     Ok(resp) => Ok(resp),
-                    Err(_) => Ok(Some(shed)),
-                };
+                    Err(_) => Ok(Some(WireResponse {
+                        body: retry_after_ms.to_string().into_bytes(),
+                        generation: 0,
+                        degraded: false,
+                        shed: true,
+                        retry_after_ms,
+                    })),
+                }
             }
-        }
-        self.stats.failures += 1;
-        self.consecutive_failures += 1;
-        if self.consecutive_failures >= self.policy.breaker_threshold {
-            self.consecutive_failures = 0;
-            self.breaker_remaining = self.policy.breaker_cooldown;
-            self.stats.breaker_opens += 1;
-        }
-        match self.fallback(kind, raw_caller, key, "request failed") {
-            Ok(resp) => Ok(resp),
-            Err(_) => Err(last_err.unwrap_or_else(|| io::Error::other("request failed"))),
+            Err(e) => match self.fallback(kind, raw_caller, key, "request failed") {
+                Ok(resp) => Ok(resp),
+                Err(_) => Err(e),
+            },
         }
     }
 
@@ -922,20 +1006,25 @@ impl RobustWireClient {
         &mut self,
         caller: Option<CgroupId>,
         path: &str,
-    ) -> io::Result<Option<WireResponse>> {
+    ) -> Result<Option<WireResponse>, WireError> {
         self.request(KIND_READ, caller, path)
     }
 
     /// Query a sysconf value by wire key name (e.g. `"nprocessors_onln"`).
-    pub fn sysconf(&mut self, caller: Option<CgroupId>, key: &str) -> io::Result<Option<u64>> {
+    pub fn sysconf(
+        &mut self,
+        caller: Option<CgroupId>,
+        key: &str,
+    ) -> Result<Option<u64>, WireError> {
         let resp = self.request(KIND_SYSCONF, caller, key)?;
         match resp {
             Some(r) => {
-                let text = std::str::from_utf8(&r.body)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                let value = text
-                    .parse::<u64>()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let value = std::str::from_utf8(&r.body)
+                    .ok()
+                    .and_then(|text| text.parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        WireError::Malformed("sysconf body is not a decimal value".into())
+                    })?;
                 Ok(Some(value))
             }
             None => Ok(None),
@@ -976,9 +1065,9 @@ mod tests {
         std::env::temp_dir().join(format!("arv-viewd-test-{}-{tag}.sock", std::process::id()))
     }
 
-    fn spawn_server_with_limits(
+    fn spawn_server_with_config(
         tag: &str,
-        limits: WireLimits,
+        config: ServerConfig,
     ) -> (ViewServer, WireServer, CgroupId) {
         let server = ViewServer::new(HostSpec::paper_testbed(), 8);
         let id = CgroupId(7);
@@ -998,10 +1087,17 @@ mod tests {
             ),
         );
         let wire = expect(
-            WireServer::spawn_with_limits(server.clone(), test_socket(tag), limits),
+            WireServer::spawn_with_config(server.clone(), test_socket(tag), config),
             &format!("spawn wire server '{tag}'"),
         );
         (server, wire, id)
+    }
+
+    fn spawn_server_with_limits(
+        tag: &str,
+        limits: WireLimits,
+    ) -> (ViewServer, WireServer, CgroupId) {
+        spawn_server_with_config(tag, ServerConfig::from(limits))
     }
 
     fn spawn_server(tag: &str) -> (ViewServer, WireServer, CgroupId) {
@@ -1442,6 +1538,80 @@ mod tests {
         );
         assert!(!cached.shed && !cached.degraded);
         assert!(server.metrics().requests_shed >= 3);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn threaded_engine_serves_behind_the_same_api() {
+        let cfg = expect(
+            ServerConfig::builder().threaded(true).build(),
+            "build threaded config",
+        );
+        let (server, wire, id) = spawn_server_with_config("threaded", cfg);
+        let mut client = expect(WireClient::connect(wire.socket_path()), "connect threaded");
+        let resp = expect_some(
+            expect(client.read(Some(id), "/proc/cpuinfo"), "threaded read"),
+            "threaded read body",
+        );
+        let text = expect(String::from_utf8(resp.body), "utf8 body");
+        assert_eq!(text.matches("processor").count(), 4);
+        assert_eq!(
+            expect(client.sysconf(Some(id), "pagesize"), "threaded sysconf"),
+            Some(4096)
+        );
+        assert!(server.metrics().wire_requests >= 2);
+        wire.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_refused_at_spawn() {
+        let server = ViewServer::new(HostSpec::paper_testbed(), 8);
+        let bad = ServerConfig {
+            loops: 0,
+            ..ServerConfig::default()
+        };
+        assert!(WireServer::spawn_with_config(server, test_socket("badcfg"), bad).is_err());
+    }
+
+    #[test]
+    fn queue_depth_eviction_lands_in_both_counters() {
+        let cfg = ServerConfig {
+            outbound_queue_cap: 8 * 1024,
+            // A wide deadline so only the queue-depth trigger can fire.
+            write_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let (server, wire, _id) = spawn_server_with_config("qdepth", cfg);
+        let mut writer = expect(UnixStream::connect(wire.socket_path()), "connect qdepth");
+        expect(
+            writer.set_write_timeout(Some(Duration::from_millis(100))),
+            "set client write timeout",
+        );
+        // Flood stats requests and never read a byte back: responses
+        // pile past the queue cap and the connection is evicted.
+        let req = encode_request(KIND_STATS, HOST_CALLER, "");
+        for _ in 0..20_000 {
+            if server.metrics().conns_evicted_backlog >= 1 {
+                break;
+            }
+            if write_frame(&mut writer, &req).is_err() {
+                break;
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.metrics().conns_evicted_backlog == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never evicted the backlogged client"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let m = server.metrics();
+        assert!(m.conns_evicted_backlog >= 1);
+        assert!(
+            m.conns_evicted_slow >= m.conns_evicted_backlog,
+            "backlog evictions are a subset of slow evictions"
+        );
         wire.shutdown();
     }
 
